@@ -1,0 +1,50 @@
+// Command dimmunix-bench regenerates the tables and figures of the
+// Dimmunix paper's evaluation (§7) on the simulated substrates.
+//
+// Usage:
+//
+//	dimmunix-bench -list
+//	dimmunix-bench -exp fig5            # one experiment, quick scale
+//	dimmunix-bench -exp all -full       # everything, paper scale
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"dimmunix/internal/bench"
+)
+
+func main() {
+	var (
+		exp  = flag.String("exp", "all", "experiment id (see -list) or 'all'")
+		full = flag.Bool("full", false, "paper-scale runs (slow) instead of quick runs")
+		list = flag.Bool("list", false, "list experiment ids and exit")
+	)
+	flag.Parse()
+
+	if *list {
+		for _, e := range bench.All() {
+			fmt.Printf("%-10s %s\n", e.ID, e.Title)
+		}
+		return
+	}
+
+	scale := bench.Scale{Full: *full}
+	if *exp == "all" {
+		for _, e := range bench.All() {
+			fmt.Printf("running %s...\n", e.ID)
+			rep := e.Run(scale)
+			rep.Render(os.Stdout)
+		}
+		return
+	}
+	e := bench.ByID(*exp)
+	if e == nil {
+		fmt.Fprintf(os.Stderr, "unknown experiment %q; try -list\n", *exp)
+		os.Exit(2)
+	}
+	rep := e.Run(scale)
+	rep.Render(os.Stdout)
+}

@@ -1,0 +1,133 @@
+// Command dimmunix-hist inspects and maintains Dimmunix history files:
+// listing and showing signatures, disabling/enabling them (§5.7), merging
+// vendor-distributed histories (§8's proactive immunization), and porting
+// signatures across code revisions (§8) with sigport rules.
+//
+// Usage:
+//
+//	dimmunix-hist -f hist.json list
+//	dimmunix-hist -f hist.json show <sig-id>
+//	dimmunix-hist -f hist.json disable <sig-id>
+//	dimmunix-hist -f hist.json enable <sig-id>
+//	dimmunix-hist -f hist.json remove <sig-id>
+//	dimmunix-hist -f hist.json merge <other.json>
+//	dimmunix-hist -f hist.json port <rules.txt> -o ported.json
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"dimmunix/internal/signature"
+	"dimmunix/internal/sigport"
+)
+
+func main() {
+	var (
+		file = flag.String("f", "dimmunix-history.json", "history file")
+		out  = flag.String("o", "", "output file (port); defaults to -f")
+	)
+	flag.Parse()
+	args := flag.Args()
+	if len(args) == 0 {
+		fmt.Fprintln(os.Stderr, "missing command: list | show | disable | enable | remove | merge | port")
+		os.Exit(2)
+	}
+
+	h, err := signature.Load(*file)
+	if err != nil {
+		fatal(err)
+	}
+
+	switch args[0] {
+	case "list":
+		fmt.Printf("%d signatures in %s\n", h.Len(), *file)
+		for _, sig := range h.Snapshot() {
+			state := ""
+			if sig.Disabled {
+				state = " [disabled]"
+			}
+			fmt.Printf("  %s  %-10s depth=%d stacks=%d avoided=%d aborts=%d%s\n",
+				sig.ID, sig.Kind, sig.Depth, sig.Size(), sig.AvoidCount, sig.AbortCount, state)
+		}
+	case "show":
+		sig := h.Get(arg(args, 1))
+		if sig == nil {
+			fatal(fmt.Errorf("no signature %q", arg(args, 1)))
+		}
+		fmt.Printf("%s (%s, depth %d, created %s)\n", sig.ID, sig.Kind, sig.Depth,
+			time.Unix(sig.CreatedUnix, 0).Format(time.RFC3339))
+		fmt.Printf("avoided=%d aborts=%d fp=%d tp=%d disabled=%v\n",
+			sig.AvoidCount, sig.AbortCount, sig.FPCount, sig.TPCount, sig.Disabled)
+		for i, s := range sig.Stacks {
+			fmt.Printf("stack %d:\n", i)
+			for _, f := range s {
+				fmt.Printf("    %s\n", f)
+			}
+		}
+	case "disable", "enable":
+		id := arg(args, 1)
+		if !h.SetDisabled(id, args[0] == "disable") {
+			fatal(fmt.Errorf("no signature %q", id))
+		}
+		save(h)
+		fmt.Printf("%sd %s\n", args[0], id)
+	case "remove":
+		id := arg(args, 1)
+		if !h.Remove(id) {
+			fatal(fmt.Errorf("no signature %q", id))
+		}
+		save(h)
+		fmt.Printf("removed %s\n", id)
+	case "merge":
+		other, err := signature.Load(arg(args, 1))
+		if err != nil {
+			fatal(err)
+		}
+		n := h.Merge(other)
+		save(h)
+		fmt.Printf("merged %d new signatures (total %d)\n", n, h.Len())
+	case "port":
+		f, err := os.Open(arg(args, 1))
+		if err != nil {
+			fatal(err)
+		}
+		rules, err := sigport.ParseRules(f)
+		f.Close()
+		if err != nil {
+			fatal(err)
+		}
+		ported, st := sigport.Port(h, rules)
+		dst := *out
+		if dst == "" {
+			dst = *file
+		}
+		if err := ported.SaveTo(dst); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("ported %d signatures (%d frames rewritten, %d dropped) -> %s\n",
+			st.Ported, st.Frames, st.Dropped, dst)
+	default:
+		fatal(fmt.Errorf("unknown command %q", args[0]))
+	}
+}
+
+func arg(args []string, i int) string {
+	if i >= len(args) {
+		fatal(fmt.Errorf("missing argument"))
+	}
+	return args[i]
+}
+
+func save(h *signature.History) {
+	if err := h.Save(); err != nil {
+		fatal(err)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "dimmunix-hist:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,116 @@
+// Package dimmunix is a Go implementation of deadlock immunity as
+// described in "Deadlock Immunity: Enabling Systems To Defend Against
+// Deadlocks" (Jula, Tralamazza, Zamfir, Candea — OSDI 2008).
+//
+// Programs that synchronize with dimmunix.Mutex develop resistance against
+// deadlocks: the first time a deadlock pattern manifests, its signature
+// (a multiset of the involved threads' call stacks) is archived in a
+// persistent history; subsequent executions are steered away from
+// re-instantiating the pattern by briefly yielding threads whose next lock
+// acquisition would complete a known signature.
+//
+// # Quick start
+//
+//	rt := dimmunix.MustNew(dimmunix.Config{HistoryPath: "dimmunix-history.json"})
+//	defer rt.Stop()
+//
+//	a, b := rt.NewMutex(), rt.NewMutex()
+//	th := rt.RegisterThread("worker") // or use the implicit API: a.Lock()
+//	if err := a.LockT(th); err != nil { ... }
+//	defer a.UnlockT(th)
+//
+// Deadlock recovery is orthogonal to immunity (§3 of the paper): install
+// Config.OnDeadlock and call Runtime.AbortThreads to unwind the victims
+// (the in-process analog of a restart), or restart the process; either
+// way, the next run is immune.
+//
+// The implementation and every experiment from the paper's evaluation live
+// under internal/; see DESIGN.md for the system inventory and
+// EXPERIMENTS.md for paper-vs-measured results.
+package dimmunix
+
+import (
+	"dimmunix/internal/avoidance"
+	"dimmunix/internal/core"
+	"dimmunix/internal/monitor"
+	"dimmunix/internal/signature"
+)
+
+// Re-exported core types. Aliases keep the facade zero-cost: no wrapper
+// frames appear in captured call stacks.
+type (
+	// Runtime is one Dimmunix instance; see core.Runtime.
+	Runtime = core.Runtime
+	// Config configures a Runtime.
+	Config = core.Config
+	// Mutex is the instrumented mutex.
+	Mutex = core.Mutex
+	// Thread is an explicit per-goroutine handle (fast path).
+	Thread = core.Thread
+	// MutexKind selects normal/recursive/error-checking semantics.
+	MutexKind = core.MutexKind
+	// Mode selects the instrumentation level.
+	Mode = core.Mode
+	// ImmunityLevel selects weak or strong immunity.
+	ImmunityLevel = core.ImmunityLevel
+	// GuardKind selects the avoidance guard.
+	GuardKind = core.GuardKind
+	// DeadlockInfo is passed to the recovery hook.
+	DeadlockInfo = monitor.DeadlockInfo
+	// StarvationInfo is passed to the starvation/restart hook.
+	StarvationInfo = monitor.StarvationInfo
+	// History is the persistent signature store.
+	History = signature.History
+	// Signature is one archived deadlock/starvation pattern.
+	Signature = signature.Signature
+	// Stats is a snapshot of the avoidance counters.
+	Stats = avoidance.Snapshot
+	// Cond is a condition variable bound to a Mutex.
+	Cond = core.Cond
+)
+
+// Mutex kinds.
+const (
+	Normal     = core.Normal
+	Recursive  = core.Recursive
+	ErrorCheck = core.ErrorCheck
+)
+
+// Modes.
+const (
+	ModeOff         = core.ModeOff
+	ModeInstrument  = core.ModeInstrument
+	ModeDataStructs = core.ModeDataStructs
+	ModeFull        = core.ModeFull
+)
+
+// Immunity levels.
+const (
+	WeakImmunity   = core.WeakImmunity
+	StrongImmunity = core.StrongImmunity
+)
+
+// Guards.
+const (
+	GuardMutex  = core.GuardMutex
+	GuardSpin   = core.GuardSpin
+	GuardFilter = core.GuardFilter
+)
+
+// Errors.
+var (
+	ErrSelfDeadlock      = core.ErrSelfDeadlock
+	ErrTimeout           = core.ErrTimeout
+	ErrDeadlockRecovered = core.ErrDeadlockRecovered
+	ErrNotOwner          = core.ErrNotOwner
+)
+
+// New creates and starts a Runtime.
+func New(cfg Config) (*Runtime, error) { return core.New(cfg) }
+
+// MustNew is New that panics on error.
+func MustNew(cfg Config) *Runtime { return core.MustNew(cfg) }
+
+// LoadHistory reads a signature history file (missing file = empty
+// history), for tooling that inspects or merges histories.
+func LoadHistory(path string) (*History, error) { return signature.Load(path) }

@@ -1,0 +1,216 @@
+// Public API tests: everything here goes through the facade only, the way
+// a downstream user would.
+package dimmunix_test
+
+import (
+	"errors"
+	"path/filepath"
+	"sync"
+	"testing"
+	"time"
+
+	"dimmunix"
+)
+
+func apiConfig() dimmunix.Config {
+	return dimmunix.Config{
+		Tau:        2 * time.Millisecond,
+		MatchDepth: 2,
+		MaxYield:   5 * time.Second,
+	}
+}
+
+//go:noinline
+func apiLockFirst(t *dimmunix.Thread, m *dimmunix.Mutex) error { return m.LockT(t) }
+
+//go:noinline
+func apiLockSecond(t *dimmunix.Thread, m *dimmunix.Mutex) error { return m.LockT(t) }
+
+func apiDeadlock(rt *dimmunix.Runtime, a, b *dimmunix.Mutex) (error, error) {
+	t1 := rt.RegisterThread("T1")
+	t2 := rt.RegisterThread("T2")
+	defer t1.Close()
+	defer t2.Close()
+	var wg sync.WaitGroup
+	var e1, e2 error
+	wg.Add(2)
+	go func() {
+		defer wg.Done()
+		if e1 = apiLockFirst(t1, a); e1 != nil {
+			return
+		}
+		time.Sleep(50 * time.Millisecond)
+		if e1 = b.LockT(t1); e1 != nil {
+			_ = a.UnlockT(t1)
+			return
+		}
+		_ = b.UnlockT(t1)
+		_ = a.UnlockT(t1)
+	}()
+	go func() {
+		defer wg.Done()
+		if e2 = apiLockSecond(t2, b); e2 != nil {
+			return
+		}
+		time.Sleep(50 * time.Millisecond)
+		if e2 = a.LockT(t2); e2 != nil {
+			_ = b.UnlockT(t2)
+			return
+		}
+		_ = a.UnlockT(t2)
+		_ = b.UnlockT(t2)
+	}()
+	wg.Wait()
+	return e1, e2
+}
+
+func TestPublicAPIImmunityLifecycle(t *testing.T) {
+	dir := t.TempDir()
+	cfg := apiConfig()
+	cfg.HistoryPath = filepath.Join(dir, "hist.json")
+	var rt *dimmunix.Runtime
+	cfg.OnDeadlock = func(info dimmunix.DeadlockInfo) {
+		rt.AbortThreads(info.ThreadIDs...)
+	}
+	rt = dimmunix.MustNew(cfg)
+	a, b := rt.NewMutex(), rt.NewMutex()
+
+	e1, e2 := apiDeadlock(rt, a, b)
+	if !errors.Is(e1, dimmunix.ErrDeadlockRecovered) && !errors.Is(e2, dimmunix.ErrDeadlockRecovered) {
+		t.Fatalf("expected recovery, got %v / %v", e1, e2)
+	}
+	if rt.History().Len() != 1 {
+		t.Fatalf("history = %d", rt.History().Len())
+	}
+	e1, e2 = apiDeadlock(rt, a, b)
+	if e1 != nil || e2 != nil {
+		t.Fatalf("immunized run failed: %v / %v", e1, e2)
+	}
+	if rt.Stats().Yields == 0 {
+		t.Error("no yields recorded")
+	}
+	if err := rt.Stop(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Immunity persists: LoadHistory sees the archive.
+	h, err := dimmunix.LoadHistory(cfg.HistoryPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h.Len() != 1 {
+		t.Fatalf("persisted history = %d", h.Len())
+	}
+}
+
+func TestLastAvoidedAndDisable(t *testing.T) {
+	var rt *dimmunix.Runtime
+	cfg := apiConfig()
+	cfg.OnDeadlock = func(info dimmunix.DeadlockInfo) {
+		rt.AbortThreads(info.ThreadIDs...)
+	}
+	rt = dimmunix.MustNew(cfg)
+	defer rt.Stop()
+	a, b := rt.NewMutex(), rt.NewMutex()
+	if rt.LastAvoided() != nil {
+		t.Fatal("LastAvoided must start nil")
+	}
+	if rt.DisableLastAvoided() {
+		t.Fatal("DisableLastAvoided without an avoidance must be false")
+	}
+	apiDeadlock(rt, a, b) // contract
+	apiDeadlock(rt, a, b) // avoided
+	sig := rt.LastAvoided()
+	if sig == nil {
+		t.Fatal("LastAvoided is nil after an avoidance")
+	}
+	if !rt.DisableLastAvoided() {
+		t.Fatal("DisableLastAvoided failed")
+	}
+	if !rt.History().Get(sig.ID).Disabled {
+		t.Error("signature not disabled in history")
+	}
+	// With the signature disabled, the pattern is no longer avoided:
+	// the deadlock may well reoccur — tolerate either outcome, but the
+	// run must terminate (recovery hook is installed).
+	apiDeadlock(rt, a, b)
+}
+
+func TestMutexKindsViaFacade(t *testing.T) {
+	rt := dimmunix.MustNew(apiConfig())
+	defer rt.Stop()
+	th := rt.RegisterThread("t")
+	defer th.Close()
+
+	rec := rt.NewMutexKind(dimmunix.Recursive)
+	if err := rec.LockT(th); err != nil {
+		t.Fatal(err)
+	}
+	if err := rec.LockT(th); err != nil {
+		t.Fatal(err)
+	}
+	_ = rec.UnlockT(th)
+	_ = rec.UnlockT(th)
+
+	ec := rt.NewMutexKind(dimmunix.ErrorCheck)
+	_ = ec.LockT(th)
+	if err := ec.LockT(th); !errors.Is(err, dimmunix.ErrSelfDeadlock) {
+		t.Fatalf("errorcheck relock: %v", err)
+	}
+	_ = ec.UnlockT(th)
+
+	n := rt.NewMutex()
+	if n.Kind() != dimmunix.Normal {
+		t.Error("NewMutex must be Normal")
+	}
+	ok, err := n.TryLockT(th)
+	if !ok || err != nil {
+		t.Fatal("trylock")
+	}
+	if err := n.LockTimeoutT(th, time.Millisecond); !errors.Is(err, dimmunix.ErrTimeout) {
+		// Normal mutex relock via timeout must time out, not self-deadlock forever.
+		t.Fatalf("timed relock: %v", err)
+	}
+	_ = n.UnlockT(th)
+}
+
+func TestImplicitAPIFacade(t *testing.T) {
+	rt := dimmunix.MustNew(apiConfig())
+	defer rt.Stop()
+	m := rt.NewMutex()
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 50; i++ {
+				if err := m.Lock(); err != nil {
+					t.Errorf("lock: %v", err)
+					return
+				}
+				if err := m.Unlock(); err != nil {
+					t.Errorf("unlock: %v", err)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	if got := rt.Stats().Acquired; got != 400 {
+		t.Errorf("acquired = %d, want 400", got)
+	}
+}
+
+func TestMustLockPanicsAfterAbort(t *testing.T) {
+	rt := dimmunix.MustNew(apiConfig())
+	defer rt.Stop()
+	m := rt.NewMutex()
+	m.MustLock()
+	m.MustUnlock()
+	defer func() {
+		if recover() == nil {
+			t.Error("MustUnlock on free mutex must panic (ErrNotOwner)")
+		}
+	}()
+	m.MustUnlock()
+}

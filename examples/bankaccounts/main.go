@@ -1,0 +1,120 @@
+// Bank accounts: unordered two-lock transfers — the classic deadlock that
+// the paper's §4 pseudocode distills. A pool of tellers moves money
+// between accounts, locking source before destination (no global order).
+// Dimmunix lets the system contract each deadlock pattern once, then keeps
+// it running; the recovery hook retries failed transfers after unwinding,
+// so no transfer is lost (totals are checked at the end).
+//
+//	go run ./examples/bankaccounts
+package main
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"dimmunix"
+)
+
+type account struct {
+	mu      *dimmunix.Mutex
+	balance int64
+}
+
+type bank struct {
+	rt       *dimmunix.Runtime
+	accounts []*account
+	retries  atomic.Uint64
+	done     atomic.Uint64
+}
+
+// transfer locks src then dst — deliberately unordered.
+//
+//go:noinline
+func (bk *bank) transfer(t *dimmunix.Thread, src, dst *account, amount int64) error {
+	if err := src.mu.LockT(t); err != nil {
+		return err
+	}
+	time.Sleep(200 * time.Microsecond) // audit work while holding src
+	if err := dst.mu.LockT(t); err != nil {
+		_ = src.mu.UnlockT(t)
+		return err
+	}
+	src.balance -= amount
+	dst.balance += amount
+	_ = dst.mu.UnlockT(t)
+	_ = src.mu.UnlockT(t)
+	return nil
+}
+
+func (bk *bank) teller(id int, transfers int) {
+	t := bk.rt.RegisterThread(fmt.Sprintf("teller-%d", id))
+	defer t.Close()
+	rng := rand.New(rand.NewSource(int64(id)))
+	for i := 0; i < transfers; i++ {
+		src := bk.accounts[rng.Intn(len(bk.accounts))]
+		dst := bk.accounts[rng.Intn(len(bk.accounts))]
+		if src == dst {
+			continue
+		}
+		for {
+			err := bk.transfer(t, src, dst, 1)
+			if err == nil {
+				bk.done.Add(1)
+				break
+			}
+			if errors.Is(err, dimmunix.ErrDeadlockRecovered) {
+				// The restart: the transaction unwound cleanly; retry.
+				bk.retries.Add(1)
+				continue
+			}
+			fmt.Println("teller error:", err)
+			return
+		}
+	}
+}
+
+func main() {
+	var rt *dimmunix.Runtime
+	rt = dimmunix.MustNew(dimmunix.Config{
+		Tau:        5 * time.Millisecond,
+		MatchDepth: 2,
+		OnDeadlock: func(info dimmunix.DeadlockInfo) {
+			rt.AbortThreads(info.ThreadIDs...)
+		},
+	})
+	defer rt.Stop()
+
+	const nAccounts, nTellers, nTransfers = 8, 6, 300
+	bk := &bank{rt: rt}
+	var total int64
+	for i := 0; i < nAccounts; i++ {
+		bk.accounts = append(bk.accounts, &account{mu: rt.NewMutex(), balance: 1000})
+		total += 1000
+	}
+
+	start := time.Now()
+	var wg sync.WaitGroup
+	for i := 0; i < nTellers; i++ {
+		wg.Add(1)
+		go func(i int) { defer wg.Done(); bk.teller(i, nTransfers) }(i)
+	}
+	wg.Wait()
+
+	var sum int64
+	for _, a := range bk.accounts {
+		sum += a.balance
+	}
+	stats := rt.Stats()
+	fmt.Printf("transfers completed: %d (retried after recovery: %d)\n", bk.done.Load(), bk.retries.Load())
+	fmt.Printf("deadlock patterns learned: %d, yields: %d, elapsed: %s\n",
+		rt.History().Len(), stats.Yields, time.Since(start).Round(time.Millisecond))
+	if sum != total {
+		fmt.Printf("MONEY LEAKED: %d != %d\n", sum, total)
+	} else {
+		fmt.Printf("balance conserved: %d\n", sum)
+	}
+}

@@ -1,0 +1,108 @@
+// Collections: "invitations to deadlock" (§7.1.2, Table 2).
+//
+// Synchronized containers let callers nest monitors without knowing it:
+// v1.AddAll(v2) concurrent with v2.AddAll(v1) deadlocks inside the
+// library even though neither caller has a logic bug. This example builds
+// two synchronized vectors on Dimmunix mutexes, walks into the deadlock
+// once, and then keeps hammering AddAll from both sides — immunized.
+//
+//	go run ./examples/collections
+package main
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"dimmunix"
+)
+
+// syncVector is a miniature java.util.Vector: every method locks the
+// receiver; AddAll additionally locks the argument.
+type syncVector struct {
+	mu    *dimmunix.Mutex
+	items []int
+}
+
+func newSyncVector(rt *dimmunix.Runtime) *syncVector {
+	return &syncVector{mu: rt.NewMutexKind(dimmunix.Recursive)}
+}
+
+func (v *syncVector) Add(t *dimmunix.Thread, x int) error {
+	if err := v.mu.LockT(t); err != nil {
+		return err
+	}
+	defer v.mu.UnlockT(t)
+	v.items = append(v.items, x)
+	return nil
+}
+
+func (v *syncVector) snapshot(t *dimmunix.Thread) ([]int, error) {
+	if err := v.mu.LockT(t); err != nil {
+		return nil, err
+	}
+	defer v.mu.UnlockT(t)
+	return append([]int(nil), v.items...), nil
+}
+
+//go:noinline
+func (v *syncVector) AddAll(t *dimmunix.Thread, other *syncVector) error {
+	if err := v.mu.LockT(t); err != nil {
+		return err
+	}
+	defer v.mu.UnlockT(t)
+	time.Sleep(10 * time.Millisecond) // the interleaving window
+	items, err := other.snapshot(t)
+	if err != nil {
+		return err
+	}
+	v.items = append(v.items, items...)
+	return nil
+}
+
+func main() {
+	var rt *dimmunix.Runtime
+	rt = dimmunix.MustNew(dimmunix.Config{
+		Tau:        5 * time.Millisecond,
+		MatchDepth: 1, // library-level pattern: match the AddAll lock site
+		OnDeadlock: func(info dimmunix.DeadlockInfo) {
+			fmt.Println("deadlocked inside the container library; signature archived")
+			rt.AbortThreads(info.ThreadIDs...)
+		},
+	})
+	defer rt.Stop()
+
+	v1, v2 := newSyncVector(rt), newSyncVector(rt)
+	seed := rt.RegisterThread("seed")
+	_ = v1.Add(seed, 1)
+	_ = v2.Add(seed, 2)
+	seed.Close()
+
+	for round := 1; round <= 5; round++ {
+		var wg sync.WaitGroup
+		errs := make([]error, 2)
+		wg.Add(2)
+		go func() {
+			defer wg.Done()
+			t := rt.RegisterThread("w1")
+			defer t.Close()
+			errs[0] = v1.AddAll(t, v2)
+		}()
+		go func() {
+			defer wg.Done()
+			t := rt.RegisterThread("w2")
+			defer t.Close()
+			errs[1] = v2.AddAll(t, v1)
+		}()
+		wg.Wait()
+		switch {
+		case errs[0] == nil && errs[1] == nil:
+			fmt.Printf("round %d: both AddAll calls completed (yields: %d)\n", round, rt.Stats().Yields)
+		case errors.Is(errs[0], dimmunix.ErrDeadlockRecovered) || errors.Is(errs[1], dimmunix.ErrDeadlockRecovered):
+			fmt.Printf("round %d: deadlock contracted and recovered — immune from now on\n", round)
+		default:
+			fmt.Printf("round %d: %v / %v\n", round, errs[0], errs[1])
+		}
+	}
+}

@@ -1,0 +1,150 @@
+// Vendor patch: proactive immunization (§8).
+//
+// "Dimmunix can also be used as an alternative to patching and upgrading:
+// instead of modifying the program code, it can be 'patched' against
+// deadlock bugs by simply inserting the corresponding bug's signature into
+// the deadlock history... vendors could ship their software with
+// signatures for known deadlocks."
+//
+// This example plays both sides: the VENDOR's test lab contracts the
+// deadlock once and exports the signature; the CUSTOMER site merges the
+// vendor's signature file into its (empty) local history *before ever
+// hitting the bug* — and never deadlocks at all.
+//
+//	go run ./examples/vendorpatch
+package main
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"sync"
+	"time"
+
+	"dimmunix"
+)
+
+// The "product": a connection pool whose Get/Close paths nest two locks in
+// opposite orders (the MySQL-JDBC family of Table 1 bugs).
+
+type product struct {
+	conn *dimmunix.Mutex
+	stmt *dimmunix.Mutex
+}
+
+//go:noinline
+func (p *product) execute(t *dimmunix.Thread, window time.Duration) error {
+	if err := p.stmt.LockT(t); err != nil {
+		return err
+	}
+	time.Sleep(window)
+	if err := p.conn.LockT(t); err != nil {
+		_ = p.stmt.UnlockT(t)
+		return err
+	}
+	_ = p.conn.UnlockT(t)
+	_ = p.stmt.UnlockT(t)
+	return nil
+}
+
+//go:noinline
+func (p *product) closeConn(t *dimmunix.Thread, window time.Duration) error {
+	if err := p.conn.LockT(t); err != nil {
+		return err
+	}
+	time.Sleep(window)
+	if err := p.stmt.LockT(t); err != nil {
+		_ = p.conn.UnlockT(t)
+		return err
+	}
+	_ = p.stmt.UnlockT(t)
+	_ = p.conn.UnlockT(t)
+	return nil
+}
+
+func exercise(rt *dimmunix.Runtime, window time.Duration) (error, error) {
+	p := &product{
+		conn: rt.NewMutexKind(dimmunix.Recursive),
+		stmt: rt.NewMutexKind(dimmunix.Recursive),
+	}
+	t1 := rt.RegisterThread("app-1")
+	t2 := rt.RegisterThread("app-2")
+	defer t1.Close()
+	defer t2.Close()
+	var wg sync.WaitGroup
+	var e1, e2 error
+	wg.Add(2)
+	go func() { defer wg.Done(); e1 = p.execute(t1, window) }()
+	go func() { defer wg.Done(); e2 = p.closeConn(t2, window) }()
+	wg.Wait()
+	return e1, e2
+}
+
+func main() {
+	dir, err := os.MkdirTemp("", "vendorpatch-*")
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	defer os.RemoveAll(dir)
+	vendorFile := filepath.Join(dir, "vendor-signatures.json")
+	customerFile := filepath.Join(dir, "customer-history.json")
+
+	// --- Vendor test lab: contract the bug once, export the signature.
+	fmt.Println("=== vendor lab: reproducing the reported deadlock ===")
+	{
+		var rt *dimmunix.Runtime
+		rt = dimmunix.MustNew(dimmunix.Config{
+			HistoryPath: vendorFile,
+			Tau:         5 * time.Millisecond,
+			MatchDepth:  2,
+			OnDeadlock: func(info dimmunix.DeadlockInfo) {
+				fmt.Printf("  lab: captured signature %s\n", info.Sig.ID)
+				rt.AbortThreads(info.ThreadIDs...)
+			},
+		})
+		exercise(rt, 50*time.Millisecond)
+		rt.Stop()
+	}
+
+	// --- Customer site: merge the vendor file BEFORE first use.
+	fmt.Println("=== customer site: applying the vendor signature patch ===")
+	local, err := dimmunix.LoadHistory(customerFile)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	vendor, err := dimmunix.LoadHistory(vendorFile)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	added := local.Merge(vendor)
+	if err := local.SaveTo(customerFile); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	fmt.Printf("  merged %d vendor signature(s) into the local history\n", added)
+
+	var rt *dimmunix.Runtime
+	rt = dimmunix.MustNew(dimmunix.Config{
+		HistoryPath: customerFile,
+		Tau:         5 * time.Millisecond,
+		MatchDepth:  2,
+		OnDeadlock: func(info dimmunix.DeadlockInfo) {
+			fmt.Println("  customer: DEADLOCK (the patch failed!)")
+			rt.AbortThreads(info.ThreadIDs...)
+		},
+	})
+	defer rt.Stop()
+
+	for i := 1; i <= 3; i++ {
+		e1, e2 := exercise(rt, 50*time.Millisecond)
+		if e1 == nil && e2 == nil {
+			fmt.Printf("  customer run %d: completed, never deadlocked (yields: %d)\n",
+				i, rt.Stats().Yields)
+		} else {
+			fmt.Printf("  customer run %d: %v / %v\n", i, e1, e2)
+		}
+	}
+}

@@ -1,0 +1,552 @@
+// Package avoidance implements the hot-path half of Dimmunix: the RAG
+// "cache" consulted and updated by the request/acquired/release
+// instrumentation (§5.4, §5.6).
+//
+// The cache maintains, per interned call stack S, the Allowed set: the
+// threads permitted to wait for locks while having call stack S, including
+// the threads that acquired and still hold those locks. A lock request is
+// allowed (GO) unless, together with the current allow/hold entries, it
+// would instantiate a signature from the history; then the thread yields
+// and records yield-cause bindings so it can be woken when any binding
+// breaks.
+//
+// Synchronization: a single pluggable guard (sync.Mutex, TAS spin lock, or
+// the generalized Peterson filter lock of §5.6) protects every mutable
+// structure here, including the mutable fields of *signature.Signature.
+// Event emission to the monitor is lock-free (MPSC queue) and happens
+// outside or inside the guard without ordering hazards: per-producer FIFO
+// plus the mutex-token happens-before edge give the §5.2 partial order.
+package avoidance
+
+import (
+	"sync/atomic"
+
+	"dimmunix/internal/event"
+	"dimmunix/internal/peterson"
+	"dimmunix/internal/signature"
+	"dimmunix/internal/stack"
+)
+
+// Mode selects how much of the avoidance path runs; the Fig 8 overhead
+// breakdown toggles these.
+type Mode uint8
+
+const (
+	// ModeInstrument captures stacks and emits events only.
+	ModeInstrument Mode = iota
+	// ModeDataStructs additionally maintains the Allowed sets and
+	// holder bookkeeping, but never matches signatures.
+	ModeDataStructs
+	// ModeFull runs complete avoidance.
+	ModeFull
+)
+
+// ThreadState is the cache's per-thread node. One exists per registered
+// application thread; they are preallocated-friendly (dense slots).
+type ThreadState struct {
+	ID   int32
+	Name string
+	Slot int // guard slot for the filter lock
+
+	// Priority influences starvation-break victim selection (§8 notes
+	// priority support "can easily be added"; this is that addition).
+	// Higher priority = freed first. Default 0.
+	Priority atomic.Int32
+
+	// Wake is signaled (buffered, capacity 1) whenever a yield cause of
+	// this thread may have broken.
+	Wake chan struct{}
+
+	// Everything below is protected by the cache guard.
+	forcedGo     bool
+	pendingAllow *entry       // the outstanding allow edge, if any
+	holds        []*entry     // hold entries in acquisition order
+	yieldRegs    []*LockState // locks whose waiter sets contain this thread
+	yieldSig     *signature.Signature
+}
+
+// LockState is the cache's per-lock node, embedded in the public Mutex.
+type LockState struct {
+	ID uint64
+
+	// Protected by the cache guard.
+	owner   *ThreadState // nil when free (ownership per cache view)
+	waiters map[int32]*ThreadState
+}
+
+// entry is one allow or hold edge in the cache: thread T waits for / holds
+// lock L having had call stack St.
+type entry struct {
+	t    *ThreadState
+	l    *LockState
+	st   *stack.Interned
+	held bool
+	// position of this entry in its stackState.entries slice, for O(1)
+	// swap-removal.
+	ssIdx int
+}
+
+// stackState is the per-interned-stack node carrying the Allowed set.
+type stackState struct {
+	in      *stack.Interned
+	entries []*entry
+}
+
+// Decision is the outcome of Request.
+type Decision struct {
+	// Go is true when the thread may proceed to block on the lock.
+	Go bool
+	// Sig is the matched signature on YIELD (also set when a yield was
+	// suppressed by ignore-decisions mode).
+	Sig *signature.Signature
+	// Depth is the matching depth in force when the instance was found.
+	Depth int
+	// Causes are the (thread, lock, stack) bindings of the instance,
+	// excluding the requesting thread's own tentative binding.
+	Causes []Binding
+	// YielderIdx is the signature stack index covered by the requesting
+	// thread's own stack.
+	YielderIdx int
+}
+
+// Binding is one element of a signature instance.
+type Binding struct {
+	T      *ThreadState
+	L      *LockState
+	St     *stack.Interned
+	SigIdx int // index of the signature stack this binding covers
+}
+
+// Config parametrizes a Cache.
+type Config struct {
+	// Guard selects the mutual-exclusion primitive for the shared
+	// structures; nil selects sync.Mutex.
+	Guard peterson.Guard
+	// Mode selects the instrumentation level.
+	Mode Mode
+	// IgnoreDecisions turns YIELD into GO (Table 1's control run).
+	IgnoreDecisions bool
+	// ProbeDepth, when > 0, re-checks every matched instance at this
+	// deeper depth and counts failures in Stats.ProbeFPs (§7.3's
+	// false-positive accounting).
+	ProbeDepth int
+	// DiscardObsolete removes a signature from the history when a
+	// completed calibration ladder shows a 100% false-positive rate at
+	// its best depth — §8: such signatures are obsolete (e.g. the bug
+	// was fixed by an upgrade).
+	DiscardObsolete bool
+	// MaxThreads sizes the preallocated thread slot table.
+	MaxThreads int
+}
+
+// Cache is the avoidance-side state of one Dimmunix runtime.
+type Cache struct {
+	cfg      Config
+	guard    peterson.Guard
+	interner *stack.Interner
+	hist     *signature.History
+	emit     func(event.Event)
+	stats    *Stats
+
+	// Protected by guard.
+	stackStates []*stackState // indexed by interned stack ID
+	matchers    []*sigMatcher
+	byStack     map[uint32][]matchRef // reverse index: stack -> signature positions
+	histVersion uint64
+	linkedUpTo  int  // interned stacks below this ID are linked into matchers
+	calibrating bool // some signature's depth ladder is running
+	indexDirty  bool // reverse index needs a rebuild
+
+	nextLockID atomic.Uint64
+
+	// lastAvoided remembers the most recently avoided signature — the
+	// §5.7 "disable the last avoided signature" flow (the paper's
+	// pop-up-blocker analogy).
+	lastAvoided atomic.Pointer[signature.Signature]
+}
+
+// NewCache builds a cache over the given history. emit must be non-nil and
+// is invoked for every instrumentation event.
+func NewCache(cfg Config, interner *stack.Interner, hist *signature.History, stats *Stats, emit func(event.Event)) *Cache {
+	if cfg.MaxThreads <= 0 {
+		cfg.MaxThreads = 1024
+	}
+	g := cfg.Guard
+	if g == nil {
+		g = peterson.NewMutex()
+	}
+	return &Cache{
+		cfg:      cfg,
+		guard:    g,
+		interner: interner,
+		hist:     hist,
+		emit:     emit,
+		stats:    stats,
+		byStack:  make(map[uint32][]matchRef),
+	}
+}
+
+// Stats returns the cache's counters.
+func (c *Cache) Stats() *Stats { return c.stats }
+
+// NewThread creates the cache node for a registered thread.
+func (c *Cache) NewThread(id int32, slot int, name string) *ThreadState {
+	return &ThreadState{
+		ID:   id,
+		Name: name,
+		Slot: slot,
+		Wake: make(chan struct{}, 1),
+	}
+}
+
+// NewLock creates a lock node with a fresh ID.
+func (c *Cache) NewLock() *LockState {
+	return &LockState{ID: c.nextLockID.Add(1)}
+}
+
+// Intern exposes the runtime's stack interner.
+func (c *Cache) Intern(s stack.Stack) *stack.Interned { return c.interner.Intern(s) }
+
+func (c *Cache) stackState(in *stack.Interned) *stackState {
+	for int(in.ID) >= len(c.stackStates) {
+		c.stackStates = append(c.stackStates, nil)
+	}
+	ss := c.stackStates[in.ID]
+	if ss == nil {
+		ss = &stackState{in: in}
+		c.stackStates[in.ID] = ss
+	}
+	return ss
+}
+
+func (c *Cache) addEntry(t *ThreadState, l *LockState, in *stack.Interned, held bool) *entry {
+	ss := c.stackState(in)
+	e := &entry{t: t, l: l, st: in, held: held, ssIdx: len(ss.entries)}
+	ss.entries = append(ss.entries, e)
+	return e
+}
+
+func (c *Cache) removeEntry(e *entry) {
+	ss := c.stackStates[e.st.ID]
+	last := len(ss.entries) - 1
+	ss.entries[e.ssIdx] = ss.entries[last]
+	ss.entries[e.ssIdx].ssIdx = e.ssIdx
+	ss.entries = ss.entries[:last]
+	e.ssIdx = -1
+}
+
+// clearYieldRegs removes t from every waiter set it registered in.
+func clearYieldRegs(t *ThreadState) {
+	for _, l := range t.yieldRegs {
+		delete(l.waiters, t.ID)
+	}
+	t.yieldRegs = t.yieldRegs[:0]
+	t.yieldSig = nil
+}
+
+// Request implements the §5.4 request method. It returns GO when it is
+// safe (w.r.t. the history) for t to block waiting for l, or YIELD with
+// the matched signature instance otherwise.
+func (c *Cache) Request(t *ThreadState, l *LockState, in *stack.Interned) Decision {
+	c.stats.Requests.Add(1)
+	c.emit(event.Event{Kind: event.Request, TID: t.ID, LID: l.ID, Stack: in})
+
+	if c.cfg.Mode == ModeInstrument {
+		c.stats.Gos.Add(1)
+		c.emit(event.Event{Kind: event.Go, TID: t.ID, LID: l.ID, Stack: in})
+		return Decision{Go: true}
+	}
+
+	c.guard.Lock(t.Slot)
+	clearYieldRegs(t)
+
+	var dec Decision
+	if c.cfg.Mode == ModeFull {
+		c.refreshIndex()
+		if t.forcedGo {
+			t.forcedGo = false
+			c.stats.ForcedGos.Add(1)
+		} else {
+			dec = c.findInstance(t, l, in)
+		}
+	}
+
+	if dec.Sig != nil && !c.cfg.IgnoreDecisions {
+		// YIELD: flip the tentative allow into a request edge and
+		// register for wakeups on every cause lock.
+		dec.Sig.AvoidCount++
+		if dec.Sig.Calib.RecordAvoidance() {
+			// Ladder completed: adopt the chosen depth.
+			dec.Sig.Depth = dec.Sig.Calib.Chosen
+		}
+		// Rung advances and ladder completion both change the effective
+		// depth; keep the match index coherent immediately.
+		c.invalidateMatcher(dec.Sig.ID)
+		if c.cfg.ProbeDepth > 0 && !c.matchesAtDepth(dec, t, l, in, c.cfg.ProbeDepth) {
+			c.stats.ProbeFPs.Add(1)
+		}
+		t.yieldSig = dec.Sig
+		causes := make([]event.Cause, 0, len(dec.Causes))
+		for _, b := range dec.Causes {
+			if b.L.waiters == nil {
+				b.L.waiters = make(map[int32]*ThreadState)
+			}
+			b.L.waiters[t.ID] = t
+			t.yieldRegs = append(t.yieldRegs, b.L)
+			causes = append(causes, event.Cause{TID: b.T.ID, LID: b.L.ID, Stack: b.St, SigIdx: b.SigIdx})
+		}
+		c.guard.Unlock(t.Slot)
+		c.lastAvoided.Store(dec.Sig)
+		c.stats.Yields.Add(1)
+		c.emit(event.Event{
+			Kind: event.Yield, TID: t.ID, LID: l.ID, Stack: in,
+			Causes: causes, SigID: dec.Sig.ID,
+			YielderIdx: dec.YielderIdx, Depth: dec.Depth,
+		})
+		return dec
+	}
+
+	if dec.Sig != nil && c.cfg.IgnoreDecisions {
+		c.stats.Ignored.Add(1)
+		dec = Decision{Go: true, Sig: dec.Sig, Depth: dec.Depth}
+	} else {
+		dec = Decision{Go: true}
+	}
+
+	// GO: commit the allow edge.
+	t.pendingAllow = c.addEntry(t, l, in, false)
+	c.guard.Unlock(t.Slot)
+	c.stats.Gos.Add(1)
+	c.emit(event.Event{Kind: event.Go, TID: t.ID, LID: l.ID, Stack: in})
+	return dec
+}
+
+// Acquired converts t's outstanding allow edge on l into a hold edge.
+func (c *Cache) Acquired(t *ThreadState, l *LockState) {
+	c.stats.Acquired.Add(1)
+	if c.cfg.Mode == ModeInstrument {
+		c.emit(event.Event{Kind: event.Acquired, TID: t.ID, LID: l.ID})
+		return
+	}
+	c.guard.Lock(t.Slot)
+	e := t.pendingAllow
+	var in *stack.Interned
+	if e != nil && e.l == l {
+		e.held = true
+		t.pendingAllow = nil
+		t.holds = append(t.holds, e)
+		in = e.st
+	}
+	l.owner = t
+	c.guard.Unlock(t.Slot)
+	c.emit(event.Event{Kind: event.Acquired, TID: t.ID, LID: l.ID, Stack: in})
+}
+
+// ReentrantAcquired records a reentrant acquisition (no decision needed:
+// the thread already owns the lock, so it cannot block).
+func (c *Cache) ReentrantAcquired(t *ThreadState, l *LockState, in *stack.Interned) {
+	c.stats.Reentries.Add(1)
+	if c.cfg.Mode != ModeInstrument {
+		c.guard.Lock(t.Slot)
+		e := c.addEntry(t, l, in, true)
+		t.holds = append(t.holds, e)
+		c.guard.Unlock(t.Slot)
+	}
+	c.emit(event.Event{Kind: event.Acquired, TID: t.ID, LID: l.ID, Stack: in})
+}
+
+// Release removes t's most recent hold edge on l and wakes every thread
+// yielding on a cause binding that involves l. The caller must emit the
+// actual unlock strictly after Release returns (§5.2's event ordering).
+func (c *Cache) Release(t *ThreadState, l *LockState) {
+	c.stats.Releases.Add(1)
+	if c.cfg.Mode == ModeInstrument {
+		c.emit(event.Event{Kind: event.Release, TID: t.ID, LID: l.ID})
+		return
+	}
+	c.guard.Lock(t.Slot)
+	for i := len(t.holds) - 1; i >= 0; i-- {
+		if t.holds[i].l == l {
+			c.removeEntry(t.holds[i])
+			t.holds = append(t.holds[:i], t.holds[i+1:]...)
+			break
+		}
+	}
+	stillHolds := false
+	for _, h := range t.holds {
+		if h.l == l {
+			stillHolds = true
+			break
+		}
+	}
+	if !stillHolds && l.owner == t {
+		l.owner = nil
+	}
+	var toWake []*ThreadState
+	if len(l.waiters) > 0 {
+		toWake = make([]*ThreadState, 0, len(l.waiters))
+		for _, w := range l.waiters {
+			toWake = append(toWake, w)
+		}
+	}
+	c.guard.Unlock(t.Slot)
+	c.emit(event.Event{Kind: event.Release, TID: t.ID, LID: l.ID})
+	for _, w := range toWake {
+		wake(w)
+	}
+}
+
+// Cancel rolls back t's outstanding allow edge on l (trylock failure,
+// timed-lock timeout, or recovery abort), the pthreads-port cancel event
+// of §6.
+func (c *Cache) Cancel(t *ThreadState, l *LockState) {
+	c.stats.Cancels.Add(1)
+	if c.cfg.Mode == ModeInstrument {
+		c.emit(event.Event{Kind: event.Cancel, TID: t.ID, LID: l.ID})
+		return
+	}
+	c.guard.Lock(t.Slot)
+	clearYieldRegs(t)
+	if e := t.pendingAllow; e != nil && e.l == l {
+		c.removeEntry(e)
+		t.pendingAllow = nil
+	}
+	var toWake []*ThreadState
+	if len(l.waiters) > 0 {
+		toWake = make([]*ThreadState, 0, len(l.waiters))
+		for _, w := range l.waiters {
+			toWake = append(toWake, w)
+		}
+	}
+	c.guard.Unlock(t.Slot)
+	c.emit(event.Event{Kind: event.Cancel, TID: t.ID, LID: l.ID})
+	for _, w := range toWake {
+		wake(w)
+	}
+}
+
+// ThreadExit deregisters a thread.
+func (c *Cache) ThreadExit(t *ThreadState) {
+	if c.cfg.Mode != ModeInstrument {
+		c.guard.Lock(t.Slot)
+		clearYieldRegs(t)
+		if t.pendingAllow != nil {
+			c.removeEntry(t.pendingAllow)
+			t.pendingAllow = nil
+		}
+		for _, h := range t.holds {
+			c.removeEntry(h)
+			if h.l.owner == t {
+				h.l.owner = nil
+			}
+		}
+		t.holds = nil
+		c.guard.Unlock(t.Slot)
+	}
+	c.emit(event.Event{Kind: event.ThreadExit, TID: t.ID})
+}
+
+// ForceGo releases t from its yield: its next Request proceeds without
+// matching. Used by the monitor to break starvation (§3) and by the
+// max-yield bound (§5.7).
+func (c *Cache) ForceGo(t *ThreadState) {
+	c.guard.Lock(t.Slot)
+	t.forcedGo = true
+	c.guard.Unlock(t.Slot)
+	wake(t)
+}
+
+// NoteAbort records that t's yield on sig timed out (max yield duration);
+// after autoDisableAfter such aborts the signature is disabled
+// automatically (§5.7). A zero threshold disables auto-disabling.
+func (c *Cache) NoteAbort(t *ThreadState, sigID string, autoDisableAfter uint64) {
+	c.stats.Aborts.Add(1)
+	c.guard.Lock(t.Slot)
+	t.forcedGo = true
+	if sig := c.hist.Get(sigID); sig != nil {
+		sig.AbortCount++
+		if autoDisableAfter > 0 && sig.AbortCount >= autoDisableAfter && !sig.Disabled {
+			sig.Disabled = true
+		}
+	}
+	c.guard.Unlock(t.Slot)
+}
+
+// RecordOutcome applies a retrospective FP/TP verdict for an avoidance of
+// sig performed at depth with the given instance (yielder stack +
+// bindings). Called by the monitor when an fpdetect episode concludes.
+func (c *Cache) RecordOutcome(sigID string, depth int, fp bool, yielderStack *stack.Interned, yielderIdx int, bindings []BindingRecord) {
+	sig := c.hist.Get(sigID)
+	if sig == nil {
+		return
+	}
+	c.guard.Lock(0)
+	if fp {
+		sig.FPCount++
+	} else {
+		sig.TPCount++
+	}
+	wouldAvoidAt := func(d int) bool {
+		if yielderStack == nil {
+			return false
+		}
+		if yielderIdx < 0 || yielderIdx >= len(sig.Stacks) {
+			return false
+		}
+		if !yielderStack.S.MatchesAtDepth(sig.Stacks[yielderIdx], d) {
+			return false
+		}
+		for _, b := range bindings {
+			if b.Stack == nil || b.SigIdx < 0 || b.SigIdx >= len(sig.Stacks) {
+				return false
+			}
+			if !b.Stack.S.MatchesAtDepth(sig.Stacks[b.SigIdx], d) {
+				return false
+			}
+		}
+		return true
+	}
+	sig.Calib.RecordOutcome(depth, fp, wouldAvoidAt)
+	// §8: after a completed (re)calibration, a signature whose best
+	// depth still shows a 100% FP rate is obsolete — every avoidance it
+	// triggers is spurious (e.g. the underlying bug was fixed). Discard.
+	if c.cfg.DiscardObsolete && !sig.Calib.Active() && sig.Calib.Chosen > 0 {
+		chosen := sig.Calib.Chosen
+		if sig.Calib.Avoids[chosen-1] >= uint64(sig.Calib.NA) && sig.Calib.FPRate(chosen) >= 1 {
+			c.hist.Remove(sig.ID)
+		}
+	}
+	c.guard.Unlock(0)
+}
+
+// BindingRecord is the durable form of a Binding, kept by the monitor for
+// episode bookkeeping after the live states may have moved on.
+type BindingRecord struct {
+	TID    int32
+	LID    uint64
+	Stack  *stack.Interned
+	SigIdx int
+}
+
+// LastAvoided returns the most recently avoided signature (nil if none).
+func (c *Cache) LastAvoided() *signature.Signature {
+	return c.lastAvoided.Load()
+}
+
+// HolderOf returns the cache's view of l's owner thread ID (0 if free),
+// for diagnostics.
+func (c *Cache) HolderOf(l *LockState) int32 {
+	c.guard.Lock(0)
+	defer c.guard.Unlock(0)
+	if l.owner == nil {
+		return 0
+	}
+	return l.owner.ID
+}
+
+func wake(t *ThreadState) {
+	select {
+	case t.Wake <- struct{}{}:
+	default:
+	}
+}

@@ -1,0 +1,42 @@
+package avoidance
+
+import "sync/atomic"
+
+// Stats counts avoidance-side activity. All fields are updated atomically
+// and may be read at any time.
+type Stats struct {
+	Requests  atomic.Uint64 // request invocations (including yield retries)
+	Gos       atomic.Uint64 // GO decisions
+	Yields    atomic.Uint64 // YIELD decisions
+	Acquired  atomic.Uint64 // locks acquired
+	Releases  atomic.Uint64 // locks released
+	Cancels   atomic.Uint64 // rolled-back requests (trylock/timeout/abort)
+	ForcedGos atomic.Uint64 // starvation breaks + max-yield releases
+	Aborts    atomic.Uint64 // max-yield-duration aborts
+	Ignored   atomic.Uint64 // yields suppressed by ignore-decisions mode
+	ProbeFPs  atomic.Uint64 // yields that fail the probe-depth re-match (§7.3)
+	Reentries atomic.Uint64 // reentrant acquisitions (no decision needed)
+}
+
+// Snapshot is a plain-value copy of Stats.
+type Snapshot struct {
+	Requests, Gos, Yields, Acquired, Releases, Cancels uint64
+	ForcedGos, Aborts, Ignored, ProbeFPs, Reentries    uint64
+}
+
+// Snapshot returns a consistent-enough point-in-time copy.
+func (s *Stats) Snapshot() Snapshot {
+	return Snapshot{
+		Requests:  s.Requests.Load(),
+		Gos:       s.Gos.Load(),
+		Yields:    s.Yields.Load(),
+		Acquired:  s.Acquired.Load(),
+		Releases:  s.Releases.Load(),
+		Cancels:   s.Cancels.Load(),
+		ForcedGos: s.ForcedGos.Load(),
+		Aborts:    s.Aborts.Load(),
+		Ignored:   s.Ignored.Load(),
+		ProbeFPs:  s.ProbeFPs.Load(),
+		Reentries: s.Reentries.Load(),
+	}
+}

@@ -1,0 +1,113 @@
+package bench
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// The experiment drivers are exercised end-to-end in quick mode; the
+// assertions check structure and the coarse shapes the paper reports.
+
+func render(t *testing.T, r Report) string {
+	t.Helper()
+	var buf bytes.Buffer
+	r.Render(&buf)
+	return buf.String()
+}
+
+func TestAllRegistry(t *testing.T) {
+	exps := All()
+	if len(exps) != 10 {
+		t.Fatalf("got %d experiments", len(exps))
+	}
+	ids := map[string]bool{}
+	for _, e := range exps {
+		if e.ID == "" || e.Title == "" || e.Run == nil {
+			t.Errorf("incomplete experiment %+v", e)
+		}
+		if ids[e.ID] {
+			t.Errorf("duplicate id %s", e.ID)
+		}
+		ids[e.ID] = true
+		if ByID(e.ID) == nil {
+			t.Errorf("ByID(%s) = nil", e.ID)
+		}
+	}
+	if ByID("nope") != nil {
+		t.Error("ByID(unknown) must be nil")
+	}
+}
+
+func TestReportRender(t *testing.T) {
+	r := Report{
+		ID: "x", Title: "t",
+		Header: []string{"A", "LongColumn"},
+		Rows:   [][]string{{"1", "2"}, {"333", "4"}},
+		Notes:  []string{"hello"},
+	}
+	out := render(t, r)
+	if !strings.Contains(out, "== x: t ==") || !strings.Contains(out, "note: hello") {
+		t.Errorf("render output:\n%s", out)
+	}
+}
+
+func TestFig5Shape(t *testing.T) {
+	rep := Fig5(Scale{})
+	if len(rep.Rows) < 3 {
+		t.Fatalf("fig5 rows = %d", len(rep.Rows))
+	}
+	out := render(t, rep)
+	if !strings.Contains(out, "Threads") {
+		t.Error("missing header")
+	}
+}
+
+func TestFig7Shape(t *testing.T) {
+	rep := Fig7(Scale{})
+	if len(rep.Rows) != 4 {
+		t.Fatalf("fig7 rows = %d", len(rep.Rows))
+	}
+}
+
+func TestFig9Shape(t *testing.T) {
+	rep := Fig9(Scale{})
+	// baseline + ignored + depths + gate + ghost
+	if len(rep.Rows) < 7 {
+		t.Fatalf("fig9 rows = %d\n%s", len(rep.Rows), render(t, rep))
+	}
+}
+
+func TestTable2Quick(t *testing.T) {
+	rep := Table2(Scale{})
+	if len(rep.Rows) != 5 {
+		t.Fatalf("table2 rows = %d", len(rep.Rows))
+	}
+	for _, row := range rep.Rows {
+		if row[1] != "deadlocked+recovered" {
+			t.Errorf("%s: first run = %q, want deadlock", row[0], row[1])
+		}
+		if !strings.HasPrefix(row[2], "3/3") {
+			t.Errorf("%s: immunized runs = %q", row[0], row[2])
+		}
+	}
+}
+
+func TestResourcesQuick(t *testing.T) {
+	rep := Resources(Scale{})
+	if len(rep.Rows) != 3 {
+		t.Fatalf("resources rows = %d", len(rep.Rows))
+	}
+}
+
+func TestOverheadHelper(t *testing.T) {
+	if overhead(100, 90) != 0.1 {
+		t.Error("overhead(100,90) != 0.1")
+	}
+	if overhead(0, 10) != 0 {
+		t.Error("overhead with zero base must be 0")
+	}
+	if overhead(100, 110) >= 0 {
+		t.Error("speedup must be negative overhead")
+	}
+}

@@ -1,0 +1,39 @@
+package bench
+
+import (
+	"errors"
+	"time"
+
+	"dimmunix/internal/collections"
+	"dimmunix/internal/core"
+)
+
+// invitation adapts collections.Invitation to the report drivers.
+type invitation struct {
+	name string
+	run  func(rt *core.Runtime, hold time.Duration) [2]error
+}
+
+func collectionsInvitations() []invitation {
+	var out []invitation
+	for _, inv := range collections.Invitations() {
+		inv := inv
+		out = append(out, invitation{
+			name: inv.Name,
+			run: func(rt *core.Runtime, hold time.Duration) [2]error {
+				e1, e2 := inv.Run(rt, hold)
+				return [2]error{e1, e2}
+			},
+		})
+	}
+	return out
+}
+
+func anyRecovered(errs [2]error) bool {
+	for _, e := range errs {
+		if errors.Is(e, core.ErrDeadlockRecovered) {
+			return true
+		}
+	}
+	return false
+}

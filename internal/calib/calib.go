@@ -1,0 +1,184 @@
+// Package calib implements the dynamic calibration of signature matching
+// precision (§5.5).
+//
+// For each signature, calibration walks a depth ladder: matching depth
+// starts at 1 and stays there for the first NA avoidances, then moves to 2
+// for the next NA avoidances, and so on up to MaxDepth. A retrospective
+// false-positive heuristic (internal/fpdetect) labels each avoidance FP or
+// TP; on an FP at depth k the caller also reports which deeper depths
+// would still have avoided, and their FP and avoidance counts are promoted
+// so deeper rungs can finish early. When the ladder completes, the
+// smallest depth with the minimal FP rate is chosen (ties at FPmin go to
+// the most general pattern). After NT further avoidances the ladder is
+// re-armed, in case program conditions changed; §8 also re-arms it after
+// an upgrade.
+//
+// State carries no locking: the caller (the avoidance cache, under its
+// guard) owns synchronization.
+package calib
+
+// Defaults from §5.5.
+const (
+	DefaultNA       = 20
+	DefaultNT       = 10000
+	DefaultMaxDepth = 10
+)
+
+// State is the per-signature calibration state. The zero value is an
+// inactive calibrator (fixed-depth matching).
+type State struct {
+	// On enables calibration for this signature.
+	On bool
+	// Rung is the current ladder depth being evaluated, 1-based;
+	// 0 means the ladder is not running.
+	Rung int
+	// MaxDepth is the deepest rung.
+	MaxDepth int
+	// NA is the number of avoidances evaluated per rung.
+	NA int
+	// NT is the number of post-calibration avoidances before the ladder
+	// re-arms.
+	NT uint64
+	// Avoids[d-1] and FPs[d-1] count avoidances and false positives
+	// attributed to depth d (including promotions).
+	Avoids []uint64
+	FPs    []uint64
+	// Chosen is the depth selected by the last completed ladder
+	// (0 = none yet).
+	Chosen int
+	// SinceChosen counts avoidances since the ladder completed.
+	SinceChosen uint64
+}
+
+// NewState returns an active ladder starting at depth 1. Non-positive
+// parameters select the §5.5 defaults.
+func NewState(maxDepth, na int, nt uint64) State {
+	if maxDepth <= 0 {
+		maxDepth = DefaultMaxDepth
+	}
+	if na <= 0 {
+		na = DefaultNA
+	}
+	if nt == 0 {
+		nt = DefaultNT
+	}
+	return State{
+		On:       true,
+		Rung:     1,
+		MaxDepth: maxDepth,
+		NA:       na,
+		NT:       nt,
+		Avoids:   make([]uint64, maxDepth),
+		FPs:      make([]uint64, maxDepth),
+	}
+}
+
+// Active reports whether the ladder is currently running (matching should
+// use CurrentDepth rather than the signature's fixed depth).
+func (s *State) Active() bool { return s.On && s.Rung >= 1 }
+
+// CurrentDepth returns the ladder's current rung.
+func (s *State) CurrentDepth() int {
+	if !s.Active() {
+		return s.Chosen
+	}
+	return s.Rung
+}
+
+// RecordAvoidance notes one avoidance. While the ladder runs it counts
+// toward the current rung and advances the rung after NA avoidances
+// (skipping rungs already filled by promotion); when the ladder has
+// completed it counts toward NT-based re-arming. It returns true when this
+// call completed the ladder.
+func (s *State) RecordAvoidance() bool {
+	if !s.On {
+		return false
+	}
+	if s.Rung < 1 {
+		s.SinceChosen++
+		if s.SinceChosen >= s.NT {
+			s.Rearm()
+		}
+		return false
+	}
+	s.Avoids[s.Rung-1]++
+	completed := false
+	for s.Rung >= 1 && s.Rung <= s.MaxDepth && s.Avoids[s.Rung-1] >= uint64(s.NA) {
+		s.Rung++
+	}
+	if s.Rung > s.MaxDepth {
+		s.choose()
+		completed = true
+	}
+	return completed
+}
+
+// RecordOutcome reports the retrospective verdict for an avoidance
+// performed at the given depth. For a false positive, wouldAvoidAt tells
+// whether matching at a deeper depth would still have triggered avoidance;
+// those depths receive promoted FP and avoidance counts (§5.5's
+// calibration speedup). wouldAvoidAt may be nil, in which case no
+// promotion happens.
+func (s *State) RecordOutcome(depth int, fp bool, wouldAvoidAt func(depth int) bool) {
+	if !s.On || depth < 1 || depth > s.MaxDepth {
+		return
+	}
+	if !fp {
+		return
+	}
+	s.FPs[depth-1]++
+	if wouldAvoidAt == nil {
+		return
+	}
+	for d := depth + 1; d <= s.MaxDepth; d++ {
+		if wouldAvoidAt(d) {
+			s.FPs[d-1]++
+			s.Avoids[d-1]++
+		}
+	}
+}
+
+// choose selects the smallest depth exhibiting the lowest FP rate.
+func (s *State) choose() {
+	best := 1
+	bestRate := rate(s.FPs[0], s.Avoids[0])
+	for d := 2; d <= s.MaxDepth; d++ {
+		r := rate(s.FPs[d-1], s.Avoids[d-1])
+		if r < bestRate {
+			bestRate = r
+			best = d
+		}
+	}
+	s.Chosen = best
+	s.Rung = 0
+	s.SinceChosen = 0
+}
+
+func rate(fp, avoid uint64) float64 {
+	if avoid == 0 {
+		return 0
+	}
+	return float64(fp) / float64(avoid)
+}
+
+// FPRate returns the observed FP rate at the given depth (0 if no data).
+func (s *State) FPRate(depth int) float64 {
+	if depth < 1 || depth > len(s.Avoids) {
+		return 0
+	}
+	return rate(s.FPs[depth-1], s.Avoids[depth-1])
+}
+
+// Rearm restarts the ladder (after NT avoidances or an upgrade, §8).
+func (s *State) Rearm() {
+	if s.MaxDepth <= 0 {
+		*s = NewState(0, 0, 0)
+		return
+	}
+	s.Rung = 1
+	s.SinceChosen = 0
+	for i := range s.Avoids {
+		s.Avoids[i] = 0
+		s.FPs[i] = 0
+	}
+}

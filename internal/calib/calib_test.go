@@ -1,0 +1,186 @@
+package calib
+
+import "testing"
+
+func TestZeroValueInactive(t *testing.T) {
+	var s State
+	if s.Active() {
+		t.Error("zero State must be inactive")
+	}
+	if s.CurrentDepth() != 0 {
+		t.Errorf("CurrentDepth = %d", s.CurrentDepth())
+	}
+	if s.RecordAvoidance() {
+		t.Error("inactive state must not complete a ladder")
+	}
+	s.RecordOutcome(1, true, nil) // must not panic
+}
+
+func TestDefaults(t *testing.T) {
+	s := NewState(0, 0, 0)
+	if s.MaxDepth != DefaultMaxDepth || s.NA != DefaultNA || s.NT != DefaultNT {
+		t.Errorf("defaults not applied: %+v", s)
+	}
+	if !s.Active() || s.CurrentDepth() != 1 {
+		t.Error("new ladder must start active at depth 1")
+	}
+}
+
+func TestLadderAdvances(t *testing.T) {
+	s := NewState(3, 2, 100)
+	if s.CurrentDepth() != 1 {
+		t.Fatalf("depth = %d", s.CurrentDepth())
+	}
+	s.RecordAvoidance()
+	if s.CurrentDepth() != 1 {
+		t.Fatalf("after 1 avoidance depth = %d, want 1", s.CurrentDepth())
+	}
+	s.RecordAvoidance()
+	if s.CurrentDepth() != 2 {
+		t.Fatalf("after NA avoidances depth = %d, want 2", s.CurrentDepth())
+	}
+	s.RecordAvoidance()
+	s.RecordAvoidance()
+	if s.CurrentDepth() != 3 {
+		t.Fatalf("depth = %d, want 3", s.CurrentDepth())
+	}
+	s.RecordAvoidance()
+	done := s.RecordAvoidance()
+	if !done {
+		t.Fatal("ladder should complete after NA at max depth")
+	}
+	if s.Active() {
+		t.Error("ladder must stop after completion")
+	}
+}
+
+func TestChoosesSmallestDepthWithMinFPRate(t *testing.T) {
+	s := NewState(3, 2, 100)
+	// depth 1: both avoidances FP.
+	s.RecordAvoidance()
+	s.RecordOutcome(1, true, nil)
+	s.RecordAvoidance()
+	s.RecordOutcome(1, true, nil)
+	// depth 2: no FPs.
+	s.RecordAvoidance()
+	s.RecordOutcome(2, false, nil)
+	s.RecordAvoidance()
+	s.RecordOutcome(2, false, nil)
+	// depth 3: no FPs.
+	s.RecordAvoidance()
+	s.RecordAvoidance()
+	if s.Chosen != 2 {
+		t.Errorf("Chosen = %d, want 2 (smallest with FPmin=0)", s.Chosen)
+	}
+}
+
+func TestNonZeroFPMinTiesGoShallow(t *testing.T) {
+	// §5.5: FPmin can be non-zero; ties at FPmin choose the smallest
+	// depth (most general pattern).
+	s := NewState(2, 2, 100)
+	s.RecordAvoidance()
+	s.RecordOutcome(1, true, nil)
+	s.RecordAvoidance()
+	s.RecordOutcome(1, false, nil)
+	s.RecordAvoidance()
+	s.RecordOutcome(2, true, nil)
+	s.RecordAvoidance()
+	s.RecordOutcome(2, false, nil)
+	if s.Chosen != 1 {
+		t.Errorf("Chosen = %d, want 1 on tie", s.Chosen)
+	}
+}
+
+func TestPromotionFillsDeeperRungs(t *testing.T) {
+	s := NewState(3, 2, 100)
+	// FP at depth 1 that would also avoid at depth 2 but not 3.
+	s.RecordAvoidance()
+	s.RecordOutcome(1, true, func(d int) bool { return d == 2 })
+	if s.FPs[1] != 1 || s.Avoids[1] != 1 {
+		t.Errorf("promotion missing: FPs=%v Avoids=%v", s.FPs, s.Avoids)
+	}
+	if s.FPs[2] != 0 {
+		t.Errorf("depth 3 should not be promoted: %v", s.FPs)
+	}
+	// Fill rung 1; rung 2 already has 1 promoted avoidance, so it needs
+	// only one more before skipping to rung 3.
+	s.RecordAvoidance()
+	if s.CurrentDepth() != 2 {
+		t.Fatalf("depth = %d, want 2", s.CurrentDepth())
+	}
+	s.RecordAvoidance()
+	if s.CurrentDepth() != 3 {
+		t.Fatalf("depth = %d, want 3 (rung 2 finished early)", s.CurrentDepth())
+	}
+}
+
+func TestPromotionCanSkipRungsEntirely(t *testing.T) {
+	s := NewState(3, 1, 100)
+	s.RecordAvoidance() // fills rung 1 (NA=1)... but outcome first:
+	// rung already advanced to 2 after the first avoidance since NA=1.
+	if s.CurrentDepth() != 2 {
+		t.Fatalf("depth = %d, want 2", s.CurrentDepth())
+	}
+	// Late FP verdict for the depth-1 avoidance, promoted to all deeper
+	// depths: fills rungs 2 and 3.
+	s.RecordOutcome(1, true, func(d int) bool { return true })
+	done := s.RecordAvoidance() // fills rung 2 -> rung 3 already full -> done
+	if !done {
+		t.Fatal("ladder should have completed by skipping rung 3")
+	}
+}
+
+func TestRearmAfterNT(t *testing.T) {
+	s := NewState(2, 1, 3)
+	s.RecordAvoidance()
+	s.RecordAvoidance() // ladder done (NA=1 per rung)
+	if s.Active() {
+		t.Fatal("ladder should be done")
+	}
+	s.RecordAvoidance()
+	s.RecordAvoidance()
+	if s.Active() {
+		t.Fatal("not yet NT")
+	}
+	s.RecordAvoidance() // third post-choice avoidance = NT
+	if !s.Active() || s.CurrentDepth() != 1 {
+		t.Errorf("ladder should have re-armed: %+v", s)
+	}
+	if s.Avoids[0] != 0 || s.FPs[0] != 0 {
+		t.Error("counters must reset on re-arm")
+	}
+}
+
+func TestRearmZeroState(t *testing.T) {
+	var s State
+	s.Rearm()
+	if !s.Active() || s.MaxDepth != DefaultMaxDepth {
+		t.Errorf("Rearm on zero state: %+v", s)
+	}
+}
+
+func TestFPRate(t *testing.T) {
+	s := NewState(2, 10, 100)
+	if s.FPRate(1) != 0 {
+		t.Error("no data should be rate 0")
+	}
+	s.RecordAvoidance()
+	s.RecordOutcome(1, true, nil)
+	s.RecordAvoidance()
+	s.RecordOutcome(1, false, nil)
+	if got := s.FPRate(1); got != 0.5 {
+		t.Errorf("FPRate = %v, want 0.5", got)
+	}
+	if s.FPRate(0) != 0 || s.FPRate(99) != 0 {
+		t.Error("out-of-range depths must be 0")
+	}
+}
+
+func TestOutcomeOutOfRangeIgnored(t *testing.T) {
+	s := NewState(2, 10, 100)
+	s.RecordOutcome(0, true, nil)
+	s.RecordOutcome(5, true, nil)
+	if s.FPs[0] != 0 || s.FPs[1] != 0 {
+		t.Error("out-of-range outcomes must be ignored")
+	}
+}

@@ -1,0 +1,338 @@
+// Package collections reimplements the Java JDK's synchronized-collection
+// "invitations to deadlock" from Table 2 of the Dimmunix paper, on top of
+// dimmunix mutexes: Vector.addAll, Hashtable.equals, StringBuffer.append,
+// PrintWriter/CharArrayWriter.writeTo, and BeanContextSupport's
+// propertyChange/remove. Each type is internally synchronized exactly like
+// its JDK counterpart: a per-object reentrant monitor, with nested locking
+// of argument objects — technically permissible use that can deadlock
+// inside the "library" with no logic bug in the caller (§7.1.2).
+//
+// Every type carries a HoldWindow: an artificial delay between taking the
+// receiver's monitor and the argument's monitor. It plays the role of the
+// paper's timing loops, turning the low-probability interleaving into a
+// deterministic exploit.
+package collections
+
+import (
+	"time"
+
+	"dimmunix/internal/core"
+)
+
+// HoldWindow is the exploit knob shared by all types.
+type HoldWindow struct {
+	D time.Duration
+}
+
+func (h HoldWindow) pause() {
+	if h.D > 0 {
+		time.Sleep(h.D)
+	}
+}
+
+// SyncVector mirrors java.util.Vector: every method synchronizes on the
+// receiver; AddAll additionally synchronizes on the argument.
+type SyncVector struct {
+	mu    *core.Mutex
+	Hold  HoldWindow
+	items []int
+}
+
+// NewSyncVector creates an empty synchronized vector.
+func NewSyncVector(rt *core.Runtime) *SyncVector {
+	return &SyncVector{mu: rt.NewMutexKind(core.Recursive)}
+}
+
+// Add appends x.
+func (v *SyncVector) Add(t *core.Thread, x int) error {
+	if err := v.mu.LockT(t); err != nil {
+		return err
+	}
+	defer v.mu.UnlockT(t)
+	v.items = append(v.items, x)
+	return nil
+}
+
+// Len returns the element count.
+func (v *SyncVector) Len(t *core.Thread) (int, error) {
+	if err := v.mu.LockT(t); err != nil {
+		return 0, err
+	}
+	defer v.mu.UnlockT(t)
+	return len(v.items), nil
+}
+
+// snapshot returns a copy of other's items under other's monitor.
+func (v *SyncVector) snapshot(t *core.Thread) ([]int, error) {
+	if err := v.mu.LockT(t); err != nil {
+		return nil, err
+	}
+	defer v.mu.UnlockT(t)
+	out := make([]int, len(v.items))
+	copy(out, v.items)
+	return out, nil
+}
+
+// AddAll appends every element of other — the v1.addAll(v2) invitation:
+// it locks the receiver, then the argument.
+func (v *SyncVector) AddAll(t *core.Thread, other *SyncVector) error {
+	if err := v.mu.LockT(t); err != nil {
+		return err
+	}
+	defer v.mu.UnlockT(t)
+	v.Hold.pause()
+	items, err := other.snapshot(t)
+	if err != nil {
+		return err
+	}
+	v.items = append(v.items, items...)
+	return nil
+}
+
+// SyncTable mirrors java.util.Hashtable.
+type SyncTable struct {
+	mu   *core.Mutex
+	Hold HoldWindow
+	m    map[string]int
+}
+
+// NewSyncTable creates an empty synchronized table.
+func NewSyncTable(rt *core.Runtime) *SyncTable {
+	return &SyncTable{mu: rt.NewMutexKind(core.Recursive), m: make(map[string]int)}
+}
+
+// Put stores k=val.
+func (h *SyncTable) Put(t *core.Thread, k string, val int) error {
+	if err := h.mu.LockT(t); err != nil {
+		return err
+	}
+	defer h.mu.UnlockT(t)
+	h.m[k] = val
+	return nil
+}
+
+// Get fetches k.
+func (h *SyncTable) Get(t *core.Thread, k string) (int, bool, error) {
+	if err := h.mu.LockT(t); err != nil {
+		return 0, false, err
+	}
+	defer h.mu.UnlockT(t)
+	v, ok := h.m[k]
+	return v, ok, nil
+}
+
+// Equals compares contents — the h1.equals(h2) invitation: receiver's
+// monitor first, then the argument's (via Get).
+func (h *SyncTable) Equals(t *core.Thread, other *SyncTable) (bool, error) {
+	if err := h.mu.LockT(t); err != nil {
+		return false, err
+	}
+	defer h.mu.UnlockT(t)
+	h.Hold.pause()
+	for k, v := range h.m {
+		ov, ok, err := other.Get(t, k)
+		if err != nil {
+			return false, err
+		}
+		if !ok || ov != v {
+			return false, nil
+		}
+	}
+	olen, err := other.size(t)
+	if err != nil {
+		return false, err
+	}
+	return olen == len(h.m), nil
+}
+
+func (h *SyncTable) size(t *core.Thread) (int, error) {
+	if err := h.mu.LockT(t); err != nil {
+		return 0, err
+	}
+	defer h.mu.UnlockT(t)
+	return len(h.m), nil
+}
+
+// SyncBuffer mirrors java.lang.StringBuffer.
+type SyncBuffer struct {
+	mu   *core.Mutex
+	Hold HoldWindow
+	b    []byte
+}
+
+// NewSyncBuffer creates an empty synchronized buffer.
+func NewSyncBuffer(rt *core.Runtime) *SyncBuffer {
+	return &SyncBuffer{mu: rt.NewMutexKind(core.Recursive)}
+}
+
+// WriteString appends s.
+func (s *SyncBuffer) WriteString(t *core.Thread, str string) error {
+	if err := s.mu.LockT(t); err != nil {
+		return err
+	}
+	defer s.mu.UnlockT(t)
+	s.b = append(s.b, str...)
+	return nil
+}
+
+// String returns the contents.
+func (s *SyncBuffer) String(t *core.Thread) (string, error) {
+	if err := s.mu.LockT(t); err != nil {
+		return "", err
+	}
+	defer s.mu.UnlockT(t)
+	return string(s.b), nil
+}
+
+// Append appends other's contents — the s1.append(s2) invitation.
+func (s *SyncBuffer) Append(t *core.Thread, other *SyncBuffer) error {
+	if err := s.mu.LockT(t); err != nil {
+		return err
+	}
+	defer s.mu.UnlockT(t)
+	s.Hold.pause()
+	str, err := other.String(t)
+	if err != nil {
+		return err
+	}
+	s.b = append(s.b, str...)
+	return nil
+}
+
+// CharArrayWriter mirrors java.io.CharArrayWriter.
+type CharArrayWriter struct {
+	mu   *core.Mutex
+	Hold HoldWindow
+	buf  []byte
+}
+
+// NewCharArrayWriter creates an empty writer.
+func NewCharArrayWriter(rt *core.Runtime) *CharArrayWriter {
+	return &CharArrayWriter{mu: rt.NewMutexKind(core.Recursive)}
+}
+
+// Write appends p under the writer's monitor.
+func (c *CharArrayWriter) Write(t *core.Thread, p []byte) error {
+	if err := c.mu.LockT(t); err != nil {
+		return err
+	}
+	defer c.mu.UnlockT(t)
+	c.buf = append(c.buf, p...)
+	return nil
+}
+
+// contents reads the buffer under the monitor.
+func (c *CharArrayWriter) contents(t *core.Thread) ([]byte, error) {
+	if err := c.mu.LockT(t); err != nil {
+		return nil, err
+	}
+	defer c.mu.UnlockT(t)
+	out := make([]byte, len(c.buf))
+	copy(out, c.buf)
+	return out, nil
+}
+
+// WriteTo copies the buffer into w — the invitation: it holds the
+// writer's monitor while calling w.Write, which takes w's monitor.
+func (c *CharArrayWriter) WriteTo(t *core.Thread, w *PrintWriter) error {
+	if err := c.mu.LockT(t); err != nil {
+		return err
+	}
+	defer c.mu.UnlockT(t)
+	c.Hold.pause()
+	return w.Write(t, string(c.buf))
+}
+
+// PrintWriter mirrors java.io.PrintWriter wrapping a CharArrayWriter.
+type PrintWriter struct {
+	mu   *core.Mutex
+	Hold HoldWindow
+	out  *CharArrayWriter
+}
+
+// NewPrintWriter wraps out.
+func NewPrintWriter(rt *core.Runtime, out *CharArrayWriter) *PrintWriter {
+	return &PrintWriter{mu: rt.NewMutexKind(core.Recursive), out: out}
+}
+
+// Write takes the PrintWriter's monitor, then the underlying writer's —
+// the opposite nesting order from CharArrayWriter.WriteTo.
+func (w *PrintWriter) Write(t *core.Thread, s string) error {
+	if err := w.mu.LockT(t); err != nil {
+		return err
+	}
+	defer w.mu.UnlockT(t)
+	w.Hold.pause()
+	return w.out.Write(t, []byte(s))
+}
+
+// BeanContext mirrors java.beans.beancontext.BeanContextSupport.
+type BeanContext struct {
+	mu       *core.Mutex
+	Hold     HoldWindow
+	children map[*BeanChild]bool
+}
+
+// BeanChild is a child bean with its own monitor.
+type BeanChild struct {
+	mu   *core.Mutex
+	Hold HoldWindow
+	ctx  *BeanContext
+	val  int
+}
+
+// NewBeanContext creates an empty context.
+func NewBeanContext(rt *core.Runtime) *BeanContext {
+	return &BeanContext{
+		mu:       rt.NewMutexKind(core.Recursive),
+		children: make(map[*BeanChild]bool),
+	}
+}
+
+// AddChild registers a child bean.
+func (bc *BeanContext) AddChild(rt *core.Runtime, t *core.Thread) (*BeanChild, error) {
+	ch := &BeanChild{mu: rt.NewMutexKind(core.Recursive), ctx: bc}
+	if err := bc.mu.LockT(t); err != nil {
+		return nil, err
+	}
+	defer bc.mu.UnlockT(t)
+	bc.children[ch] = true
+	return ch, nil
+}
+
+// Remove detaches a child — context monitor first, then the child's.
+func (bc *BeanContext) Remove(t *core.Thread, ch *BeanChild) error {
+	if err := bc.mu.LockT(t); err != nil {
+		return err
+	}
+	defer bc.mu.UnlockT(t)
+	bc.Hold.pause()
+	if err := ch.mu.LockT(t); err != nil {
+		return err
+	}
+	defer ch.mu.UnlockT(t)
+	delete(bc.children, ch)
+	ch.ctx = nil
+	return nil
+}
+
+// PropertyChange fires a change notification — child monitor first, then
+// the context's (the reverse order).
+func (ch *BeanChild) PropertyChange(t *core.Thread, v int) error {
+	if err := ch.mu.LockT(t); err != nil {
+		return err
+	}
+	defer ch.mu.UnlockT(t)
+	ch.Hold.pause()
+	ctx := ch.ctx // guarded by ch.mu; Remove also writes it under ch.mu
+	if ctx == nil {
+		ch.val = v
+		return nil
+	}
+	if err := ctx.mu.LockT(t); err != nil {
+		return err
+	}
+	defer ctx.mu.UnlockT(t)
+	ch.val = v
+	return nil
+}

@@ -1,0 +1,172 @@
+package collections
+
+import (
+	"errors"
+	"testing"
+	"time"
+
+	"dimmunix/internal/core"
+	"dimmunix/internal/monitor"
+)
+
+func newRuntime(t *testing.T) *core.Runtime {
+	t.Helper()
+	var rt *core.Runtime
+	rt = core.MustNew(core.Config{
+		Tau:        2 * time.Millisecond,
+		MatchDepth: 2,
+		MaxYield:   5 * time.Second,
+		OnDeadlock: func(info monitor.DeadlockInfo) {
+			rt.AbortThreads(info.ThreadIDs...)
+		},
+	})
+	return rt
+}
+
+const hold = 60 * time.Millisecond
+
+// TestTable2AllInvitations is the Table 2 experiment in miniature: each
+// invitation deadlocks once, is recovered, and is then avoided.
+func TestTable2AllInvitations(t *testing.T) {
+	for _, inv := range Invitations() {
+		inv := inv
+		t.Run(inv.Name, func(t *testing.T) {
+			rt := newRuntime(t)
+			defer rt.Stop()
+
+			// First exposure: the deadlock manifests and is recovered.
+			err1, err2 := inv.Run(rt, hold)
+			recovered := 0
+			for _, e := range []error{err1, err2} {
+				if errors.Is(e, core.ErrDeadlockRecovered) {
+					recovered++
+				}
+			}
+			if recovered == 0 {
+				t.Fatalf("%s: expected a recovered deadlock, got %v / %v", inv.Name, err1, err2)
+			}
+			if rt.History().Len() == 0 {
+				t.Fatal("no signature archived")
+			}
+
+			// Immunized re-runs must complete.
+			for i := 0; i < 3; i++ {
+				err1, err2 = inv.Run(rt, 20*time.Millisecond)
+				if err1 != nil || err2 != nil {
+					t.Fatalf("%s: immunized run %d failed: %v / %v", inv.Name, i, err1, err2)
+				}
+			}
+			if rt.Stats().Yields == 0 {
+				t.Errorf("%s: no yields recorded during immunized runs", inv.Name)
+			}
+		})
+	}
+}
+
+func TestVectorBasics(t *testing.T) {
+	rt := newRuntime(t)
+	defer rt.Stop()
+	th := rt.RegisterThread("t")
+	defer th.Close()
+	v := NewSyncVector(rt)
+	for i := 0; i < 5; i++ {
+		if err := v.Add(th, i); err != nil {
+			t.Fatal(err)
+		}
+	}
+	n, err := v.Len(th)
+	if err != nil || n != 5 {
+		t.Fatalf("Len = %d, %v", n, err)
+	}
+	w := NewSyncVector(rt)
+	if err := w.AddAll(th, v); err != nil {
+		t.Fatal(err)
+	}
+	n, _ = w.Len(th)
+	if n != 5 {
+		t.Errorf("AddAll copied %d", n)
+	}
+}
+
+func TestTableBasics(t *testing.T) {
+	rt := newRuntime(t)
+	defer rt.Stop()
+	th := rt.RegisterThread("t")
+	defer th.Close()
+	h1, h2 := NewSyncTable(rt), NewSyncTable(rt)
+	_ = h1.Put(th, "a", 1)
+	_ = h2.Put(th, "a", 1)
+	eq, err := h1.Equals(th, h2)
+	if err != nil || !eq {
+		t.Fatalf("Equals = %v, %v", eq, err)
+	}
+	_ = h2.Put(th, "b", 2)
+	eq, _ = h1.Equals(th, h2)
+	if eq {
+		t.Error("tables differ; Equals must be false")
+	}
+	v, ok, _ := h2.Get(th, "b")
+	if !ok || v != 2 {
+		t.Error("Get failed")
+	}
+}
+
+func TestBufferBasics(t *testing.T) {
+	rt := newRuntime(t)
+	defer rt.Stop()
+	th := rt.RegisterThread("t")
+	defer th.Close()
+	s1, s2 := NewSyncBuffer(rt), NewSyncBuffer(rt)
+	_ = s1.WriteString(th, "foo")
+	_ = s2.WriteString(th, "bar")
+	if err := s1.Append(th, s2); err != nil {
+		t.Fatal(err)
+	}
+	got, _ := s1.String(th)
+	if got != "foobar" {
+		t.Errorf("String = %q", got)
+	}
+}
+
+func TestWriterBasics(t *testing.T) {
+	rt := newRuntime(t)
+	defer rt.Stop()
+	th := rt.RegisterThread("t")
+	defer th.Close()
+	caw := NewCharArrayWriter(rt)
+	w := NewPrintWriter(rt, caw)
+	if err := w.Write(th, "x"); err != nil {
+		t.Fatal(err)
+	}
+	buf, _ := caw.contents(th)
+	if string(buf) != "x" {
+		t.Errorf("contents = %q", buf)
+	}
+	// Writing the writer's own buffer to itself is reentrant, not a
+	// deadlock (same thread).
+	if err := caw.WriteTo(th, w); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBeanContextBasics(t *testing.T) {
+	rt := newRuntime(t)
+	defer rt.Stop()
+	th := rt.RegisterThread("t")
+	defer th.Close()
+	bc := NewBeanContext(rt)
+	ch, err := bc.AddChild(rt, th)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := ch.PropertyChange(th, 1); err != nil {
+		t.Fatal(err)
+	}
+	if err := bc.Remove(th, ch); err != nil {
+		t.Fatal(err)
+	}
+	// Detached child: no context monitor involved.
+	if err := ch.PropertyChange(th, 2); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,7 @@
+package core
+
+import "dimmunix/internal/avoidance"
+
+// avoidanceLockState keeps the avoidance type out of the public method
+// signatures while letting Mutex embed it by reference.
+type avoidanceLockState = avoidance.LockState

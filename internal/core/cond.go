@@ -1,0 +1,135 @@
+package core
+
+import (
+	"errors"
+	"sync"
+	"time"
+)
+
+// Cond is a condition variable associated with a Dimmunix mutex. §6 of the
+// paper instruments "locks associated with conditional variables" — the
+// condition wait itself is not a lock-order hazard, but the release and
+// re-acquisition of the associated mutex must flow through the avoidance
+// protocol, which is exactly what Wait does here.
+//
+// Semantics are Mesa-style, like sync.Cond and pthread_cond_t: Wait may
+// wake spuriously, so callers loop on their predicate.
+type Cond struct {
+	// L is the associated mutex; it must be held when calling Wait.
+	L *Mutex
+
+	mu      sync.Mutex
+	waiters []chan struct{}
+}
+
+// ErrNotHeld reports a Cond.Wait without holding the associated mutex.
+var ErrNotHeld = errors.New("dimmunix: cond wait without holding the mutex")
+
+// NewCond creates a condition variable bound to l.
+func (rt *Runtime) NewCond(l *Mutex) *Cond {
+	return &Cond{L: l}
+}
+
+// WaitT atomically releases the mutex, waits for Signal/Broadcast (or an
+// abort from deadlock recovery), and re-acquires the mutex through the
+// full avoidance protocol before returning.
+func (c *Cond) WaitT(t *Thread) error {
+	return c.waitT(t, 0)
+}
+
+// WaitTimeoutT is WaitT with a bound on the wait for the signal. The
+// mutex re-acquisition is unbounded either way; ErrTimeout reports that
+// the signal did not arrive (the mutex is still re-acquired and held when
+// WaitTimeoutT returns ErrTimeout, matching pthread_cond_timedwait).
+func (c *Cond) WaitTimeoutT(t *Thread, d time.Duration) error {
+	return c.waitT(t, d)
+}
+
+func (c *Cond) waitT(t *Thread, timeout time.Duration) error {
+	if c.L.owner.Load() != t {
+		return ErrNotHeld
+	}
+	ch := make(chan struct{}, 1)
+	c.mu.Lock()
+	c.waiters = append(c.waiters, ch)
+	c.mu.Unlock()
+
+	if err := c.L.UnlockT(t); err != nil {
+		c.removeWaiter(ch)
+		return err
+	}
+
+	var timedOut bool
+	var deadline <-chan time.Time
+	if timeout > 0 {
+		timer := time.NewTimer(timeout)
+		defer timer.Stop()
+		deadline = timer.C
+	}
+	select {
+	case <-ch:
+	case <-deadline:
+		timedOut = true
+		c.removeWaiter(ch)
+	case <-t.abortChan():
+		t.consumeAbort()
+		c.removeWaiter(ch)
+		// Re-acquire so the caller's unlock discipline stays intact,
+		// then surface the recovery.
+		if err := c.L.LockT(t); err != nil {
+			return err
+		}
+		return ErrDeadlockRecovered
+	}
+
+	if err := c.L.LockT(t); err != nil {
+		return err
+	}
+	if timedOut {
+		return ErrTimeout
+	}
+	return nil
+}
+
+// Wait is WaitT for the calling goroutine.
+func (c *Cond) Wait() error { return c.WaitT(c.L.rt.CurrentThread()) }
+
+// removeWaiter drops ch from the wait list if still present.
+func (c *Cond) removeWaiter(ch chan struct{}) {
+	c.mu.Lock()
+	for i, w := range c.waiters {
+		if w == ch {
+			c.waiters = append(c.waiters[:i], c.waiters[i+1:]...)
+			break
+		}
+	}
+	c.mu.Unlock()
+}
+
+// Signal wakes one waiter, if any. The caller usually holds the mutex but
+// is not required to (as with sync.Cond).
+func (c *Cond) Signal() {
+	c.mu.Lock()
+	if n := len(c.waiters); n > 0 {
+		ch := c.waiters[0]
+		c.waiters = c.waiters[1:]
+		select {
+		case ch <- struct{}{}:
+		default:
+		}
+	}
+	c.mu.Unlock()
+}
+
+// Broadcast wakes every waiter.
+func (c *Cond) Broadcast() {
+	c.mu.Lock()
+	for _, ch := range c.waiters {
+		select {
+		case ch <- struct{}{}:
+		default:
+		}
+	}
+	c.waiters = nil
+	c.mu.Unlock()
+}

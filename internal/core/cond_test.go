@@ -1,0 +1,228 @@
+package core
+
+import (
+	"errors"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+func TestCondWaitRequiresMutex(t *testing.T) {
+	rt := MustNew(testConfig())
+	defer rt.Stop()
+	th := rt.RegisterThread("t")
+	defer th.Close()
+	m := rt.NewMutex()
+	c := rt.NewCond(m)
+	if err := c.WaitT(th); !errors.Is(err, ErrNotHeld) {
+		t.Fatalf("wait without lock: %v", err)
+	}
+}
+
+func TestCondSignalWakesOne(t *testing.T) {
+	rt := MustNew(testConfig())
+	defer rt.Stop()
+	m := rt.NewMutex()
+	c := rt.NewCond(m)
+
+	var ready atomic.Int32
+	var woken atomic.Int32
+	const waiters = 3
+	var wg sync.WaitGroup
+	for i := 0; i < waiters; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			th := rt.RegisterThread("w")
+			defer th.Close()
+			if err := m.LockT(th); err != nil {
+				t.Errorf("lock: %v", err)
+				return
+			}
+			ready.Add(1)
+			if err := c.WaitT(th); err != nil {
+				t.Errorf("wait: %v", err)
+			}
+			woken.Add(1)
+			_ = m.UnlockT(th)
+		}(i)
+	}
+	waitCond(t, func() bool { return ready.Load() == waiters })
+	// All waiters are inside Wait (mutex released). Signal one at a time.
+	for i := 1; i <= waiters; i++ {
+		c.Signal()
+		i := i
+		waitCond(t, func() bool { return woken.Load() == int32(i) })
+	}
+	wg.Wait()
+}
+
+func TestCondBroadcast(t *testing.T) {
+	rt := MustNew(testConfig())
+	defer rt.Stop()
+	m := rt.NewMutex()
+	c := rt.NewCond(m)
+	var ready, woken atomic.Int32
+	var wg sync.WaitGroup
+	for i := 0; i < 4; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			th := rt.RegisterThread("w")
+			defer th.Close()
+			_ = m.LockT(th)
+			ready.Add(1)
+			_ = c.WaitT(th)
+			woken.Add(1)
+			_ = m.UnlockT(th)
+		}()
+	}
+	waitCond(t, func() bool { return ready.Load() == 4 })
+	c.Broadcast()
+	wg.Wait()
+	if woken.Load() != 4 {
+		t.Fatalf("woken = %d", woken.Load())
+	}
+}
+
+func TestCondProducerConsumer(t *testing.T) {
+	rt := MustNew(testConfig())
+	defer rt.Stop()
+	m := rt.NewMutex()
+	notEmpty := rt.NewCond(m)
+	var queue []int
+	const items = 200
+
+	var wg sync.WaitGroup
+	wg.Add(2)
+	var consumed []int
+	go func() { // consumer
+		defer wg.Done()
+		th := rt.RegisterThread("consumer")
+		defer th.Close()
+		for len(consumed) < items {
+			_ = m.LockT(th)
+			for len(queue) == 0 {
+				if err := notEmpty.WaitT(th); err != nil {
+					t.Errorf("wait: %v", err)
+					_ = m.UnlockT(th)
+					return
+				}
+			}
+			consumed = append(consumed, queue[0])
+			queue = queue[1:]
+			_ = m.UnlockT(th)
+		}
+	}()
+	go func() { // producer
+		defer wg.Done()
+		th := rt.RegisterThread("producer")
+		defer th.Close()
+		for i := 0; i < items; i++ {
+			_ = m.LockT(th)
+			queue = append(queue, i)
+			_ = m.UnlockT(th)
+			notEmpty.Signal()
+		}
+	}()
+	done := make(chan struct{})
+	go func() { wg.Wait(); close(done) }()
+	select {
+	case <-done:
+	case <-time.After(30 * time.Second):
+		t.Fatal("producer/consumer hung")
+	}
+	for i, v := range consumed {
+		if v != i {
+			t.Fatalf("consumed[%d] = %d (FIFO violated)", i, v)
+		}
+	}
+}
+
+func TestCondWaitTimeout(t *testing.T) {
+	rt := MustNew(testConfig())
+	defer rt.Stop()
+	th := rt.RegisterThread("t")
+	defer th.Close()
+	m := rt.NewMutex()
+	c := rt.NewCond(m)
+	_ = m.LockT(th)
+	start := time.Now()
+	err := c.WaitTimeoutT(th, 20*time.Millisecond)
+	if !errors.Is(err, ErrTimeout) {
+		t.Fatalf("err = %v", err)
+	}
+	if time.Since(start) < 15*time.Millisecond {
+		t.Error("returned early")
+	}
+	// Per pthread_cond_timedwait, the mutex is re-acquired on timeout.
+	if m.Holder() != th.ID() {
+		t.Error("mutex must be held after timeout")
+	}
+	_ = m.UnlockT(th)
+}
+
+func TestCondAbortDuringWait(t *testing.T) {
+	rt := MustNew(testConfig())
+	defer rt.Stop()
+	m := rt.NewMutex()
+	c := rt.NewCond(m)
+	th := rt.RegisterThread("w")
+	defer th.Close()
+
+	errCh := make(chan error, 1)
+	entered := make(chan struct{})
+	go func() {
+		_ = m.LockT(th)
+		close(entered)
+		err := c.WaitT(th)
+		_ = m.UnlockT(th)
+		errCh <- err
+	}()
+	<-entered
+	time.Sleep(20 * time.Millisecond) // let the waiter block
+	rt.AbortThreads(th.ID())
+	select {
+	case err := <-errCh:
+		if !errors.Is(err, ErrDeadlockRecovered) {
+			t.Fatalf("err = %v", err)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("abort did not wake the cond waiter")
+	}
+}
+
+func TestCondSignalNoWaiters(t *testing.T) {
+	rt := MustNew(testConfig())
+	defer rt.Stop()
+	c := rt.NewCond(rt.NewMutex())
+	c.Signal()    // no-op
+	c.Broadcast() // no-op
+}
+
+func waitCond(t *testing.T, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(10 * time.Second)
+	for time.Now().Before(deadline) {
+		if cond() {
+			return
+		}
+		time.Sleep(time.Millisecond)
+	}
+	t.Fatal("condition never became true")
+}
+
+func TestThreadPriority(t *testing.T) {
+	rt := MustNew(testConfig())
+	defer rt.Stop()
+	th := rt.RegisterThread("t")
+	defer th.Close()
+	if th.Priority() != 0 {
+		t.Error("default priority must be 0")
+	}
+	th.SetPriority(7)
+	if th.Priority() != 7 {
+		t.Error("SetPriority lost")
+	}
+}

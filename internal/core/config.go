@@ -1,0 +1,149 @@
+// Package core ties Dimmunix together: the Runtime owns the history, the
+// avoidance cache, the event queue, and the monitor thread; Thread and
+// Mutex are the instrumented primitives applications use in place of raw
+// goroutine identity and sync.Mutex (which Go does not let us interpose —
+// see DESIGN.md §2 for the substitution argument).
+package core
+
+import (
+	"time"
+
+	"dimmunix/internal/avoidance"
+	"dimmunix/internal/monitor"
+	"dimmunix/internal/signature"
+)
+
+// Mode selects how much of Dimmunix runs; used for the Fig 8 overhead
+// breakdown and for baseline measurements.
+type Mode uint8
+
+const (
+	// ModeFull is complete Dimmunix (the zero-value default).
+	ModeFull Mode = iota
+	// ModeOff bypasses Dimmunix entirely: Mutex behaves like a plain
+	// (abortable, optionally reentrant) mutex.
+	ModeOff
+	// ModeInstrument captures stacks and emits events only.
+	ModeInstrument
+	// ModeDataStructs adds the avoidance data-structure updates, but
+	// performs no matching and never yields.
+	ModeDataStructs
+)
+
+// ImmunityLevel selects weak vs strong immunity (§5.4).
+type ImmunityLevel uint8
+
+const (
+	// WeakImmunity breaks induced starvation and continues (default).
+	WeakImmunity ImmunityLevel = iota
+	// StrongImmunity invokes the restart hook on starvation, which
+	// guarantees no deadlock or starvation pattern ever reoccurs.
+	StrongImmunity
+)
+
+// GuardKind selects the §5.6 guard protecting the shared avoidance
+// structures.
+type GuardKind uint8
+
+const (
+	// GuardMutex uses sync.Mutex (default).
+	GuardMutex GuardKind = iota
+	// GuardSpin uses a test-and-set spin lock.
+	GuardSpin
+	// GuardFilter uses the generalized Peterson filter lock, the
+	// paper's lock-free construction. Requires MaxThreads slots.
+	GuardFilter
+)
+
+// DefaultMaxYield bounds how long a thread may be kept yielding to avoid a
+// pattern before it is forcibly released (§5.7 suggests e.g. 200 ms).
+const DefaultMaxYield = 200 * time.Millisecond
+
+// Config configures a Runtime. The zero value is usable: full Dimmunix,
+// weak immunity, τ = 100 ms, matching depth 4, no history file.
+type Config struct {
+	// HistoryPath is the persistent history file ("" = in-memory only).
+	HistoryPath string
+	// Tau is the monitor wakeup period (default 100 ms).
+	Tau time.Duration
+	// MatchDepth is the fixed matching depth recorded in new signatures
+	// (default 4, §5.5).
+	MatchDepth int
+	// Calibrate arms dynamic matching-depth calibration on new
+	// signatures (§5.5). Off by default, as in the paper's evaluation.
+	Calibrate bool
+	// CalibMaxDepth, CalibNA, CalibNT override the calibration
+	// parameters (defaults 10, 20, 10000).
+	CalibMaxDepth int
+	CalibNA       int
+	CalibNT       uint64
+	// DiscardObsolete removes signatures whose completed calibration
+	// shows a 100% false-positive rate at the chosen depth (§8:
+	// obsolete after an upgrade).
+	DiscardObsolete bool
+	// Immunity selects weak or strong immunity.
+	Immunity ImmunityLevel
+	// Mode selects the instrumentation level.
+	Mode Mode
+	// IgnoreDecisions computes avoidance decisions but never yields
+	// (the Table 1 control configuration).
+	IgnoreDecisions bool
+	// ProbeDepth, when > 0, re-checks each avoidance at this depth and
+	// counts failures as probe false positives (§7.3 methodology).
+	ProbeDepth int
+	// MaxYield bounds one yield episode; 0 selects DefaultMaxYield,
+	// negative disables the bound.
+	MaxYield time.Duration
+	// AbortDisableThreshold auto-disables a signature after this many
+	// max-yield aborts (0 = never auto-disable).
+	AbortDisableThreshold uint64
+	// Guard selects the avoidance guard implementation.
+	Guard GuardKind
+	// MaxThreads sizes the thread slot table (default 1024; the paper
+	// scales Dimmunix to 1024 threads).
+	MaxThreads int
+	// StackDepth is the number of frames captured per lock operation
+	// (default 16; must be at least MatchDepth and the calibration max).
+	StackDepth int
+	// OnDeadlock is the §3 recovery hook, called after the signature is
+	// archived. Runs on the monitor goroutine.
+	OnDeadlock func(monitor.DeadlockInfo)
+	// OnStarvation is called when a yield cycle is handled; with strong
+	// immunity this is the restart hook. Runs on the monitor goroutine.
+	OnStarvation func(monitor.StarvationInfo)
+}
+
+func (c *Config) fill() {
+	if c.Tau <= 0 {
+		c.Tau = monitor.DefaultTau
+	}
+	if c.MatchDepth <= 0 {
+		c.MatchDepth = signature.DefaultDepth
+	}
+	if c.MaxYield == 0 {
+		c.MaxYield = DefaultMaxYield
+	}
+	if c.MaxThreads <= 0 {
+		c.MaxThreads = 1024
+	}
+	if c.StackDepth <= 0 {
+		c.StackDepth = 16
+	}
+	if c.StackDepth < c.MatchDepth {
+		c.StackDepth = c.MatchDepth
+	}
+	if c.Calibrate && c.CalibMaxDepth > c.StackDepth {
+		c.StackDepth = c.CalibMaxDepth
+	}
+}
+
+func (c *Config) avoidanceMode() avoidance.Mode {
+	switch c.Mode {
+	case ModeInstrument:
+		return avoidance.ModeInstrument
+	case ModeDataStructs:
+		return avoidance.ModeDataStructs
+	default:
+		return avoidance.ModeFull
+	}
+}

@@ -1,0 +1,277 @@
+package core
+
+import (
+	"errors"
+	"sync/atomic"
+	"time"
+)
+
+// MutexKind mirrors the pthreads mutex types (§6).
+type MutexKind uint8
+
+const (
+	// Normal self-deadlocks if relocked by its owner (like
+	// PTHREAD_MUTEX_NORMAL). Dimmunix does not watch for self-deadlocks.
+	Normal MutexKind = iota
+	// Recursive may be relocked by its owner (Java monitors,
+	// PTHREAD_MUTEX_RECURSIVE).
+	Recursive
+	// ErrorCheck returns ErrSelfDeadlock if relocked by its owner
+	// (PTHREAD_MUTEX_ERRORCHECK).
+	ErrorCheck
+)
+
+// Errors returned by lock operations.
+var (
+	// ErrSelfDeadlock is the EDEADLK analog for ErrorCheck mutexes.
+	ErrSelfDeadlock = errors.New("dimmunix: relock of owned error-checking mutex")
+	// ErrTimeout reports a LockTimeout expiry.
+	ErrTimeout = errors.New("dimmunix: lock timed out")
+	// ErrDeadlockRecovered reports that a recovery hook aborted this
+	// thread's lock wait.
+	ErrDeadlockRecovered = errors.New("dimmunix: lock wait aborted by deadlock recovery")
+	// ErrNotOwner reports an unlock by a non-owner.
+	ErrNotOwner = errors.New("dimmunix: unlock of mutex not owned by this thread")
+)
+
+// Mutex is Dimmunix's instrumented mutex. Create with Runtime.NewMutex.
+// The explicit-thread methods (LockT, UnlockT, ...) are the fast path;
+// the implicit methods (Lock, Unlock, ...) resolve the calling goroutine
+// via its goroutine ID first.
+type Mutex struct {
+	rt   *Runtime
+	kind MutexKind
+	ls   *lockStateRef
+
+	token chan struct{}
+	owner atomic.Pointer[Thread]
+	rec   int32 // owner-only
+}
+
+// lockStateRef aliases avoidance.LockState without exporting it.
+type lockStateRef = avoidanceLockState
+
+// NewMutex creates a Normal mutex.
+func (rt *Runtime) NewMutex() *Mutex { return rt.NewMutexKind(Normal) }
+
+// NewMutexKind creates a mutex of the given kind.
+func (rt *Runtime) NewMutexKind(kind MutexKind) *Mutex {
+	m := &Mutex{
+		rt:    rt,
+		kind:  kind,
+		ls:    rt.cache.NewLock(),
+		token: make(chan struct{}, 1),
+	}
+	m.token <- struct{}{}
+	return m
+}
+
+// ID returns the mutex's Dimmunix lock ID.
+func (m *Mutex) ID() uint64 { return m.ls.ID }
+
+// Kind returns the mutex kind.
+func (m *Mutex) Kind() MutexKind { return m.kind }
+
+// Lock acquires the mutex on behalf of the calling goroutine.
+func (m *Mutex) Lock() error { return m.LockT(m.rt.CurrentThread()) }
+
+// Unlock releases the mutex on behalf of the calling goroutine.
+func (m *Mutex) Unlock() error { return m.UnlockT(m.rt.CurrentThread()) }
+
+// TryLock attempts the lock without blocking.
+func (m *Mutex) TryLock() (bool, error) { return m.TryLockT(m.rt.CurrentThread()) }
+
+// LockTimeout acquires the mutex, failing with ErrTimeout after d.
+func (m *Mutex) LockTimeout(d time.Duration) error {
+	return m.LockTimeoutT(m.rt.CurrentThread(), d)
+}
+
+// MustLock is Lock that panics on error, for code that uses Normal or
+// Recursive mutexes without recovery hooks.
+func (m *Mutex) MustLock() {
+	if err := m.Lock(); err != nil {
+		panic(err)
+	}
+}
+
+// MustUnlock is Unlock that panics on error.
+func (m *Mutex) MustUnlock() {
+	if err := m.Unlock(); err != nil {
+		panic(err)
+	}
+}
+
+// LockT acquires the mutex on behalf of t, running the full §5.4
+// avoidance protocol: request -> (yield)* -> go -> block -> acquired.
+func (m *Mutex) LockT(t *Thread) error {
+	return m.lockT(t, 0, false)
+}
+
+// TryLockT attempts the lock without blocking. A YIELD decision counts as
+// failure (the thread may not enter the dangerous pattern), mirroring
+// pthread_mutex_trylock + the §6 cancel event.
+func (m *Mutex) TryLockT(t *Thread) (bool, error) {
+	err := m.lockT(t, 0, true)
+	if err == nil {
+		return true, nil
+	}
+	if errors.Is(err, errWouldBlock) {
+		return false, nil
+	}
+	return false, err
+}
+
+// LockTimeoutT acquires with a deadline, like pthread_mutex_timedlock.
+func (m *Mutex) LockTimeoutT(t *Thread, d time.Duration) error {
+	if d <= 0 {
+		return ErrTimeout
+	}
+	return m.lockT(t, d, false)
+}
+
+// errWouldBlock is internal: TryLock could not acquire immediately.
+var errWouldBlock = errors.New("dimmunix: would block")
+
+func (m *Mutex) lockT(t *Thread, timeout time.Duration, try bool) error {
+	// Reentrancy handling first: it never blocks, so no avoidance
+	// decision is needed (§5.1 multiset edges record it).
+	if m.owner.Load() == t {
+		switch m.kind {
+		case Recursive:
+			m.rec++
+			if m.rt.cfg.Mode != ModeOff {
+				m.rt.cache.ReentrantAcquired(t.ts, m.ls, t.captureStack(1))
+			}
+			return nil
+		case ErrorCheck:
+			return ErrSelfDeadlock
+		default:
+			// Normal: fall through to a genuine self-deadlock on the
+			// token, exactly like PTHREAD_MUTEX_NORMAL. TryLock and
+			// LockTimeout fail cleanly below.
+		}
+	}
+
+	if m.rt.cfg.Mode == ModeOff {
+		return m.acquireToken(t, timeout, try, nil)
+	}
+
+	in := t.captureStack(1)
+
+	var deadline <-chan time.Time
+	var deadlineTimer *time.Timer
+	if timeout > 0 {
+		deadlineTimer = time.NewTimer(timeout)
+		deadline = deadlineTimer.C
+		defer deadlineTimer.Stop()
+	}
+
+	for {
+		dec := m.rt.cache.Request(t.ts, m.ls, in)
+		if dec.Go {
+			break
+		}
+		if try {
+			m.rt.cache.Cancel(t.ts, m.ls)
+			return errWouldBlock
+		}
+		// YIELD: wait until a cause binding may have broken, bounded by
+		// the max-yield duration (§5.7) and the caller's deadline.
+		var maxYield <-chan time.Time
+		var yieldTimer *time.Timer
+		if m.rt.cfg.MaxYield > 0 {
+			yieldTimer = time.NewTimer(m.rt.cfg.MaxYield)
+			maxYield = yieldTimer.C
+		}
+		select {
+		case <-t.ts.Wake:
+		case <-maxYield:
+			m.rt.cache.NoteAbort(t.ts, dec.Sig.ID, m.rt.cfg.AbortDisableThreshold)
+		case <-deadline:
+			if yieldTimer != nil {
+				yieldTimer.Stop()
+			}
+			m.rt.cache.Cancel(t.ts, m.ls)
+			return ErrTimeout
+		case <-t.abortChan():
+			if yieldTimer != nil {
+				yieldTimer.Stop()
+			}
+			t.consumeAbort()
+			m.rt.cache.Cancel(t.ts, m.ls)
+			return ErrDeadlockRecovered
+		}
+		if yieldTimer != nil {
+			yieldTimer.Stop()
+		}
+	}
+
+	// GO: the allow edge is committed; block on the real lock.
+	if err := m.acquireToken(t, timeout, try, deadline); err != nil {
+		m.rt.cache.Cancel(t.ts, m.ls)
+		return err
+	}
+	m.rt.cache.Acquired(t.ts, m.ls)
+	return nil
+}
+
+// acquireToken performs the raw blocking acquisition.
+func (m *Mutex) acquireToken(t *Thread, timeout time.Duration, try bool, deadline <-chan time.Time) error {
+	if try {
+		select {
+		case <-m.token:
+		default:
+			return errWouldBlock
+		}
+		m.owner.Store(t)
+		m.rec = 1
+		return nil
+	}
+	if timeout > 0 && deadline == nil {
+		timer := time.NewTimer(timeout)
+		defer timer.Stop()
+		deadline = timer.C
+	}
+	select {
+	case <-m.token:
+	case <-deadline:
+		return ErrTimeout
+	case <-t.abortChan():
+		t.consumeAbort()
+		return ErrDeadlockRecovered
+	}
+	m.owner.Store(t)
+	m.rec = 1
+	return nil
+}
+
+// UnlockT releases the mutex on behalf of t. The release event reaches
+// the monitor queue strictly before the token is returned, establishing
+// the §5.2 event order.
+func (m *Mutex) UnlockT(t *Thread) error {
+	if m.owner.Load() != t {
+		return ErrNotOwner
+	}
+	if m.rec > 1 {
+		m.rec--
+		if m.rt.cfg.Mode != ModeOff {
+			m.rt.cache.Release(t.ts, m.ls)
+		}
+		return nil
+	}
+	if m.rt.cfg.Mode != ModeOff {
+		m.rt.cache.Release(t.ts, m.ls)
+	}
+	m.rec = 0
+	m.owner.Store(nil)
+	m.token <- struct{}{}
+	return nil
+}
+
+// Holder returns the owning thread's ID (0 when free), for diagnostics.
+func (m *Mutex) Holder() int32 {
+	if t := m.owner.Load(); t != nil {
+		return t.ID()
+	}
+	return 0
+}

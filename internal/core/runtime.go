@@ -1,0 +1,277 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+
+	"dimmunix/internal/avoidance"
+	"dimmunix/internal/event"
+	"dimmunix/internal/gid"
+	"dimmunix/internal/monitor"
+	"dimmunix/internal/peterson"
+	"dimmunix/internal/queue"
+	"dimmunix/internal/signature"
+	"dimmunix/internal/stack"
+)
+
+// Runtime is one Dimmunix instance: a history, an avoidance cache, an
+// event queue, and a monitor goroutine, serving any number of threads and
+// mutexes. A process typically has one Runtime, but tests and benchmarks
+// may run several in isolation.
+type Runtime struct {
+	cfg      Config
+	interner *stack.Interner
+	hist     *signature.History
+	q        *queue.MPSC[event.Event]
+	cache    *avoidance.Cache
+	mon      *monitor.Monitor
+	stats    *avoidance.Stats
+
+	mu       sync.RWMutex
+	byGID    map[uint64]*Thread
+	byID     map[int32]*Thread
+	nextTID  int32
+	slotFree []int
+	nextSlot int
+	stopped  bool
+}
+
+// New creates and starts a Runtime (loads the history, launches the
+// monitor).
+func New(cfg Config) (*Runtime, error) {
+	cfg.fill()
+	hist, err := signature.Load(cfg.HistoryPath)
+	if err != nil {
+		return nil, err
+	}
+	if cfg.HistoryPath == "" {
+		hist = signature.NewHistory()
+	}
+
+	rt := &Runtime{
+		cfg:      cfg,
+		interner: stack.NewInterner(),
+		hist:     hist,
+		q:        queue.New[event.Event](),
+		stats:    &avoidance.Stats{},
+		byGID:    make(map[uint64]*Thread),
+		byID:     make(map[int32]*Thread),
+		nextSlot: 1, // slot 0 is reserved for the monitor/admin paths
+	}
+
+	var guard peterson.Guard
+	switch cfg.Guard {
+	case GuardSpin:
+		guard = peterson.NewSpin()
+	case GuardFilter:
+		guard = peterson.NewFilter(cfg.MaxThreads + 1)
+	default:
+		guard = peterson.NewMutex()
+	}
+
+	rt.cache = avoidance.NewCache(avoidance.Config{
+		Guard:           guard,
+		Mode:            cfg.avoidanceMode(),
+		IgnoreDecisions: cfg.IgnoreDecisions,
+		ProbeDepth:      cfg.ProbeDepth,
+		MaxThreads:      cfg.MaxThreads,
+		DiscardObsolete: cfg.DiscardObsolete,
+	}, rt.interner, hist, rt.stats, rt.q.Push)
+
+	rt.mon = monitor.New(monitor.Config{
+		Tau:           cfg.Tau,
+		Strong:        cfg.Immunity == StrongImmunity,
+		MatchDepth:    cfg.MatchDepth,
+		Calibrate:     cfg.Calibrate,
+		CalibMaxDepth: cfg.CalibMaxDepth,
+		CalibNA:       cfg.CalibNA,
+		CalibNT:       cfg.CalibNT,
+		OnDeadlock:    cfg.OnDeadlock,
+		OnStarvation:  cfg.OnStarvation,
+	}, rt.q, hist, rt.cache, rt.resolveThreadState)
+
+	if cfg.Mode != ModeOff {
+		rt.mon.Start()
+	}
+	return rt, nil
+}
+
+// MustNew is New that panics on error (for examples and tests).
+func MustNew(cfg Config) *Runtime {
+	rt, err := New(cfg)
+	if err != nil {
+		panic(err)
+	}
+	return rt
+}
+
+// Stop shuts the monitor down (after a final pass) and saves the history.
+func (rt *Runtime) Stop() error {
+	rt.mu.Lock()
+	if rt.stopped {
+		rt.mu.Unlock()
+		return nil
+	}
+	rt.stopped = true
+	rt.mu.Unlock()
+	if rt.cfg.Mode != ModeOff {
+		rt.mon.Stop()
+	}
+	return rt.hist.Save()
+}
+
+// History exposes the signature history.
+func (rt *Runtime) History() *signature.History { return rt.hist }
+
+// Monitor exposes the monitor (Kick for tests/tools).
+func (rt *Runtime) Monitor() *monitor.Monitor { return rt.mon }
+
+// Stats returns a snapshot of the avoidance counters.
+func (rt *Runtime) Stats() avoidance.Snapshot { return rt.stats.Snapshot() }
+
+// MonitorCounters returns the monitor-side counters.
+func (rt *Runtime) MonitorCounters() *monitor.Counters { return &rt.mon.Counters }
+
+// Config returns the runtime's effective configuration.
+func (rt *Runtime) Config() Config { return rt.cfg }
+
+// ReloadHistory re-reads the history file and swaps the signature set
+// in-place — the §8 "patch without restarting" path. New signatures take
+// effect on the next lock request.
+func (rt *Runtime) ReloadHistory() error {
+	if rt.cfg.HistoryPath == "" {
+		return errors.New("dimmunix: runtime has no history path")
+	}
+	fresh, err := signature.Load(rt.cfg.HistoryPath)
+	if err != nil {
+		return err
+	}
+	rt.hist.ReplaceAll(fresh)
+	return nil
+}
+
+// RegisterThread creates an explicit thread handle — the fast-path
+// identity API. name is for diagnostics only and may be empty.
+func (rt *Runtime) RegisterThread(name string) *Thread {
+	rt.mu.Lock()
+	defer rt.mu.Unlock()
+	rt.nextTID++
+	id := rt.nextTID
+	var slot int
+	if n := len(rt.slotFree); n > 0 {
+		slot = rt.slotFree[n-1]
+		rt.slotFree = rt.slotFree[:n-1]
+	} else {
+		if rt.cfg.Guard == GuardFilter && rt.nextSlot > rt.cfg.MaxThreads {
+			panic(fmt.Sprintf("dimmunix: more than MaxThreads=%d live threads with the filter guard", rt.cfg.MaxThreads))
+		}
+		slot = rt.nextSlot
+		rt.nextSlot++
+	}
+	t := &Thread{
+		rt:    rt,
+		ts:    rt.cache.NewThread(id, slot, name),
+		abort: make(chan struct{}),
+	}
+	rt.byID[id] = t
+	return t
+}
+
+// CurrentThread returns the calling goroutine's thread handle,
+// registering it on first use — the implicit identity API (costs a
+// goroutine-ID extraction per call; hot paths should hold a *Thread).
+func (rt *Runtime) CurrentThread() *Thread {
+	g := gid.Current()
+	rt.mu.RLock()
+	t := rt.byGID[g]
+	rt.mu.RUnlock()
+	if t != nil {
+		return t
+	}
+	t = rt.RegisterThread("")
+	t.gid = g
+	rt.mu.Lock()
+	rt.byGID[g] = t
+	rt.mu.Unlock()
+	return t
+}
+
+// ThreadByID resolves a thread handle from its Dimmunix ID, or nil.
+func (rt *Runtime) ThreadByID(id int32) *Thread {
+	rt.mu.RLock()
+	defer rt.mu.RUnlock()
+	return rt.byID[id]
+}
+
+func (rt *Runtime) resolveThreadState(id int32) *avoidance.ThreadState {
+	rt.mu.RLock()
+	t := rt.byID[id]
+	rt.mu.RUnlock()
+	if t == nil {
+		return nil
+	}
+	return t.ts
+}
+
+// AbortThreads aborts the pending or future lock waits of the given
+// threads, making their Lock calls return ErrDeadlockRecovered. This is
+// the building block recovery hooks use to emulate the paper's restart
+// (§3: recovery is orthogonal; the hook is the extension point).
+func (rt *Runtime) AbortThreads(ids ...int32) {
+	for _, id := range ids {
+		if t := rt.ThreadByID(id); t != nil {
+			t.signalAbort()
+		}
+	}
+}
+
+// unregister removes a closed thread.
+func (rt *Runtime) unregister(t *Thread) {
+	rt.mu.Lock()
+	defer rt.mu.Unlock()
+	delete(rt.byID, t.ts.ID)
+	if t.gid != 0 {
+		delete(rt.byGID, t.gid)
+	}
+	rt.slotFree = append(rt.slotFree, t.ts.Slot)
+}
+
+// NumThreads reports the number of live registered threads.
+func (rt *Runtime) NumThreads() int {
+	rt.mu.RLock()
+	defer rt.mu.RUnlock()
+	return len(rt.byID)
+}
+
+// LastAvoided returns the most recently avoided signature, or nil. This
+// is the hook for §5.7's user flow: when an avoidance suppresses wanted
+// functionality, the user can disable the responsible signature the way
+// they would allow a blocked pop-up.
+func (rt *Runtime) LastAvoided() *signature.Signature {
+	return rt.cache.LastAvoided()
+}
+
+// DisableLastAvoided disables the most recently avoided signature and
+// reports whether there was one. The signature stays in the history but
+// is never avoided again (until re-enabled via the history tooling).
+func (rt *Runtime) DisableLastAvoided() bool {
+	sig := rt.cache.LastAvoided()
+	if sig == nil {
+		return false
+	}
+	return rt.hist.SetDisabled(sig.ID, true)
+}
+
+// CapturedStacks returns every distinct call stack observed at lock
+// operations so far. The §7.2.1 methodology synthesizes histories from
+// "random combinations of real program stacks with which the target
+// system performs synchronization"; this is that sampling hook.
+func (rt *Runtime) CapturedStacks() []stack.Stack {
+	snap := rt.interner.Snapshot()
+	out := make([]stack.Stack, 0, len(snap))
+	for _, in := range snap {
+		out = append(out, in.S.Clone())
+	}
+	return out
+}

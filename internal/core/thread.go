@@ -1,0 +1,108 @@
+package core
+
+import (
+	"strings"
+	"sync"
+
+	"dimmunix/internal/avoidance"
+	"dimmunix/internal/stack"
+)
+
+// Thread is Dimmunix's handle for one application thread (goroutine).
+// Obtain one explicitly with Runtime.RegisterThread (fast) or implicitly
+// via Runtime.CurrentThread / the Mutex implicit-API methods (convenient).
+// A Thread must only be used by one goroutine at a time.
+type Thread struct {
+	rt  *Runtime
+	ts  *avoidance.ThreadState
+	gid uint64
+
+	abortMu sync.Mutex
+	abort   chan struct{}
+}
+
+// ID returns the thread's Dimmunix ID.
+func (t *Thread) ID() int32 { return t.ts.ID }
+
+// Name returns the diagnostic name given at registration.
+func (t *Thread) Name() string { return t.ts.Name }
+
+// SetPriority sets the thread's scheduling priority for starvation-break
+// victim selection (§8 extension): among starved threads, the
+// highest-priority one is freed first. Default 0.
+func (t *Thread) SetPriority(p int32) { t.ts.Priority.Store(p) }
+
+// Priority returns the thread's priority.
+func (t *Thread) Priority() int32 { return t.ts.Priority.Load() }
+
+// Close deregisters the thread and prunes its state from the monitor's
+// graph. The thread must not hold any Dimmunix mutex.
+func (t *Thread) Close() {
+	t.rt.cache.ThreadExit(t.ts)
+	t.rt.unregister(t)
+}
+
+// signalAbort makes the thread's pending (and next) lock wait fail with
+// ErrDeadlockRecovered.
+func (t *Thread) signalAbort() {
+	t.abortMu.Lock()
+	select {
+	case <-t.abort:
+		// already signaled and not yet consumed
+	default:
+		close(t.abort)
+	}
+	t.abortMu.Unlock()
+}
+
+// abortChan returns the current abort channel.
+func (t *Thread) abortChan() <-chan struct{} {
+	t.abortMu.Lock()
+	ch := t.abort
+	t.abortMu.Unlock()
+	return ch
+}
+
+// consumeAbort re-arms the abort channel after an abort was delivered.
+func (t *Thread) consumeAbort() {
+	t.abortMu.Lock()
+	select {
+	case <-t.abort:
+		t.abort = make(chan struct{})
+	default:
+	}
+	t.abortMu.Unlock()
+}
+
+// captureStack records the caller's call stack with Dimmunix's own frames
+// stripped, so the innermost frame is the application's lock call site —
+// the Go analog of the paper's return-address stacks.
+func (t *Thread) captureStack(extraSkip int) *stack.Interned {
+	raw := stack.Capture(extraSkip+1, t.rt.cfg.StackDepth+4)
+	i := 0
+	for i < len(raw) && isRuntimeFrame(raw[i]) {
+		i++
+	}
+	s := raw[i:]
+	if len(s) > t.rt.cfg.StackDepth {
+		s = s[:t.rt.cfg.StackDepth]
+	}
+	if len(s) == 0 {
+		s = raw
+	}
+	return t.rt.interner.Intern(s.Clone())
+}
+
+// isRuntimeFrame identifies Dimmunix's own lock-path frames (and only
+// those: in-package callers such as this package's tests must survive, so
+// the file name is checked too).
+func isRuntimeFrame(f stack.Frame) bool {
+	if !strings.HasPrefix(f.Func, "dimmunix/internal/core.") {
+		return false
+	}
+	switch f.File {
+	case "mutex.go", "thread.go", "runtime.go", "config.go", "alias.go":
+		return true
+	}
+	return false
+}

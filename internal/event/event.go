@@ -1,0 +1,65 @@
+// Package event defines the events exchanged between the avoidance
+// instrumentation and the monitor thread (§3: request, go, yield, acquired,
+// release; §6 adds cancel for pthreads trylock/timedlock rollback).
+package event
+
+import "dimmunix/internal/stack"
+
+// Kind enumerates event types.
+type Kind uint8
+
+const (
+	// Request: a thread entered the lock instrumentation and asked for a
+	// decision.
+	Request Kind = iota
+	// Go: the avoidance code allowed the thread to block waiting for the
+	// lock (the "allow" edge was committed).
+	Go
+	// Yield: the thread was forced to yield; Causes carries the matched
+	// signature instance.
+	Yield
+	// Acquired: the thread finished lock() and now holds the lock.
+	Acquired
+	// Release: the thread is about to unlock().
+	Release
+	// Cancel: a previously allowed request was rolled back (trylock
+	// failure, lock timeout, or deadlock-recovery abort).
+	Cancel
+	// ThreadExit: the thread is gone; the monitor prunes its RAG node.
+	ThreadExit
+)
+
+var kindNames = [...]string{"request", "go", "yield", "acquired", "release", "cancel", "thread-exit"}
+
+func (k Kind) String() string {
+	if int(k) < len(kindNames) {
+		return kindNames[k]
+	}
+	return "unknown"
+}
+
+// Cause identifies one (thread, lock, stack) binding of a matched signature
+// instance — the target of a yield edge plus its label (§5.4). SigIdx is
+// the index of the signature stack the binding covers, so the monitor can
+// re-evaluate the match at other depths during calibration.
+type Cause struct {
+	TID    int32
+	LID    uint64
+	Stack  *stack.Interned
+	SigIdx int
+}
+
+// Event is one instrumentation event. Stack is the interned call stack the
+// thread had at the time (nil for Release/Cancel/ThreadExit where the
+// monitor already knows the edge). SigID is set on Yield events to the
+// signature that triggered avoidance, for false-positive bookkeeping.
+type Event struct {
+	Kind       Kind
+	TID        int32
+	LID        uint64
+	Stack      *stack.Interned
+	Causes     []Cause // Yield only
+	SigID      string  // Yield only
+	YielderIdx int     // Yield only: signature stack index covered by TID
+	Depth      int     // Yield only: matching depth in force
+}

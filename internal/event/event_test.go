@@ -1,0 +1,21 @@
+package event
+
+import "testing"
+
+func TestKindString(t *testing.T) {
+	cases := map[Kind]string{
+		Request:    "request",
+		Go:         "go",
+		Yield:      "yield",
+		Acquired:   "acquired",
+		Release:    "release",
+		Cancel:     "cancel",
+		ThreadExit: "thread-exit",
+		Kind(200):  "unknown",
+	}
+	for k, want := range cases {
+		if got := k.String(); got != want {
+			t.Errorf("Kind(%d).String() = %q, want %q", k, got, want)
+		}
+	}
+}

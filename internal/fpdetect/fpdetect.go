@@ -1,0 +1,133 @@
+// Package fpdetect implements the retrospective false-positive heuristic
+// of §5.5: after Dimmunix avoids a signature X, the lock operations
+// performed by the threads involved in the potential deadlock — plus those
+// performed by the blocked thread after it is released from its yield —
+// are logged; the monitor then looks for lock inversions in the log. If no
+// inversion is found, the avoidance was likely a false positive: absent
+// avoidance, there would likely not have been a deadlock.
+package fpdetect
+
+// Op is one logged lock operation.
+type Op struct {
+	TID     int32
+	LID     uint64
+	Acquire bool // true = acquired, false = released
+}
+
+// Episode tracks the aftermath of a single avoidance decision.
+type Episode struct {
+	// SigID and Depth identify the avoided signature and the matching
+	// depth in force when the avoidance happened (calibration needs the
+	// depth to attribute the verdict to the right ladder rung).
+	SigID string
+	Depth int
+	// YieldedTID is the thread that was forced to yield.
+	YieldedTID int32
+	// Watch is the set of threads whose operations are logged: the
+	// threads involved in the potential deadlock plus the yielded one.
+	Watch map[int32]bool
+	// Limit bounds the log length; once reached the episode concludes.
+	Limit int
+
+	ops []Op
+}
+
+// DefaultOpLimit is how many operations an episode observes before
+// concluding. Deadlock patterns are short (almost always two threads and
+// two nested locks, §5.6), so a modest window suffices.
+const DefaultOpLimit = 64
+
+// NewEpisode starts an episode for an avoidance of sig at depth, watching
+// the given threads. limit <= 0 selects DefaultOpLimit.
+func NewEpisode(sigID string, depth int, yielded int32, involved []int32, limit int) *Episode {
+	if limit <= 0 {
+		limit = DefaultOpLimit
+	}
+	w := make(map[int32]bool, len(involved)+1)
+	w[yielded] = true
+	for _, t := range involved {
+		w[t] = true
+	}
+	return &Episode{
+		SigID:      sigID,
+		Depth:      depth,
+		YieldedTID: yielded,
+		Watch:      w,
+		Limit:      limit,
+	}
+}
+
+// Record appends op if it belongs to a watched thread and reports whether
+// the episode is complete (log limit reached).
+func (e *Episode) Record(op Op) bool {
+	if !e.Watch[op.TID] {
+		return len(e.ops) >= e.Limit
+	}
+	if len(e.ops) < e.Limit {
+		e.ops = append(e.ops, op)
+	}
+	return len(e.ops) >= e.Limit
+}
+
+// Ops returns the logged operations.
+func (e *Episode) Ops() []Op { return e.ops }
+
+// Verdict concludes the episode: it returns true if the avoidance looks
+// like a FALSE positive (no lock inversion found in the log).
+func (e *Episode) Verdict() bool {
+	return !HasInversion(e.ops)
+}
+
+// HasInversion reports whether the operation log contains a lock
+// inversion: some thread acquired lock B while holding lock A, and some
+// other thread acquired A while holding B. That pattern is the necessary
+// ingredient of a two-thread deadlock; its presence means the avoided
+// situation could genuinely have deadlocked (a true positive).
+func HasInversion(ops []Op) bool {
+	type pair struct{ a, b uint64 }
+	held := make(map[int32][]uint64)
+	// pairThreads[p] = set of threads that exhibited order p.
+	pairThreads := make(map[pair]map[int32]bool)
+
+	record := func(tid int32, a, b uint64) bool {
+		p := pair{a, b}
+		set := pairThreads[p]
+		if set == nil {
+			set = make(map[int32]bool)
+			pairThreads[p] = set
+		}
+		set[tid] = true
+		// Check the reverse order by any *other* thread.
+		if rev, ok := pairThreads[pair{b, a}]; ok {
+			for other := range rev {
+				if other != tid {
+					return true
+				}
+			}
+		}
+		return false
+	}
+
+	for _, op := range ops {
+		if op.Acquire {
+			for _, a := range held[op.TID] {
+				if a == op.LID {
+					continue // reentrant
+				}
+				if record(op.TID, a, op.LID) {
+					return true
+				}
+			}
+			held[op.TID] = append(held[op.TID], op.LID)
+			continue
+		}
+		hs := held[op.TID]
+		for i := len(hs) - 1; i >= 0; i-- {
+			if hs[i] == op.LID {
+				held[op.TID] = append(hs[:i], hs[i+1:]...)
+				break
+			}
+		}
+	}
+	return false
+}

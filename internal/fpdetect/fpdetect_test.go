@@ -1,0 +1,165 @@
+package fpdetect
+
+import "testing"
+
+func acq(t int32, l uint64) Op { return Op{TID: t, LID: l, Acquire: true} }
+func rel(t int32, l uint64) Op { return Op{TID: t, LID: l, Acquire: false} }
+
+func TestNoInversionEmptyLog(t *testing.T) {
+	if HasInversion(nil) {
+		t.Error("empty log must have no inversion")
+	}
+}
+
+func TestNoInversionSameOrder(t *testing.T) {
+	ops := []Op{
+		acq(1, 10), acq(1, 20), rel(1, 20), rel(1, 10),
+		acq(2, 10), acq(2, 20), rel(2, 20), rel(2, 10),
+	}
+	if HasInversion(ops) {
+		t.Error("same nesting order must not be an inversion")
+	}
+}
+
+func TestClassicInversion(t *testing.T) {
+	ops := []Op{
+		acq(1, 10), acq(1, 20), rel(1, 20), rel(1, 10),
+		acq(2, 20), acq(2, 10), rel(2, 10), rel(2, 20),
+	}
+	if !HasInversion(ops) {
+		t.Error("classic AB/BA inversion must be detected")
+	}
+}
+
+func TestInversionRequiresDistinctThreads(t *testing.T) {
+	// One thread acquiring in both orders at different times cannot
+	// itself deadlock; the heuristic requires two threads.
+	ops := []Op{
+		acq(1, 10), acq(1, 20), rel(1, 20), rel(1, 10),
+		acq(1, 20), acq(1, 10), rel(1, 10), rel(1, 20),
+	}
+	if HasInversion(ops) {
+		t.Error("single-thread both-orders must not count")
+	}
+}
+
+func TestReentrantAcquireIgnored(t *testing.T) {
+	ops := []Op{
+		acq(1, 10), acq(1, 10), rel(1, 10), rel(1, 10),
+		acq(2, 10), rel(2, 10),
+	}
+	if HasInversion(ops) {
+		t.Error("reentrancy must not produce inversions")
+	}
+}
+
+func TestInversionThroughThirdLock(t *testing.T) {
+	// T1: holds A, takes B. T2: holds B, takes C. No inversion.
+	ops := []Op{
+		acq(1, 1), acq(1, 2), rel(1, 2), rel(1, 1),
+		acq(2, 2), acq(2, 3), rel(2, 3), rel(2, 2),
+	}
+	if HasInversion(ops) {
+		t.Error("chain without reversal must not be an inversion")
+	}
+	// Add T3 closing the reversal on (1,2).
+	ops = append(ops, acq(3, 2), acq(3, 1), rel(3, 1), rel(3, 2))
+	if !HasInversion(ops) {
+		t.Error("reversal by third thread must be detected")
+	}
+}
+
+func TestInversionInterleavedWithReleases(t *testing.T) {
+	// Order pairs survive releases: inversion detection is about order,
+	// not simultaneity.
+	ops := []Op{
+		acq(1, 10), acq(1, 20), rel(1, 20), rel(1, 10),
+	}
+	if HasInversion(ops) {
+		t.Fatal("no inversion yet")
+	}
+	ops = append(ops, acq(2, 20), acq(2, 10))
+	if !HasInversion(ops) {
+		t.Error("late reversal must be detected")
+	}
+}
+
+func TestEpisodeWatchFiltering(t *testing.T) {
+	e := NewEpisode("sig1", 3, 1, []int32{2}, 10)
+	if done := e.Record(acq(99, 5)); done {
+		t.Error("unwatched op must not complete episode")
+	}
+	if len(e.Ops()) != 0 {
+		t.Error("unwatched ops must not be logged")
+	}
+	e.Record(acq(1, 5))
+	e.Record(acq(2, 6))
+	if len(e.Ops()) != 2 {
+		t.Errorf("ops = %d, want 2", len(e.Ops()))
+	}
+}
+
+func TestEpisodeCompletesAtLimit(t *testing.T) {
+	e := NewEpisode("sig1", 1, 1, nil, 3)
+	for i := 0; i < 2; i++ {
+		if e.Record(acq(1, uint64(i))) {
+			t.Fatalf("complete too early at %d", i)
+		}
+	}
+	if !e.Record(acq(1, 99)) {
+		t.Error("episode must complete at limit")
+	}
+	if !e.Record(acq(1, 100)) {
+		t.Error("already-complete episode stays complete")
+	}
+	if len(e.Ops()) != 3 {
+		t.Errorf("ops = %d, want limit 3", len(e.Ops()))
+	}
+}
+
+func TestEpisodeDefaultLimit(t *testing.T) {
+	e := NewEpisode("s", 1, 1, nil, 0)
+	if e.Limit != DefaultOpLimit {
+		t.Errorf("Limit = %d, want %d", e.Limit, DefaultOpLimit)
+	}
+}
+
+func TestEpisodeVerdictFalsePositive(t *testing.T) {
+	// Yielded thread resumed, took locks in a consistent order with the
+	// other thread: no inversion => false positive.
+	e := NewEpisode("s", 2, 1, []int32{2}, 20)
+	for _, op := range []Op{
+		acq(1, 10), acq(1, 20), rel(1, 20), rel(1, 10),
+		acq(2, 10), acq(2, 20), rel(2, 20), rel(2, 10),
+	} {
+		e.Record(op)
+	}
+	if !e.Verdict() {
+		t.Error("expected FP verdict (no inversion)")
+	}
+}
+
+func TestEpisodeVerdictTruePositive(t *testing.T) {
+	e := NewEpisode("s", 2, 1, []int32{2}, 20)
+	for _, op := range []Op{
+		acq(1, 10), acq(1, 20), rel(1, 20), rel(1, 10),
+		acq(2, 20), acq(2, 10), rel(2, 10), rel(2, 20),
+	} {
+		e.Record(op)
+	}
+	if e.Verdict() {
+		t.Error("expected TP verdict (inversion present)")
+	}
+}
+
+func BenchmarkHasInversion(b *testing.B) {
+	var ops []Op
+	for i := 0; i < 32; i++ {
+		t := int32(i % 4)
+		ops = append(ops, acq(t, uint64(i%8)), rel(t, uint64(i%8)))
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		HasInversion(ops)
+	}
+}

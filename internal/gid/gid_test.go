@@ -1,0 +1,73 @@
+package gid
+
+import (
+	"sync"
+	"testing"
+)
+
+func TestCurrentNonZero(t *testing.T) {
+	if Current() == 0 {
+		t.Fatal("Current returned 0")
+	}
+}
+
+func TestCurrentStableWithinGoroutine(t *testing.T) {
+	a := Current()
+	b := Current()
+	if a != b {
+		t.Fatalf("same goroutine returned different ids: %d vs %d", a, b)
+	}
+}
+
+func TestCurrentDistinctAcrossGoroutines(t *testing.T) {
+	const G = 32
+	ids := make(chan uint64, G)
+	var wg sync.WaitGroup
+	for i := 0; i < G; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			ids <- Current()
+		}()
+	}
+	wg.Wait()
+	close(ids)
+	seen := make(map[uint64]bool)
+	for id := range ids {
+		if id == 0 {
+			t.Fatal("goroutine got id 0")
+		}
+		if seen[id] {
+			t.Fatalf("duplicate goroutine id %d", id)
+		}
+		seen[id] = true
+	}
+	if len(seen) != G {
+		t.Fatalf("got %d distinct ids, want %d", len(seen), G)
+	}
+}
+
+func TestParse(t *testing.T) {
+	cases := []struct {
+		in   string
+		want uint64
+	}{
+		{"goroutine 1 [running]:\nmain.main()", 1},
+		{"goroutine 4711 [select]:\n", 4711},
+		{"gorout", 0},
+		{"goroutine  [running]", 0},
+		{"goroutine x [running]", 0},
+		{"", 0},
+	}
+	for _, c := range cases {
+		if got := parse([]byte(c.in)); got != c.want {
+			t.Errorf("parse(%q) = %d, want %d", c.in, got, c.want)
+		}
+	}
+}
+
+func BenchmarkCurrent(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		_ = Current()
+	}
+}

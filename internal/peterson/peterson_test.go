@@ -1,0 +1,122 @@
+package peterson
+
+import (
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// exerciseGuard hammers a guard from n participants and checks mutual
+// exclusion via a plain counter that would race without it.
+func exerciseGuard(t *testing.T, g Guard, n, iters int) {
+	t.Helper()
+	var counter int64 // deliberately non-atomic; protected by g
+	var inside atomic.Int32
+	var wg sync.WaitGroup
+	for slot := 0; slot < n; slot++ {
+		wg.Add(1)
+		go func(slot int) {
+			defer wg.Done()
+			for i := 0; i < iters; i++ {
+				g.Lock(slot)
+				if got := inside.Add(1); got != 1 {
+					t.Errorf("mutual exclusion violated: %d inside", got)
+				}
+				counter++
+				inside.Add(-1)
+				g.Unlock(slot)
+			}
+		}(slot)
+	}
+	wg.Wait()
+	if counter != int64(n*iters) {
+		t.Errorf("counter = %d, want %d", counter, n*iters)
+	}
+}
+
+func TestFilterMutualExclusion2(t *testing.T)  { exerciseGuard(t, NewFilter(2), 2, 3000) }
+func TestFilterMutualExclusion4(t *testing.T)  { exerciseGuard(t, NewFilter(4), 4, 1500) }
+func TestFilterMutualExclusion16(t *testing.T) { exerciseGuard(t, NewFilter(16), 16, 300) }
+
+func TestSpinMutualExclusion(t *testing.T)  { exerciseGuard(t, NewSpin(), 8, 2000) }
+func TestMutexMutualExclusion(t *testing.T) { exerciseGuard(t, NewMutex(), 8, 2000) }
+
+func TestFilterSingleParticipant(t *testing.T) {
+	f := NewFilter(1)
+	f.Lock(0)
+	f.Unlock(0)
+	f.Lock(0)
+	f.Unlock(0)
+	if f.N() != 1 {
+		t.Errorf("N = %d", f.N())
+	}
+}
+
+func TestFilterClampsN(t *testing.T) {
+	f := NewFilter(0)
+	if f.N() != 1 {
+		t.Errorf("N = %d, want 1", f.N())
+	}
+}
+
+func TestFilterReentryAfterUnlock(t *testing.T) {
+	f := NewFilter(3)
+	for i := 0; i < 10; i++ {
+		f.Lock(1)
+		f.Unlock(1)
+	}
+}
+
+// TestFilterProgress: a participant must eventually acquire even under
+// contention (starvation freedom is a property of the filter lock).
+func TestFilterProgress(t *testing.T) {
+	f := NewFilter(4)
+	stop := make(chan struct{})
+	for slot := 1; slot < 4; slot++ {
+		go func(slot int) {
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				f.Lock(slot)
+				f.Unlock(slot)
+			}
+		}(slot)
+	}
+	done := make(chan struct{})
+	go func() {
+		for i := 0; i < 100; i++ {
+			f.Lock(0)
+			f.Unlock(0)
+		}
+		close(done)
+	}()
+	select {
+	case <-done:
+	case <-time.After(10 * time.Second):
+		t.Fatal("participant 0 starved")
+	}
+	close(stop)
+}
+
+func benchGuard(b *testing.B, mk func(n int) Guard, n int) {
+	g := mk(n)
+	var slot atomic.Int32
+	b.RunParallel(func(pb *testing.PB) {
+		s := int(slot.Add(1)-1) % n
+		for pb.Next() {
+			g.Lock(s)
+			g.Unlock(s)
+		}
+	})
+}
+
+func BenchmarkGuardFilter4(b *testing.B) { benchGuard(b, func(n int) Guard { return NewFilter(n) }, 4) }
+func BenchmarkGuardFilter16(b *testing.B) {
+	benchGuard(b, func(n int) Guard { return NewFilter(n) }, 16)
+}
+func BenchmarkGuardSpin(b *testing.B)  { benchGuard(b, func(int) Guard { return NewSpin() }, 4) }
+func BenchmarkGuardMutex(b *testing.B) { benchGuard(b, func(int) Guard { return NewMutex() }, 4) }

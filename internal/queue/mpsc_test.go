@@ -1,0 +1,219 @@
+package queue
+
+import (
+	"sync"
+	"testing"
+)
+
+func TestPushPopSingle(t *testing.T) {
+	q := New[int]()
+	if _, ok := q.Pop(); ok {
+		t.Fatal("Pop on empty queue returned ok")
+	}
+	q.Push(1)
+	q.Push(2)
+	q.Push(3)
+	for want := 1; want <= 3; want++ {
+		v, ok := q.Pop()
+		if !ok || v != want {
+			t.Fatalf("Pop = %d,%v want %d,true", v, ok, want)
+		}
+	}
+	if _, ok := q.Pop(); ok {
+		t.Fatal("queue should be empty")
+	}
+}
+
+func TestEmptyLen(t *testing.T) {
+	q := New[string]()
+	if !q.Empty() {
+		t.Error("new queue should be empty")
+	}
+	if q.Len() != 0 {
+		t.Errorf("Len = %d, want 0", q.Len())
+	}
+	q.Push("a")
+	if q.Empty() {
+		t.Error("queue with element should not be empty")
+	}
+	if q.Len() != 1 {
+		t.Errorf("Len = %d, want 1", q.Len())
+	}
+	q.Pop()
+	if !q.Empty() || q.Len() != 0 {
+		t.Error("queue should be empty after pop")
+	}
+}
+
+func TestDrain(t *testing.T) {
+	q := New[int]()
+	for i := 0; i < 10; i++ {
+		q.Push(i)
+	}
+	var got []int
+	n := q.Drain(func(v int) { got = append(got, v) })
+	if n != 10 {
+		t.Fatalf("Drain = %d, want 10", n)
+	}
+	for i, v := range got {
+		if v != i {
+			t.Fatalf("got[%d] = %d", i, v)
+		}
+	}
+}
+
+// TestPerProducerFIFO verifies the ordering guarantee the monitor relies
+// on: events from the same producer are consumed in push order.
+func TestPerProducerFIFO(t *testing.T) {
+	type ev struct{ producer, seq int }
+	q := New[ev]()
+	const P, N = 8, 5000
+	var wg sync.WaitGroup
+	for p := 0; p < P; p++ {
+		wg.Add(1)
+		go func(p int) {
+			defer wg.Done()
+			for i := 0; i < N; i++ {
+				q.Push(ev{p, i})
+			}
+		}(p)
+	}
+
+	lastSeen := make([]int, P)
+	for i := range lastSeen {
+		lastSeen[i] = -1
+	}
+	total := 0
+	done := make(chan struct{})
+	go func() { wg.Wait(); close(done) }()
+	for total < P*N {
+		v, ok := q.Pop()
+		if !ok {
+			select {
+			case <-done:
+				// producers finished; drain whatever remains
+				if q.Empty() && total < P*N {
+					// momentary disconnection possible; retry
+					continue
+				}
+			default:
+			}
+			continue
+		}
+		if v.seq != lastSeen[v.producer]+1 {
+			t.Fatalf("producer %d: got seq %d after %d", v.producer, v.seq, lastSeen[v.producer])
+		}
+		lastSeen[v.producer] = v.seq
+		total++
+	}
+	if total != P*N {
+		t.Fatalf("consumed %d, want %d", total, P*N)
+	}
+}
+
+// TestNoLossNoDup: every pushed value is popped exactly once.
+func TestNoLossNoDup(t *testing.T) {
+	q := New[int]()
+	const P, N = 16, 2000
+	var wg sync.WaitGroup
+	for p := 0; p < P; p++ {
+		wg.Add(1)
+		go func(p int) {
+			defer wg.Done()
+			for i := 0; i < N; i++ {
+				q.Push(p*N + i)
+			}
+		}(p)
+	}
+	seen := make([]bool, P*N)
+	count := 0
+	done := make(chan struct{})
+	go func() { wg.Wait(); close(done) }()
+	finished := false
+	for {
+		v, ok := q.Pop()
+		if ok {
+			if seen[v] {
+				t.Fatalf("duplicate value %d", v)
+			}
+			seen[v] = true
+			count++
+			continue
+		}
+		if finished && q.Empty() {
+			break
+		}
+		select {
+		case <-done:
+			finished = true
+		default:
+		}
+	}
+	if count != P*N {
+		t.Fatalf("popped %d, want %d", count, P*N)
+	}
+}
+
+func TestPopReleasesValue(t *testing.T) {
+	q := New[*int]()
+	x := new(int)
+	q.Push(x)
+	v, ok := q.Pop()
+	if !ok || v != x {
+		t.Fatal("pop mismatch")
+	}
+	// The node's val must have been zeroed; we can't observe the node
+	// directly, but pushing and popping again exercises reuse paths.
+	q.Push(nil)
+	if v, ok := q.Pop(); !ok || v != nil {
+		t.Fatal("second pop mismatch")
+	}
+}
+
+func TestInterleavedPushPop(t *testing.T) {
+	q := New[int]()
+	stop := make(chan struct{})
+	var produced, consumed int
+	go func() {
+		for i := 0; ; i++ {
+			select {
+			case <-stop:
+				return
+			default:
+				q.Push(i)
+			}
+		}
+	}()
+	last := -1
+	for consumed < 10000 {
+		if v, ok := q.Pop(); ok {
+			if v != last+1 {
+				t.Fatalf("single producer FIFO violated: %d after %d", v, last)
+			}
+			last = v
+			consumed++
+		}
+	}
+	close(stop)
+	_ = produced
+}
+
+func BenchmarkPushPop(b *testing.B) {
+	q := New[int]()
+	b.RunParallel(func(pb *testing.PB) {
+		for pb.Next() {
+			q.Push(1)
+		}
+	})
+	// drain outside timing of interest; Push is the hot path
+}
+
+func BenchmarkPushDrain(b *testing.B) {
+	q := New[int]()
+	for i := 0; i < b.N; i++ {
+		q.Push(i)
+		if i%64 == 63 {
+			q.Drain(func(int) {})
+		}
+	}
+}

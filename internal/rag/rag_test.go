@@ -1,0 +1,468 @@
+package rag
+
+import (
+	"math/rand"
+	"testing"
+
+	"dimmunix/internal/event"
+	"dimmunix/internal/stack"
+)
+
+var interner = stack.NewInterner()
+
+func st(seed uint64) *stack.Interned {
+	return interner.Intern(stack.Synthetic(seed, 4))
+}
+
+func apply(g *RAG, evs ...event.Event) {
+	for _, ev := range evs {
+		g.Apply(ev)
+	}
+}
+
+func req(t int32, l uint64, s uint64) event.Event {
+	return event.Event{Kind: event.Request, TID: t, LID: l, Stack: st(s)}
+}
+func allow(t int32, l uint64, s uint64) event.Event {
+	return event.Event{Kind: event.Go, TID: t, LID: l, Stack: st(s)}
+}
+func acq(t int32, l uint64, s uint64) event.Event {
+	return event.Event{Kind: event.Acquired, TID: t, LID: l, Stack: st(s)}
+}
+func rel(t int32, l uint64) event.Event {
+	return event.Event{Kind: event.Release, TID: t, LID: l}
+}
+
+func TestNoDeadlockSimpleSequence(t *testing.T) {
+	g := New()
+	apply(g,
+		req(1, 10, 1), allow(1, 10, 1), acq(1, 10, 1),
+		req(2, 10, 2), allow(2, 10, 2),
+		rel(1, 10),
+		acq(2, 10, 2), rel(2, 10),
+	)
+	if cycles := g.Detect(); len(cycles) != 0 {
+		t.Fatalf("unexpected cycles: %v", cycles)
+	}
+	if g.NumThreads() != 2 || g.NumLocks() != 1 {
+		t.Errorf("graph shape: threads=%d locks=%d", g.NumThreads(), g.NumLocks())
+	}
+}
+
+func TestClassicTwoThreadDeadlock(t *testing.T) {
+	g := New()
+	// T1 holds A, wants B; T2 holds B, wants A.
+	apply(g,
+		req(1, 1, 11), allow(1, 1, 11), acq(1, 1, 11),
+		req(2, 2, 22), allow(2, 2, 22), acq(2, 2, 22),
+		req(1, 2, 12), allow(1, 2, 12),
+		req(2, 1, 21), allow(2, 1, 21),
+	)
+	cycles := g.Detect()
+	if len(cycles) != 1 {
+		t.Fatalf("got %d cycles, want 1: %v", len(cycles), cycles)
+	}
+	c := cycles[0]
+	if c.Starvation {
+		t.Error("expected deadlock, got starvation")
+	}
+	if len(c.Threads) != 2 || c.Threads[0] != 1 || c.Threads[1] != 2 {
+		t.Errorf("threads = %v", c.Threads)
+	}
+	if len(c.Locks) != 2 {
+		t.Errorf("locks = %v", c.Locks)
+	}
+	// Signature = the two hold-edge labels.
+	if len(c.Stacks) != 2 {
+		t.Fatalf("stacks = %d, want 2", len(c.Stacks))
+	}
+	want := map[*stack.Interned]bool{st(11): true, st(22): true}
+	for _, s := range c.Stacks {
+		if !want[s] {
+			t.Errorf("unexpected signature stack %v", s.S)
+		}
+	}
+}
+
+func TestThreeThreadDeadlock(t *testing.T) {
+	g := New()
+	// T1 holds A wants B; T2 holds B wants C; T3 holds C wants A.
+	apply(g,
+		acq(1, 1, 1), acq(2, 2, 2), acq(3, 3, 3),
+		req(1, 2, 4), allow(1, 2, 4),
+		req(2, 3, 5), allow(2, 3, 5),
+		req(3, 1, 6), allow(3, 1, 6),
+	)
+	cycles := g.Detect()
+	if len(cycles) != 1 {
+		t.Fatalf("got %d cycles: %v", len(cycles), cycles)
+	}
+	if len(cycles[0].Threads) != 3 || len(cycles[0].Stacks) != 3 {
+		t.Errorf("cycle = %v", cycles[0])
+	}
+}
+
+func TestRequestEdgeAloneFormsDeadlock(t *testing.T) {
+	// §5.2: deadlock cycles are made of hold, allow, AND request edges.
+	g := New()
+	apply(g,
+		acq(1, 1, 1), acq(2, 2, 2),
+		req(1, 2, 3), // request only, no allow yet
+		req(2, 1, 4), allow(2, 1, 4),
+	)
+	cycles := g.Detect()
+	if len(cycles) != 1 || cycles[0].Starvation {
+		t.Fatalf("cycles = %v", cycles)
+	}
+}
+
+func TestReentrantHoldIsNotDeadlock(t *testing.T) {
+	g := New()
+	apply(g,
+		acq(1, 1, 1),
+		req(1, 1, 2), // same thread re-requests its own lock (reentrant)
+	)
+	if cycles := g.Detect(); len(cycles) != 0 {
+		t.Fatalf("reentrant acquisition flagged: %v", cycles)
+	}
+}
+
+func TestReentrantReleaseCountsDown(t *testing.T) {
+	g := New()
+	apply(g, acq(1, 1, 1), acq(1, 1, 2))
+	th := g.Thread(1)
+	if n := len(th.Holds[1].Stacks); n != 2 {
+		t.Fatalf("hold multiset size = %d, want 2", n)
+	}
+	apply(g, rel(1, 1))
+	if n := len(th.Holds[1].Stacks); n != 1 {
+		t.Fatalf("after one release: %d, want 1", n)
+	}
+	if g.LockNode(1).Holder != th {
+		t.Error("lock must still be held after partial release")
+	}
+	apply(g, rel(1, 1))
+	if g.LockNode(1).Holder != nil {
+		t.Error("lock must be free after final release")
+	}
+	if _, ok := th.Holds[1]; ok {
+		t.Error("hold edge must be removed")
+	}
+}
+
+func TestHoldLabelIsFirstAcquisition(t *testing.T) {
+	g := New()
+	apply(g, acq(1, 1, 100), acq(1, 1, 200))
+	if lbl := g.Thread(1).Holds[1].Label(); lbl != st(100) {
+		t.Errorf("label = %v, want first acquisition stack", lbl)
+	}
+}
+
+func TestDeadlockDetectedOnlyOnce(t *testing.T) {
+	g := New()
+	apply(g,
+		acq(1, 1, 1), acq(2, 2, 2),
+		req(1, 2, 3), allow(1, 2, 3),
+		req(2, 1, 4), allow(2, 1, 4),
+	)
+	if n := len(g.Detect()); n != 1 {
+		t.Fatalf("first detect: %d", n)
+	}
+	// No new events: nothing is dirty, so no re-report.
+	if n := len(g.Detect()); n != 0 {
+		t.Fatalf("second detect without new events: %d cycles", n)
+	}
+}
+
+func TestCancelClearsWait(t *testing.T) {
+	g := New()
+	apply(g,
+		acq(1, 1, 1), acq(2, 2, 2),
+		req(1, 2, 3), allow(1, 2, 3),
+		req(2, 1, 4), allow(2, 1, 4),
+		event.Event{Kind: event.Cancel, TID: 2, LID: 1}, // trylock timeout rolls back
+	)
+	if cycles := g.Detect(); len(cycles) != 0 {
+		t.Fatalf("cancel should break the cycle: %v", cycles)
+	}
+}
+
+func TestThreadExitPrunes(t *testing.T) {
+	g := New()
+	apply(g, acq(1, 1, 1), req(2, 1, 2), allow(2, 1, 2))
+	apply(g, event.Event{Kind: event.ThreadExit, TID: 1})
+	if g.NumThreads() != 1 {
+		t.Errorf("threads = %d, want 1", g.NumThreads())
+	}
+	if g.LockNode(1).Holder != nil {
+		t.Error("exited thread must release holder slot")
+	}
+	if cycles := g.Detect(); len(cycles) != 0 {
+		t.Errorf("cycles after exit: %v", cycles)
+	}
+}
+
+func yieldEv(t int32, l uint64, s uint64, causes ...event.Cause) event.Event {
+	return event.Event{Kind: event.Yield, TID: t, LID: l, Stack: st(s), Causes: causes}
+}
+
+func TestSimpleYieldCycle(t *testing.T) {
+	// Figure 2's shape: T13 requests L3 but yields because T22 holds L5
+	// with stack Sx; T22 is allowed to wait for L7 held by T13 (stack Sy)
+	// => starvation, signature {Sx, Sy}.
+	g := New()
+	apply(g,
+		acq(13, 7, 70),                   // T13 holds L7 (stack Sy=70)
+		acq(22, 5, 50),                   // T22 holds L5 (stack Sx=50)
+		req(22, 7, 51), allow(22, 7, 51), // T22 allowed to wait for L7
+		yieldEv(13, 3, 71, event.Cause{TID: 22, LID: 5, Stack: st(50)}),
+	)
+	cycles := g.Detect()
+	if len(cycles) != 1 {
+		t.Fatalf("got %d cycles: %+v", len(cycles), cycles)
+	}
+	c := cycles[0]
+	if !c.Starvation {
+		t.Fatal("expected starvation cycle")
+	}
+	// Signature must be {Sx, Sy} = {yield label 50, hold label 70}.
+	if len(c.Stacks) != 2 {
+		t.Fatalf("stacks = %d, want 2", len(c.Stacks))
+	}
+	want := map[*stack.Interned]bool{st(50): true, st(70): true}
+	for _, s := range c.Stacks {
+		if !want[s] {
+			t.Errorf("unexpected stack in signature")
+		}
+	}
+}
+
+func TestYieldCircularWaitIsStarvationNotDeadlock(t *testing.T) {
+	// T13 yields on the very lock its cause holds: the resulting
+	// permanent condition must be classified as starvation (yield
+	// cycle), not as a deadlock — a yielding thread is not committed to
+	// block, it re-evaluates.
+	g := New()
+	apply(g,
+		acq(13, 7, 70),
+		acq(22, 5, 50),
+		req(22, 7, 51), allow(22, 7, 51),
+		yieldEv(13, 5, 71, event.Cause{TID: 22, LID: 5, Stack: st(50)}),
+	)
+	cycles := g.Detect()
+	if len(cycles) != 1 {
+		t.Fatalf("got %d cycles: %v", len(cycles), cycles)
+	}
+	if !cycles[0].Starvation {
+		t.Fatal("yield-induced circular wait must be starvation")
+	}
+}
+
+func TestYieldNotStarvedWhenCauseCanProgress(t *testing.T) {
+	// T1 yields because of T2, but T2 is running free (no wait): T2 can
+	// release eventually, so no starvation.
+	g := New()
+	apply(g,
+		acq(2, 5, 50),
+		yieldEv(1, 9, 10, event.Cause{TID: 2, LID: 5, Stack: st(50)}),
+	)
+	if cycles := g.Detect(); len(cycles) != 0 {
+		t.Fatalf("unexpected starvation: %v", cycles)
+	}
+}
+
+func TestYieldBindingBrokenNotStarved(t *testing.T) {
+	// T1 yields on (T2, L5) but T2 released L5; even if T2 blocks on
+	// something held by T1, the binding is broken so T1 will re-check and
+	// proceed.
+	g := New()
+	apply(g,
+		acq(1, 1, 1),
+		acq(2, 5, 50),
+		yieldEv(1, 9, 10, event.Cause{TID: 2, LID: 5, Stack: st(50)}),
+		rel(2, 5),
+		req(2, 1, 20), allow(2, 1, 20),
+	)
+	if cycles := g.Detect(); len(cycles) != 0 {
+		t.Fatalf("unexpected cycle: %v", cycles)
+	}
+}
+
+func TestFigure3Starvation(t *testing.T) {
+	// Reproduce the paper's Figure 3: T1 yields on {T2, T3}; T4 yields on
+	// {T5, T6}; T3 is allowed on L held by T4; cycles close back to T1
+	// through both T5 and T6 and through T2.
+	g := New()
+	apply(g,
+		acq(4, 100, 400), // T4 holds L
+		// T3 allowed to wait for L:
+		req(3, 100, 300), allow(3, 100, 300),
+		// T2, T5, T6 wait on locks held by T1 so the cycles close:
+		acq(1, 201, 210), acq(1, 202, 211), acq(1, 203, 212),
+		req(2, 201, 220), allow(2, 201, 220),
+		req(5, 202, 520), allow(5, 202, 520),
+		req(6, 203, 620), allow(6, 203, 620),
+		// T1 yields because of T2 and T3:
+		yieldEv(1, 900, 19,
+			event.Cause{TID: 2, LID: 201, Stack: st(220)},
+			event.Cause{TID: 3, LID: 100, Stack: st(300)}),
+		// T4 yields because of T5 and T6:
+		yieldEv(4, 901, 49,
+			event.Cause{TID: 5, LID: 202, Stack: st(520)},
+			event.Cause{TID: 6, LID: 203, Stack: st(620)}),
+	)
+	cycles := g.Detect()
+	if len(cycles) != 1 {
+		t.Fatalf("got %d cycles: %+v", len(cycles), cycles)
+	}
+	c := cycles[0]
+	if !c.Starvation {
+		t.Fatal("want starvation")
+	}
+	if len(c.Threads) != 6 {
+		t.Errorf("threads = %v, want all six", c.Threads)
+	}
+}
+
+func TestFigure3NoStarvationWithoutThirdCycle(t *testing.T) {
+	// Figure 3 discussion: without the (T1,T3,L,T4,T5,...) closure, T4
+	// could evade through T5, letting T1 evade through T3.
+	g := New()
+	apply(g,
+		acq(4, 100, 400),
+		req(3, 100, 300), allow(3, 100, 300),
+		acq(1, 201, 210), acq(1, 203, 212),
+		req(2, 201, 220), allow(2, 201, 220),
+		req(6, 203, 620), allow(6, 203, 620),
+		// T5 waits on a lock held by a FREE thread T7 (not stuck).
+		acq(7, 300, 700),
+		req(5, 300, 530), allow(5, 300, 530),
+		yieldEv(1, 900, 19,
+			event.Cause{TID: 2, LID: 201, Stack: st(220)},
+			event.Cause{TID: 3, LID: 100, Stack: st(300)}),
+		yieldEv(4, 901, 49,
+			event.Cause{TID: 5, LID: 300, Stack: st(530)},
+			event.Cause{TID: 6, LID: 203, Stack: st(620)}),
+	)
+	if cycles := g.Detect(); len(cycles) != 0 {
+		t.Fatalf("starvation misreported: %+v", cycles)
+	}
+}
+
+func TestHoldCountOf(t *testing.T) {
+	g := New()
+	apply(g, acq(1, 1, 1), acq(1, 2, 2), acq(1, 1, 3))
+	if n := g.HoldCountOf(1); n != 2 {
+		t.Errorf("HoldCountOf = %d, want 2 (reentrancy counted once)", n)
+	}
+	if n := g.HoldCountOf(99); n != 0 {
+		t.Errorf("unknown thread HoldCountOf = %d", n)
+	}
+}
+
+func TestCycleString(t *testing.T) {
+	c := &Cycle{Starvation: false, Threads: []int32{1, 2}, Locks: []uint64{7, 8}}
+	if got := c.String(); got == "" {
+		t.Error("empty String")
+	}
+	c.Starvation = true
+	if got := c.String(); got == "" {
+		t.Error("empty String for starvation")
+	}
+}
+
+// bruteForceDeadlock recomputes deadlock existence from scratch: a cycle in
+// the wait-for graph T -> holder(T.Wait).
+func bruteForceDeadlock(g *RAG) bool {
+	for id := range g.threads {
+		seen := map[int32]bool{}
+		cur := g.threads[id]
+		for cur != nil {
+			if seen[cur.ID] {
+				return true
+			}
+			seen[cur.ID] = true
+			cur = waitHolder(cur)
+		}
+	}
+	return false
+}
+
+// TestRandomSequencesAgainstBruteForce drives random (but semantically
+// valid) event sequences and cross-checks Detect against the brute-force
+// wait-for-cycle oracle.
+func TestRandomSequencesAgainstBruteForce(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for iter := 0; iter < 400; iter++ {
+		g := New()
+		const T, L = 5, 5
+		holder := [L + 1]int32{}   // lock -> thread (0 = free)
+		waiting := [T + 1]uint64{} // thread -> lock (0 = none)
+		held := [T + 1][]uint64{}
+		for step := 0; step < 40; step++ {
+			tid := int32(rng.Intn(T) + 1)
+			if waiting[tid] != 0 {
+				// Thread is blocked: maybe its lock got freed.
+				l := waiting[tid]
+				if holder[l] == 0 {
+					holder[l] = tid
+					waiting[tid] = 0
+					held[tid] = append(held[tid], l)
+					apply(g, acq(tid, l, rng.Uint64()%50))
+				}
+				continue
+			}
+			if len(held[tid]) > 0 && rng.Intn(3) == 0 {
+				l := held[tid][len(held[tid])-1]
+				held[tid] = held[tid][:len(held[tid])-1]
+				holder[l] = 0
+				apply(g, rel(tid, l))
+				continue
+			}
+			l := uint64(rng.Intn(L) + 1)
+			if holder[l] == int32(tid) {
+				continue // skip reentrancy in the oracle model
+			}
+			apply(g, req(tid, l, rng.Uint64()%50), allow(tid, l, rng.Uint64()%50))
+			if holder[l] == 0 {
+				holder[l] = tid
+				held[tid] = append(held[tid], l)
+				apply(g, acq(tid, l, rng.Uint64()%50))
+			} else {
+				waiting[tid] = l
+			}
+			cycles := g.Detect()
+			want := bruteForceDeadlock(g)
+			got := len(cycles) > 0
+			if got != want && want {
+				// Detect is seeded at dirty threads; after a detect pass
+				// consumed dirtiness a pre-existing cycle is not
+				// re-reported, so only check the direction that matters:
+				// a new cycle right after the event must be found.
+				t.Fatalf("iter %d step %d: brute force says deadlock, Detect missed it", iter, step)
+			}
+			if got && !want {
+				t.Fatalf("iter %d step %d: Detect reported spurious deadlock %v", iter, step, cycles)
+			}
+			if want {
+				break // deadlocked; this run is done
+			}
+		}
+	}
+}
+
+func BenchmarkApplyDetect(b *testing.B) {
+	g := New()
+	evs := []event.Event{
+		req(1, 1, 1), allow(1, 1, 1), acq(1, 1, 1),
+		req(1, 2, 2), allow(1, 2, 2), acq(1, 2, 2),
+		rel(1, 2), rel(1, 1),
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for _, ev := range evs {
+			g.Apply(ev)
+		}
+		g.Detect()
+	}
+}

@@ -1,0 +1,191 @@
+package rag
+
+import (
+	"math/rand"
+	"testing"
+
+	"dimmunix/internal/event"
+)
+
+// TestStarvationAgainstFixpointOracle builds random RAGs with yield edges
+// and cross-checks Detect's starvation verdict against an independent
+// brute-force implementation of the §5.2 stuckness semantics:
+//
+//   - a thread waiting on a lock is stuck iff the lock is held by a stuck
+//     thread;
+//   - a yielding thread is stuck iff ALL of its yield causes are stuck
+//     with their (cause, lock) bindings intact;
+//   - the greatest fixpoint of these rules is the starved set.
+func TestStarvationAgainstFixpointOracle(t *testing.T) {
+	rng := rand.New(rand.NewSource(99))
+	for iter := 0; iter < 500; iter++ {
+		g := New()
+		const T, L = 6, 6
+
+		type model struct {
+			holder  [L + 1]int32            // lock -> holding thread (0 free)
+			waiting [T + 1]uint64           // thread -> waited lock (0 none)
+			yields  [T + 1]map[int32]uint64 // thread -> cause thread -> bound lock
+		}
+		var m model
+		for i := range m.yields {
+			m.yields[i] = make(map[int32]uint64)
+		}
+
+		// Random holds.
+		for l := uint64(1); l <= L; l++ {
+			if rng.Intn(2) == 0 {
+				tid := int32(rng.Intn(T) + 1)
+				m.holder[l] = tid
+				g.Apply(event.Event{Kind: event.Acquired, TID: tid, LID: l, Stack: st(l)})
+			}
+		}
+		// Random waits (threads not holding the same lock).
+		for tid := int32(1); tid <= T; tid++ {
+			if rng.Intn(3) == 0 {
+				l := uint64(rng.Intn(L) + 1)
+				if m.holder[l] == tid {
+					continue
+				}
+				m.waiting[tid] = l
+				g.Apply(event.Event{Kind: event.Request, TID: tid, LID: l, Stack: st(uint64(tid))})
+				g.Apply(event.Event{Kind: event.Go, TID: tid, LID: l, Stack: st(uint64(tid))})
+			}
+		}
+		// Random yields for threads not already waiting.
+		for tid := int32(1); tid <= T; tid++ {
+			if m.waiting[tid] != 0 || rng.Intn(3) != 0 {
+				continue
+			}
+			nCauses := 1 + rng.Intn(2)
+			var causes []event.Cause
+			for c := 0; c < nCauses; c++ {
+				cause := int32(rng.Intn(T) + 1)
+				if cause == tid {
+					continue
+				}
+				// Bind to a lock the cause actually holds (intact) or a
+				// random one (possibly broken binding).
+				var lid uint64
+				if rng.Intn(2) == 0 {
+					for l := uint64(1); l <= L; l++ {
+						if m.holder[l] == cause {
+							lid = l
+							break
+						}
+					}
+				}
+				if lid == 0 {
+					lid = uint64(rng.Intn(L) + 1)
+				}
+				m.yields[tid][cause] = lid
+				causes = append(causes, event.Cause{TID: cause, LID: lid, Stack: st(lid)})
+			}
+			if len(causes) == 0 {
+				delete(m.yields[tid], tid)
+				continue
+			}
+			g.Apply(event.Event{Kind: event.Yield, TID: tid, LID: uint64(rng.Intn(L) + 1), Stack: st(uint64(tid)), Causes: causes})
+			// The Yield event resets wait state; mirror the model: the
+			// yielding thread requests its lock but is not blocked.
+		}
+
+		// Oracle: greatest fixpoint.
+		stuck := make(map[int32]bool)
+		for tid := int32(1); tid <= T; tid++ {
+			if m.waiting[tid] != 0 || len(m.yields[tid]) > 0 {
+				stuck[tid] = true
+			}
+		}
+		for changed := true; changed; {
+			changed = false
+			for tid := range stuck {
+				if len(m.yields[tid]) > 0 {
+					all := true
+					for cause, lid := range m.yields[tid] {
+						bindingIntact := m.holder[lid] == cause ||
+							(m.waiting[cause] == lid && lid != 0)
+						if !stuck[cause] || !bindingIntact {
+							all = false
+							break
+						}
+					}
+					if !all {
+						delete(stuck, tid)
+						changed = true
+					}
+					continue
+				}
+				l := m.waiting[tid]
+				h := m.holder[l]
+				if h == 0 || h == tid || !stuck[h] {
+					delete(stuck, tid)
+					changed = true
+				}
+			}
+		}
+		// Oracle starvation per §5.2's definition: a yield CYCLE — a
+		// yield edge inside a mutually-reachable (strongly connected)
+		// stuck component. A thread yielding on a deadlocked-but-
+		// unreachable-back cause is the deadlock's problem, not a yield
+		// cycle: recovery of the deadlock frees it.
+		adj := make(map[int32]map[int32]bool)
+		addEdge := func(u, v int32) {
+			if !stuck[u] || !stuck[v] {
+				return
+			}
+			if adj[u] == nil {
+				adj[u] = make(map[int32]bool)
+			}
+			adj[u][v] = true
+		}
+		for tid := range stuck {
+			for cause := range m.yields[tid] {
+				addEdge(tid, cause)
+			}
+			if l := m.waiting[tid]; l != 0 {
+				if h := m.holder[l]; h != 0 && h != tid {
+					addEdge(tid, h)
+				}
+			}
+		}
+		reach := func(from, to int32) bool {
+			seen := map[int32]bool{from: true}
+			queue := []int32{from}
+			for len(queue) > 0 {
+				u := queue[0]
+				queue = queue[1:]
+				if u == to {
+					return true
+				}
+				for v := range adj[u] {
+					if !seen[v] {
+						seen[v] = true
+						queue = append(queue, v)
+					}
+				}
+			}
+			return false
+		}
+		oracleStarved := false
+		for tid := range stuck {
+			for cause := range m.yields[tid] {
+				if stuck[cause] && reach(cause, tid) {
+					oracleStarved = true
+				}
+			}
+		}
+
+		var gotStarved bool
+		for _, c := range g.Detect() {
+			if c.Starvation {
+				gotStarved = true
+			}
+		}
+
+		if gotStarved != oracleStarved {
+			t.Fatalf("iter %d: Detect starvation=%v oracle=%v\nmodel: holder=%v waiting=%v yields=%v",
+				iter, gotStarved, oracleStarved, m.holder, m.waiting, m.yields)
+		}
+	}
+}

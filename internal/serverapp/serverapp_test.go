@@ -1,0 +1,90 @@
+package serverapp
+
+import (
+	"testing"
+	"time"
+
+	"dimmunix/internal/core"
+	"dimmunix/internal/workload"
+)
+
+func run(t *testing.T, cfg core.Config, p Profile, d time.Duration) Result {
+	t.Helper()
+	cfg.Tau = 10 * time.Millisecond
+	rt := core.MustNew(cfg)
+	defer rt.Stop()
+	s := New(rt, p)
+	return s.Run(d)
+}
+
+func smallProfile() Profile {
+	return Profile{
+		Name: "small", Workers: 8, Tables: 2, Stripes: 4,
+		OpsPerRequest: 3, WriteRatio: 0.5, Think: 200 * time.Microsecond,
+	}
+}
+
+func TestServerServesRequests(t *testing.T) {
+	res := run(t, core.Config{}, smallProfile(), 150*time.Millisecond)
+	if res.Requests == 0 {
+		t.Fatal("no requests served")
+	}
+	if res.Throughput <= 0 || res.AvgLatency <= 0 {
+		t.Errorf("metrics not computed: %+v", res)
+	}
+	if res.Yields != 0 {
+		t.Errorf("deadlock-free server yielded %d times", res.Yields)
+	}
+}
+
+func TestServerDeadlockFreeUnderAvoidanceWithHistory(t *testing.T) {
+	// With a synthesized history present, the server must still complete
+	// every request (transactions are lock-ordered, avoidance may only
+	// delay them).
+	rt := core.MustNew(core.Config{Tau: 10 * time.Millisecond})
+	defer rt.Stop()
+	s := New(rt, smallProfile())
+	s.Run(100 * time.Millisecond) // warmup populates stack interner
+	hist, err := workload.SynthesizeHistory(rt.CapturedStacks(), 16, 2, 4, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rt.History().Merge(hist)
+	res := s.Run(150 * time.Millisecond)
+	if res.Requests == 0 {
+		t.Fatal("no requests with history present")
+	}
+}
+
+func TestProfilesAreDistinct(t *testing.T) {
+	r, j := RUBiS(), JDBCBench()
+	if r.Workers <= j.Workers {
+		t.Error("RUBiS models the bigger pool")
+	}
+	if r.Name == j.Name {
+		t.Error("profiles must be named distinctly")
+	}
+}
+
+func TestTransferConservesTotal(t *testing.T) {
+	rt := core.MustNew(core.Config{Tau: 10 * time.Millisecond})
+	defer rt.Stop()
+	s := New(rt, smallProfile())
+	s.Run(150 * time.Millisecond)
+	var total int64
+	for _, tbl := range s.cells {
+		for _, v := range tbl {
+			total += v
+		}
+	}
+	if total != 0 {
+		t.Errorf("transfers must conserve the total, got %d", total)
+	}
+}
+
+func TestBaselineOffMode(t *testing.T) {
+	res := run(t, core.Config{Mode: core.ModeOff}, smallProfile(), 100*time.Millisecond)
+	if res.Requests == 0 {
+		t.Fatal("baseline server made no progress")
+	}
+}

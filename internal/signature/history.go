@@ -1,0 +1,328 @@
+package signature
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io/fs"
+	"os"
+	"path/filepath"
+	"sort"
+	"sync"
+	"sync/atomic"
+
+	"dimmunix/internal/calib"
+	"dimmunix/internal/stack"
+)
+
+// History is the persistent set of deadlock and starvation signatures
+// (§5.4: loaded from disk at startup, shared read-mostly among all
+// threads; the monitor is the only mutator of the on-disk file).
+//
+// Locking discipline: History's own mutex protects the signature *set*
+// (membership, lookup). The mutable per-signature fields (Depth, counters,
+// calibration state) are owned by the avoidance cache's guard; History
+// only reads them during Save, which callers must invoke from the monitor.
+type History struct {
+	mu      sync.RWMutex
+	path    string
+	sigs    []*Signature
+	byID    map[string]*Signature
+	version atomic.Uint64
+}
+
+// NewHistory returns an empty, unbacked history (nothing persists until
+// SetPath/SaveTo).
+func NewHistory() *History {
+	return &History{byID: make(map[string]*Signature)}
+}
+
+// Load reads a history file. A missing file yields an empty history bound
+// to path (the common first-run case).
+func Load(path string) (*History, error) {
+	h := NewHistory()
+	h.path = path
+	data, err := os.ReadFile(path)
+	if errors.Is(err, fs.ErrNotExist) {
+		return h, nil
+	}
+	if err != nil {
+		return nil, fmt.Errorf("history: %w", err)
+	}
+	if err := h.UnmarshalJSON(data); err != nil {
+		return nil, err
+	}
+	return h, nil
+}
+
+// Path returns the backing file path ("" if unbacked).
+func (h *History) Path() string {
+	h.mu.RLock()
+	defer h.mu.RUnlock()
+	return h.path
+}
+
+// SetPath rebinds the backing file.
+func (h *History) SetPath(path string) {
+	h.mu.Lock()
+	h.path = path
+	h.mu.Unlock()
+}
+
+// Version increments on every membership or persisted-state change; the
+// avoidance cache uses it to invalidate its signature match index.
+func (h *History) Version() uint64 { return h.version.Load() }
+
+// Add inserts sig if no signature with the same stack multiset exists.
+// It reports whether the signature was new. Duplicate signatures are
+// disallowed, which bounds history growth (§5.3).
+func (h *History) Add(sig *Signature) bool {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if _, dup := h.byID[sig.ID]; dup {
+		return false
+	}
+	h.sigs = append(h.sigs, sig)
+	h.byID[sig.ID] = sig
+	h.version.Add(1)
+	return true
+}
+
+// Get returns the signature with the given ID, or nil.
+func (h *History) Get(id string) *Signature {
+	h.mu.RLock()
+	defer h.mu.RUnlock()
+	return h.byID[id]
+}
+
+// Len returns the number of signatures.
+func (h *History) Len() int {
+	h.mu.RLock()
+	defer h.mu.RUnlock()
+	return len(h.sigs)
+}
+
+// Snapshot returns the signatures in insertion order. The slice is fresh;
+// the *Signature values are shared (see locking discipline above).
+func (h *History) Snapshot() []*Signature {
+	h.mu.RLock()
+	defer h.mu.RUnlock()
+	out := make([]*Signature, len(h.sigs))
+	copy(out, h.sigs)
+	return out
+}
+
+// SetDisabled flips a signature's disabled flag (§5.7's "disable the last
+// avoided signature"). It reports whether the signature exists.
+func (h *History) SetDisabled(id string, disabled bool) bool {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	s := h.byID[id]
+	if s == nil {
+		return false
+	}
+	s.Disabled = disabled
+	h.version.Add(1)
+	return true
+}
+
+// Remove deletes a signature (obsolete after an upgrade, §8). It reports
+// whether the signature existed.
+func (h *History) Remove(id string) bool {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if _, ok := h.byID[id]; !ok {
+		return false
+	}
+	delete(h.byID, id)
+	for i, s := range h.sigs {
+		if s.ID == id {
+			h.sigs = append(h.sigs[:i], h.sigs[i+1:]...)
+			break
+		}
+	}
+	h.version.Add(1)
+	return true
+}
+
+// Merge adds every signature from other that is not already present and
+// returns how many were new — the §8 "proactive distribution" path
+// (vendors shipping signatures to users).
+func (h *History) Merge(other *History) int {
+	added := 0
+	for _, s := range other.Snapshot() {
+		if h.Add(s) {
+			added++
+		}
+	}
+	return added
+}
+
+// ReplaceAll atomically swaps the signature set with the one from other —
+// the §8 "reload the history without restarting" path.
+func (h *History) ReplaceAll(other *History) {
+	snap := other.Snapshot()
+	h.mu.Lock()
+	h.sigs = make([]*Signature, len(snap))
+	copy(h.sigs, snap)
+	h.byID = make(map[string]*Signature, len(snap))
+	for _, s := range h.sigs {
+		h.byID[s.ID] = s
+	}
+	h.version.Add(1)
+	h.mu.Unlock()
+}
+
+// persisted mirrors Signature for JSON with stacks in string form.
+type persistedSig struct {
+	ID          string      `json:"id"`
+	Kind        string      `json:"kind"`
+	Stacks      []string    `json:"stacks"`
+	Depth       int         `json:"depth"`
+	Disabled    bool        `json:"disabled,omitempty"`
+	CreatedUnix int64       `json:"created_unix,omitempty"`
+	AvoidCount  uint64      `json:"avoid_count,omitempty"`
+	AbortCount  uint64      `json:"abort_count,omitempty"`
+	FPCount     uint64      `json:"fp_count,omitempty"`
+	TPCount     uint64      `json:"tp_count,omitempty"`
+	Calib       calib.State `json:"calib,omitempty"`
+}
+
+type persistedHistory struct {
+	Format     int            `json:"format"`
+	Signatures []persistedSig `json:"signatures"`
+}
+
+// MarshalJSON serializes the history.
+func (h *History) MarshalJSON() ([]byte, error) {
+	h.mu.RLock()
+	defer h.mu.RUnlock()
+	p := persistedHistory{Format: 1}
+	for _, s := range h.sigs {
+		ps := persistedSig{
+			ID:          s.ID,
+			Kind:        s.Kind.String(),
+			Depth:       s.Depth,
+			Disabled:    s.Disabled,
+			CreatedUnix: s.CreatedUnix,
+			AvoidCount:  s.AvoidCount,
+			AbortCount:  s.AbortCount,
+			FPCount:     s.FPCount,
+			TPCount:     s.TPCount,
+			Calib:       s.Calib,
+		}
+		for _, st := range s.Stacks {
+			ps.Stacks = append(ps.Stacks, st.String())
+		}
+		p.Signatures = append(p.Signatures, ps)
+	}
+	return json.MarshalIndent(p, "", "  ")
+}
+
+// UnmarshalJSON replaces the in-memory set with the serialized one.
+func (h *History) UnmarshalJSON(data []byte) error {
+	var p persistedHistory
+	if err := json.Unmarshal(data, &p); err != nil {
+		return fmt.Errorf("history: parse: %w", err)
+	}
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	h.sigs = nil
+	h.byID = make(map[string]*Signature)
+	for _, ps := range p.Signatures {
+		kind := Deadlock
+		if ps.Kind == "starvation" {
+			kind = Starvation
+		}
+		stacks := make([]stack.Stack, 0, len(ps.Stacks))
+		for _, raw := range ps.Stacks {
+			st, err := stack.Parse(raw)
+			if err != nil {
+				return fmt.Errorf("history: signature %s: %w", ps.ID, err)
+			}
+			stacks = append(stacks, st)
+		}
+		s := New(kind, stacks, ps.Depth)
+		s.Disabled = ps.Disabled
+		if ps.CreatedUnix != 0 {
+			s.CreatedUnix = ps.CreatedUnix
+		}
+		s.AvoidCount = ps.AvoidCount
+		s.AbortCount = ps.AbortCount
+		s.FPCount = ps.FPCount
+		s.TPCount = ps.TPCount
+		s.Calib = ps.Calib
+		if _, dup := h.byID[s.ID]; dup {
+			continue
+		}
+		h.sigs = append(h.sigs, s)
+		h.byID[s.ID] = s
+	}
+	h.version.Add(1)
+	return nil
+}
+
+// Save writes the history to its backing path atomically (write to a
+// temporary file in the same directory, then rename). A history without a
+// path saves nowhere and returns nil.
+func (h *History) Save() error {
+	path := h.Path()
+	if path == "" {
+		return nil
+	}
+	return h.SaveTo(path)
+}
+
+// SaveTo writes the history to path atomically.
+func (h *History) SaveTo(path string) error {
+	data, err := h.MarshalJSON()
+	if err != nil {
+		return err
+	}
+	dir := filepath.Dir(path)
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return fmt.Errorf("history: %w", err)
+	}
+	tmp, err := os.CreateTemp(dir, ".dimmunix-hist-*")
+	if err != nil {
+		return fmt.Errorf("history: %w", err)
+	}
+	tmpName := tmp.Name()
+	if _, err := tmp.Write(data); err != nil {
+		tmp.Close()
+		os.Remove(tmpName)
+		return fmt.Errorf("history: %w", err)
+	}
+	if err := tmp.Close(); err != nil {
+		os.Remove(tmpName)
+		return fmt.Errorf("history: %w", err)
+	}
+	if err := os.Rename(tmpName, path); err != nil {
+		os.Remove(tmpName)
+		return fmt.Errorf("history: %w", err)
+	}
+	return nil
+}
+
+// SizeOnDiskEstimate returns the serialized size in bytes (for the §7.4
+// resource-utilization report).
+func (h *History) SizeOnDiskEstimate() int {
+	data, err := h.MarshalJSON()
+	if err != nil {
+		return 0
+	}
+	return len(data)
+}
+
+// SortedIDs returns the signature IDs in lexical order (stable tooling
+// output).
+func (h *History) SortedIDs() []string {
+	h.mu.RLock()
+	defer h.mu.RUnlock()
+	ids := make([]string, 0, len(h.sigs))
+	for id := range h.byID {
+		ids = append(ids, id)
+	}
+	sort.Strings(ids)
+	return ids
+}

@@ -1,0 +1,134 @@
+// Package signature defines deadlock/starvation signatures and the
+// persistent history that gives programs immunity across restarts (§5.3).
+//
+// A signature is a multiset of call stacks — one per thread blocked in the
+// detected deadlock or starvation — plus a matching depth. Signatures
+// contain no thread or lock identities, which makes them portable from one
+// execution to the next.
+package signature
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"fmt"
+	"sort"
+	"time"
+
+	"dimmunix/internal/calib"
+	"dimmunix/internal/stack"
+)
+
+// Kind distinguishes deadlock signatures from induced-starvation
+// signatures. Both are avoided with the same logic (§5.2).
+type Kind uint8
+
+const (
+	// Deadlock marks a signature captured from a deadlock cycle.
+	Deadlock Kind = iota
+	// Starvation marks a signature captured from a yield cycle.
+	Starvation
+)
+
+func (k Kind) String() string {
+	if k == Starvation {
+		return "starvation"
+	}
+	return "deadlock"
+}
+
+// DefaultDepth is the fixed call-stack matching depth used when dynamic
+// calibration is off (§5.5: "4 by default").
+const DefaultDepth = 4
+
+// Signature is one archived deadlock or starvation pattern.
+type Signature struct {
+	// ID is the canonical content hash of the stack multiset; two
+	// signatures with the same stacks (in any order) get the same ID.
+	ID string
+	// Kind records what produced the signature.
+	Kind Kind
+	// Stacks is the multiset of call stacks, in canonical (sorted) order.
+	Stacks []stack.Stack
+	// Depth is the matching depth: how long an (innermost) suffix of
+	// each stack is considered during matching.
+	Depth int
+	// Disabled signatures are kept in the history but never avoided
+	// (§5.7: users may disable signatures whose avoidance suppresses
+	// functionality).
+	Disabled bool
+	// CreatedUnix is the archive time (seconds since epoch).
+	CreatedUnix int64
+
+	// AvoidCount counts avoidance actions (yields) attributed to this
+	// signature; the avoidance action log of §5.7.
+	AvoidCount uint64
+	// AbortCount counts yields aborted by the max-yield-duration bound.
+	AbortCount uint64
+	// FPCount / TPCount accumulate retrospective false/true positive
+	// verdicts (§5.5).
+	FPCount uint64
+	TPCount uint64
+
+	// Calib is the dynamic matching-depth calibration state.
+	Calib calib.State
+}
+
+// New builds a canonical signature from a stack multiset. Stacks are
+// cloned and sorted; depth <= 0 selects DefaultDepth.
+func New(kind Kind, stacks []stack.Stack, depth int) *Signature {
+	if depth <= 0 {
+		depth = DefaultDepth
+	}
+	canon := make([]stack.Stack, len(stacks))
+	for i, s := range stacks {
+		canon[i] = s.Clone()
+	}
+	sortStacks(canon)
+	return &Signature{
+		ID:          idOf(canon),
+		Kind:        kind,
+		Stacks:      canon,
+		Depth:       depth,
+		CreatedUnix: time.Now().Unix(),
+	}
+}
+
+func sortStacks(ss []stack.Stack) {
+	sort.Slice(ss, func(i, j int) bool {
+		hi, hj := ss[i].Hash(), ss[j].Hash()
+		if hi != hj {
+			return hi < hj
+		}
+		return ss[i].String() < ss[j].String()
+	})
+}
+
+func idOf(canon []stack.Stack) string {
+	h := sha256.New()
+	for _, s := range canon {
+		h.Write([]byte(s.String()))
+		h.Write([]byte{0})
+	}
+	return hex.EncodeToString(h.Sum(nil))[:16]
+}
+
+// Size returns the number of stacks (threads) in the signature.
+func (s *Signature) Size() int { return len(s.Stacks) }
+
+// String renders a short human-readable description.
+func (s *Signature) String() string {
+	return fmt.Sprintf("%s sig %s: %d stacks, depth %d", s.Kind, s.ID, len(s.Stacks), s.Depth)
+}
+
+// Equal reports whether two signatures denote the same stack multiset.
+func (s *Signature) Equal(o *Signature) bool { return s.ID == o.ID }
+
+// EffectiveDepth returns the depth matching should use right now: the
+// calibration ladder's current rung while calibrating, the chosen depth
+// otherwise.
+func (s *Signature) EffectiveDepth() int {
+	if s.Calib.Active() {
+		return s.Calib.CurrentDepth()
+	}
+	return s.Depth
+}

@@ -1,0 +1,332 @@
+package signature
+
+import (
+	"math/rand"
+	"os"
+	"path/filepath"
+	"testing"
+	"testing/quick"
+
+	"dimmunix/internal/calib"
+	"dimmunix/internal/stack"
+)
+
+func syn(seed uint64) stack.Stack { return stack.Synthetic(seed, 4) }
+
+func TestNewCanonicalOrderIndependence(t *testing.T) {
+	a, b := syn(1), syn(2)
+	s1 := New(Deadlock, []stack.Stack{a, b}, 4)
+	s2 := New(Deadlock, []stack.Stack{b, a}, 4)
+	if s1.ID != s2.ID {
+		t.Error("signature ID must be order-independent")
+	}
+	if !s1.Equal(s2) {
+		t.Error("Equal must hold for same multiset")
+	}
+}
+
+func TestNewMultisetDistinctFromSet(t *testing.T) {
+	a, b := syn(1), syn(2)
+	s1 := New(Deadlock, []stack.Stack{a, a}, 4)
+	s2 := New(Deadlock, []stack.Stack{a, b}, 4)
+	if s1.ID == s2.ID {
+		t.Error("{a,a} and {a,b} must differ")
+	}
+	s3 := New(Deadlock, []stack.Stack{a}, 4)
+	if s1.ID == s3.ID {
+		t.Error("{a,a} and {a} must differ (multiset, §5.3)")
+	}
+}
+
+func TestNewClonesInput(t *testing.T) {
+	a := syn(1)
+	s := New(Deadlock, []stack.Stack{a}, 4)
+	a[0].Line = 424242
+	if s.Stacks[0][0].Line == 424242 {
+		t.Error("New must clone stacks")
+	}
+}
+
+func TestDefaultDepth(t *testing.T) {
+	s := New(Deadlock, []stack.Stack{syn(1)}, 0)
+	if s.Depth != DefaultDepth {
+		t.Errorf("Depth = %d, want %d", s.Depth, DefaultDepth)
+	}
+	if DefaultDepth != 4 {
+		t.Errorf("paper default is 4, got %d", DefaultDepth)
+	}
+}
+
+func TestKindString(t *testing.T) {
+	if Deadlock.String() != "deadlock" || Starvation.String() != "starvation" {
+		t.Error("Kind.String mismatch")
+	}
+	s := New(Starvation, []stack.Stack{syn(1)}, 4)
+	if s.String() == "" {
+		t.Error("empty String")
+	}
+}
+
+func TestEffectiveDepth(t *testing.T) {
+	s := New(Deadlock, []stack.Stack{syn(1)}, 6)
+	if s.EffectiveDepth() != 6 {
+		t.Errorf("fixed depth: %d", s.EffectiveDepth())
+	}
+	s.Calib = calib.NewState(10, 20, 1000)
+	if s.EffectiveDepth() != 1 {
+		t.Errorf("calibrating depth: %d, want ladder rung 1", s.EffectiveDepth())
+	}
+}
+
+func TestIDOrderIndependenceProperty(t *testing.T) {
+	f := func(seedA, seedB, seedC uint64) bool {
+		stacks := []stack.Stack{syn(seedA), syn(seedB), syn(seedC)}
+		s1 := New(Deadlock, stacks, 4)
+		perm := []stack.Stack{stacks[2], stacks[0], stacks[1]}
+		s2 := New(Deadlock, perm, 4)
+		return s1.ID == s2.ID
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestHistoryAddDedup(t *testing.T) {
+	h := NewHistory()
+	s1 := New(Deadlock, []stack.Stack{syn(1), syn(2)}, 4)
+	s2 := New(Deadlock, []stack.Stack{syn(2), syn(1)}, 4)
+	if !h.Add(s1) {
+		t.Fatal("first Add must succeed")
+	}
+	if h.Add(s2) {
+		t.Fatal("duplicate multiset must be rejected")
+	}
+	if h.Len() != 1 {
+		t.Errorf("Len = %d", h.Len())
+	}
+	if h.Get(s1.ID) != s1 {
+		t.Error("Get must return the stored signature")
+	}
+	if h.Get("nope") != nil {
+		t.Error("Get unknown must be nil")
+	}
+}
+
+func TestHistoryVersionBumps(t *testing.T) {
+	h := NewHistory()
+	v0 := h.Version()
+	h.Add(New(Deadlock, []stack.Stack{syn(1)}, 4))
+	if h.Version() == v0 {
+		t.Error("Add must bump version")
+	}
+	v1 := h.Version()
+	h.SetDisabled(h.Snapshot()[0].ID, true)
+	if h.Version() == v1 {
+		t.Error("SetDisabled must bump version")
+	}
+}
+
+func TestHistoryDisableRemove(t *testing.T) {
+	h := NewHistory()
+	s := New(Deadlock, []stack.Stack{syn(1)}, 4)
+	h.Add(s)
+	if !h.SetDisabled(s.ID, true) || !s.Disabled {
+		t.Error("SetDisabled failed")
+	}
+	if h.SetDisabled("nope", true) {
+		t.Error("SetDisabled unknown should fail")
+	}
+	if !h.Remove(s.ID) || h.Len() != 0 {
+		t.Error("Remove failed")
+	}
+	if h.Remove(s.ID) {
+		t.Error("second Remove should fail")
+	}
+}
+
+func TestHistoryMerge(t *testing.T) {
+	h1, h2 := NewHistory(), NewHistory()
+	shared := New(Deadlock, []stack.Stack{syn(1)}, 4)
+	h1.Add(shared)
+	h2.Add(New(Deadlock, []stack.Stack{syn(1)}, 4)) // same multiset
+	h2.Add(New(Deadlock, []stack.Stack{syn(2)}, 4))
+	if n := h1.Merge(h2); n != 1 {
+		t.Errorf("Merge added %d, want 1", n)
+	}
+	if h1.Len() != 2 {
+		t.Errorf("Len = %d", h1.Len())
+	}
+}
+
+func TestHistoryReplaceAll(t *testing.T) {
+	h, other := NewHistory(), NewHistory()
+	h.Add(New(Deadlock, []stack.Stack{syn(1)}, 4))
+	other.Add(New(Starvation, []stack.Stack{syn(2)}, 4))
+	other.Add(New(Deadlock, []stack.Stack{syn(3)}, 4))
+	h.ReplaceAll(other)
+	if h.Len() != 2 {
+		t.Errorf("Len = %d, want 2", h.Len())
+	}
+	if h.Get(New(Deadlock, []stack.Stack{syn(1)}, 4).ID) != nil {
+		t.Error("old signature should be gone")
+	}
+}
+
+func TestHistorySaveLoadRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "hist.json")
+	h := NewHistory()
+	h.SetPath(path)
+	s1 := New(Deadlock, []stack.Stack{syn(1), syn(2)}, 4)
+	s1.AvoidCount = 42
+	s1.FPCount = 3
+	s1.Disabled = true
+	s1.Calib = calib.NewState(10, 20, 1000)
+	s2 := New(Starvation, []stack.Stack{syn(3)}, 7)
+	h.Add(s1)
+	h.Add(s2)
+	if err := h.Save(); err != nil {
+		t.Fatal(err)
+	}
+	got, err := Load(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Len() != 2 {
+		t.Fatalf("loaded %d signatures", got.Len())
+	}
+	g1 := got.Get(s1.ID)
+	if g1 == nil {
+		t.Fatal("s1 missing after load")
+	}
+	if g1.AvoidCount != 42 || g1.FPCount != 3 || !g1.Disabled || g1.Kind != Deadlock {
+		t.Errorf("fields lost: %+v", g1)
+	}
+	if !g1.Calib.Active() || g1.Calib.MaxDepth != 10 {
+		t.Errorf("calibration state lost: %+v", g1.Calib)
+	}
+	g2 := got.Get(s2.ID)
+	if g2 == nil || g2.Kind != Starvation || g2.Depth != 7 {
+		t.Errorf("s2 wrong: %+v", g2)
+	}
+	if len(g1.Stacks) != 2 || !g1.Stacks[0].Equal(s1.Stacks[0]) {
+		t.Error("stacks corrupted in round trip")
+	}
+}
+
+func TestLoadMissingFileIsEmpty(t *testing.T) {
+	h, err := Load(filepath.Join(t.TempDir(), "absent.json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h.Len() != 0 {
+		t.Errorf("Len = %d", h.Len())
+	}
+}
+
+func TestLoadCorruptFile(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "bad.json")
+	os.WriteFile(path, []byte("{not json"), 0o644)
+	if _, err := Load(path); err == nil {
+		t.Error("corrupt file must error")
+	}
+}
+
+func TestSaveWithoutPathIsNoop(t *testing.T) {
+	h := NewHistory()
+	h.Add(New(Deadlock, []stack.Stack{syn(1)}, 4))
+	if err := h.Save(); err != nil {
+		t.Errorf("unbacked Save: %v", err)
+	}
+}
+
+func TestSizeOnDiskEstimate(t *testing.T) {
+	h := NewHistory()
+	h.Add(New(Deadlock, []stack.Stack{syn(1), syn(2)}, 4))
+	n := h.SizeOnDiskEstimate()
+	// §7.4: "on the order of 200-1000 bytes per signature".
+	if n < 100 || n > 5000 {
+		t.Errorf("per-signature size %d outside plausible range", n)
+	}
+}
+
+func TestSortedIDs(t *testing.T) {
+	h := NewHistory()
+	for i := uint64(0); i < 5; i++ {
+		h.Add(New(Deadlock, []stack.Stack{syn(i)}, 4))
+	}
+	ids := h.SortedIDs()
+	if len(ids) != 5 {
+		t.Fatalf("ids = %d", len(ids))
+	}
+	for i := 1; i < len(ids); i++ {
+		if ids[i-1] >= ids[i] {
+			t.Fatal("ids not sorted")
+		}
+	}
+}
+
+func TestPersistenceRoundTripProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	dir := t.TempDir()
+	for iter := 0; iter < 20; iter++ {
+		h := NewHistory()
+		n := 1 + rng.Intn(8)
+		for i := 0; i < n; i++ {
+			k := Deadlock
+			if rng.Intn(2) == 1 {
+				k = Starvation
+			}
+			m := 1 + rng.Intn(3)
+			var ss []stack.Stack
+			for j := 0; j < m; j++ {
+				ss = append(ss, stack.Synthetic(rng.Uint64()%100, 1+rng.Intn(6)))
+			}
+			h.Add(New(k, ss, 1+rng.Intn(10)))
+		}
+		path := filepath.Join(dir, "h.json")
+		if err := h.SaveTo(path); err != nil {
+			t.Fatal(err)
+		}
+		got, err := Load(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got.Len() != h.Len() {
+			t.Fatalf("iter %d: %d vs %d sigs", iter, got.Len(), h.Len())
+		}
+		for _, s := range h.Snapshot() {
+			g := got.Get(s.ID)
+			if g == nil {
+				t.Fatalf("iter %d: signature %s lost", iter, s.ID)
+			}
+			if g.Depth != s.Depth || g.Kind != s.Kind || len(g.Stacks) != len(s.Stacks) {
+				t.Fatalf("iter %d: signature %s corrupted", iter, s.ID)
+			}
+		}
+	}
+}
+
+func TestHistoryConcurrentReaders(t *testing.T) {
+	h := NewHistory()
+	for i := uint64(0); i < 16; i++ {
+		h.Add(New(Deadlock, []stack.Stack{syn(i)}, 4))
+	}
+	done := make(chan struct{})
+	for g := 0; g < 8; g++ {
+		go func() {
+			defer func() { done <- struct{}{} }()
+			for i := 0; i < 1000; i++ {
+				_ = h.Snapshot()
+				_ = h.Len()
+				_ = h.Version()
+			}
+		}()
+	}
+	for i := uint64(16); i < 48; i++ {
+		h.Add(New(Deadlock, []stack.Stack{syn(i)}, 4))
+	}
+	for g := 0; g < 8; g++ {
+		<-done
+	}
+}

@@ -1,0 +1,159 @@
+// Package sigport ports signature histories across code revisions (§8):
+// "code locations captured in the signatures' call stacks may have shifted
+// or disappeared; static analysis can be used to map from old to new code
+// and port signatures from one revision to the next".
+//
+// The mapping is expressed as simple rules (the output such a static
+// analysis would produce):
+//
+//	rename old.Func new.Func     # a function was renamed/moved
+//	shift  some.Func 12          # lines inside a function shifted by +12
+//	file   some.Func newfile.go  # the function moved to another file
+//	drop   some.Func             # the function no longer exists
+//
+// Signatures touching a dropped function are obsolete and removed; all
+// others are rewritten frame by frame. After porting, §8 prescribes
+// re-arming calibration for all signatures, which Port does when the
+// history had calibration enabled.
+package sigport
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+
+	"dimmunix/internal/signature"
+	"dimmunix/internal/stack"
+)
+
+// Rule is one porting directive.
+type Rule struct {
+	Kind string // "rename", "shift", "file", "drop"
+	Func string
+	To   string // rename: new func; file: new file
+	N    int    // shift: line delta
+}
+
+// ParseRules reads the rule format described in the package comment.
+// Blank lines and #-comments are ignored.
+func ParseRules(r io.Reader) ([]Rule, error) {
+	var rules []Rule
+	sc := bufio.NewScanner(r)
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		fields := strings.Fields(line)
+		switch fields[0] {
+		case "rename", "file":
+			if len(fields) != 3 {
+				return nil, fmt.Errorf("sigport: line %d: %s needs 2 arguments", lineNo, fields[0])
+			}
+			rules = append(rules, Rule{Kind: fields[0], Func: fields[1], To: fields[2]})
+		case "shift":
+			if len(fields) != 3 {
+				return nil, fmt.Errorf("sigport: line %d: shift needs func and delta", lineNo)
+			}
+			n, err := strconv.Atoi(fields[2])
+			if err != nil {
+				return nil, fmt.Errorf("sigport: line %d: bad delta %q", lineNo, fields[2])
+			}
+			rules = append(rules, Rule{Kind: "shift", Func: fields[1], N: n})
+		case "drop":
+			if len(fields) != 2 {
+				return nil, fmt.Errorf("sigport: line %d: drop needs func", lineNo)
+			}
+			rules = append(rules, Rule{Kind: "drop", Func: fields[1]})
+		default:
+			return nil, fmt.Errorf("sigport: line %d: unknown rule %q", lineNo, fields[0])
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	return rules, nil
+}
+
+// Stats summarizes a port.
+type Stats struct {
+	Ported  int // signatures rewritten (or kept as-is)
+	Dropped int // signatures removed as obsolete
+	Frames  int // frames rewritten
+}
+
+// Port returns a new history with every signature rewritten under the
+// rules. Dropped-function signatures are omitted. Avoidance statistics are
+// preserved; calibration state is re-armed (§8: recalibration after every
+// upgrade).
+func Port(h *signature.History, rules []Rule) (*signature.History, Stats) {
+	var st Stats
+	out := signature.NewHistory()
+	for _, sig := range h.Snapshot() {
+		newStacks := make([]stack.Stack, 0, len(sig.Stacks))
+		obsolete := false
+		for _, s := range sig.Stacks {
+			ns := make(stack.Stack, len(s))
+			copy(ns, s)
+			for i := range ns {
+				f, dropped, changed := applyRules(ns[i], rules)
+				if dropped {
+					obsolete = true
+					break
+				}
+				if changed {
+					st.Frames++
+				}
+				ns[i] = f
+			}
+			if obsolete {
+				break
+			}
+			newStacks = append(newStacks, ns)
+		}
+		if obsolete {
+			st.Dropped++
+			continue
+		}
+		ported := signature.New(sig.Kind, newStacks, sig.Depth)
+		ported.Disabled = sig.Disabled
+		ported.AvoidCount = sig.AvoidCount
+		ported.AbortCount = sig.AbortCount
+		ported.CreatedUnix = sig.CreatedUnix
+		if sig.Calib.On {
+			ported.Calib = sig.Calib
+			ported.Calib.Rearm()
+		}
+		if out.Add(ported) {
+			st.Ported++
+		}
+	}
+	return out, st
+}
+
+func applyRules(f stack.Frame, rules []Rule) (stack.Frame, bool, bool) {
+	changed := false
+	for _, r := range rules {
+		if r.Func != f.Func {
+			continue
+		}
+		switch r.Kind {
+		case "drop":
+			return f, true, false
+		case "rename":
+			f.Func = r.To
+			changed = true
+		case "shift":
+			f.Line += r.N
+			changed = true
+		case "file":
+			f.File = r.To
+			changed = true
+		}
+	}
+	return f, false, changed
+}

@@ -1,0 +1,171 @@
+package sigport
+
+import (
+	"strings"
+	"testing"
+
+	"dimmunix/internal/calib"
+	"dimmunix/internal/signature"
+	"dimmunix/internal/stack"
+)
+
+func mkHist(t *testing.T) *signature.History {
+	t.Helper()
+	h := signature.NewHistory()
+	s1 := stack.Stack{
+		{Func: "app.lock", File: "app.go", Line: 10},
+		{Func: "app.update", File: "app.go", Line: 20},
+	}
+	s2 := stack.Stack{
+		{Func: "app.lock", File: "app.go", Line: 10},
+		{Func: "app.refresh", File: "app.go", Line: 40},
+	}
+	sig := signature.New(signature.Deadlock, []stack.Stack{s1, s2}, 4)
+	sig.AvoidCount = 7
+	h.Add(sig)
+	return h
+}
+
+func TestParseRules(t *testing.T) {
+	in := `
+# comment
+rename app.update app.updateV2
+shift  app.lock 5
+file   app.refresh core.go
+drop   app.gone
+`
+	rules, err := ParseRules(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rules) != 4 {
+		t.Fatalf("rules = %d", len(rules))
+	}
+	if rules[0].Kind != "rename" || rules[0].To != "app.updateV2" {
+		t.Errorf("rule 0 = %+v", rules[0])
+	}
+	if rules[1].N != 5 {
+		t.Errorf("shift delta = %d", rules[1].N)
+	}
+}
+
+func TestParseRulesErrors(t *testing.T) {
+	bad := []string{
+		"rename onlyone",
+		"shift app.f xx",
+		"shift app.f",
+		"drop",
+		"explode everything",
+	}
+	for _, b := range bad {
+		if _, err := ParseRules(strings.NewReader(b)); err == nil {
+			t.Errorf("ParseRules(%q): expected error", b)
+		}
+	}
+}
+
+func TestPortRename(t *testing.T) {
+	h := mkHist(t)
+	rules := []Rule{{Kind: "rename", Func: "app.update", To: "app.updateV2"}}
+	out, st := Port(h, rules)
+	if st.Ported != 1 || st.Dropped != 0 || st.Frames != 1 {
+		t.Fatalf("stats = %+v", st)
+	}
+	sig := out.Snapshot()[0]
+	found := false
+	for _, s := range sig.Stacks {
+		for _, f := range s {
+			if f.Func == "app.updateV2" {
+				found = true
+			}
+			if f.Func == "app.update" {
+				t.Error("old name survived")
+			}
+		}
+	}
+	if !found {
+		t.Error("renamed frame missing")
+	}
+	if sig.AvoidCount != 7 {
+		t.Error("statistics must be preserved")
+	}
+}
+
+func TestPortShiftChangesID(t *testing.T) {
+	h := mkHist(t)
+	oldID := h.Snapshot()[0].ID
+	out, st := Port(h, []Rule{{Kind: "shift", Func: "app.lock", N: 3}})
+	if st.Frames != 2 {
+		t.Fatalf("frames = %d, want 2 (app.lock appears in both stacks)", st.Frames)
+	}
+	newSig := out.Snapshot()[0]
+	if newSig.ID == oldID {
+		t.Error("port must produce the new revision's ID")
+	}
+	for _, s := range newSig.Stacks {
+		if s[0].Line != 13 {
+			t.Errorf("line = %d, want 13", s[0].Line)
+		}
+	}
+}
+
+func TestPortFileMove(t *testing.T) {
+	h := mkHist(t)
+	out, _ := Port(h, []Rule{{Kind: "file", Func: "app.refresh", To: "core.go"}})
+	found := false
+	for _, s := range out.Snapshot()[0].Stacks {
+		for _, f := range s {
+			if f.Func == "app.refresh" && f.File == "core.go" {
+				found = true
+			}
+		}
+	}
+	if !found {
+		t.Error("file move not applied")
+	}
+}
+
+func TestPortDropRemovesSignature(t *testing.T) {
+	h := mkHist(t)
+	out, st := Port(h, []Rule{{Kind: "drop", Func: "app.refresh"}})
+	if st.Dropped != 1 || out.Len() != 0 {
+		t.Fatalf("stats = %+v, len = %d", st, out.Len())
+	}
+}
+
+func TestPortRearmsCalibration(t *testing.T) {
+	h := mkHist(t)
+	sig := h.Snapshot()[0]
+	sig.Calib = calib.NewState(10, 20, 1000)
+	sig.Calib.RecordAvoidance()
+	out, _ := Port(h, []Rule{{Kind: "shift", Func: "app.lock", N: 1}})
+	got := out.Snapshot()[0]
+	if !got.Calib.Active() || got.Calib.Avoids[0] != 0 {
+		t.Errorf("calibration must be re-armed after an upgrade (§8): %+v", got.Calib)
+	}
+}
+
+func TestPortRulesApplyInOrder(t *testing.T) {
+	h := mkHist(t)
+	rules := []Rule{
+		{Kind: "rename", Func: "app.lock", To: "app.lockV2"},
+		{Kind: "shift", Func: "app.lockV2", N: 100}, // matches the NEW name
+	}
+	out, _ := Port(h, rules)
+	for _, s := range out.Snapshot()[0].Stacks {
+		if s[0].Func != "app.lockV2" || s[0].Line != 110 {
+			t.Errorf("ordered application failed: %+v", s[0])
+		}
+	}
+}
+
+func TestPortNoRulesIsIdentity(t *testing.T) {
+	h := mkHist(t)
+	out, st := Port(h, nil)
+	if st.Ported != 1 || st.Frames != 0 {
+		t.Fatalf("stats = %+v", st)
+	}
+	if out.Snapshot()[0].ID != h.Snapshot()[0].ID {
+		t.Error("identity port must preserve IDs")
+	}
+}

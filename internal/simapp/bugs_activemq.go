@@ -1,0 +1,144 @@
+package simapp
+
+import (
+	"time"
+
+	"dimmunix/internal/core"
+)
+
+// --- ActiveMQ 3.1 bug #336: listener creation vs message dispatch --------
+//
+// The session's dispatch loop locks the session monitor and then each
+// consumer; creating a listener locks the consumer and then the session.
+// In the paper's trial the avoided dispatch loop keeps re-entering the
+// pattern, producing ~181k yields per trial; LoopN scales that down while
+// preserving the "yields >> 1" shape.
+
+type activeMQ336 struct {
+	rt       *core.Runtime
+	session  *core.Mutex
+	consumer *core.Mutex
+	// LoopN is the number of dispatch iterations per trial.
+	LoopN      int
+	dispatched int
+}
+
+func newActiveMQ336(rt *core.Runtime) Instance {
+	return &activeMQ336{
+		rt:       rt,
+		session:  rt.NewMutexKind(core.Recursive),
+		consumer: rt.NewMutexKind(core.Recursive),
+		LoopN:    150,
+	}
+}
+
+//go:noinline
+func (a *activeMQ336) dispatch(t *core.Thread, hold time.Duration) error {
+	return nest(t, a.session, a.consumer, hold, func() { a.dispatched++ })
+}
+
+//go:noinline
+func (a *activeMQ336) createListener(t *core.Thread, hold time.Duration) error {
+	return nest(t, a.consumer, a.session, hold, nil)
+}
+
+// loopWindow is the in-critical-section work window of the loop
+// iterations: wide enough that the dispatch and listener loops keep
+// overlapping (and hence keep re-meeting the avoided pattern), narrow
+// enough to keep trials fast.
+const loopWindow = 1 * time.Millisecond
+
+func (a *activeMQ336) Exploit(hold time.Duration) []error {
+	return cross(a.rt,
+		func(t *core.Thread) error {
+			// Active dispatching: a hot loop that keeps meeting the
+			// pattern while listeners are (re)created.
+			for i := 0; i < a.LoopN; i++ {
+				h := loopWindow
+				if i == 0 {
+					h = hold // deterministic first collision
+				}
+				if err := a.dispatch(t, h); err != nil {
+					return err
+				}
+			}
+			return nil
+		},
+		func(t *core.Thread) error {
+			for i := 0; i < a.LoopN; i++ {
+				h := loopWindow
+				if i == 0 {
+					h = hold
+				}
+				if err := a.createListener(t, h); err != nil {
+					return err
+				}
+			}
+			return nil
+		},
+	)
+}
+
+// --- ActiveMQ 4.0 bug #575: Queue.dropEvent vs PrefetchSubscription.add --
+//
+// The queue's dropEvent locks the queue then the subscription; the
+// subscription's add locks the subscription then the queue. The bug has
+// three distinct patterns; like the authors, the exploit reproduces one
+// (the other two require broker-internal paths the skeleton does not
+// model).
+
+type activeMQ575 struct {
+	rt    *core.Runtime
+	queue *core.Mutex
+	sub   *core.Mutex
+	LoopN int
+	drops int
+}
+
+func newActiveMQ575(rt *core.Runtime) Instance {
+	return &activeMQ575{
+		rt:    rt,
+		queue: rt.NewMutexKind(core.Recursive),
+		sub:   rt.NewMutexKind(core.Recursive),
+		LoopN: 150,
+	}
+}
+
+//go:noinline
+func (a *activeMQ575) dropEvent(t *core.Thread, hold time.Duration) error {
+	return nest(t, a.queue, a.sub, hold, func() { a.drops++ })
+}
+
+//go:noinline
+func (a *activeMQ575) subscriptionAdd(t *core.Thread, hold time.Duration) error {
+	return nest(t, a.sub, a.queue, hold, nil)
+}
+
+func (a *activeMQ575) Exploit(hold time.Duration) []error {
+	return cross(a.rt,
+		func(t *core.Thread) error {
+			for i := 0; i < a.LoopN; i++ {
+				h := loopWindow
+				if i == 0 {
+					h = hold
+				}
+				if err := a.dropEvent(t, h); err != nil {
+					return err
+				}
+			}
+			return nil
+		},
+		func(t *core.Thread) error {
+			for i := 0; i < a.LoopN; i++ {
+				h := loopWindow
+				if i == 0 {
+					h = hold
+				}
+				if err := a.subscriptionAdd(t, h); err != nil {
+					return err
+				}
+			}
+			return nil
+		},
+	)
+}

@@ -1,0 +1,179 @@
+package simapp
+
+import (
+	"time"
+
+	"dimmunix/internal/core"
+)
+
+// --- MySQL 6.0.4 bug #37080: INSERT vs TRUNCATE -------------------------
+//
+// The server's TRUNCATE path takes LOCK_open and then the table's share
+// mutex, while a concurrent INSERT holds the share mutex and needs
+// LOCK_open to re-open the table — a two-lock inversion inside one table.
+
+type mysqlServer struct {
+	rt       *core.Runtime
+	lockOpen *core.Mutex // the global LOCK_open
+	tableMu  *core.Mutex // table share mutex
+	rows     int
+}
+
+func newMySQL(rt *core.Runtime) Instance {
+	return &mysqlServer{
+		rt:       rt,
+		lockOpen: rt.NewMutex(),
+		tableMu:  rt.NewMutex(),
+	}
+}
+
+//go:noinline
+func (m *mysqlServer) insert(t *core.Thread, hold time.Duration) error {
+	return nest(t, m.tableMu, m.lockOpen, hold, func() { m.rows++ })
+}
+
+//go:noinline
+func (m *mysqlServer) truncate(t *core.Thread, hold time.Duration) error {
+	return nest(t, m.lockOpen, m.tableMu, hold, func() { m.rows = 0 })
+}
+
+func (m *mysqlServer) Exploit(hold time.Duration) []error {
+	return cross(m.rt,
+		func(t *core.Thread) error { return m.insert(t, hold) },
+		func(t *core.Thread) error { return m.truncate(t, hold) },
+	)
+}
+
+// --- SQLite 3.3.0 bug #1672: custom recursive lock ----------------------
+//
+// SQLite's hand-rolled recursive mutex for pre-recursive-pthreads systems
+// serialized entry through a static master mutex; the enter path took
+// master -> db while the busy/unwind path held db and took master.
+
+type sqliteDB struct {
+	rt     *core.Runtime
+	master *core.Mutex // static master mutex of the recursive-lock impl
+	db     *core.Mutex // the database handle mutex
+	owner  int32
+	count  int
+}
+
+func newSQLite(rt *core.Runtime) Instance {
+	return &sqliteDB{rt: rt, master: rt.NewMutex(), db: rt.NewMutex()}
+}
+
+//go:noinline
+func (s *sqliteDB) enterRecursive(t *core.Thread, hold time.Duration) error {
+	// master -> db (the documented enter path).
+	return nest(t, s.master, s.db, hold, func() {
+		s.owner = t.ID()
+		s.count++
+	})
+}
+
+//go:noinline
+func (s *sqliteDB) busyUnwind(t *core.Thread, hold time.Duration) error {
+	// db -> master (the busy handler re-enters the lock machinery).
+	return nest(t, s.db, s.master, hold, func() {
+		s.count = 0
+		s.owner = 0
+	})
+}
+
+func (s *sqliteDB) Exploit(hold time.Duration) []error {
+	return cross(s.rt,
+		func(t *core.Thread) error { return s.enterRecursive(t, hold) },
+		func(t *core.Thread) error { return s.busyUnwind(t, hold) },
+	)
+}
+
+// --- MySQL 5.0 JDBC connector bugs ---------------------------------------
+//
+// All four Table 1 JDBC bugs share one shape: Connection methods
+// synchronize on the connection monitor and then touch a statement's
+// monitor, while Statement methods synchronize on the statement and then
+// call back into the connection. Each bug is a distinct pair of call
+// sites, hence a distinct signature.
+
+type jdbcConn struct {
+	rt   *core.Runtime
+	conn *core.Mutex // connection monitor
+	stmt *core.Mutex // statement monitor
+	open bool
+}
+
+func newJDBC(rt *core.Runtime) *jdbcConn {
+	return &jdbcConn{
+		rt:   rt,
+		conn: rt.NewMutexKind(core.Recursive),
+		stmt: rt.NewMutexKind(core.Recursive),
+		open: true,
+	}
+}
+
+// Connection.close(): conn -> stmt (closing registered statements).
+//
+//go:noinline
+func (c *jdbcConn) connClose(t *core.Thread, hold time.Duration) error {
+	return nest(t, c.conn, c.stmt, hold, func() { c.open = false })
+}
+
+// PreparedStatement.getWarnings(): stmt -> conn (bug 2147).
+//
+//go:noinline
+func (c *jdbcConn) getWarnings(t *core.Thread, hold time.Duration) error {
+	return nest(t, c.stmt, c.conn, hold, nil)
+}
+
+// Connection.prepareStatement(): conn -> stmt (bugs 14972, 17709).
+//
+//go:noinline
+func (c *jdbcConn) prepareStatement(t *core.Thread, hold time.Duration) error {
+	return nest(t, c.conn, c.stmt, hold, nil)
+}
+
+// Statement.close(): stmt -> conn (bug 14972).
+//
+//go:noinline
+func (c *jdbcConn) stmtClose(t *core.Thread, hold time.Duration) error {
+	return nest(t, c.stmt, c.conn, hold, nil)
+}
+
+// PreparedStatement.executeQuery(): stmt -> conn (bugs 31136, 17709).
+//
+//go:noinline
+func (c *jdbcConn) executeQuery(t *core.Thread, hold time.Duration) error {
+	return nest(t, c.stmt, c.conn, hold, nil)
+}
+
+type jdbcBug struct {
+	c    *jdbcConn
+	a, b func(*core.Thread, time.Duration) error
+}
+
+func (j *jdbcBug) Exploit(hold time.Duration) []error {
+	return cross(j.c.rt,
+		func(t *core.Thread) error { return j.a(t, hold) },
+		func(t *core.Thread) error { return j.b(t, hold) },
+	)
+}
+
+func newJDBC2147(rt *core.Runtime) Instance {
+	c := newJDBC(rt)
+	return &jdbcBug{c: c, a: c.getWarnings, b: c.connClose}
+}
+
+func newJDBC14972(rt *core.Runtime) Instance {
+	c := newJDBC(rt)
+	return &jdbcBug{c: c, a: c.prepareStatement, b: c.stmtClose}
+}
+
+func newJDBC31136(rt *core.Runtime) Instance {
+	c := newJDBC(rt)
+	return &jdbcBug{c: c, a: c.executeQuery, b: c.connClose}
+}
+
+func newJDBC17709(rt *core.Runtime) Instance {
+	c := newJDBC(rt)
+	return &jdbcBug{c: c, a: c.executeQuery, b: c.prepareStatement}
+}

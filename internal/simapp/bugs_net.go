@@ -1,0 +1,189 @@
+package simapp
+
+import (
+	"time"
+
+	"dimmunix/internal/core"
+)
+
+// --- HawkNL 1.6b3: nlShutdown vs nlClose ---------------------------------
+//
+// nlShutdown takes the global socket-list lock and then each socket's
+// lock; nlClose takes the socket's lock and then the list lock to
+// deregister. With ten sockets being closed concurrently with a shutdown,
+// the immunized run yields once per socket: 10 yields per trial.
+
+const hawkSockets = 10
+
+type hawkNL struct {
+	rt      *core.Runtime
+	listMu  *core.Mutex
+	sockets [hawkSockets]*core.Mutex
+	nOpen   int
+}
+
+func newHawkNL(rt *core.Runtime) Instance {
+	h := &hawkNL{rt: rt, listMu: rt.NewMutex(), nOpen: hawkSockets}
+	for i := range h.sockets {
+		h.sockets[i] = rt.NewMutex()
+	}
+	return h
+}
+
+//go:noinline
+func (h *hawkNL) nlShutdown(t *core.Thread, hold time.Duration) error {
+	if err := h.listMu.LockT(t); err != nil {
+		return err
+	}
+	time.Sleep(hold)
+	for i := 0; i < hawkSockets; i++ {
+		if err := h.lockSocketForShutdown(t, i); err != nil {
+			_ = h.listMu.UnlockT(t)
+			return err
+		}
+		h.nOpen--
+		_ = h.sockets[i].UnlockT(t)
+	}
+	_ = h.listMu.UnlockT(t)
+	return nil
+}
+
+//go:noinline
+func (h *hawkNL) lockSocketForShutdown(t *core.Thread, i int) error {
+	return h.sockets[i].LockT(t)
+}
+
+//go:noinline
+func (h *hawkNL) nlClose(t *core.Thread, i int, hold time.Duration) error {
+	return nest(t, h.sockets[i], h.listMu, hold, nil)
+}
+
+func (h *hawkNL) Exploit(hold time.Duration) []error {
+	paths := make([]func(*core.Thread) error, 0, hawkSockets+1)
+	paths = append(paths, func(t *core.Thread) error { return h.nlShutdown(t, hold) })
+	for i := 0; i < hawkSockets; i++ {
+		i := i
+		paths = append(paths, func(t *core.Thread) error {
+			// Stagger closers so each manifests the pattern.
+			time.Sleep(hold / 4)
+			return h.nlClose(t, i, hold)
+		})
+	}
+	return cross(h.rt, paths...)
+}
+
+// --- Limewire 4.17.9 bug #1449: HsqlDB TaskQueue cancel vs shutdown ------
+//
+// HsqlDB's timer TaskQueue deadlocks between task cancellation (task
+// monitor -> queue monitor) and queue shutdown (queue monitor -> task
+// monitor). The paper reports two deep patterns (depth 10): cancel is
+// reachable via two distinct call paths (the timer and the connection
+// teardown). Call chains below are artificially deep to reproduce the
+// depth-10 stacks; 15 tasks yield 15 times per immunized trial.
+
+const limeTasks = 15
+
+type limewire struct {
+	rt      *core.Runtime
+	queueMu *core.Mutex
+	taskMu  [limeTasks]*core.Mutex
+	alive   int
+}
+
+func newLimewire(rt *core.Runtime) Instance {
+	l := &limewire{rt: rt, queueMu: rt.NewMutex(), alive: limeTasks}
+	for i := range l.taskMu {
+		l.taskMu[i] = rt.NewMutex()
+	}
+	return l
+}
+
+// Deep call chains (8 frames) so captured stacks reach depth ~10.
+
+//go:noinline
+func (l *limewire) shutdown(t *core.Thread, hold time.Duration) error {
+	return l.shutdown2(t, hold)
+}
+
+//go:noinline
+func (l *limewire) shutdown2(t *core.Thread, hold time.Duration) error {
+	return l.shutdown3(t, hold)
+}
+
+//go:noinline
+func (l *limewire) shutdown3(t *core.Thread, hold time.Duration) error {
+	return l.shutdown4(t, hold)
+}
+
+//go:noinline
+func (l *limewire) shutdown4(t *core.Thread, hold time.Duration) error {
+	if err := l.queueMu.LockT(t); err != nil {
+		return err
+	}
+	time.Sleep(hold)
+	for i := 0; i < limeTasks; i++ {
+		if err := l.taskMu[i].LockT(t); err != nil {
+			_ = l.queueMu.UnlockT(t)
+			return err
+		}
+		l.alive--
+		_ = l.taskMu[i].UnlockT(t)
+	}
+	_ = l.queueMu.UnlockT(t)
+	return nil
+}
+
+//go:noinline
+func (l *limewire) cancelViaTimer(t *core.Thread, i int, hold time.Duration) error {
+	return l.cancelViaTimer2(t, i, hold)
+}
+
+//go:noinline
+func (l *limewire) cancelViaTimer2(t *core.Thread, i int, hold time.Duration) error {
+	return l.cancelViaTimer3(t, i, hold)
+}
+
+//go:noinline
+func (l *limewire) cancelViaTimer3(t *core.Thread, i int, hold time.Duration) error {
+	return l.cancelCore(t, i, hold)
+}
+
+//go:noinline
+func (l *limewire) cancelViaTeardown(t *core.Thread, i int, hold time.Duration) error {
+	return l.cancelViaTeardown2(t, i, hold)
+}
+
+//go:noinline
+func (l *limewire) cancelViaTeardown2(t *core.Thread, i int, hold time.Duration) error {
+	return l.cancelViaTeardown3(t, i, hold)
+}
+
+//go:noinline
+func (l *limewire) cancelViaTeardown3(t *core.Thread, i int, hold time.Duration) error {
+	return l.cancelCore(t, i, hold)
+}
+
+//go:noinline
+func (l *limewire) cancelCore(t *core.Thread, i int, hold time.Duration) error {
+	return nest(t, l.taskMu[i], l.queueMu, hold, nil)
+}
+
+func (l *limewire) Exploit(hold time.Duration) []error {
+	paths := make([]func(*core.Thread) error, 0, limeTasks+1)
+	paths = append(paths, func(t *core.Thread) error { return l.shutdown(t, hold) })
+	for i := 0; i < limeTasks; i++ {
+		i := i
+		if i%2 == 0 {
+			paths = append(paths, func(t *core.Thread) error {
+				time.Sleep(hold / 4)
+				return l.cancelViaTimer(t, i, hold)
+			})
+		} else {
+			paths = append(paths, func(t *core.Thread) error {
+				time.Sleep(hold / 4)
+				return l.cancelViaTeardown(t, i, hold)
+			})
+		}
+	}
+	return cross(l.rt, paths...)
+}

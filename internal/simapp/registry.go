@@ -1,0 +1,77 @@
+package simapp
+
+// Bugs returns the ten Table 1 rows in the paper's order.
+func Bugs() []Bug {
+	return []Bug{
+		{
+			System: "MySQL 6.0.4", BugID: "37080",
+			Desc:     "INSERT and TRUNCATE in two different threads",
+			Patterns: 1, ReproduciblePatterns: 1, Depth: []int{4},
+			ExpectedYields: [3]int{1, 1, 4},
+			New:            newMySQL,
+		},
+		{
+			System: "SQLite 3.3.0", BugID: "1672",
+			Desc:     "Deadlock in the custom recursive lock implementation",
+			Patterns: 1, ReproduciblePatterns: 1, Depth: []int{3},
+			ExpectedYields: [3]int{1, 1, 1},
+			New:            newSQLite,
+		},
+		{
+			System: "HawkNL 1.6b3", BugID: "n/a",
+			Desc:     "nlShutdown() called concurrently with nlClose()",
+			Patterns: 1, ReproduciblePatterns: 1, Depth: []int{2},
+			ExpectedYields: [3]int{10, 10, 10},
+			New:            newHawkNL,
+		},
+		{
+			System: "MySQL 5.0 JDBC", BugID: "2147",
+			Desc:     "PreparedStatement.getWarnings() and Connection.close()",
+			Patterns: 1, ReproduciblePatterns: 1, Depth: []int{3},
+			ExpectedYields: [3]int{1, 1, 1},
+			New:            newJDBC2147,
+		},
+		{
+			System: "MySQL 5.0 JDBC", BugID: "14972",
+			Desc:     "Connection.prepareStatement() and Statement.close()",
+			Patterns: 1, ReproduciblePatterns: 1, Depth: []int{4},
+			ExpectedYields: [3]int{1, 1, 1},
+			New:            newJDBC14972,
+		},
+		{
+			System: "MySQL 5.0 JDBC", BugID: "31136",
+			Desc:     "PreparedStatement.executeQuery() and Connection.close()",
+			Patterns: 1, ReproduciblePatterns: 1, Depth: []int{3},
+			ExpectedYields: [3]int{1, 1, 1},
+			New:            newJDBC31136,
+		},
+		{
+			System: "MySQL 5.0 JDBC", BugID: "17709",
+			Desc:     "Statement.executeQuery() and Connection.prepareStatement()",
+			Patterns: 1, ReproduciblePatterns: 1, Depth: []int{3},
+			ExpectedYields: [3]int{1, 1, 1},
+			New:            newJDBC17709,
+		},
+		{
+			System: "Limewire 4.17.9", BugID: "1449",
+			Desc:     "HsqlDB TaskQueue cancel and shutdown()",
+			Patterns: 2, ReproduciblePatterns: 2, Depth: []int{10, 10},
+			ExpectedYields: [3]int{15, 15, 15},
+			New:            newLimewire,
+		},
+		{
+			System: "ActiveMQ 3.1", BugID: "336",
+			Desc:     "Listener creation and active dispatching of messages to consumer",
+			Patterns: 1, ReproduciblePatterns: 1, Depth: []int{2},
+			ExpectedYields: [3]int{1, 181079, 221292},
+			New:            newActiveMQ336,
+		},
+		{
+			System: "ActiveMQ 4.0", BugID: "575",
+			Desc:     "Queue.dropEvent() and PrefetchSubscription.add()",
+			Patterns: 3, ReproduciblePatterns: 1, Depth: []int{2, 2, 2},
+			ExpectedYields: [3]int{11252, 80387, 113652},
+			New:            newActiveMQ575,
+		},
+	}
+}

@@ -1,0 +1,178 @@
+package simapp
+
+import (
+	"testing"
+	"time"
+
+	"dimmunix/internal/core"
+	"dimmunix/internal/monitor"
+	"dimmunix/internal/signature"
+)
+
+func newRuntime(t *testing.T) *core.Runtime {
+	t.Helper()
+	var rt *core.Runtime
+	rt = core.MustNew(core.Config{
+		Tau:      2 * time.Millisecond,
+		MaxYield: 10 * time.Second,
+		OnDeadlock: func(info monitor.DeadlockInfo) {
+			rt.AbortThreads(info.ThreadIDs...)
+		},
+	})
+	return rt
+}
+
+const hold = 50 * time.Millisecond
+
+// TestTable1AllBugs is Table 1 in miniature: every bug deadlocks when
+// first exercised, its signatures accumulate, and once all reproducible
+// patterns are archived the exploit runs clean with yields.
+func TestTable1AllBugs(t *testing.T) {
+	for _, bug := range Bugs() {
+		bug := bug
+		t.Run(bug.System+"#"+bug.BugID, func(t *testing.T) {
+			t.Parallel()
+			rt := newRuntime(t)
+			defer rt.Stop()
+			app := bug.New(rt)
+
+			// Phase 1: contract deadlocks until every reproducible
+			// pattern is archived (one deadlock begets one pattern).
+			sawDeadlock := false
+			for trial := 0; trial < bug.ReproduciblePatterns+6; trial++ {
+				errs := app.Exploit(hold)
+				if Deadlocked(errs) {
+					sawDeadlock = true
+				}
+				if rt.History().Len() >= bug.ReproduciblePatterns && Clean(errs) {
+					break
+				}
+			}
+			if !sawDeadlock {
+				t.Fatal("exploit never deadlocked")
+			}
+			if got := rt.History().Len(); got != bug.ReproduciblePatterns {
+				t.Fatalf("archived %d patterns, want %d", got, bug.ReproduciblePatterns)
+			}
+			for _, sig := range rt.History().Snapshot() {
+				if sig.Kind != signature.Deadlock {
+					t.Errorf("unexpected %v signature", sig.Kind)
+				}
+				if sig.Size() != 2 {
+					t.Errorf("signature size %d, want 2 (two-thread deadlocks)", sig.Size())
+				}
+			}
+
+			// Phase 2: immunized trials run clean and yield.
+			before := rt.Stats().Yields
+			for trial := 0; trial < 3; trial++ {
+				errs := app.Exploit(hold)
+				if !Clean(errs) {
+					t.Fatalf("immunized trial %d failed: %v", trial, errs)
+				}
+			}
+			if rt.Stats().Yields == before {
+				t.Error("immunized trials recorded no yields")
+			}
+		})
+	}
+}
+
+// TestHawkNLYieldsPerTrial checks the paper's 10-yields-per-trial shape.
+func TestHawkNLYieldsPerTrial(t *testing.T) {
+	rt := newRuntime(t)
+	defer rt.Stop()
+	var bug Bug
+	for _, b := range Bugs() {
+		if b.System == "HawkNL 1.6b3" {
+			bug = b
+		}
+	}
+	app := bug.New(rt)
+	for trial := 0; trial < 8; trial++ {
+		errs := app.Exploit(hold)
+		if rt.History().Len() >= 1 && Clean(errs) {
+			break
+		}
+	}
+	// One immunized trial: expect close to one yield per closing socket.
+	before := rt.Stats().Yields
+	errs := app.Exploit(hold)
+	if !Clean(errs) {
+		t.Fatalf("immunized trial failed: %v", errs)
+	}
+	yields := rt.Stats().Yields - before
+	if yields < 5 {
+		t.Errorf("yields per trial = %d, want ~10 (paper: 10/10/10)", yields)
+	}
+}
+
+// TestLimewireTwoPatterns checks that the two distinct cancel paths
+// produce two distinct signatures.
+func TestLimewireTwoPatterns(t *testing.T) {
+	rt := newRuntime(t)
+	defer rt.Stop()
+	var bug Bug
+	for _, b := range Bugs() {
+		if b.BugID == "1449" {
+			bug = b
+		}
+	}
+	app := bug.New(rt)
+	for trial := 0; trial < 12; trial++ {
+		errs := app.Exploit(hold)
+		if rt.History().Len() >= 2 && Clean(errs) {
+			break
+		}
+	}
+	if rt.History().Len() != 2 {
+		t.Fatalf("patterns = %d, want 2", rt.History().Len())
+	}
+}
+
+// TestActiveMQManyYields checks the "yields >> 1" shape of the dispatch
+// loop bugs.
+func TestActiveMQManyYields(t *testing.T) {
+	rt := newRuntime(t)
+	defer rt.Stop()
+	var bug Bug
+	for _, b := range Bugs() {
+		if b.BugID == "575" {
+			bug = b
+		}
+	}
+	app := bug.New(rt)
+	for trial := 0; trial < 8; trial++ {
+		errs := app.Exploit(hold)
+		if rt.History().Len() >= 1 && Clean(errs) {
+			break
+		}
+	}
+	before := rt.Stats().Yields
+	errs := app.Exploit(hold)
+	if !Clean(errs) {
+		t.Fatalf("immunized trial failed: %v", errs)
+	}
+	yields := rt.Stats().Yields - before
+	if yields < 10 {
+		t.Errorf("loop-driven bug produced %d yields; expected many", yields)
+	}
+}
+
+func TestBugRegistryShape(t *testing.T) {
+	bugs := Bugs()
+	if len(bugs) != 10 {
+		t.Fatalf("Table 1 has 10 rows, registry has %d", len(bugs))
+	}
+	for _, b := range bugs {
+		if b.System == "" || b.Desc == "" || b.New == nil {
+			t.Errorf("incomplete bug row: %+v", b)
+		}
+		if len(b.Depth) != b.Patterns {
+			t.Errorf("%s: %d depths for %d patterns", b.System, len(b.Depth), b.Patterns)
+		}
+		if b.ReproduciblePatterns > b.Patterns {
+			t.Errorf("%s: reproducible > total", b.System)
+		}
+	}
+}

@@ -1,0 +1,90 @@
+package stack
+
+import "sync"
+
+// Interned is a canonical, immutable representative of a call stack.
+// Pointer identity of *Interned implies stack equality, and ID is a dense
+// index suitable for slice-backed side tables — this is the paper's §5.6
+// "hash table mapping raw call stacks to our own call stack objects".
+type Interned struct {
+	S  Stack
+	H  uint64 // full-depth hash
+	ID uint32 // dense, assigned in interning order starting at 0
+}
+
+// Interner deduplicates stacks. It is safe for concurrent use.
+type Interner struct {
+	mu     sync.RWMutex
+	byHash map[uint64][]*Interned
+	all    []*Interned
+}
+
+// NewInterner returns an empty interner.
+func NewInterner() *Interner {
+	return &Interner{byHash: make(map[uint64][]*Interned)}
+}
+
+// Intern returns the canonical *Interned for s, creating it if needed.
+// The returned value retains s if it is new; callers must not mutate s
+// afterwards (Capture and Synthetic always return fresh slices).
+func (in *Interner) Intern(s Stack) *Interned {
+	h := s.Hash()
+	in.mu.RLock()
+	for _, c := range in.byHash[h] {
+		if c.S.Equal(s) {
+			in.mu.RUnlock()
+			return c
+		}
+	}
+	in.mu.RUnlock()
+
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	for _, c := range in.byHash[h] {
+		if c.S.Equal(s) {
+			return c
+		}
+	}
+	c := &Interned{S: s, H: h, ID: uint32(len(in.all))}
+	in.byHash[h] = append(in.byHash[h], c)
+	in.all = append(in.all, c)
+	return c
+}
+
+// Len returns the number of distinct stacks interned so far.
+func (in *Interner) Len() int {
+	in.mu.RLock()
+	defer in.mu.RUnlock()
+	return len(in.all)
+}
+
+// ByID returns the interned stack with the given dense ID, or nil.
+func (in *Interner) ByID(id uint32) *Interned {
+	in.mu.RLock()
+	defer in.mu.RUnlock()
+	if int(id) >= len(in.all) {
+		return nil
+	}
+	return in.all[id]
+}
+
+// Snapshot returns a copy of the list of all interned stacks, in ID order.
+func (in *Interner) Snapshot() []*Interned {
+	in.mu.RLock()
+	defer in.mu.RUnlock()
+	out := make([]*Interned, len(in.all))
+	copy(out, in.all)
+	return out
+}
+
+// Range calls fn for every interned stack in ID order, stopping early if fn
+// returns false. fn must not call back into the interner.
+func (in *Interner) Range(fn func(*Interned) bool) {
+	in.mu.RLock()
+	defer in.mu.RUnlock()
+	for _, c := range in.all {
+		if !fn(c) {
+			return
+		}
+	}
+}

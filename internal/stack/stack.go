@@ -1,0 +1,244 @@
+// Package stack provides the call-stack substrate for Dimmunix.
+//
+// Dimmunix signatures are multisets of call stacks (§5.3 of the paper).
+// Stacks must be portable across executions, so frames are normalized to
+// function name plus file:line — the Go analog of the pthreads port's
+// "byte offset relative to the beginning of the binary".
+//
+// Frame order convention: index 0 is the innermost frame (the frame that
+// called lock()); higher indices are callers. The paper's "matching depth"
+// is the length of the innermost suffix considered during matching, so
+// depth d compares frames [0..d).
+package stack
+
+import (
+	"errors"
+	"fmt"
+	"runtime"
+	"strconv"
+	"strings"
+)
+
+// Frame is one normalized call-stack frame.
+type Frame struct {
+	Func string // fully qualified function name
+	File string // base file name (not the absolute path, for portability)
+	Line int
+}
+
+// String renders the frame in the canonical "func@file:line" form used in
+// persisted signatures.
+func (f Frame) String() string {
+	return f.Func + "@" + f.File + ":" + strconv.Itoa(f.Line)
+}
+
+// ParseFrame parses the canonical "func@file:line" form.
+func ParseFrame(s string) (Frame, error) {
+	at := strings.LastIndexByte(s, '@')
+	if at < 0 {
+		return Frame{}, fmt.Errorf("stack: frame %q missing '@'", s)
+	}
+	colon := strings.LastIndexByte(s, ':')
+	if colon < at {
+		return Frame{}, fmt.Errorf("stack: frame %q missing ':line'", s)
+	}
+	line, err := strconv.Atoi(s[colon+1:])
+	if err != nil {
+		return Frame{}, fmt.Errorf("stack: frame %q bad line: %v", s, err)
+	}
+	return Frame{Func: s[:at], File: s[at+1 : colon], Line: line}, nil
+}
+
+// Stack is a call stack; Stack[0] is the innermost frame.
+type Stack []Frame
+
+// MaxCaptureDepth bounds how many frames Capture records. Signatures only
+// ever need the deepest configured matching depth, plus slack for
+// calibration to explore deeper rungs.
+const MaxCaptureDepth = 32
+
+// Capture records the current goroutine's call stack, skipping skip frames
+// on top of Capture itself (skip=0 means the caller of Capture is the
+// innermost frame). At most max frames are recorded; max <= 0 means
+// MaxCaptureDepth.
+func Capture(skip, max int) Stack {
+	if max <= 0 || max > MaxCaptureDepth {
+		max = MaxCaptureDepth
+	}
+	var pcs [MaxCaptureDepth + 2]uintptr
+	// +2: skip runtime.Callers and Capture itself.
+	n := runtime.Callers(skip+2, pcs[:max])
+	if n == 0 {
+		return nil
+	}
+	frames := runtime.CallersFrames(pcs[:n])
+	s := make(Stack, 0, n)
+	for {
+		fr, more := frames.Next()
+		if fr.Function != "" {
+			s = append(s, Frame{
+				Func: fr.Function,
+				File: baseName(fr.File),
+				Line: fr.Line,
+			})
+		}
+		if !more || len(s) >= max {
+			break
+		}
+	}
+	return s
+}
+
+func baseName(path string) string {
+	if i := strings.LastIndexByte(path, '/'); i >= 0 {
+		return path[i+1:]
+	}
+	return path
+}
+
+// Clone returns a deep copy of s.
+func (s Stack) Clone() Stack {
+	if s == nil {
+		return nil
+	}
+	c := make(Stack, len(s))
+	copy(c, s)
+	return c
+}
+
+// Suffix returns the innermost depth frames of s (all of s if depth exceeds
+// its length, s itself if depth <= 0).
+func (s Stack) Suffix(depth int) Stack {
+	if depth <= 0 || depth >= len(s) {
+		return s
+	}
+	return s[:depth]
+}
+
+// Equal reports whether two stacks have identical frames.
+func (s Stack) Equal(o Stack) bool {
+	if len(s) != len(o) {
+		return false
+	}
+	for i := range s {
+		if s[i] != o[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// MatchesAtDepth reports whether the innermost depth frames of s and o are
+// identical. A depth <= 0 compares complete stacks. Following the paper's
+// matching rule, if either stack is shorter than depth the comparison falls
+// back to the full common prefix: both stacks must then have equal length.
+func (s Stack) MatchesAtDepth(o Stack, depth int) bool {
+	if depth <= 0 {
+		return s.Equal(o)
+	}
+	if len(s) < depth || len(o) < depth {
+		return s.Equal(o)
+	}
+	for i := 0; i < depth; i++ {
+		if s[i] != o[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// FNV-1a constants.
+const (
+	fnvOffset = 14695981039346656037
+	fnvPrime  = 1099511628211
+)
+
+func hashString(h uint64, s string) uint64 {
+	for i := 0; i < len(s); i++ {
+		h ^= uint64(s[i])
+		h *= fnvPrime
+	}
+	return h
+}
+
+func hashFrame(h uint64, f Frame) uint64 {
+	h = hashString(h, f.Func)
+	h ^= '@'
+	h *= fnvPrime
+	h = hashString(h, f.File)
+	h ^= uint64(f.Line)
+	h *= fnvPrime
+	return h
+}
+
+// Hash returns the FNV-1a hash of the full stack.
+func (s Stack) Hash() uint64 { return s.HashAtDepth(0) }
+
+// HashAtDepth hashes the innermost depth frames (full stack if depth <= 0
+// or depth >= len(s)).
+func (s Stack) HashAtDepth(depth int) uint64 {
+	if depth <= 0 || depth > len(s) {
+		depth = len(s)
+	}
+	h := uint64(fnvOffset)
+	for i := 0; i < depth; i++ {
+		h = hashFrame(h, s[i])
+	}
+	return h
+}
+
+// String renders the stack as "f0@file:1 < f1@file:2 < ...", innermost
+// first, matching the persisted form.
+func (s Stack) String() string {
+	var b strings.Builder
+	for i, f := range s {
+		if i > 0 {
+			b.WriteString(" < ")
+		}
+		b.WriteString(f.String())
+	}
+	return b.String()
+}
+
+// Parse parses the String form back into a Stack.
+func Parse(s string) (Stack, error) {
+	s = strings.TrimSpace(s)
+	if s == "" {
+		return nil, errors.New("stack: empty stack string")
+	}
+	parts := strings.Split(s, " < ")
+	out := make(Stack, 0, len(parts))
+	for _, p := range parts {
+		f, err := ParseFrame(strings.TrimSpace(p))
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, f)
+	}
+	return out, nil
+}
+
+// Synthetic builds a deterministic synthetic stack of the given depth from
+// an integer seed. The workload generator (§7.2.2) uses this to simulate
+// programs whose threads "call multiple functions ... chosen randomly, thus
+// generating a uniformly distributed selection of call stacks" when stacks
+// must be constructed rather than captured (e.g. for synthesized history
+// signatures).
+func Synthetic(seed uint64, depth int) Stack {
+	if depth <= 0 {
+		depth = 1
+	}
+	s := make(Stack, depth)
+	x := seed*2862933555777941757 + 3037000493
+	for i := 0; i < depth; i++ {
+		x ^= x >> 29
+		x *= 0xbf58476d1ce4e5b9
+		x ^= x >> 32
+		s[i] = Frame{
+			Func: "synthetic.fn" + strconv.FormatUint(x%977, 10),
+			File: "synthetic.go",
+			Line: int(x % 4096),
+		}
+	}
+	return s
+}

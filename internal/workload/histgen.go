@@ -1,0 +1,40 @@
+package workload
+
+import (
+	"fmt"
+	"math/rand"
+
+	"dimmunix/internal/signature"
+	"dimmunix/internal/stack"
+)
+
+// SynthesizeHistory builds a history of h signatures, each combining s
+// randomly chosen stacks from the given population — §7.2.1's method:
+// "we synthesized additional ones as random combinations of real program
+// stacks with which the target system performs synchronization. From the
+// point of view of avoidance overhead, synthesized signatures have the
+// same effect as real ones." The population usually comes from
+// Runtime.CapturedStacks after a Warmup.
+func SynthesizeHistory(population []stack.Stack, h, s, depth int, seed int64) (*signature.History, error) {
+	if len(population) == 0 {
+		return nil, fmt.Errorf("workload: empty stack population")
+	}
+	if s <= 0 {
+		s = 2
+	}
+	rng := rand.New(rand.NewSource(seed))
+	hist := signature.NewHistory()
+	attempts := 0
+	for hist.Len() < h {
+		attempts++
+		if attempts > h*100+1000 {
+			return nil, fmt.Errorf("workload: could not synthesize %d distinct signatures from %d stacks", h, len(population))
+		}
+		stacks := make([]stack.Stack, s)
+		for i := range stacks {
+			stacks[i] = population[rng.Intn(len(population))]
+		}
+		hist.Add(signature.New(signature.Deadlock, stacks, depth))
+	}
+	return hist, nil
+}
