@@ -101,7 +101,7 @@ func BenchmarkTable2_VectorImmunizedRun(b *testing.B) {
 // internals here: a local two-vector addAll exploit in the same shape.
 func collectionsVectorRunner(rt *dimmunix.Runtime) func(hold time.Duration) {
 	a, bm := rt.NewMutexKind(dimmunix.Recursive), rt.NewMutexKind(dimmunix.Recursive)
-	addAll := func(t *dimmunix.Thread, first, second *dimmunix.Mutex, hold time.Duration) {
+	addAll := func(t *dimmunix.Thread, first, second *dimmunix.CoreMutex, hold time.Duration) {
 		if first.LockT(t) != nil {
 			return
 		}
@@ -144,7 +144,7 @@ func fig4Request(b *testing.B, mode dimmunix.Mode, h int) {
 	rt := newRT(b, dimmunix.Config{Mode: mode})
 	// A single-worker slice of the server loop: 6 ops per request over
 	// striped locks.
-	locks := make([]*dimmunix.Mutex, 16)
+	locks := make([]*dimmunix.CoreMutex, 16)
 	for i := range locks {
 		locks[i] = rt.NewMutex()
 	}
@@ -317,4 +317,47 @@ func BenchmarkAblationThreadIDImplicit(b *testing.B) {
 
 func BenchmarkAblationCalibrationOn(b *testing.B) {
 	lockOpBench(b, dimmunix.Config{Calibrate: true}, 64)
+}
+
+// --- Drop-in surface ------------------------------------------------------
+// The zero-value path = implicit thread identity + one facade indirection
+// over the explicit LockT fast path measured above.
+
+func initDefaultBench(b *testing.B) {
+	b.Helper()
+	_ = dimmunix.Shutdown()
+	if err := dimmunix.Init(dimmunix.WithTau(50 * time.Millisecond)); err != nil {
+		b.Fatal(err)
+	}
+	b.Cleanup(func() { dimmunix.Shutdown() })
+}
+
+func BenchmarkDropInMutex(b *testing.B) {
+	initDefaultBench(b)
+	var mu dimmunix.Mutex
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		mu.Lock()
+		mu.Unlock()
+	}
+}
+
+func BenchmarkDropInRWMutexWrite(b *testing.B) {
+	initDefaultBench(b)
+	var rw dimmunix.RWMutex
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		rw.Lock()
+		rw.Unlock()
+	}
+}
+
+func BenchmarkDropInRWMutexRead(b *testing.B) {
+	initDefaultBench(b)
+	var rw dimmunix.RWMutex
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		rw.RLock()
+		rw.RUnlock()
+	}
 }

@@ -1,10 +1,14 @@
 // Command dimmunix-demo shows deadlock immunity end to end: "run 1"
 // contracts the §4 two-lock deadlock, which the monitor detects, archives,
 // and recovers from; "run 2" replays the same program against the saved
-// history and Dimmunix steers it around the pattern.
+// history and Dimmunix steers it around the pattern. The program under
+// test uses zero-value dimmunix.Mutex values and the process-wide default
+// runtime (re-initialized per run via Init/Shutdown), the same drop-in
+// surface an application would use in place of sync.Mutex.
 package main
 
 import (
+	"context"
 	"fmt"
 	"os"
 	"path/filepath"
@@ -15,61 +19,60 @@ import (
 )
 
 //go:noinline
-func updateAB(t *dimmunix.Thread, a, b *dimmunix.Mutex, hold time.Duration) error {
-	if err := a.LockT(t); err != nil {
+func updateAB(a, b *dimmunix.Mutex, hold time.Duration) error {
+	if err := a.LockCtx(context.Background()); err != nil {
 		return err
 	}
 	time.Sleep(hold)
-	if err := b.LockT(t); err != nil {
-		_ = a.UnlockT(t)
+	if err := b.LockCtx(context.Background()); err != nil {
+		a.Unlock()
 		return err
 	}
-	_ = b.UnlockT(t)
-	_ = a.UnlockT(t)
+	b.Unlock()
+	a.Unlock()
 	return nil
 }
 
 //go:noinline
-func updateBA(t *dimmunix.Thread, a, b *dimmunix.Mutex, hold time.Duration) error {
-	if err := b.LockT(t); err != nil {
+func updateBA(a, b *dimmunix.Mutex, hold time.Duration) error {
+	if err := b.LockCtx(context.Background()); err != nil {
 		return err
 	}
 	time.Sleep(hold)
-	if err := a.LockT(t); err != nil {
-		_ = b.UnlockT(t)
+	if err := a.LockCtx(context.Background()); err != nil {
+		b.Unlock()
 		return err
 	}
-	_ = a.UnlockT(t)
-	_ = b.UnlockT(t)
+	a.Unlock()
+	b.Unlock()
 	return nil
 }
 
 func run(histPath string, label string) {
-	var rt *dimmunix.Runtime
-	rt = dimmunix.MustNew(dimmunix.Config{
-		HistoryPath: histPath,
-		Tau:         5 * time.Millisecond,
-		MatchDepth:  2,
-		OnDeadlock: func(info dimmunix.DeadlockInfo) {
+	if err := dimmunix.Init(
+		dimmunix.WithHistory(histPath),
+		dimmunix.WithTau(5*time.Millisecond),
+		dimmunix.WithMatchDepth(2),
+		dimmunix.WithAbortRecovery(),
+		dimmunix.WithRecovery(func(info dimmunix.DeadlockInfo) {
 			fmt.Printf("  [monitor] deadlock detected (threads %v) -> signature %s archived, recovering\n",
 				info.ThreadIDs, info.Sig.ID)
-			rt.AbortThreads(info.ThreadIDs...)
-		},
-	})
-	defer rt.Stop()
+		}),
+	); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	defer dimmunix.Shutdown()
 
+	rt := dimmunix.Default()
 	fmt.Printf("%s: history has %d signature(s)\n", label, rt.History().Len())
-	a, b := rt.NewMutex(), rt.NewMutex()
-	t1 := rt.RegisterThread("T1")
-	t2 := rt.RegisterThread("T2")
-	defer t1.Close()
-	defer t2.Close()
+	var a, b dimmunix.Mutex
 
 	var wg sync.WaitGroup
 	wg.Add(2)
 	var err1, err2 error
-	go func() { defer wg.Done(); err1 = updateAB(t1, a, b, 50*time.Millisecond) }()
-	go func() { defer wg.Done(); err2 = updateBA(t2, a, b, 50*time.Millisecond) }()
+	go func() { defer wg.Done(); err1 = updateAB(&a, &b, 50*time.Millisecond) }()
+	go func() { defer wg.Done(); err2 = updateBA(&a, &b, 50*time.Millisecond) }()
 	wg.Wait()
 
 	stats := rt.Stats()

@@ -11,22 +11,51 @@
 //
 // # Quick start
 //
-//	rt := dimmunix.MustNew(dimmunix.Config{HistoryPath: "dimmunix-history.json"})
+// Mutex and RWMutex are drop-in replacements for their sync counterparts:
+// the zero value is ready to use and binds itself to a process-wide
+// default Runtime on first Lock.
+//
+//	var mu dimmunix.Mutex // instead of sync.Mutex
+//
+//	mu.Lock()
+//	defer mu.Unlock()
+//
+// The default Runtime starts lazily with configuration taken from
+// DIMMUNIX_* environment variables (DIMMUNIX_HISTORY, DIMMUNIX_TAU, ...),
+// or explicitly via Init with functional options:
+//
+//	dimmunix.Init(
+//		dimmunix.WithHistory("dimmunix-history.json"),
+//		dimmunix.WithAbortRecovery(),
+//	)
+//	defer dimmunix.Shutdown()
+//
+// Deadlock recovery is orthogonal to immunity (§3 of the paper): with
+// WithAbortRecovery, detected deadlock victims are unwound (the
+// in-process analog of a restart) and blocked LockCtx calls return
+// ErrDeadlockRecovered; either way, the next run is immune. Use LockCtx
+// on paths that want to observe cancellation, deadline, or recovery as an
+// error instead of a panic.
+//
+// # Explicit runtimes
+//
+// The original explicit surface remains for tests, tools, and programs
+// that need several isolated instances: construct a Runtime with
+// NewRuntime (options) or New (a Config), create locks with
+// Runtime.NewMutex / NewRWMutex (returning *CoreMutex / *CoreRWMutex),
+// and optionally pin per-goroutine identity with Runtime.RegisterThread
+// for the fastest path:
+//
+//	rt := dimmunix.MustNew(dimmunix.Config{HistoryPath: "hist.json"})
 //	defer rt.Stop()
+//	m := rt.NewMutex()
+//	th := rt.RegisterThread("worker")
+//	if err := m.LockT(th); err != nil { ... }
+//	defer m.UnlockT(th)
 //
-//	a, b := rt.NewMutex(), rt.NewMutex()
-//	th := rt.RegisterThread("worker") // or use the implicit API: a.Lock()
-//	if err := a.LockT(th); err != nil { ... }
-//	defer a.UnlockT(th)
-//
-// Deadlock recovery is orthogonal to immunity (§3 of the paper): install
-// Config.OnDeadlock and call Runtime.AbortThreads to unwind the victims
-// (the in-process analog of a restart), or restart the process; either
-// way, the next run is immune.
-//
-// The implementation and every experiment from the paper's evaluation live
-// under internal/; see DESIGN.md for the system inventory and
-// EXPERIMENTS.md for paper-vs-measured results.
+// The implementation and every experiment from the paper's evaluation
+// live under internal/; see README.md for the repository map, the option
+// table, and migration notes from the explicit API.
 package dimmunix
 
 import (
@@ -43,8 +72,13 @@ type (
 	Runtime = core.Runtime
 	// Config configures a Runtime.
 	Config = core.Config
-	// Mutex is the instrumented mutex.
-	Mutex = core.Mutex
+	// CoreMutex is the explicit-runtime instrumented mutex returned by
+	// Runtime.NewMutex — the original fast-path surface underneath the
+	// drop-in Mutex.
+	CoreMutex = core.Mutex
+	// CoreRWMutex is the explicit-runtime reader/writer mutex returned
+	// by Runtime.NewRWMutex, underneath the drop-in RWMutex.
+	CoreRWMutex = core.RWMutex
 	// Thread is an explicit per-goroutine handle (fast path).
 	Thread = core.Thread
 	// MutexKind selects normal/recursive/error-checking semantics.
@@ -65,7 +99,7 @@ type (
 	Signature = signature.Signature
 	// Stats is a snapshot of the avoidance counters.
 	Stats = avoidance.Snapshot
-	// Cond is a condition variable bound to a Mutex.
+	// Cond is a condition variable bound to a CoreMutex.
 	Cond = core.Cond
 )
 
@@ -105,7 +139,7 @@ var (
 	ErrNotOwner          = core.ErrNotOwner
 )
 
-// New creates and starts a Runtime.
+// New creates and starts a Runtime from an explicit Config.
 func New(cfg Config) (*Runtime, error) { return core.New(cfg) }
 
 // MustNew is New that panics on error.

@@ -21,12 +21,12 @@ func apiConfig() dimmunix.Config {
 }
 
 //go:noinline
-func apiLockFirst(t *dimmunix.Thread, m *dimmunix.Mutex) error { return m.LockT(t) }
+func apiLockFirst(t *dimmunix.Thread, m *dimmunix.CoreMutex) error { return m.LockT(t) }
 
 //go:noinline
-func apiLockSecond(t *dimmunix.Thread, m *dimmunix.Mutex) error { return m.LockT(t) }
+func apiLockSecond(t *dimmunix.Thread, m *dimmunix.CoreMutex) error { return m.LockT(t) }
 
-func apiDeadlock(rt *dimmunix.Runtime, a, b *dimmunix.Mutex) (error, error) {
+func apiDeadlock(rt *dimmunix.Runtime, a, b *dimmunix.CoreMutex) (error, error) {
 	t1 := rt.RegisterThread("T1")
 	t2 := rt.RegisterThread("T2")
 	defer t1.Close()

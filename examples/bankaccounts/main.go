@@ -1,14 +1,18 @@
 // Bank accounts: unordered two-lock transfers — the classic deadlock that
 // the paper's §4 pseudocode distills. A pool of tellers moves money
 // between accounts, locking source before destination (no global order).
-// Dimmunix lets the system contract each deadlock pattern once, then keeps
-// it running; the recovery hook retries failed transfers after unwinding,
-// so no transfer is lost (totals are checked at the end).
+// The account lock is a zero-value dimmunix.Mutex embedded by value,
+// exactly as sync.Mutex would be — drop-in immunity, no Runtime plumbing.
+// Dimmunix lets the system contract each deadlock pattern once, then
+// keeps it running; the abort-recovery policy retries failed transfers
+// after unwinding, so no transfer is lost (totals are checked at the
+// end).
 //
 //	go run ./examples/bankaccounts
 package main
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"math/rand"
@@ -20,12 +24,11 @@ import (
 )
 
 type account struct {
-	mu      *dimmunix.Mutex
+	mu      dimmunix.Mutex // zero value, like sync.Mutex
 	balance int64
 }
 
 type bank struct {
-	rt       *dimmunix.Runtime
 	accounts []*account
 	retries  atomic.Uint64
 	done     atomic.Uint64
@@ -34,25 +37,23 @@ type bank struct {
 // transfer locks src then dst — deliberately unordered.
 //
 //go:noinline
-func (bk *bank) transfer(t *dimmunix.Thread, src, dst *account, amount int64) error {
-	if err := src.mu.LockT(t); err != nil {
+func (bk *bank) transfer(src, dst *account, amount int64) error {
+	if err := src.mu.LockCtx(context.Background()); err != nil {
 		return err
 	}
 	time.Sleep(200 * time.Microsecond) // audit work while holding src
-	if err := dst.mu.LockT(t); err != nil {
-		_ = src.mu.UnlockT(t)
+	if err := dst.mu.LockCtx(context.Background()); err != nil {
+		src.mu.Unlock()
 		return err
 	}
 	src.balance -= amount
 	dst.balance += amount
-	_ = dst.mu.UnlockT(t)
-	_ = src.mu.UnlockT(t)
+	dst.mu.Unlock()
+	src.mu.Unlock()
 	return nil
 }
 
 func (bk *bank) teller(id int, transfers int) {
-	t := bk.rt.RegisterThread(fmt.Sprintf("teller-%d", id))
-	defer t.Close()
 	rng := rand.New(rand.NewSource(int64(id)))
 	for i := 0; i < transfers; i++ {
 		src := bk.accounts[rng.Intn(len(bk.accounts))]
@@ -61,7 +62,7 @@ func (bk *bank) teller(id int, transfers int) {
 			continue
 		}
 		for {
-			err := bk.transfer(t, src, dst, 1)
+			err := bk.transfer(src, dst, 1)
 			if err == nil {
 				bk.done.Add(1)
 				break
@@ -78,21 +79,20 @@ func (bk *bank) teller(id int, transfers int) {
 }
 
 func main() {
-	var rt *dimmunix.Runtime
-	rt = dimmunix.MustNew(dimmunix.Config{
-		Tau:        5 * time.Millisecond,
-		MatchDepth: 2,
-		OnDeadlock: func(info dimmunix.DeadlockInfo) {
-			rt.AbortThreads(info.ThreadIDs...)
-		},
-	})
-	defer rt.Stop()
+	if err := dimmunix.Init(
+		dimmunix.WithTau(5*time.Millisecond),
+		dimmunix.WithMatchDepth(2),
+		dimmunix.WithAbortRecovery(),
+	); err != nil {
+		panic(err)
+	}
+	defer dimmunix.Shutdown()
 
 	const nAccounts, nTellers, nTransfers = 8, 6, 300
-	bk := &bank{rt: rt}
+	bk := &bank{}
 	var total int64
 	for i := 0; i < nAccounts; i++ {
-		bk.accounts = append(bk.accounts, &account{mu: rt.NewMutex(), balance: 1000})
+		bk.accounts = append(bk.accounts, &account{balance: 1000})
 		total += 1000
 	}
 
@@ -108,6 +108,7 @@ func main() {
 	for _, a := range bk.accounts {
 		sum += a.balance
 	}
+	rt := dimmunix.Default()
 	stats := rt.Stats()
 	fmt.Printf("transfers completed: %d (retried after recovery: %d)\n", bk.done.Load(), bk.retries.Load())
 	fmt.Printf("deadlock patterns learned: %d, yields: %d, elapsed: %s\n",

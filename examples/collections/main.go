@@ -3,13 +3,17 @@
 // Synchronized containers let callers nest monitors without knowing it:
 // v1.AddAll(v2) concurrent with v2.AddAll(v1) deadlocks inside the
 // library even though neither caller has a logic bug. This example builds
-// two synchronized vectors on Dimmunix mutexes, walks into the deadlock
+// two synchronized vectors on zero-value dimmunix.RWMutex values —
+// methods write-lock the receiver, snapshot read-locks the argument, so
+// the deadlock runs through a reader-held edge, the scenario class the
+// original paper never covered. The program walks into the deadlock
 // once, and then keeps hammering AddAll from both sides — immunized.
 //
 //	go run ./examples/collections
 package main
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"sync"
@@ -18,42 +22,38 @@ import (
 	"dimmunix"
 )
 
-// syncVector is a miniature java.util.Vector: every method locks the
-// receiver; AddAll additionally locks the argument.
+// syncVector is a miniature java.util.Vector: mutating methods
+// write-lock the receiver; AddAll additionally read-locks the argument.
 type syncVector struct {
-	mu    *dimmunix.Mutex
+	mu    dimmunix.RWMutex // zero value, like sync.RWMutex
 	items []int
 }
 
-func newSyncVector(rt *dimmunix.Runtime) *syncVector {
-	return &syncVector{mu: rt.NewMutexKind(dimmunix.Recursive)}
-}
-
-func (v *syncVector) Add(t *dimmunix.Thread, x int) error {
-	if err := v.mu.LockT(t); err != nil {
+func (v *syncVector) Add(x int) error {
+	if err := v.mu.LockCtx(context.Background()); err != nil {
 		return err
 	}
-	defer v.mu.UnlockT(t)
+	defer v.mu.Unlock()
 	v.items = append(v.items, x)
 	return nil
 }
 
-func (v *syncVector) snapshot(t *dimmunix.Thread) ([]int, error) {
-	if err := v.mu.LockT(t); err != nil {
+func (v *syncVector) snapshot() ([]int, error) {
+	if err := v.mu.RLockCtx(context.Background()); err != nil {
 		return nil, err
 	}
-	defer v.mu.UnlockT(t)
+	defer v.mu.RUnlock()
 	return append([]int(nil), v.items...), nil
 }
 
 //go:noinline
-func (v *syncVector) AddAll(t *dimmunix.Thread, other *syncVector) error {
-	if err := v.mu.LockT(t); err != nil {
+func (v *syncVector) AddAll(other *syncVector) error {
+	if err := v.mu.LockCtx(context.Background()); err != nil {
 		return err
 	}
-	defer v.mu.UnlockT(t)
+	defer v.mu.Unlock()
 	time.Sleep(10 * time.Millisecond) // the interleaving window
-	items, err := other.snapshot(t)
+	items, err := other.snapshot()
 	if err != nil {
 		return err
 	}
@@ -62,22 +62,21 @@ func (v *syncVector) AddAll(t *dimmunix.Thread, other *syncVector) error {
 }
 
 func main() {
-	var rt *dimmunix.Runtime
-	rt = dimmunix.MustNew(dimmunix.Config{
-		Tau:        5 * time.Millisecond,
-		MatchDepth: 1, // library-level pattern: match the AddAll lock site
-		OnDeadlock: func(info dimmunix.DeadlockInfo) {
+	if err := dimmunix.Init(
+		dimmunix.WithTau(5*time.Millisecond),
+		dimmunix.WithMatchDepth(1), // library-level pattern: match the AddAll lock site
+		dimmunix.WithAbortRecovery(),
+		dimmunix.WithRecovery(func(dimmunix.DeadlockInfo) {
 			fmt.Println("deadlocked inside the container library; signature archived")
-			rt.AbortThreads(info.ThreadIDs...)
-		},
-	})
-	defer rt.Stop()
+		}),
+	); err != nil {
+		panic(err)
+	}
+	defer dimmunix.Shutdown()
 
-	v1, v2 := newSyncVector(rt), newSyncVector(rt)
-	seed := rt.RegisterThread("seed")
-	_ = v1.Add(seed, 1)
-	_ = v2.Add(seed, 2)
-	seed.Close()
+	v1, v2 := &syncVector{}, &syncVector{}
+	_ = v1.Add(1)
+	_ = v2.Add(2)
 
 	for round := 1; round <= 5; round++ {
 		var wg sync.WaitGroup
@@ -85,20 +84,17 @@ func main() {
 		wg.Add(2)
 		go func() {
 			defer wg.Done()
-			t := rt.RegisterThread("w1")
-			defer t.Close()
-			errs[0] = v1.AddAll(t, v2)
+			errs[0] = v1.AddAll(v2)
 		}()
 		go func() {
 			defer wg.Done()
-			t := rt.RegisterThread("w2")
-			defer t.Close()
-			errs[1] = v2.AddAll(t, v1)
+			errs[1] = v2.AddAll(v1)
 		}()
 		wg.Wait()
 		switch {
 		case errs[0] == nil && errs[1] == nil:
-			fmt.Printf("round %d: both AddAll calls completed (yields: %d)\n", round, rt.Stats().Yields)
+			fmt.Printf("round %d: both AddAll calls completed (yields: %d)\n",
+				round, dimmunix.Default().Stats().Yields)
 		case errors.Is(errs[0], dimmunix.ErrDeadlockRecovered) || errors.Is(errs[1], dimmunix.ErrDeadlockRecovered):
 			fmt.Printf("round %d: deadlock contracted and recovered — immune from now on\n", round)
 		default:

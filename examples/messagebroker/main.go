@@ -2,16 +2,18 @@
 // Table 1 (bugs 336/575) under sustained load.
 //
 // A dispatcher loop locks the session monitor then each consumer; clients
-// (un)subscribe by locking the consumer then the session. The first
-// collision deadlocks and is archived; after that the dispatcher keeps
-// meeting — and avoiding — the pattern on every conflicting interleaving,
-// exactly the "many yields per trial" behaviour the paper reports for
-// ActiveMQ.
+// (un)subscribe by locking the consumer then the session. Both locks are
+// zero-value dimmunix.Mutex fields — drop-in, no Runtime plumbing. The
+// first collision deadlocks and is archived; after that the dispatcher
+// keeps meeting — and avoiding — the pattern on every conflicting
+// interleaving, exactly the "many yields per trial" behaviour the paper
+// reports for ActiveMQ.
 //
 //	go run ./examples/messagebroker
 package main
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"sync"
@@ -22,69 +24,67 @@ import (
 )
 
 type broker struct {
-	rt        *dimmunix.Runtime
-	session   *dimmunix.Mutex
-	consumer  *dimmunix.Mutex
+	session   dimmunix.Mutex
+	consumer  dimmunix.Mutex
 	delivered atomic.Uint64
 	resubs    atomic.Uint64
 }
 
 //go:noinline
-func (b *broker) dispatch(t *dimmunix.Thread) error {
-	if err := b.session.LockT(t); err != nil {
+func (b *broker) dispatch() error {
+	if err := b.session.LockCtx(context.Background()); err != nil {
 		return err
 	}
 	time.Sleep(500 * time.Microsecond) // select messages for delivery
-	if err := b.consumer.LockT(t); err != nil {
-		_ = b.session.UnlockT(t)
+	if err := b.consumer.LockCtx(context.Background()); err != nil {
+		b.session.Unlock()
 		return err
 	}
 	b.delivered.Add(1)
-	_ = b.consumer.UnlockT(t)
-	_ = b.session.UnlockT(t)
+	b.consumer.Unlock()
+	b.session.Unlock()
 	return nil
 }
 
 //go:noinline
-func (b *broker) resubscribe(t *dimmunix.Thread) error {
-	if err := b.consumer.LockT(t); err != nil {
+func (b *broker) resubscribe() error {
+	if err := b.consumer.LockCtx(context.Background()); err != nil {
 		return err
 	}
 	time.Sleep(500 * time.Microsecond) // rebuild the listener
-	if err := b.session.LockT(t); err != nil {
-		_ = b.consumer.UnlockT(t)
+	if err := b.session.LockCtx(context.Background()); err != nil {
+		b.consumer.Unlock()
 		return err
 	}
 	b.resubs.Add(1)
-	_ = b.session.UnlockT(t)
-	_ = b.consumer.UnlockT(t)
+	b.session.Unlock()
+	b.consumer.Unlock()
 	return nil
 }
 
 func main() {
-	var rt *dimmunix.Runtime
-	rt = dimmunix.MustNew(dimmunix.Config{
-		Tau:        5 * time.Millisecond,
-		MatchDepth: 2,
-		OnDeadlock: func(info dimmunix.DeadlockInfo) {
+	if err := dimmunix.Init(
+		dimmunix.WithTau(5*time.Millisecond),
+		dimmunix.WithMatchDepth(2),
+		dimmunix.WithAbortRecovery(),
+		dimmunix.WithRecovery(func(dimmunix.DeadlockInfo) {
 			fmt.Println("broker deadlocked (dispatch vs resubscribe); recovering + immunizing")
-			rt.AbortThreads(info.ThreadIDs...)
-		},
-	})
-	defer rt.Stop()
+		}),
+	); err != nil {
+		panic(err)
+	}
+	defer dimmunix.Shutdown()
 
-	b := &broker{rt: rt, session: rt.NewMutex(), consumer: rt.NewMutex()}
+	b := &broker{}
 	const rounds = 400
 	var wg sync.WaitGroup
 	wg.Add(2)
 	start := time.Now()
 	go func() {
 		defer wg.Done()
-		t := rt.RegisterThread("dispatcher")
-		defer t.Close()
 		for i := 0; i < rounds; i++ {
 			for {
-				err := b.dispatch(t)
+				err := b.dispatch()
 				if err == nil {
 					break
 				}
@@ -98,11 +98,9 @@ func main() {
 	}()
 	go func() {
 		defer wg.Done()
-		t := rt.RegisterThread("subscriber")
-		defer t.Close()
 		for i := 0; i < rounds; i++ {
 			for {
-				err := b.resubscribe(t)
+				err := b.resubscribe()
 				if err == nil {
 					break
 				}
@@ -116,6 +114,7 @@ func main() {
 	}()
 	wg.Wait()
 
+	rt := dimmunix.Default()
 	stats := rt.Stats()
 	fmt.Printf("delivered %d messages, %d resubscriptions in %s\n",
 		b.delivered.Load(), b.resubs.Load(), time.Since(start).Round(time.Millisecond))

@@ -1,68 +1,74 @@
 // Quickstart: the smallest useful Dimmunix program.
 //
 // Two goroutines take two locks in opposite orders — the §4 example from
-// the paper. The first encounter deadlocks; the monitor detects it,
-// archives its signature, and the recovery hook unwinds the victims. Every
-// later encounter (in this process or, thanks to the history file, in any
-// later run) is steered around the pattern.
+// the paper. The mutexes are plain zero values, exactly where sync.Mutex
+// would sit; no Runtime is plumbed anywhere. The first encounter
+// deadlocks; the monitor detects it, archives its signature, and the
+// abort-recovery policy unwinds the victims. Every later encounter (in
+// this process or, thanks to the history file, in any later run) is
+// steered around the pattern.
 //
 //	go run ./examples/quickstart
 package main
 
 import (
+	"context"
 	"fmt"
 	"time"
 
 	"dimmunix"
 )
 
+// The locks sit exactly where sync.Mutex would: zero values, no setup.
+var a, b dimmunix.Mutex
+
 //go:noinline
-func update(t *dimmunix.Thread, first, second *dimmunix.Mutex) error {
-	if err := first.LockT(t); err != nil {
+func update(first, second *dimmunix.Mutex) error {
+	// LockCtx is the recovery-aware acquisition: when the monitor unwinds
+	// a deadlock victim, it returns ErrDeadlockRecovered instead of
+	// panicking like the sync-shaped Lock.
+	if err := first.LockCtx(context.Background()); err != nil {
 		return err
 	}
-	defer first.UnlockT(t)
+	defer first.Unlock()
 	time.Sleep(30 * time.Millisecond) // the timing window that exposes the bug
-	if err := second.LockT(t); err != nil {
+	if err := second.LockCtx(context.Background()); err != nil {
 		return err
 	}
-	defer second.UnlockT(t)
+	defer second.Unlock()
 	return nil
 }
 
-func attempt(rt *dimmunix.Runtime, a, b *dimmunix.Mutex) (error, error) {
-	t1 := rt.RegisterThread("T1")
-	t2 := rt.RegisterThread("T2")
-	defer t1.Close()
-	defer t2.Close()
+func attempt() (error, error) {
 	done1, done2 := make(chan error, 1), make(chan error, 1)
-	go func() { done1 <- update(t1, a, b) }() // update(A, B)
-	go func() { done2 <- update(t2, b, a) }() // update(B, A)
+	go func() { done1 <- update(&a, &b) }() // update(A, B)
+	go func() { done2 <- update(&b, &a) }() // update(B, A)
 	return <-done1, <-done2
 }
 
 func main() {
-	var rt *dimmunix.Runtime
-	rt = dimmunix.MustNew(dimmunix.Config{
-		HistoryPath: "quickstart-history.json",
-		Tau:         5 * time.Millisecond,
-		MatchDepth:  2,
-		OnDeadlock: func(info dimmunix.DeadlockInfo) {
+	if err := dimmunix.Init(
+		dimmunix.WithHistory("quickstart-history.json"),
+		dimmunix.WithTau(5*time.Millisecond),
+		dimmunix.WithMatchDepth(2),
+		dimmunix.WithAbortRecovery(),
+		dimmunix.WithRecovery(func(info dimmunix.DeadlockInfo) {
 			fmt.Printf("deadlock detected; signature %s archived; recovering\n", info.Sig.ID)
-			rt.AbortThreads(info.ThreadIDs...)
-		},
-	})
-	defer rt.Stop()
+		}),
+	); err != nil {
+		panic(err)
+	}
+	defer dimmunix.Shutdown()
 
-	a, b := rt.NewMutex(), rt.NewMutex()
 	for attemptNo := 1; attemptNo <= 3; attemptNo++ {
-		err1, err2 := attempt(rt, a, b)
+		err1, err2 := attempt()
 		switch {
 		case err1 == nil && err2 == nil:
-			fmt.Printf("attempt %d: completed (yields so far: %d)\n", attemptNo, rt.Stats().Yields)
+			fmt.Printf("attempt %d: completed (yields so far: %d)\n", attemptNo, dimmunix.Default().Stats().Yields)
 		default:
 			fmt.Printf("attempt %d: unwound (%v / %v) — now immune\n", attemptNo, err1, err2)
 		}
 	}
-	fmt.Printf("history: %d signature(s) persisted to quickstart-history.json\n", rt.History().Len())
+	fmt.Printf("history: %d signature(s) persisted to quickstart-history.json\n",
+		dimmunix.Default().History().Len())
 }

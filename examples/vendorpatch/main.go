@@ -9,12 +9,16 @@
 // This example plays both sides: the VENDOR's test lab contracts the
 // deadlock once and exports the signature; the CUSTOMER site merges the
 // vendor's signature file into its (empty) local history *before ever
-// hitting the bug* — and never deadlocks at all.
+// hitting the bug* — and never deadlocks at all. The "product" uses
+// zero-value dimmunix.Mutex fields, so both phases run the same
+// unmodified product code against different default-runtime histories
+// (Init ... Shutdown ... Init).
 //
 //	go run ./examples/vendorpatch
 package main
 
 import (
+	"context"
 	"fmt"
 	"os"
 	"path/filepath"
@@ -28,56 +32,62 @@ import (
 // opposite orders (the MySQL-JDBC family of Table 1 bugs).
 
 type product struct {
-	conn *dimmunix.Mutex
-	stmt *dimmunix.Mutex
+	conn dimmunix.Mutex
+	stmt dimmunix.Mutex
 }
 
 //go:noinline
-func (p *product) execute(t *dimmunix.Thread, window time.Duration) error {
-	if err := p.stmt.LockT(t); err != nil {
+func (p *product) execute(window time.Duration) error {
+	if err := p.stmt.LockCtx(context.Background()); err != nil {
 		return err
 	}
 	time.Sleep(window)
-	if err := p.conn.LockT(t); err != nil {
-		_ = p.stmt.UnlockT(t)
+	if err := p.conn.LockCtx(context.Background()); err != nil {
+		p.stmt.Unlock()
 		return err
 	}
-	_ = p.conn.UnlockT(t)
-	_ = p.stmt.UnlockT(t)
+	p.conn.Unlock()
+	p.stmt.Unlock()
 	return nil
 }
 
 //go:noinline
-func (p *product) closeConn(t *dimmunix.Thread, window time.Duration) error {
-	if err := p.conn.LockT(t); err != nil {
+func (p *product) closeConn(window time.Duration) error {
+	if err := p.conn.LockCtx(context.Background()); err != nil {
 		return err
 	}
 	time.Sleep(window)
-	if err := p.stmt.LockT(t); err != nil {
-		_ = p.conn.UnlockT(t)
+	if err := p.stmt.LockCtx(context.Background()); err != nil {
+		p.conn.Unlock()
 		return err
 	}
-	_ = p.stmt.UnlockT(t)
-	_ = p.conn.UnlockT(t)
+	p.stmt.Unlock()
+	p.conn.Unlock()
 	return nil
 }
 
-func exercise(rt *dimmunix.Runtime, window time.Duration) (error, error) {
-	p := &product{
-		conn: rt.NewMutexKind(dimmunix.Recursive),
-		stmt: rt.NewMutexKind(dimmunix.Recursive),
-	}
-	t1 := rt.RegisterThread("app-1")
-	t2 := rt.RegisterThread("app-2")
-	defer t1.Close()
-	defer t2.Close()
+func exercise(window time.Duration) (error, error) {
+	p := &product{} // fresh zero-value locks bind to the current runtime
 	var wg sync.WaitGroup
 	var e1, e2 error
 	wg.Add(2)
-	go func() { defer wg.Done(); e1 = p.execute(t1, window) }()
-	go func() { defer wg.Done(); e2 = p.closeConn(t2, window) }()
+	go func() { defer wg.Done(); e1 = p.execute(window) }()
+	go func() { defer wg.Done(); e2 = p.closeConn(window) }()
 	wg.Wait()
 	return e1, e2
+}
+
+func initRuntime(histPath string, onDeadlock func(dimmunix.DeadlockInfo)) {
+	if err := dimmunix.Init(
+		dimmunix.WithHistory(histPath),
+		dimmunix.WithTau(5*time.Millisecond),
+		dimmunix.WithMatchDepth(2),
+		dimmunix.WithAbortRecovery(),
+		dimmunix.WithRecovery(onDeadlock),
+	); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
 }
 
 func main() {
@@ -92,19 +102,13 @@ func main() {
 
 	// --- Vendor test lab: contract the bug once, export the signature.
 	fmt.Println("=== vendor lab: reproducing the reported deadlock ===")
-	{
-		var rt *dimmunix.Runtime
-		rt = dimmunix.MustNew(dimmunix.Config{
-			HistoryPath: vendorFile,
-			Tau:         5 * time.Millisecond,
-			MatchDepth:  2,
-			OnDeadlock: func(info dimmunix.DeadlockInfo) {
-				fmt.Printf("  lab: captured signature %s\n", info.Sig.ID)
-				rt.AbortThreads(info.ThreadIDs...)
-			},
-		})
-		exercise(rt, 50*time.Millisecond)
-		rt.Stop()
+	initRuntime(vendorFile, func(info dimmunix.DeadlockInfo) {
+		fmt.Printf("  lab: captured signature %s\n", info.Sig.ID)
+	})
+	exercise(50 * time.Millisecond)
+	if err := dimmunix.Shutdown(); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
 	}
 
 	// --- Customer site: merge the vendor file BEFORE first use.
@@ -126,23 +130,16 @@ func main() {
 	}
 	fmt.Printf("  merged %d vendor signature(s) into the local history\n", added)
 
-	var rt *dimmunix.Runtime
-	rt = dimmunix.MustNew(dimmunix.Config{
-		HistoryPath: customerFile,
-		Tau:         5 * time.Millisecond,
-		MatchDepth:  2,
-		OnDeadlock: func(info dimmunix.DeadlockInfo) {
-			fmt.Println("  customer: DEADLOCK (the patch failed!)")
-			rt.AbortThreads(info.ThreadIDs...)
-		},
+	initRuntime(customerFile, func(dimmunix.DeadlockInfo) {
+		fmt.Println("  customer: DEADLOCK (the patch failed!)")
 	})
-	defer rt.Stop()
+	defer dimmunix.Shutdown()
 
 	for i := 1; i <= 3; i++ {
-		e1, e2 := exercise(rt, 50*time.Millisecond)
+		e1, e2 := exercise(50 * time.Millisecond)
 		if e1 == nil && e2 == nil {
 			fmt.Printf("  customer run %d: completed, never deadlocked (yields: %d)\n",
-				i, rt.Stats().Yields)
+				i, dimmunix.Default().Stats().Yields)
 		} else {
 			fmt.Printf("  customer run %d: %v / %v\n", i, e1, e2)
 		}

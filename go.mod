@@ -1,0 +1,3 @@
+module dimmunix
+
+go 1.24

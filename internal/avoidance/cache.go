@@ -342,6 +342,31 @@ func (c *Cache) Acquired(t *ThreadState, l *LockState) {
 	c.emit(event.Event{Kind: event.Acquired, TID: t.ID, LID: l.ID, Stack: in})
 }
 
+// AcquiredShared converts t's outstanding allow edge on l into a shared
+// ("reader-held") hold edge: the entry joins the Allowed sets like any
+// hold — so reader call sites participate in signature instances — but
+// exclusive ownership is not recorded, since any number of threads may
+// hold l shared simultaneously. Used by the RWMutex reader path.
+func (c *Cache) AcquiredShared(t *ThreadState, l *LockState) {
+	c.stats.Acquired.Add(1)
+	c.stats.SharedAcquired.Add(1)
+	if c.cfg.Mode == ModeInstrument {
+		c.emit(event.Event{Kind: event.Acquired, TID: t.ID, LID: l.ID})
+		return
+	}
+	c.guard.Lock(t.Slot)
+	e := t.pendingAllow
+	var in *stack.Interned
+	if e != nil && e.l == l {
+		e.held = true
+		t.pendingAllow = nil
+		t.holds = append(t.holds, e)
+		in = e.st
+	}
+	c.guard.Unlock(t.Slot)
+	c.emit(event.Event{Kind: event.Acquired, TID: t.ID, LID: l.ID, Stack: in})
+}
+
 // ReentrantAcquired records a reentrant acquisition (no decision needed:
 // the thread already owns the lock, so it cannot block).
 func (c *Cache) ReentrantAcquired(t *ThreadState, l *LockState, in *stack.Interned) {

@@ -16,12 +16,15 @@ type Stats struct {
 	Ignored   atomic.Uint64 // yields suppressed by ignore-decisions mode
 	ProbeFPs  atomic.Uint64 // yields that fail the probe-depth re-match (§7.3)
 	Reentries atomic.Uint64 // reentrant acquisitions (no decision needed)
+
+	SharedAcquired atomic.Uint64 // shared (reader) acquisitions, also counted in Acquired
 }
 
 // Snapshot is a plain-value copy of Stats.
 type Snapshot struct {
 	Requests, Gos, Yields, Acquired, Releases, Cancels uint64
 	ForcedGos, Aborts, Ignored, ProbeFPs, Reentries    uint64
+	SharedAcquired                                     uint64
 }
 
 // Snapshot returns a consistent-enough point-in-time copy.
@@ -38,5 +41,7 @@ func (s *Stats) Snapshot() Snapshot {
 		Ignored:   s.Ignored.Load(),
 		ProbeFPs:  s.ProbeFPs.Load(),
 		Reentries: s.Reentries.Load(),
+
+		SharedAcquired: s.SharedAcquired.Load(),
 	}
 }

@@ -1,7 +1,13 @@
 package core
 
-import "dimmunix/internal/avoidance"
+import (
+	"dimmunix/internal/avoidance"
+	"dimmunix/internal/stack"
+)
 
 // avoidanceLockState keeps the avoidance type out of the public method
 // signatures while letting Mutex embed it by reference.
 type avoidanceLockState = avoidance.LockState
+
+// stackInterned likewise keeps the stack type out of internal signatures.
+type stackInterned = stack.Interned

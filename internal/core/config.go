@@ -105,6 +105,12 @@ type Config struct {
 	// StackDepth is the number of frames captured per lock operation
 	// (default 16; must be at least MatchDepth and the calibration max).
 	StackDepth int
+	// RecoverAborts arms the built-in recovery policy: when a deadlock is
+	// detected (and its signature archived), the involved threads' lock
+	// waits are aborted so their Lock calls return ErrDeadlockRecovered —
+	// the in-process analog of the paper's restart-based recovery (§3).
+	// OnDeadlock, if also set, still runs after the aborts are issued.
+	RecoverAborts bool
 	// OnDeadlock is the §3 recovery hook, called after the signature is
 	// archived. Runs on the monitor goroutine.
 	OnDeadlock func(monitor.DeadlockInfo)

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"errors"
 	"sync/atomic"
 	"time"
@@ -104,21 +105,14 @@ func (m *Mutex) MustUnlock() {
 // LockT acquires the mutex on behalf of t, running the full §5.4
 // avoidance protocol: request -> (yield)* -> go -> block -> acquired.
 func (m *Mutex) LockT(t *Thread) error {
-	return m.lockT(t, 0, false)
+	return m.lockT(t, 0, false, nil)
 }
 
 // TryLockT attempts the lock without blocking. A YIELD decision counts as
 // failure (the thread may not enter the dangerous pattern), mirroring
 // pthread_mutex_trylock + the §6 cancel event.
 func (m *Mutex) TryLockT(t *Thread) (bool, error) {
-	err := m.lockT(t, 0, true)
-	if err == nil {
-		return true, nil
-	}
-	if errors.Is(err, errWouldBlock) {
-		return false, nil
-	}
-	return false, err
+	return tryResult(m.lockT(t, 0, true, nil))
 }
 
 // LockTimeoutT acquires with a deadline, like pthread_mutex_timedlock.
@@ -126,13 +120,45 @@ func (m *Mutex) LockTimeoutT(t *Thread, d time.Duration) error {
 	if d <= 0 {
 		return ErrTimeout
 	}
-	return m.lockT(t, d, false)
+	return m.lockT(t, d, false, nil)
+}
+
+// LockCtx acquires the mutex on behalf of the calling goroutine, giving
+// up when ctx is canceled or its deadline passes (the error is then
+// ctx.Err()). A context cancellation rolls the request back with the same
+// §6 cancel event as a timeout.
+func (m *Mutex) LockCtx(ctx context.Context) error {
+	return m.LockCtxT(m.rt.CurrentThread(), ctx)
+}
+
+// LockCtxT is LockCtx on behalf of an explicit thread handle.
+func (m *Mutex) LockCtxT(t *Thread, ctx context.Context) error {
+	return withCtx(ctx, func(done <-chan struct{}) error {
+		return m.lockT(t, 0, false, done)
+	})
+}
+
+// withCtx runs acquire with ctx's done channel, translating the internal
+// errCtxDone sentinel into ctx.Err(). Shared by every *CtxT entry point.
+func withCtx(ctx context.Context, acquire func(done <-chan struct{}) error) error {
+	if err := ctx.Err(); err != nil {
+		return err
+	}
+	err := acquire(ctx.Done())
+	if errors.Is(err, errCtxDone) {
+		return ctx.Err()
+	}
+	return err
 }
 
 // errWouldBlock is internal: TryLock could not acquire immediately.
 var errWouldBlock = errors.New("dimmunix: would block")
 
-func (m *Mutex) lockT(t *Thread, timeout time.Duration, try bool) error {
+// errCtxDone is internal: the caller's context fired mid-acquisition; the
+// ctx entry points translate it to ctx.Err().
+var errCtxDone = errors.New("dimmunix: context done")
+
+func (m *Mutex) lockT(t *Thread, timeout time.Duration, try bool, done <-chan struct{}) error {
 	// Reentrancy handling first: it never blocks, so no avoidance
 	// decision is needed (§5.1 multiset edges record it).
 	if m.owner.Load() == t {
@@ -153,7 +179,7 @@ func (m *Mutex) lockT(t *Thread, timeout time.Duration, try bool) error {
 	}
 
 	if m.rt.cfg.Mode == ModeOff {
-		return m.acquireToken(t, timeout, try, nil)
+		return m.acquireToken(t, timeout, try, nil, done)
 	}
 
 	in := t.captureStack(1)
@@ -166,48 +192,12 @@ func (m *Mutex) lockT(t *Thread, timeout time.Duration, try bool) error {
 		defer deadlineTimer.Stop()
 	}
 
-	for {
-		dec := m.rt.cache.Request(t.ts, m.ls, in)
-		if dec.Go {
-			break
-		}
-		if try {
-			m.rt.cache.Cancel(t.ts, m.ls)
-			return errWouldBlock
-		}
-		// YIELD: wait until a cause binding may have broken, bounded by
-		// the max-yield duration (§5.7) and the caller's deadline.
-		var maxYield <-chan time.Time
-		var yieldTimer *time.Timer
-		if m.rt.cfg.MaxYield > 0 {
-			yieldTimer = time.NewTimer(m.rt.cfg.MaxYield)
-			maxYield = yieldTimer.C
-		}
-		select {
-		case <-t.ts.Wake:
-		case <-maxYield:
-			m.rt.cache.NoteAbort(t.ts, dec.Sig.ID, m.rt.cfg.AbortDisableThreshold)
-		case <-deadline:
-			if yieldTimer != nil {
-				yieldTimer.Stop()
-			}
-			m.rt.cache.Cancel(t.ts, m.ls)
-			return ErrTimeout
-		case <-t.abortChan():
-			if yieldTimer != nil {
-				yieldTimer.Stop()
-			}
-			t.consumeAbort()
-			m.rt.cache.Cancel(t.ts, m.ls)
-			return ErrDeadlockRecovered
-		}
-		if yieldTimer != nil {
-			yieldTimer.Stop()
-		}
+	if err := m.rt.requestLoop(t, m.ls, in, try, deadline, done); err != nil {
+		return err
 	}
 
 	// GO: the allow edge is committed; block on the real lock.
-	if err := m.acquireToken(t, timeout, try, deadline); err != nil {
+	if err := m.acquireToken(t, timeout, try, deadline, done); err != nil {
 		m.rt.cache.Cancel(t.ts, m.ls)
 		return err
 	}
@@ -215,8 +205,61 @@ func (m *Mutex) lockT(t *Thread, timeout time.Duration, try bool) error {
 	return nil
 }
 
+// requestLoop runs the §5.4 request -> (yield)* -> go protocol for thread
+// t on lock ls with call stack in, shared by Mutex and RWMutex. On a nil
+// return the allow edge is committed and the caller must follow up with
+// Acquired/AcquiredShared (or Cancel if the raw block fails). Every
+// failure return has already rolled the request back with a Cancel.
+func (rt *Runtime) requestLoop(t *Thread, ls *lockStateRef, in *stackInterned, try bool, deadline <-chan time.Time, done <-chan struct{}) error {
+	for {
+		dec := rt.cache.Request(t.ts, ls, in)
+		if dec.Go {
+			return nil
+		}
+		if try {
+			rt.cache.Cancel(t.ts, ls)
+			return errWouldBlock
+		}
+		// YIELD: wait until a cause binding may have broken, bounded by
+		// the max-yield duration (§5.7) and the caller's deadline.
+		var maxYield <-chan time.Time
+		var yieldTimer *time.Timer
+		if rt.cfg.MaxYield > 0 {
+			yieldTimer = time.NewTimer(rt.cfg.MaxYield)
+			maxYield = yieldTimer.C
+		}
+		select {
+		case <-t.ts.Wake:
+		case <-maxYield:
+			rt.cache.NoteAbort(t.ts, dec.Sig.ID, rt.cfg.AbortDisableThreshold)
+		case <-deadline:
+			if yieldTimer != nil {
+				yieldTimer.Stop()
+			}
+			rt.cache.Cancel(t.ts, ls)
+			return ErrTimeout
+		case <-done:
+			if yieldTimer != nil {
+				yieldTimer.Stop()
+			}
+			rt.cache.Cancel(t.ts, ls)
+			return errCtxDone
+		case <-t.abortChan():
+			if yieldTimer != nil {
+				yieldTimer.Stop()
+			}
+			t.consumeAbort()
+			rt.cache.Cancel(t.ts, ls)
+			return ErrDeadlockRecovered
+		}
+		if yieldTimer != nil {
+			yieldTimer.Stop()
+		}
+	}
+}
+
 // acquireToken performs the raw blocking acquisition.
-func (m *Mutex) acquireToken(t *Thread, timeout time.Duration, try bool, deadline <-chan time.Time) error {
+func (m *Mutex) acquireToken(t *Thread, timeout time.Duration, try bool, deadline <-chan time.Time, done <-chan struct{}) error {
 	if try {
 		select {
 		case <-m.token:
@@ -236,6 +279,8 @@ func (m *Mutex) acquireToken(t *Thread, timeout time.Duration, try bool, deadlin
 	case <-m.token:
 	case <-deadline:
 		return ErrTimeout
+	case <-done:
+		return errCtxDone
 	case <-t.abortChan():
 		t.consumeAbort()
 		return ErrDeadlockRecovered
@@ -266,6 +311,20 @@ func (m *Mutex) UnlockT(t *Thread) error {
 	m.owner.Store(nil)
 	m.token <- struct{}{}
 	return nil
+}
+
+// UnlockHandoff releases the mutex on behalf of whichever thread owns it,
+// supporting the sync.Mutex discipline where Lock and Unlock may run on
+// different goroutines (a locked Mutex handed off to another goroutine).
+// It assumes that discipline: the owning goroutine must not operate on
+// the mutex concurrently, and misuse detection (double unlock) is
+// deterministic only when calls are serialized, exactly as with sync.
+func (m *Mutex) UnlockHandoff() error {
+	t := m.owner.Load()
+	if t == nil {
+		return ErrNotOwner
+	}
+	return m.UnlockT(t)
 }
 
 // Holder returns the owning thread's ID (0 when free), for diagnostics.

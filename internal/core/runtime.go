@@ -41,12 +41,15 @@ type Runtime struct {
 // monitor).
 func New(cfg Config) (*Runtime, error) {
 	cfg.fill()
-	hist, err := signature.Load(cfg.HistoryPath)
-	if err != nil {
-		return nil, err
-	}
+	var hist *signature.History
 	if cfg.HistoryPath == "" {
 		hist = signature.NewHistory()
+	} else {
+		var err error
+		hist, err = signature.Load(cfg.HistoryPath)
+		if err != nil {
+			return nil, err
+		}
 	}
 
 	rt := &Runtime{
@@ -79,6 +82,17 @@ func New(cfg Config) (*Runtime, error) {
 		DiscardObsolete: cfg.DiscardObsolete,
 	}, rt.interner, hist, rt.stats, rt.q.Push)
 
+	onDeadlock := cfg.OnDeadlock
+	if cfg.RecoverAborts {
+		user := cfg.OnDeadlock
+		onDeadlock = func(info monitor.DeadlockInfo) {
+			rt.AbortThreads(info.ThreadIDs...)
+			if user != nil {
+				user(info)
+			}
+		}
+	}
+
 	rt.mon = monitor.New(monitor.Config{
 		Tau:           cfg.Tau,
 		Strong:        cfg.Immunity == StrongImmunity,
@@ -87,7 +101,7 @@ func New(cfg Config) (*Runtime, error) {
 		CalibMaxDepth: cfg.CalibMaxDepth,
 		CalibNA:       cfg.CalibNA,
 		CalibNT:       cfg.CalibNT,
-		OnDeadlock:    cfg.OnDeadlock,
+		OnDeadlock:    onDeadlock,
 		OnStarvation:  cfg.OnStarvation,
 	}, rt.q, hist, rt.cache, rt.resolveThreadState)
 

@@ -1,0 +1,391 @@
+package core
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"time"
+)
+
+// RWMutex is Dimmunix's instrumented reader/writer mutex — a scenario
+// class the original paper never covered. The writer path runs the full
+// §5.4 avoidance protocol exactly like Mutex; the reader path runs the
+// same request protocol and its holds enter the Allowed sets as shared
+// ("reader-held") edges, so reader call sites participate in signatures
+// and a writer deadlocking against readers is detected, archived, and
+// avoided like any other pattern.
+//
+// Semantics follow sync.RWMutex with two deliberate deviations:
+//
+//   - acquisition is ownership-checked per Thread (RUnlockT by a thread
+//     that holds no read lock returns ErrNotOwner instead of corrupting
+//     state; the implicit RUnlock tolerates cross-goroutine hand-off via
+//     RUnlockHandoff), and
+//   - a thread that already holds a read lock is granted recursive read
+//     acquisition immediately even while a writer is waiting, removing
+//     sync.RWMutex's recursive-read-lock deadlock.
+//
+// Writers are preferred over new readers: once a writer is waiting, new
+// first-acquisition readers queue behind it.
+type RWMutex struct {
+	rt *Runtime
+	ls *lockStateRef
+
+	mu      sync.Mutex
+	gate    chan struct{}         // lazily made; closed+cleared to broadcast
+	writer  *Thread               // exclusive holder, nil when not write-locked
+	readers map[int32]*readerHold // reader thread ID -> hold record
+	wwait   int                   // writers blocked in acquire
+}
+
+// readerHold records one thread's outstanding read holds.
+type readerHold struct {
+	t *Thread
+	n int // recursive hold count
+}
+
+// NewRWMutex creates an instrumented reader/writer mutex.
+func (rt *Runtime) NewRWMutex() *RWMutex {
+	return &RWMutex{
+		rt:      rt,
+		ls:      rt.cache.NewLock(),
+		readers: make(map[int32]*readerHold),
+	}
+}
+
+// ID returns the mutex's Dimmunix lock ID.
+func (rw *RWMutex) ID() uint64 { return rw.ls.ID }
+
+// Lock write-locks on behalf of the calling goroutine.
+func (rw *RWMutex) Lock() error { return rw.LockT(rw.rt.CurrentThread()) }
+
+// Unlock write-unlocks on behalf of the calling goroutine.
+func (rw *RWMutex) Unlock() error { return rw.UnlockT(rw.rt.CurrentThread()) }
+
+// RLock read-locks on behalf of the calling goroutine.
+func (rw *RWMutex) RLock() error { return rw.RLockT(rw.rt.CurrentThread()) }
+
+// RUnlock read-unlocks on behalf of the calling goroutine — with the
+// sync.RWMutex hand-off tolerance: if this goroutine holds no read lock
+// but another thread does, one of those holds is released instead (see
+// RUnlockHandoff). Use RUnlockT for strict per-thread ownership.
+func (rw *RWMutex) RUnlock() error { return rw.RUnlockHandoff(rw.rt.CurrentThread()) }
+
+// TryLock attempts the write lock without blocking.
+func (rw *RWMutex) TryLock() (bool, error) { return rw.TryLockT(rw.rt.CurrentThread()) }
+
+// TryRLock attempts a read lock without blocking.
+func (rw *RWMutex) TryRLock() (bool, error) { return rw.TryRLockT(rw.rt.CurrentThread()) }
+
+// LockTimeout write-locks, failing with ErrTimeout after d.
+func (rw *RWMutex) LockTimeout(d time.Duration) error {
+	return rw.LockTimeoutT(rw.rt.CurrentThread(), d)
+}
+
+// RLockTimeout read-locks, failing with ErrTimeout after d.
+func (rw *RWMutex) RLockTimeout(d time.Duration) error {
+	return rw.RLockTimeoutT(rw.rt.CurrentThread(), d)
+}
+
+// LockCtx write-locks, giving up when ctx fires (error is then ctx.Err()).
+func (rw *RWMutex) LockCtx(ctx context.Context) error {
+	return rw.LockCtxT(rw.rt.CurrentThread(), ctx)
+}
+
+// RLockCtx read-locks, giving up when ctx fires (error is then ctx.Err()).
+func (rw *RWMutex) RLockCtx(ctx context.Context) error {
+	return rw.RLockCtxT(rw.rt.CurrentThread(), ctx)
+}
+
+// LockT write-locks on behalf of t, running the full avoidance protocol.
+func (rw *RWMutex) LockT(t *Thread) error {
+	return rw.lockRW(t, 0, false, nil, false)
+}
+
+// RLockT read-locks on behalf of t. The request participates in the
+// avoidance protocol; the resulting hold is shared.
+func (rw *RWMutex) RLockT(t *Thread) error {
+	return rw.lockRW(t, 0, false, nil, true)
+}
+
+// TryLockT attempts the write lock without blocking; a YIELD decision
+// counts as failure, as with Mutex.TryLockT.
+func (rw *RWMutex) TryLockT(t *Thread) (bool, error) {
+	return tryResult(rw.lockRW(t, 0, true, nil, false))
+}
+
+// TryRLockT attempts a read lock without blocking.
+func (rw *RWMutex) TryRLockT(t *Thread) (bool, error) {
+	return tryResult(rw.lockRW(t, 0, true, nil, true))
+}
+
+// LockTimeoutT write-locks with a deadline.
+func (rw *RWMutex) LockTimeoutT(t *Thread, d time.Duration) error {
+	if d <= 0 {
+		return ErrTimeout
+	}
+	return rw.lockRW(t, d, false, nil, false)
+}
+
+// RLockTimeoutT read-locks with a deadline.
+func (rw *RWMutex) RLockTimeoutT(t *Thread, d time.Duration) error {
+	if d <= 0 {
+		return ErrTimeout
+	}
+	return rw.lockRW(t, d, false, nil, true)
+}
+
+// LockCtxT is LockCtx on behalf of an explicit thread handle.
+func (rw *RWMutex) LockCtxT(t *Thread, ctx context.Context) error {
+	return withCtx(ctx, func(done <-chan struct{}) error {
+		return rw.lockRW(t, 0, false, done, false)
+	})
+}
+
+// RLockCtxT is RLockCtx on behalf of an explicit thread handle.
+func (rw *RWMutex) RLockCtxT(t *Thread, ctx context.Context) error {
+	return withCtx(ctx, func(done <-chan struct{}) error {
+		return rw.lockRW(t, 0, false, done, true)
+	})
+}
+
+func tryResult(err error) (bool, error) {
+	if err == nil {
+		return true, nil
+	}
+	if errors.Is(err, errWouldBlock) {
+		return false, nil
+	}
+	return false, err
+}
+
+func (rw *RWMutex) lockRW(t *Thread, timeout time.Duration, try bool, done <-chan struct{}, read bool) error {
+	if read {
+		// Recursive read acquisition never blocks (the shared hold is
+		// already granted to this thread), so like Mutex reentrancy it
+		// needs no avoidance decision — and granting it even while a
+		// writer waits removes sync.RWMutex's recursive-RLock deadlock.
+		rw.mu.Lock()
+		if h := rw.readers[t.ts.ID]; h != nil {
+			h.n++
+			rw.mu.Unlock()
+			if rw.rt.cfg.Mode != ModeOff {
+				rw.rt.cache.ReentrantAcquired(t.ts, rw.ls, t.captureStack(1))
+			}
+			return nil
+		}
+		rw.mu.Unlock()
+	}
+
+	var deadline <-chan time.Time
+	var deadlineTimer *time.Timer
+	if timeout > 0 {
+		deadlineTimer = time.NewTimer(timeout)
+		deadline = deadlineTimer.C
+		defer deadlineTimer.Stop()
+	}
+
+	if rw.rt.cfg.Mode == ModeOff {
+		return rw.acquire(t, try, deadline, done, read)
+	}
+
+	in := t.captureStack(1)
+	if err := rw.rt.requestLoop(t, rw.ls, in, try, deadline, done); err != nil {
+		return err
+	}
+
+	// GO: the allow edge is committed; block on the real lock.
+	if err := rw.acquire(t, try, deadline, done, read); err != nil {
+		rw.rt.cache.Cancel(t.ts, rw.ls)
+		return err
+	}
+	if read {
+		rw.rt.cache.AcquiredShared(t.ts, rw.ls)
+	} else {
+		rw.rt.cache.Acquired(t.ts, rw.ls)
+	}
+	return nil
+}
+
+// acquire performs the raw blocking acquisition against the gate.
+func (rw *RWMutex) acquire(t *Thread, try bool, deadline <-chan time.Time, done <-chan struct{}, read bool) error {
+	rw.mu.Lock()
+	if rw.grantLocked(t, read) {
+		rw.mu.Unlock()
+		return nil
+	}
+	if try {
+		rw.mu.Unlock()
+		return errWouldBlock
+	}
+	if !read {
+		rw.wwait++
+	}
+	for {
+		gate := rw.gateLocked()
+		rw.mu.Unlock()
+		var err error
+		select {
+		case <-gate:
+		case <-deadline:
+			err = ErrTimeout
+		case <-done:
+			err = errCtxDone
+		case <-t.abortChan():
+			t.consumeAbort()
+			err = ErrDeadlockRecovered
+		}
+		rw.mu.Lock()
+		if err != nil {
+			if !read {
+				rw.wwait--
+				if rw.wwait == 0 {
+					// Readers queued behind this writer may go now.
+					rw.broadcastLocked()
+				}
+			}
+			rw.mu.Unlock()
+			return err
+		}
+		if rw.grantLocked(t, read) {
+			if !read {
+				rw.wwait--
+			}
+			rw.mu.Unlock()
+			return nil
+		}
+	}
+}
+
+// grantLocked attempts the state transition; rw.mu held.
+func (rw *RWMutex) grantLocked(t *Thread, read bool) bool {
+	if read {
+		if rw.writer == nil && rw.wwait == 0 {
+			rw.readers[t.ts.ID] = &readerHold{t: t, n: 1}
+			return true
+		}
+		return false
+	}
+	if rw.writer == nil && len(rw.readers) == 0 {
+		rw.writer = t
+		return true
+	}
+	return false
+}
+
+func (rw *RWMutex) gateLocked() chan struct{} {
+	if rw.gate == nil {
+		rw.gate = make(chan struct{})
+	}
+	return rw.gate
+}
+
+func (rw *RWMutex) broadcastLocked() {
+	if rw.gate != nil {
+		close(rw.gate)
+		rw.gate = nil
+	}
+}
+
+// UnlockT write-unlocks on behalf of t. As with Mutex, the release event
+// reaches the monitor queue strictly before the lock becomes available
+// (§5.2 event order — both happen under rw.mu).
+func (rw *RWMutex) UnlockT(t *Thread) error {
+	rw.mu.Lock()
+	if rw.writer != t {
+		rw.mu.Unlock()
+		return ErrNotOwner
+	}
+	if rw.rt.cfg.Mode != ModeOff {
+		rw.rt.cache.Release(t.ts, rw.ls)
+	}
+	rw.writer = nil
+	rw.broadcastLocked()
+	rw.mu.Unlock()
+	return nil
+}
+
+// RUnlockT read-unlocks on behalf of t (strict: t must hold a read
+// lock).
+func (rw *RWMutex) RUnlockT(t *Thread) error {
+	rw.mu.Lock()
+	h := rw.readers[t.ts.ID]
+	if h == nil {
+		rw.mu.Unlock()
+		return ErrNotOwner
+	}
+	rw.runlockLocked(h)
+	rw.mu.Unlock()
+	return nil
+}
+
+// RUnlockHandoff releases one read hold: t's own if it has one,
+// otherwise an arbitrary reader's — the sync.RWMutex discipline where
+// RLock and RUnlock may run on different goroutines. Under hand-off the
+// released hold's thread attribution in the avoidance structures is
+// approximate (some reader's hold is retired), which keeps the hold
+// multiset correct; prefer RUnlockT when thread identity is known.
+func (rw *RWMutex) RUnlockHandoff(t *Thread) error {
+	rw.mu.Lock()
+	h := rw.readers[t.ts.ID]
+	if h == nil {
+		for _, v := range rw.readers {
+			h = v
+			break
+		}
+	}
+	if h == nil {
+		rw.mu.Unlock()
+		return ErrNotOwner
+	}
+	rw.runlockLocked(h)
+	rw.mu.Unlock()
+	return nil
+}
+
+// runlockLocked retires one of h's read holds; rw.mu held. The release
+// event reaches the monitor queue before the lock can become available,
+// preserving the §5.2 order.
+func (rw *RWMutex) runlockLocked(h *readerHold) {
+	if rw.rt.cfg.Mode != ModeOff {
+		rw.rt.cache.Release(h.t.ts, rw.ls)
+	}
+	if h.n > 1 {
+		h.n--
+		return
+	}
+	delete(rw.readers, h.t.ts.ID)
+	if len(rw.readers) == 0 {
+		rw.broadcastLocked()
+	}
+}
+
+// UnlockHandoff write-unlocks on behalf of whichever thread holds the
+// write lock — the sync.RWMutex discipline where Lock and Unlock may run
+// on different goroutines. See Mutex.UnlockHandoff for the caveats.
+func (rw *RWMutex) UnlockHandoff() error {
+	rw.mu.Lock()
+	t := rw.writer
+	rw.mu.Unlock()
+	if t == nil {
+		return ErrNotOwner
+	}
+	return rw.UnlockT(t)
+}
+
+// Holder returns the write-holding thread's ID (0 when not write-locked).
+func (rw *RWMutex) Holder() int32 {
+	rw.mu.Lock()
+	defer rw.mu.Unlock()
+	if rw.writer != nil {
+		return rw.writer.ID()
+	}
+	return 0
+}
+
+// ReaderCount returns the number of distinct threads holding read locks.
+func (rw *RWMutex) ReaderCount() int {
+	rw.mu.Lock()
+	defer rw.mu.Unlock()
+	return len(rw.readers)
+}

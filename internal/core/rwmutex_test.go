@@ -1,0 +1,291 @@
+package core
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+func rwTestRuntime(t *testing.T) *Runtime {
+	t.Helper()
+	rt := MustNew(Config{Tau: 2 * time.Millisecond, MatchDepth: 2, MaxYield: 5 * time.Second})
+	t.Cleanup(func() { rt.Stop() })
+	return rt
+}
+
+func TestRWMutexWriterExclusion(t *testing.T) {
+	rt := rwTestRuntime(t)
+	rw := rt.NewRWMutex()
+	var held atomic.Int32
+	var wg sync.WaitGroup
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			th := rt.RegisterThread("w")
+			defer th.Close()
+			for i := 0; i < 50; i++ {
+				if err := rw.LockT(th); err != nil {
+					t.Errorf("LockT: %v", err)
+					return
+				}
+				if held.Add(1) != 1 {
+					t.Error("two writers inside")
+				}
+				held.Add(-1)
+				if err := rw.UnlockT(th); err != nil {
+					t.Errorf("UnlockT: %v", err)
+					return
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+}
+
+func TestRWMutexReadersShare(t *testing.T) {
+	rt := rwTestRuntime(t)
+	rw := rt.NewRWMutex()
+
+	t1 := rt.RegisterThread("r1")
+	t2 := rt.RegisterThread("r2")
+	defer t1.Close()
+	defer t2.Close()
+
+	if err := rw.RLockT(t1); err != nil {
+		t.Fatal(err)
+	}
+	if err := rw.RLockT(t2); err != nil {
+		t.Fatal(err)
+	}
+	if n := rw.ReaderCount(); n != 2 {
+		t.Fatalf("ReaderCount = %d, want 2", n)
+	}
+	// Writer is excluded while readers hold.
+	ok, err := rw.TryLockT(t1)
+	if ok || err != nil {
+		t.Fatalf("TryLockT while read-held = (%v, %v), want (false, nil)", ok, err)
+	}
+	if err := rw.RUnlockT(t1); err != nil {
+		t.Fatal(err)
+	}
+	if err := rw.RUnlockT(t2); err != nil {
+		t.Fatal(err)
+	}
+	// Free again: writer proceeds.
+	if err := rw.LockT(t1); err != nil {
+		t.Fatal(err)
+	}
+	if rw.Holder() != t1.ID() {
+		t.Fatalf("Holder = %d, want %d", rw.Holder(), t1.ID())
+	}
+	if err := rw.UnlockT(t1); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRWMutexWriterPreference(t *testing.T) {
+	rt := rwTestRuntime(t)
+	rw := rt.NewRWMutex()
+
+	r1 := rt.RegisterThread("r1")
+	r2 := rt.RegisterThread("r2")
+	w := rt.RegisterThread("w")
+	defer r1.Close()
+	defer r2.Close()
+	defer w.Close()
+
+	if err := rw.RLockT(r1); err != nil {
+		t.Fatal(err)
+	}
+	writerIn := make(chan error, 1)
+	go func() { writerIn <- rw.LockT(w) }()
+
+	// Wait until the writer is queued, then a *new* reader must not cut
+	// the line.
+	deadline := time.Now().Add(2 * time.Second)
+	for {
+		ok, err := rw.TryRLockT(r2)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !ok {
+			break // writer pressure observed
+		}
+		if err := rw.RUnlockT(r2); err != nil {
+			t.Fatal(err)
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("writer never applied back-pressure to new readers")
+		}
+		time.Sleep(time.Millisecond)
+	}
+
+	// But the established reader may still recurse (no recursive-RLock
+	// deadlock, unlike sync.RWMutex).
+	if err := rw.RLockT(r1); err != nil {
+		t.Fatalf("recursive RLock under writer pressure: %v", err)
+	}
+	if err := rw.RUnlockT(r1); err != nil {
+		t.Fatal(err)
+	}
+
+	if err := rw.RUnlockT(r1); err != nil {
+		t.Fatal(err)
+	}
+	if err := <-writerIn; err != nil {
+		t.Fatalf("queued writer failed: %v", err)
+	}
+	if err := rw.UnlockT(w); err != nil {
+		t.Fatal(err)
+	}
+	// With the writer gone, readers are admitted again.
+	ok, err := rw.TryRLockT(r2)
+	if !ok || err != nil {
+		t.Fatalf("TryRLockT after writer = (%v, %v)", ok, err)
+	}
+	_ = rw.RUnlockT(r2)
+}
+
+func TestRWMutexOwnershipErrors(t *testing.T) {
+	rt := rwTestRuntime(t)
+	rw := rt.NewRWMutex()
+	t1 := rt.RegisterThread("t1")
+	t2 := rt.RegisterThread("t2")
+	defer t1.Close()
+	defer t2.Close()
+
+	if err := rw.UnlockT(t1); !errors.Is(err, ErrNotOwner) {
+		t.Fatalf("Unlock of free lock = %v, want ErrNotOwner", err)
+	}
+	if err := rw.RUnlockT(t1); !errors.Is(err, ErrNotOwner) {
+		t.Fatalf("RUnlock of free lock = %v, want ErrNotOwner", err)
+	}
+	if err := rw.LockT(t1); err != nil {
+		t.Fatal(err)
+	}
+	if err := rw.UnlockT(t2); !errors.Is(err, ErrNotOwner) {
+		t.Fatalf("Unlock by non-owner = %v, want ErrNotOwner", err)
+	}
+	if err := rw.RUnlockT(t1); !errors.Is(err, ErrNotOwner) {
+		t.Fatalf("RUnlock while write-held = %v, want ErrNotOwner", err)
+	}
+	if err := rw.UnlockHandoff(); err != nil {
+		t.Fatalf("UnlockHandoff: %v", err)
+	}
+	if err := rw.UnlockHandoff(); !errors.Is(err, ErrNotOwner) {
+		t.Fatalf("double UnlockHandoff = %v, want ErrNotOwner", err)
+	}
+}
+
+func TestRWMutexTimeoutAndCtx(t *testing.T) {
+	rt := rwTestRuntime(t)
+	rw := rt.NewRWMutex()
+	r := rt.RegisterThread("r")
+	w := rt.RegisterThread("w")
+	defer r.Close()
+	defer w.Close()
+
+	if err := rw.RLockT(r); err != nil {
+		t.Fatal(err)
+	}
+	if err := rw.LockTimeoutT(w, 10*time.Millisecond); !errors.Is(err, ErrTimeout) {
+		t.Fatalf("LockTimeoutT = %v, want ErrTimeout", err)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Millisecond)
+	defer cancel()
+	if err := rw.LockCtxT(w, ctx); !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("LockCtxT = %v, want DeadlineExceeded", err)
+	}
+	if err := rw.RUnlockT(r); err != nil {
+		t.Fatal(err)
+	}
+
+	// Timed-out writer leaves no residue: both classes acquire freely.
+	if err := rw.LockT(w); err != nil {
+		t.Fatal(err)
+	}
+	if err := rw.UnlockT(w); err != nil {
+		t.Fatal(err)
+	}
+	if err := rw.RLockT(r); err != nil {
+		t.Fatal(err)
+	}
+	if err := rw.RUnlockT(r); err != nil {
+		t.Fatal(err)
+	}
+}
+
+//go:noinline
+func rwLockSiteA(t *Thread, rw *RWMutex) error { return rw.LockT(t) }
+
+//go:noinline
+func rwLockSiteB(t *Thread, rw *RWMutex) error { return rw.LockT(t) }
+
+// TestRWMutexWriterDeadlockImmunity contracts a writer/writer cross-order
+// deadlock on two RWMutexes, then verifies the pattern is avoided.
+func TestRWMutexWriterDeadlockImmunity(t *testing.T) {
+	var rt *Runtime
+	rt = MustNew(Config{
+		Tau: 2 * time.Millisecond, MatchDepth: 2, MaxYield: 5 * time.Second,
+		RecoverAborts: true,
+	})
+	defer rt.Stop()
+	a, b := rt.NewRWMutex(), rt.NewRWMutex()
+
+	run := func() (error, error) {
+		t1 := rt.RegisterThread("T1")
+		t2 := rt.RegisterThread("T2")
+		defer t1.Close()
+		defer t2.Close()
+		var wg sync.WaitGroup
+		var e1, e2 error
+		wg.Add(2)
+		go func() {
+			defer wg.Done()
+			if e1 = rwLockSiteA(t1, a); e1 != nil {
+				return
+			}
+			time.Sleep(50 * time.Millisecond)
+			if e1 = b.LockT(t1); e1 != nil {
+				_ = a.UnlockT(t1)
+				return
+			}
+			_ = b.UnlockT(t1)
+			_ = a.UnlockT(t1)
+		}()
+		go func() {
+			defer wg.Done()
+			if e2 = rwLockSiteB(t2, b); e2 != nil {
+				return
+			}
+			time.Sleep(50 * time.Millisecond)
+			if e2 = a.LockT(t2); e2 != nil {
+				_ = b.UnlockT(t2)
+				return
+			}
+			_ = a.UnlockT(t2)
+			_ = b.UnlockT(t2)
+		}()
+		wg.Wait()
+		return e1, e2
+	}
+
+	e1, e2 := run()
+	if !errors.Is(e1, ErrDeadlockRecovered) && !errors.Is(e2, ErrDeadlockRecovered) {
+		t.Fatalf("run 1: expected recovery, got %v / %v", e1, e2)
+	}
+	if rt.History().Len() != 1 {
+		t.Fatalf("run 1: history = %d", rt.History().Len())
+	}
+	e1, e2 = run()
+	if e1 != nil || e2 != nil {
+		t.Fatalf("run 2: immunized run failed: %v / %v", e1, e2)
+	}
+	if rt.Stats().Yields == 0 {
+		t.Error("run 2: no yields recorded")
+	}
+}

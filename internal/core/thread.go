@@ -95,14 +95,23 @@ func (t *Thread) captureStack(extraSkip int) *stack.Interned {
 
 // isRuntimeFrame identifies Dimmunix's own lock-path frames (and only
 // those: in-package callers such as this package's tests must survive, so
-// the file name is checked too).
+// the file name is checked too). Frames of the public facade package
+// (top-level "dimmunix", no slash in the qualified name) are stripped as
+// well, so the innermost frame of a captured stack is always the
+// application's lock call site regardless of which API layer it used.
 func isRuntimeFrame(f stack.Frame) bool {
-	if !strings.HasPrefix(f.Func, "dimmunix/internal/core.") {
+	if strings.HasPrefix(f.Func, "dimmunix/internal/core.") {
+		switch f.File {
+		case "mutex.go", "rwmutex.go", "thread.go", "runtime.go", "config.go", "alias.go":
+			return true
+		}
 		return false
 	}
-	switch f.File {
-	case "mutex.go", "thread.go", "runtime.go", "config.go", "alias.go":
-		return true
+	if strings.HasPrefix(f.Func, "dimmunix.") && !strings.Contains(f.Func, "/") {
+		switch f.File {
+		case "mutex.go", "rwmutex.go", "default.go", "options.go", "dimmunix.go":
+			return true
+		}
 	}
 	return false
 }

@@ -1,0 +1,114 @@
+package rag
+
+import (
+	"testing"
+
+	"dimmunix/internal/event"
+	"dimmunix/internal/stack"
+)
+
+// shared-lock RAG scenarios: one lock held by several threads at once
+// (the RWMutex reader path emits one Acquired per reader).
+
+func mhStack(seed uint64) *stack.Interned {
+	in := stack.NewInterner()
+	return in.Intern(stack.Synthetic(seed, 3))
+}
+
+func mhApply(g *RAG, evs ...event.Event) {
+	for _, ev := range evs {
+		g.Apply(ev)
+	}
+}
+
+// TestMultiHolderBookkeeping: two readers hold lock 1; releases peel the
+// Holders set one thread at a time.
+func TestMultiHolderBookkeeping(t *testing.T) {
+	g := New()
+	s := mhStack(1)
+	mhApply(g,
+		event.Event{Kind: event.Request, TID: 1, LID: 1, Stack: s},
+		event.Event{Kind: event.Go, TID: 1, LID: 1, Stack: s},
+		event.Event{Kind: event.Acquired, TID: 1, LID: 1, Stack: s},
+		event.Event{Kind: event.Request, TID: 2, LID: 1, Stack: s},
+		event.Event{Kind: event.Go, TID: 2, LID: 1, Stack: s},
+		event.Event{Kind: event.Acquired, TID: 2, LID: 1, Stack: s},
+	)
+	l := g.LockNode(1)
+	if len(l.Holders) != 2 {
+		t.Fatalf("Holders = %d, want 2", len(l.Holders))
+	}
+	mhApply(g, event.Event{Kind: event.Release, TID: 1, LID: 1})
+	if len(l.Holders) != 1 || l.Holders[2] == nil {
+		t.Fatalf("after release: Holders = %v, want just thread 2", l.Holders)
+	}
+	mhApply(g, event.Event{Kind: event.Release, TID: 2, LID: 1})
+	if len(l.Holders) != 0 {
+		t.Fatalf("after both releases: Holders = %v, want empty", l.Holders)
+	}
+}
+
+// TestDeadlockThroughReaderHeldLock: writer T1 holds lock 1 (exclusive)
+// and waits for lock 2, which is read-held by T2 and T3; T3 waits for
+// lock 1. The cycle T1 -> T3 -> T1 runs through one of lock 2's several
+// holders, which the single-out-edge walk of the exclusive-only RAG
+// could not represent.
+func TestDeadlockThroughReaderHeldLock(t *testing.T) {
+	g := New()
+	s1, s2, s3 := mhStack(1), mhStack(2), mhStack(3)
+	mhApply(g,
+		// T1 acquires lock 1 exclusively.
+		event.Event{Kind: event.Request, TID: 1, LID: 1, Stack: s1},
+		event.Event{Kind: event.Go, TID: 1, LID: 1, Stack: s1},
+		event.Event{Kind: event.Acquired, TID: 1, LID: 1, Stack: s1},
+		// T2 and T3 read-acquire lock 2.
+		event.Event{Kind: event.Request, TID: 2, LID: 2, Stack: s2},
+		event.Event{Kind: event.Go, TID: 2, LID: 2, Stack: s2},
+		event.Event{Kind: event.Acquired, TID: 2, LID: 2, Stack: s2},
+		event.Event{Kind: event.Request, TID: 3, LID: 2, Stack: s3},
+		event.Event{Kind: event.Go, TID: 3, LID: 2, Stack: s3},
+		event.Event{Kind: event.Acquired, TID: 3, LID: 2, Stack: s3},
+		// T1 wants lock 2 (blocked by the readers); T3 wants lock 1.
+		event.Event{Kind: event.Request, TID: 1, LID: 2, Stack: s1},
+		event.Event{Kind: event.Go, TID: 1, LID: 2, Stack: s1},
+		event.Event{Kind: event.Request, TID: 3, LID: 1, Stack: s3},
+		event.Event{Kind: event.Go, TID: 3, LID: 1, Stack: s3},
+		// T2, the uninvolved reader, releases before detection: the cycle
+		// must survive on T3's remaining shared hold alone.
+		event.Event{Kind: event.Release, TID: 2, LID: 2},
+	)
+	cycles := g.Detect()
+	var dl *Cycle
+	for _, c := range cycles {
+		if !c.Starvation {
+			dl = c
+			break
+		}
+	}
+	if dl == nil {
+		t.Fatalf("no deadlock cycle found in %v", cycles)
+	}
+	if len(dl.Threads) != 2 || dl.Threads[0] != 1 || dl.Threads[1] != 3 {
+		t.Fatalf("cycle threads = %v, want [1 3]", dl.Threads)
+	}
+	if len(dl.Stacks) != 2 {
+		t.Fatalf("cycle stacks = %d, want 2 (writer hold + reader hold)", len(dl.Stacks))
+	}
+}
+
+// TestNoFalseDeadlockWhenReaderProgresses: T1 waits for a lock read-held
+// by T2 only, and T2 is runnable (holds, waits for nothing) — no cycle.
+func TestNoFalseDeadlockWhenReaderProgresses(t *testing.T) {
+	g := New()
+	s1, s2 := mhStack(1), mhStack(2)
+	mhApply(g,
+		event.Event{Kind: event.Request, TID: 2, LID: 2, Stack: s2},
+		event.Event{Kind: event.Go, TID: 2, LID: 2, Stack: s2},
+		event.Event{Kind: event.Acquired, TID: 2, LID: 2, Stack: s2},
+		event.Event{Kind: event.Request, TID: 1, LID: 2, Stack: s1},
+		event.Event{Kind: event.Go, TID: 1, LID: 2, Stack: s1},
+	)
+	if cycles := g.Detect(); len(cycles) != 0 {
+		t.Fatalf("unexpected cycles: %v", cycles)
+	}
+}

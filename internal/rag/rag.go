@@ -79,10 +79,15 @@ type YieldEdge struct {
 	Label    *stack.Interned
 }
 
-// Lock is a lock vertex.
+// Lock is a lock vertex. Holders carries every thread with an outstanding
+// hold edge — a single entry for an exclusively held mutex, several for a
+// reader-held RWMutex. Holder is kept as the most recent exclusive-style
+// acquirer for diagnostics and legacy consumers; detection runs on
+// Holders.
 type Lock struct {
 	ID      uint64
 	Holder  *Thread
+	Holders map[int32]*Thread
 	Waiters map[int32]*Thread
 }
 
@@ -122,7 +127,11 @@ func (g *RAG) thread(id int32) *Thread {
 func (g *RAG) lock(id uint64) *Lock {
 	l := g.locks[id]
 	if l == nil {
-		l = &Lock{ID: id, Waiters: make(map[int32]*Thread)}
+		l = &Lock{
+			ID:      id,
+			Holders: make(map[int32]*Thread),
+			Waiters: make(map[int32]*Thread),
+		}
 		g.locks[id] = l
 	}
 	return l
@@ -220,6 +229,7 @@ func (g *RAG) Apply(ev event.Event) {
 		}
 		h.Stacks = append(h.Stacks, ev.Stack)
 		l.Holder = t
+		l.Holders[t.ID] = t
 		g.dirty[t.ID] = t
 
 	case event.Release:
@@ -232,6 +242,7 @@ func (g *RAG) Apply(ev event.Event) {
 			}
 			if len(h.Stacks) == 0 {
 				delete(t.Holds, l.ID)
+				delete(l.Holders, t.ID)
 				if l.Holder == t {
 					l.Holder = nil
 				}
@@ -254,6 +265,7 @@ func (g *RAG) Apply(ev event.Event) {
 		t.clearWait()
 		t.clearYields()
 		for _, h := range t.Holds {
+			delete(h.Lock.Holders, t.ID)
 			if h.Lock.Holder == t {
 				h.Lock.Holder = nil
 			}
@@ -298,8 +310,10 @@ func (g *RAG) Detect() []*Cycle {
 }
 
 // waitHolder returns the thread that t transitively waits on through its
-// request/allow edge, or nil. Yielding threads are not committed to block,
-// so they contribute no wait-for edge to deadlock cycles.
+// request/allow edge, or nil — the exclusive-lock special case, retained
+// for single-holder consumers (tests' brute-force oracle). Yielding
+// threads are not committed to block, so they contribute no wait-for edge
+// to deadlock cycles.
 func waitHolder(t *Thread) *Thread {
 	if t.Wait == nil || t.Yielding {
 		return nil
@@ -312,6 +326,23 @@ func waitHolder(t *Thread) *Thread {
 	return h
 }
 
+// waitHolders returns every thread t transitively waits on through its
+// request/allow edge — all current holders of the awaited lock, which is
+// several threads when the lock is reader-held. A thread never waits on
+// itself (reentrant or recursive-read re-acquisition in flight).
+func waitHolders(t *Thread) []*Thread {
+	if t.Wait == nil || t.Yielding || len(t.Wait.Holders) == 0 {
+		return nil
+	}
+	out := make([]*Thread, 0, len(t.Wait.Holders))
+	for _, h := range t.Wait.Holders {
+		if h != t {
+			out = append(out, h)
+		}
+	}
+	return out
+}
+
 const (
 	white = 0
 	grey  = 1
@@ -319,59 +350,73 @@ const (
 )
 
 // detectDeadlocks runs colored DFS over the wait-for projection
-// (T -> holder(T.Wait)), seeded at dirty threads.
+// (T -> holders(T.Wait)), seeded at dirty threads. A thread has several
+// out-edges when the lock it awaits is reader-held, so this is a full
+// DFS, not a single-out-edge chain walk.
 func (g *RAG) detectDeadlocks() []*Cycle {
 	var out []*Cycle
 	color := make(map[int32]int, len(g.threads))
-	for id, t := range g.dirty {
-		if g.threads[id] == nil {
+	type frame struct {
+		t    *Thread
+		succ []*Thread
+		i    int
+	}
+	for id := range g.dirty {
+		if g.threads[id] == nil || color[id] != white {
 			continue
 		}
-		if color[id] != white {
-			continue
+		var path []*frame
+		push := func(t *Thread) {
+			color[t.ID] = grey
+			path = append(path, &frame{t: t, succ: waitHolders(t)})
 		}
-		// Iterative DFS along the single out-edge chain.
-		var path []*Thread
-		cur := t
-		for cur != nil {
-			switch color[cur.ID] {
-			case black:
-				cur = nil
-			case grey:
-				// Found a cycle: the suffix of path starting at cur.
-				start := 0
-				for i, p := range path {
-					if p == cur {
-						start = i
-						break
+		push(g.threads[id])
+		for len(path) > 0 {
+			f := path[len(path)-1]
+			if f.i < len(f.succ) {
+				w := f.succ[f.i]
+				f.i++
+				switch color[w.ID] {
+				case white:
+					push(w)
+				case grey:
+					// Found a cycle: the suffix of path starting at w.
+					start := 0
+					for i, p := range path {
+						if p.t == w {
+							start = i
+							break
+						}
 					}
+					cyc := make([]*Thread, 0, len(path)-start)
+					for _, p := range path[start:] {
+						cyc = append(cyc, p.t)
+					}
+					out = append(out, buildDeadlockCycle(cyc))
 				}
-				out = append(out, buildDeadlockCycle(path[start:]))
-				cur = nil
-			default:
-				color[cur.ID] = grey
-				path = append(path, cur)
-				cur = waitHolder(cur)
+				continue
 			}
-		}
-		for _, p := range path {
-			color[p.ID] = black
+			color[f.t.ID] = black
+			path = path[:len(path)-1]
 		}
 	}
 	return out
 }
 
+// buildDeadlockCycle assembles the Cycle record for path, where each
+// cycle[i+1] holds the lock cycle[i] waits for (wrapping around at the
+// end).
 func buildDeadlockCycle(cycle []*Thread) *Cycle {
 	c := &Cycle{}
-	for _, t := range cycle {
+	for i, t := range cycle {
 		c.Threads = append(c.Threads, t.ID)
-		if t.Wait != nil {
-			c.Locks = append(c.Locks, t.Wait.ID)
-			if h := t.Wait.Holder; h != nil {
-				if he := h.Holds[t.Wait.ID]; he != nil && he.Label() != nil {
-					c.Stacks = append(c.Stacks, he.Label())
-				}
-			}
+		if t.Wait == nil {
+			continue
+		}
+		c.Locks = append(c.Locks, t.Wait.ID)
+		next := cycle[(i+1)%len(cycle)]
+		if he := next.Holds[t.Wait.ID]; he != nil && he.Label() != nil {
+			c.Stacks = append(c.Stacks, he.Label())
 		}
 	}
 	c.normalize()
@@ -417,6 +462,11 @@ func (g *RAG) detectStarvation() []*Cycle {
 		hasYield := false
 		c := &Cycle{Starvation: true}
 		lockSeen := make(map[uint64]bool)
+		type holdKey struct {
+			l uint64
+			t int32
+		}
+		holdSeen := make(map[holdKey]bool)
 		for _, t := range comp {
 			c.Threads = append(c.Threads, t.ID)
 			for _, y := range t.Yields {
@@ -428,13 +478,23 @@ func (g *RAG) detectStarvation() []*Cycle {
 				}
 			}
 			if t.Wait != nil {
-				if h := t.Wait.Holder; h != nil && inComp[h.ID] {
+				for _, h := range t.Wait.Holders {
+					if h == t || !inComp[h.ID] {
+						continue
+					}
 					if !lockSeen[t.Wait.ID] {
 						lockSeen[t.Wait.ID] = true
 						c.Locks = append(c.Locks, t.Wait.ID)
-						if he := h.Holds[t.Wait.ID]; he != nil && he.Label() != nil {
-							c.Stacks = append(c.Stacks, he.Label())
-						}
+					}
+					// One label per (lock, holder): a reader-held lock
+					// contributes each in-component reader's stack once.
+					k := holdKey{l: t.Wait.ID, t: h.ID}
+					if holdSeen[k] {
+						continue
+					}
+					holdSeen[k] = true
+					if he := h.Holds[t.Wait.ID]; he != nil && he.Label() != nil {
+						c.Stacks = append(c.Stacks, he.Label())
 					}
 				}
 			}
@@ -468,12 +528,19 @@ func isStuckGiven(t *Thread, stuck map[int32]*Thread) bool {
 		return true
 	}
 	if t.Wait != nil {
-		h := t.Wait.Holder
-		if h == nil || h == t {
-			return false // lock free or reentrant: can progress
+		// The lock may be held by several readers; t cannot progress as
+		// long as any one of them is stuck. No (other) holder stuck —
+		// free, reentrant, or all holders progressing — means t can
+		// progress.
+		for _, h := range t.Wait.Holders {
+			if h == t {
+				continue
+			}
+			if _, ok := stuck[h.ID]; ok {
+				return true
+			}
 		}
-		_, holderStuck := stuck[h.ID]
-		return holderStuck
+		return false
 	}
 	return false
 }
@@ -496,8 +563,10 @@ func hasSelfLoop(comp []*Thread) bool {
 		if _, ok := t.Yields[t.ID]; ok {
 			return true
 		}
-		if t.Wait != nil && t.Wait.Holder == t {
-			return true
+		if t.Wait != nil {
+			if _, ok := t.Wait.Holders[t.ID]; ok {
+				return true
+			}
 		}
 	}
 	return false
@@ -512,7 +581,10 @@ func successors(t *Thread, stuck map[int32]*Thread) []*Thread {
 		}
 	}
 	if t.Wait != nil {
-		if h := t.Wait.Holder; h != nil && h != t {
+		for _, h := range t.Wait.Holders {
+			if h == t {
+				continue
+			}
 			if s, ok := stuck[h.ID]; ok {
 				out = append(out, s)
 			}

@@ -1,0 +1,101 @@
+package dimmunix
+
+import (
+	"context"
+	"errors"
+	"sync/atomic"
+	"time"
+
+	"dimmunix/internal/core"
+)
+
+// Mutex is a drop-in, deadlock-immune replacement for sync.Mutex. The
+// zero value is ready to use:
+//
+//	var mu dimmunix.Mutex
+//	mu.Lock()
+//	defer mu.Unlock()
+//
+// On first Lock the mutex binds itself to the process-wide default
+// Runtime (see Init / Default), registering its lock state lazily; from
+// then on every acquisition runs the paper's §5.4 avoidance protocol.
+// The sync-shaped methods have no error returns and panic on misuse,
+// exactly like sync.Mutex; Mutex satisfies sync.Locker.
+//
+// Like sync.Mutex (and unlike it only in mechanism), a locked Mutex may
+// be handed off and unlocked by a different goroutine. If a recovery
+// hook (WithAbortRecovery) unwinds a deadlock victim blocked in plain
+// Lock, that Lock panics with ErrDeadlockRecovered — the in-process
+// restart. Paths that want recovery, timeout, or cancellation as an
+// error use LockCtx / LockTimeout instead.
+//
+// A Mutex must not be copied after first use.
+type Mutex struct {
+	c atomic.Pointer[core.Mutex]
+}
+
+// core returns the bound instrumented mutex, binding to the default
+// Runtime on first use.
+func (m *Mutex) core() *core.Mutex {
+	if c := m.c.Load(); c != nil {
+		return c
+	}
+	c := Default().NewMutex()
+	if m.c.CompareAndSwap(nil, c) {
+		return c
+	}
+	return m.c.Load()
+}
+
+// Core exposes the underlying explicit-runtime mutex (binding it first
+// if needed), for interop with the Thread fast path and Cond.
+func (m *Mutex) Core() *CoreMutex { return m.core() }
+
+// Lock acquires the mutex, running the full avoidance protocol. It
+// blocks like sync.Mutex.Lock and panics only if a deadlock-recovery
+// abort unwinds this thread's wait; the panic value is the error itself,
+// so a supervisor can recover() and test errors.Is(v.(error),
+// ErrDeadlockRecovered) to treat it as the in-process restart.
+func (m *Mutex) Lock() {
+	if err := m.core().Lock(); err != nil {
+		panic(err)
+	}
+}
+
+// Unlock releases the mutex. It panics if the mutex is not locked,
+// matching sync.Mutex.
+func (m *Mutex) Unlock() {
+	c := m.c.Load()
+	if c == nil {
+		panic("dimmunix: Unlock of unlocked Mutex")
+	}
+	if err := c.UnlockHandoff(); err != nil {
+		if errors.Is(err, ErrNotOwner) {
+			panic("dimmunix: Unlock of unlocked Mutex")
+		}
+		panic("dimmunix: Unlock: " + err.Error())
+	}
+}
+
+// TryLock attempts the lock without blocking, like sync.Mutex.TryLock.
+// A YIELD avoidance decision counts as failure: the thread may not enter
+// a known-dangerous pattern.
+func (m *Mutex) TryLock() bool {
+	ok, err := m.core().TryLock()
+	if err != nil {
+		panic(err)
+	}
+	return ok
+}
+
+// LockCtx acquires the mutex, giving up when ctx is canceled or its
+// deadline passes (returning ctx.Err()) or when a deadlock-recovery
+// abort unwinds the wait (returning ErrDeadlockRecovered).
+func (m *Mutex) LockCtx(ctx context.Context) error {
+	return m.core().LockCtx(ctx)
+}
+
+// LockTimeout acquires the mutex, failing with ErrTimeout after d.
+func (m *Mutex) LockTimeout(d time.Duration) error {
+	return m.core().LockTimeout(d)
+}

@@ -1,0 +1,125 @@
+package dimmunix
+
+import (
+	"time"
+)
+
+// Option configures a Runtime. Options are the primary construction API
+// (NewRuntime, Init); core.Config remains underneath as the explicit
+// form and can be injected wholesale with WithConfig.
+type Option func(*Config)
+
+// NewRuntime creates and starts a Runtime from functional options.
+func NewRuntime(opts ...Option) (*Runtime, error) {
+	var cfg Config
+	for _, o := range opts {
+		o(&cfg)
+	}
+	return New(cfg)
+}
+
+// MustNewRuntime is NewRuntime that panics on error.
+func MustNewRuntime(opts ...Option) *Runtime {
+	rt, err := NewRuntime(opts...)
+	if err != nil {
+		panic(err)
+	}
+	return rt
+}
+
+// WithConfig replaces the whole configuration with cfg; options applied
+// after it refine cfg.
+func WithConfig(cfg Config) Option {
+	return func(c *Config) { *c = cfg }
+}
+
+// WithHistory sets the persistent history file ("" = in-memory only).
+func WithHistory(path string) Option {
+	return func(c *Config) { c.HistoryPath = path }
+}
+
+// WithTau sets the monitor wakeup period (§3; default 100 ms).
+func WithTau(d time.Duration) Option {
+	return func(c *Config) { c.Tau = d }
+}
+
+// WithMode sets the instrumentation level.
+func WithMode(m Mode) Option {
+	return func(c *Config) { c.Mode = m }
+}
+
+// WithImmunity selects weak or strong immunity (§5.4).
+func WithImmunity(l ImmunityLevel) Option {
+	return func(c *Config) { c.Immunity = l }
+}
+
+// WithGuard selects the §5.6 avoidance guard implementation.
+func WithGuard(g GuardKind) Option {
+	return func(c *Config) { c.Guard = g }
+}
+
+// WithMatchDepth sets the matching depth recorded in new signatures
+// (§5.5; default 4).
+func WithMatchDepth(d int) Option {
+	return func(c *Config) { c.MatchDepth = d }
+}
+
+// WithCalibration arms dynamic matching-depth calibration (§5.5) with
+// the given ladder parameters; zero values keep the defaults.
+func WithCalibration(maxDepth, na int, nt uint64) Option {
+	return func(c *Config) {
+		c.Calibrate = true
+		c.CalibMaxDepth = maxDepth
+		c.CalibNA = na
+		c.CalibNT = nt
+	}
+}
+
+// WithMaxYield bounds one yield episode (§5.7); negative disables the
+// bound.
+func WithMaxYield(d time.Duration) Option {
+	return func(c *Config) { c.MaxYield = d }
+}
+
+// WithMaxThreads sizes the thread slot table (default 1024).
+func WithMaxThreads(n int) Option {
+	return func(c *Config) { c.MaxThreads = n }
+}
+
+// WithStackDepth sets the number of frames captured per lock operation.
+func WithStackDepth(n int) Option {
+	return func(c *Config) { c.StackDepth = n }
+}
+
+// WithRecovery installs the §3 deadlock recovery hook, called on the
+// monitor goroutine after the signature is archived.
+func WithRecovery(fn func(DeadlockInfo)) Option {
+	return func(c *Config) { c.OnDeadlock = fn }
+}
+
+// WithAbortRecovery arms the built-in recovery policy: deadlock victims'
+// lock waits are aborted so their waits end with ErrDeadlockRecovered
+// (LockCtx returns it; the panic-free sync-shaped Lock panics with it) —
+// the in-process analog of the paper's restart. Composes with
+// WithRecovery: the hook still runs after the aborts.
+func WithAbortRecovery() Option {
+	return func(c *Config) { c.RecoverAborts = true }
+}
+
+// WithStarvationHook installs the starvation/restart hook; with strong
+// immunity this is the restart hook (§5.4).
+func WithStarvationHook(fn func(StarvationInfo)) Option {
+	return func(c *Config) { c.OnStarvation = fn }
+}
+
+// WithIgnoreDecisions computes avoidance decisions but never yields
+// (the Table 1 control configuration).
+func WithIgnoreDecisions() Option {
+	return func(c *Config) { c.IgnoreDecisions = true }
+}
+
+// WithDiscardObsolete removes signatures whose completed calibration
+// shows a 100% false-positive rate at the chosen depth (§8).
+func WithDiscardObsolete() Option {
+	return func(c *Config) { c.DiscardObsolete = true }
+}
