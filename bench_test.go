@@ -6,6 +6,7 @@ package dimmunix_test
 
 import (
 	"fmt"
+	"sync"
 	"sync/atomic"
 	"testing"
 	"time"
@@ -359,5 +360,114 @@ func BenchmarkDropInRWMutexRead(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		rw.RLock()
 		rw.RUnlock()
+	}
+}
+
+// --- Fast-path parallel contention suite ---------------------------------
+//
+// The two-tier refactor's target workload: many goroutines, each on its
+// own (uncontended) mutex, so the only contention is the instrumentation
+// path itself. The *Guarded variants disable the lock-free safe-stack
+// bypass, measuring the pre-refactor global-guard protocol on identical
+// hardware — the ns/op ratio at 8+ goroutines is the acceptance metric.
+// "Populated" variants carry 32 non-matching signatures, proving the fast
+// tier's classification holds up with a live danger index.
+
+var parallelLadder = []int{1, 2, 8, 32, 128}
+
+func benchLockParallel(b *testing.B, cfg dimmunix.Config, hsigs, g int) {
+	rt := newRT(b, cfg)
+	if hsigs > 0 && cfg.Mode != dimmunix.ModeOff {
+		r := workload.NewRunner(rt, workload.Config{Threads: 2, Locks: 8})
+		withHistory(b, rt, r, hsigs, 4)
+	}
+	ths := make([]*dimmunix.Thread, g)
+	ms := make([]*dimmunix.CoreMutex, g)
+	for i := range ths {
+		ths[i] = rt.RegisterThread("bench")
+		ms[i] = rt.NewMutex()
+	}
+	b.Cleanup(func() {
+		for _, th := range ths {
+			th.Close()
+		}
+	})
+	per := b.N / g
+	if per == 0 {
+		per = 1
+	}
+	var wg sync.WaitGroup
+	b.ResetTimer()
+	for i := 0; i < g; i++ {
+		wg.Add(1)
+		go func(th *dimmunix.Thread, m *dimmunix.CoreMutex) {
+			defer wg.Done()
+			for j := 0; j < per; j++ {
+				if err := m.LockT(th); err != nil {
+					b.Error(err)
+					return
+				}
+				if err := m.UnlockT(th); err != nil {
+					b.Error(err)
+					return
+				}
+			}
+		}(ths[i], ms[i])
+	}
+	wg.Wait()
+	b.StopTimer()
+	if !cfg.DisableFastPath && cfg.Mode == dimmunix.ModeFull && rt.Stats().FastGos == 0 {
+		b.Fatal("fast-path benchmark never took the fast tier")
+	}
+	if cfg.DisableFastPath && rt.Stats().FastGos != 0 {
+		b.Fatal("guarded baseline leaked onto the fast tier")
+	}
+}
+
+func runParallelLadder(b *testing.B, cfg dimmunix.Config, hsigs int) {
+	for _, g := range parallelLadder {
+		b.Run(fmt.Sprintf("g%d", g), func(b *testing.B) {
+			benchLockParallel(b, cfg, hsigs, g)
+		})
+	}
+}
+
+// BenchmarkLockUncontendedParallel is the tentpole metric: empty history,
+// lock-free fast tier on.
+func BenchmarkLockUncontendedParallel(b *testing.B) {
+	runParallelLadder(b, dimmunix.Config{Mode: dimmunix.ModeFull}, 0)
+}
+
+// BenchmarkLockUncontendedParallelGuarded is the pre-refactor path: every
+// request runs the guarded §5.4 protocol.
+func BenchmarkLockUncontendedParallelGuarded(b *testing.B) {
+	runParallelLadder(b, dimmunix.Config{Mode: dimmunix.ModeFull, DisableFastPath: true}, 0)
+}
+
+// BenchmarkLockUncontendedParallelPopulated keeps 32 signatures in the
+// history; the bench call sites match none of them, so the fast tier
+// still applies (one marker check against the live danger index).
+func BenchmarkLockUncontendedParallelPopulated(b *testing.B) {
+	runParallelLadder(b, dimmunix.Config{Mode: dimmunix.ModeFull}, 32)
+}
+
+// BenchmarkLockUncontendedParallelGuardedPopulated: pre-refactor path
+// with 32 signatures (index refresh + reverse-index lookups under the
+// global guard).
+func BenchmarkLockUncontendedParallelGuardedPopulated(b *testing.B) {
+	runParallelLadder(b, dimmunix.Config{Mode: dimmunix.ModeFull, DisableFastPath: true}, 32)
+}
+
+// BenchmarkLockDataStructsShards measures the sharded guard where it is
+// designed to help: the data-structs ablation, whose bookkeeping takes
+// only the lock-shard/thread-shard pair instead of one global section.
+func BenchmarkLockDataStructsShards(b *testing.B) {
+	for _, shards := range []int{1, 8} {
+		b.Run(fmt.Sprintf("shards%d", shards), func(b *testing.B) {
+			benchLockParallel(b, dimmunix.Config{
+				Mode:        dimmunix.ModeDataStructs,
+				GuardShards: shards,
+			}, 0, 8)
+		})
 	}
 }

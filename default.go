@@ -21,7 +21,18 @@ var ErrInitialized = errors.New("dimmunix: default runtime already initialized")
 var (
 	defaultMu sync.Mutex
 	defaultRT atomic.Pointer[core.Runtime]
+
+	// defaultGen counts default-runtime transitions (installs and
+	// shutdowns). Zero-value Mutex/RWMutex bindings are stamped with the
+	// generation they bound under; a stale stamp makes the next lock
+	// operation rebind to the current default runtime — the mechanism
+	// that lets Shutdown→Init rebind already-bound drop-in mutexes
+	// instead of leaving them attached to a stopped runtime.
+	defaultGen atomic.Uint64
 )
+
+// generation returns the current default-runtime generation.
+func generation() uint64 { return defaultGen.Load() }
 
 // Init creates the process-wide default Runtime that zero-value Mutex and
 // RWMutex values bind to on first Lock. Configuration is read from the
@@ -50,6 +61,7 @@ func Init(opts ...Option) error {
 		return err
 	}
 	defaultRT.Store(rt)
+	defaultGen.Add(1)
 	return nil
 }
 
@@ -73,6 +85,7 @@ func Default() *Runtime {
 		rt, err = core.New(cfg)
 		if err == nil {
 			defaultRT.Store(rt)
+			defaultGen.Add(1)
 			return rt
 		}
 	}
@@ -81,12 +94,23 @@ func Default() *Runtime {
 
 // Shutdown stops the default Runtime — a final monitor pass, then the
 // history is saved — and clears it, so a later Init (or first Lock)
-// creates a fresh one. Mutexes already bound keep functioning against
-// the stopped runtime but are no longer monitored; quiesce lock activity
-// before calling. No-op when no default runtime exists.
+// creates a fresh one. Bound mutexes are detached lazily: the generation
+// stamp on each binding goes stale, and a mutex's next lock operation
+// retires the old instance once it is observed free (retirement is
+// atomic with the raw lock grant, so acquirers racing the transition
+// bounce internally and retry on the fresh binding — mutual exclusion is
+// preserved even under lock traffic concurrent with Shutdown→Init). A
+// mutex held across Shutdown keeps unlocking through its old runtime and
+// rebinds once free. Operations in flight during the transition may
+// briefly go unmonitored (their events reach the stopped runtime);
+// quiesce first if complete monitoring coverage matters. No-op when no
+// default runtime exists.
 func Shutdown() error {
 	defaultMu.Lock()
 	rt := defaultRT.Swap(nil)
+	if rt != nil {
+		defaultGen.Add(1)
+	}
 	defaultMu.Unlock()
 	if rt == nil {
 		return nil
@@ -109,6 +133,10 @@ func Shutdown() error {
 //	DIMMUNIX_STACK_DEPTH       int
 //	DIMMUNIX_CALIBRATE         bool
 //	DIMMUNIX_DISCARD_OBSOLETE  bool
+//	DIMMUNIX_GUARD_SHARDS      int (avoidance guard shard count)
+//	DIMMUNIX_THREAD_TTL        Go duration (idle implicit-thread pruning;
+//	                           negative disables)
+//	DIMMUNIX_FASTPATH          on | off (safe-stack lock-free bypass)
 func configFromEnv() (Config, error) {
 	var cfg Config
 	cfg.HistoryPath = os.Getenv("DIMMUNIX_HISTORY")
@@ -133,6 +161,22 @@ func configFromEnv() (Config, error) {
 	}
 	if err := envBool("DIMMUNIX_DISCARD_OBSOLETE", &cfg.DiscardObsolete); err != nil {
 		return cfg, err
+	}
+	if err := envInt("DIMMUNIX_GUARD_SHARDS", &cfg.GuardShards); err != nil {
+		return cfg, err
+	}
+	if err := envDuration("DIMMUNIX_THREAD_TTL", &cfg.ThreadTTL); err != nil {
+		return cfg, err
+	}
+	if v := os.Getenv("DIMMUNIX_FASTPATH"); v != "" {
+		switch strings.ToLower(v) {
+		case "on":
+			cfg.DisableFastPath = false
+		case "off":
+			cfg.DisableFastPath = true
+		default:
+			return cfg, fmt.Errorf("dimmunix: DIMMUNIX_FASTPATH=%q (want on|off)", v)
+		}
 	}
 
 	if v := os.Getenv("DIMMUNIX_MODE"); v != "" {

@@ -137,6 +137,13 @@ var (
 	ErrTimeout           = core.ErrTimeout
 	ErrDeadlockRecovered = core.ErrDeadlockRecovered
 	ErrNotOwner          = core.ErrNotOwner
+	// ErrMutexRetired is returned by explicit-runtime mutexes that were
+	// retired via Retire; the drop-in surface handles it internally by
+	// rebinding and retrying.
+	ErrMutexRetired = core.ErrMutexRetired
+	// ErrThreadPruned reports a lock operation on a Thread handle the
+	// idle pruner already retired (best-effort detection).
+	ErrThreadPruned = core.ErrThreadPruned
 )
 
 // New creates and starts a Runtime from an explicit Config.

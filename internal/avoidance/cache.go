@@ -10,15 +10,24 @@
 // and records yield-cause bindings so it can be woken when any binding
 // breaks.
 //
-// Synchronization: a single pluggable guard (sync.Mutex, TAS spin lock, or
-// the generalized Peterson filter lock of §5.6) protects every mutable
-// structure here, including the mutable fields of *signature.Signature.
+// Synchronization is two-tier. The guarded tier uses a pluggable guard
+// (sync.Mutex, TAS spin lock, or the generalized Peterson filter lock of
+// §5.6) — optionally split into shards (Config.GuardShards): decision
+// operations acquire every shard in index order, bookkeeping operations
+// only the lock's shard plus the thread's home shard — protecting every
+// mutable structure here, including the mutable fields of
+// *signature.Signature. The lock-free tier (FastRequest/FastAcquired/
+// FastRelease/FastCancel) handles requests whose call stack is provably
+// safe under the current history epoch: such stacks appear in no matcher,
+// so their edges could never change any decision, and the tier touches no
+// guarded state at all — one atomic marker check plus the event pushes.
 // Event emission to the monitor is lock-free (MPSC queue) and happens
 // outside or inside the guard without ordering hazards: per-producer FIFO
 // plus the mutex-token happens-before edge give the §5.2 partial order.
 package avoidance
 
 import (
+	"sync"
 	"sync/atomic"
 
 	"dimmunix/internal/event"
@@ -53,11 +62,17 @@ type ThreadState struct {
 	// Higher priority = freed first. Default 0.
 	Priority atomic.Int32
 
+	// liveHolds counts this thread's outstanding holds across both tiers
+	// (guarded entries and fast-path holds, which leave no entry). The
+	// runtime's idle-thread pruner reads it to prove quiescence.
+	liveHolds atomic.Int32
+
 	// Wake is signaled (buffered, capacity 1) whenever a yield cause of
 	// this thread may have broken.
 	Wake chan struct{}
 
-	// Everything below is protected by the cache guard.
+	// Everything below is protected by the cache guard (the thread's home
+	// shard, plus all shards for decision operations).
 	forcedGo     bool
 	pendingAllow *entry       // the outstanding allow edge, if any
 	holds        []*entry     // hold entries in acquisition order
@@ -65,11 +80,22 @@ type ThreadState struct {
 	yieldSig     *signature.Signature
 }
 
+// LiveHolds returns the number of locks the thread currently holds
+// (counting recursive acquisitions), across both avoidance tiers.
+func (t *ThreadState) LiveHolds() int { return int(t.liveHolds.Load()) }
+
+// NoteHold / NoteRelease maintain the hold count on paths that bypass the
+// cache entirely (ModeOff), so idle-thread pruning can prove quiescence
+// in every mode.
+func (t *ThreadState) NoteHold()    { t.liveHolds.Add(1) }
+func (t *ThreadState) NoteRelease() { t.liveHolds.Add(-1) }
+
 // LockState is the cache's per-lock node, embedded in the public Mutex.
 type LockState struct {
-	ID uint64
+	ID    uint64
+	shard int // guard shard index, fixed at creation
 
-	// Protected by the cache guard.
+	// Protected by the cache guard (the lock's shard).
 	owner   *ThreadState // nil when free (ownership per cache view)
 	waiters map[int32]*ThreadState
 }
@@ -81,15 +107,19 @@ type entry struct {
 	l    *LockState
 	st   *stack.Interned
 	held bool
-	// position of this entry in its stackState.entries slice, for O(1)
-	// swap-removal.
+	// position of this entry in its stackState per-shard slice, for O(1)
+	// swap-removal. The slice is selected by e.l.shard.
 	ssIdx int
 }
 
 // stackState is the per-interned-stack node carrying the Allowed set.
+// Entries are partitioned by their lock's guard shard so that bookkeeping
+// operations holding only that shard can mutate their partition without
+// racing bookkeeping on other shards; decision operations hold every
+// shard and may read all partitions.
 type stackState struct {
 	in      *stack.Interned
-	entries []*entry
+	entries [][]*entry // indexed by lock shard
 }
 
 // Decision is the outcome of Request.
@@ -122,6 +152,19 @@ type Config struct {
 	// Guard selects the mutual-exclusion primitive for the shared
 	// structures; nil selects sync.Mutex.
 	Guard peterson.Guard
+	// NewGuard builds one guard instance per shard when GuardShards > 1
+	// (Guard alone cannot be cloned). Falls back to sync.Mutex shards.
+	NewGuard func() peterson.Guard
+	// GuardShards splits the avoidance guard into this many independently
+	// lockable shards: decision operations (Request in full mode, Cancel,
+	// ThreadExit) acquire every shard in index order, while bookkeeping
+	// operations (Acquired, Release, reentrant acquisitions, and Request
+	// in data-structs mode) acquire only the lock's shard and the
+	// thread's home shard. <= 1 keeps the single global guard.
+	GuardShards int
+	// DisableFastPath forces every request through the guarded protocol
+	// (benchmark baselines and differential testing).
+	DisableFastPath bool
 	// Mode selects the instrumentation level.
 	Mode Mode
 	// IgnoreDecisions turns YIELD into GO (Table 1's control run).
@@ -142,14 +185,22 @@ type Config struct {
 // Cache is the avoidance-side state of one Dimmunix runtime.
 type Cache struct {
 	cfg      Config
-	guard    peterson.Guard
+	guards   []peterson.Guard // shard index -> guard; length >= 1
+	fastOK   bool             // precomputed: requests may use the lock-free tier
 	interner *stack.Interner
 	hist     *signature.History
 	emit     func(event.Event)
 	stats    *Stats
 
-	// Protected by guard.
-	stackStates []*stackState // indexed by interned stack ID
+	// stackStates is the interned-stack side table. The slice header is
+	// RCU-published (copy-on-write under ssMu) so operations holding only
+	// a shard pair can look stacks up without racing growth from another
+	// shard; each stackState's per-shard entry partitions are protected
+	// by their shard guard.
+	stackStates atomic.Pointer[[]*stackState]
+	ssMu        sync.Mutex
+
+	// Protected by the full decision scope (all shards).
 	matchers    []*sigMatcher
 	byStack     map[uint32][]matchRef // reverse index: stack -> signature positions
 	histVersion uint64
@@ -171,19 +222,72 @@ func NewCache(cfg Config, interner *stack.Interner, hist *signature.History, sta
 	if cfg.MaxThreads <= 0 {
 		cfg.MaxThreads = 1024
 	}
-	g := cfg.Guard
-	if g == nil {
-		g = peterson.NewMutex()
+	if cfg.GuardShards < 1 {
+		cfg.GuardShards = 1
+	}
+	guards := make([]peterson.Guard, cfg.GuardShards)
+	for i := range guards {
+		switch {
+		case i == 0 && cfg.Guard != nil:
+			guards[i] = cfg.Guard
+		case cfg.NewGuard != nil:
+			guards[i] = cfg.NewGuard()
+		default:
+			guards[i] = peterson.NewMutex()
+		}
 	}
 	return &Cache{
 		cfg:      cfg,
-		guard:    g,
+		guards:   guards,
+		fastOK:   cfg.Mode == ModeFull && !cfg.IgnoreDecisions && !cfg.DisableFastPath,
 		interner: interner,
 		hist:     hist,
 		emit:     emit,
 		stats:    stats,
 		byStack:  make(map[uint32][]matchRef),
 	}
+}
+
+// tShard returns the home guard shard of a thread.
+func (c *Cache) tShard(t *ThreadState) int { return t.Slot % len(c.guards) }
+
+// lockAll acquires every guard shard in index order (decision scope).
+func (c *Cache) lockAll(slot int) {
+	for _, g := range c.guards {
+		g.Lock(slot)
+	}
+}
+
+func (c *Cache) unlockAll(slot int) {
+	for i := len(c.guards) - 1; i >= 0; i-- {
+		c.guards[i].Unlock(slot)
+	}
+}
+
+// lockPair acquires shards a and b in index order (bookkeeping scope:
+// the lock's shard plus the thread's home shard).
+func (c *Cache) lockPair(a, b, slot int) {
+	if a == b {
+		c.guards[a].Lock(slot)
+		return
+	}
+	if a > b {
+		a, b = b, a
+	}
+	c.guards[a].Lock(slot)
+	c.guards[b].Lock(slot)
+}
+
+func (c *Cache) unlockPair(a, b, slot int) {
+	if a == b {
+		c.guards[a].Unlock(slot)
+		return
+	}
+	if a < b {
+		a, b = b, a
+	}
+	c.guards[a].Unlock(slot)
+	c.guards[b].Unlock(slot)
 }
 
 // Stats returns the cache's counters.
@@ -201,37 +305,66 @@ func (c *Cache) NewThread(id int32, slot int, name string) *ThreadState {
 
 // NewLock creates a lock node with a fresh ID.
 func (c *Cache) NewLock() *LockState {
-	return &LockState{ID: c.nextLockID.Add(1)}
+	id := c.nextLockID.Add(1)
+	return &LockState{ID: id, shard: int(id % uint64(len(c.guards)))}
 }
 
 // Intern exposes the runtime's stack interner.
 func (c *Cache) Intern(s stack.Stack) *stack.Interned { return c.interner.Intern(s) }
 
+// stackStateByID resolves the side-table node for an interned stack ID
+// (nil if the stack has no node yet). Safe under any guard scope: the
+// slice header is loaded atomically and published versions are immutable.
+func (c *Cache) stackStateByID(id uint32) *stackState {
+	sl := c.stackStates.Load()
+	if sl == nil || int(id) >= len(*sl) {
+		return nil
+	}
+	return (*sl)[id]
+}
+
+// stackState returns the node for in, creating and publishing it (copy on
+// write) if needed.
 func (c *Cache) stackState(in *stack.Interned) *stackState {
-	for int(in.ID) >= len(c.stackStates) {
-		c.stackStates = append(c.stackStates, nil)
+	if ss := c.stackStateByID(in.ID); ss != nil {
+		return ss
 	}
-	ss := c.stackStates[in.ID]
-	if ss == nil {
-		ss = &stackState{in: in}
-		c.stackStates[in.ID] = ss
+	c.ssMu.Lock()
+	defer c.ssMu.Unlock()
+	var cur []*stackState
+	if sl := c.stackStates.Load(); sl != nil {
+		cur = *sl
 	}
+	if int(in.ID) < len(cur) && cur[in.ID] != nil {
+		return cur[in.ID]
+	}
+	n := len(cur)
+	if int(in.ID) >= n {
+		n = int(in.ID) + 1
+	}
+	next := make([]*stackState, n)
+	copy(next, cur)
+	ss := &stackState{in: in, entries: make([][]*entry, len(c.guards))}
+	next[in.ID] = ss
+	c.stackStates.Store(&next)
 	return ss
 }
 
 func (c *Cache) addEntry(t *ThreadState, l *LockState, in *stack.Interned, held bool) *entry {
 	ss := c.stackState(in)
-	e := &entry{t: t, l: l, st: in, held: held, ssIdx: len(ss.entries)}
-	ss.entries = append(ss.entries, e)
+	sh := l.shard
+	e := &entry{t: t, l: l, st: in, held: held, ssIdx: len(ss.entries[sh])}
+	ss.entries[sh] = append(ss.entries[sh], e)
 	return e
 }
 
 func (c *Cache) removeEntry(e *entry) {
-	ss := c.stackStates[e.st.ID]
-	last := len(ss.entries) - 1
-	ss.entries[e.ssIdx] = ss.entries[last]
-	ss.entries[e.ssIdx].ssIdx = e.ssIdx
-	ss.entries = ss.entries[:last]
+	ss := c.stackStateByID(e.st.ID)
+	part := ss.entries[e.l.shard]
+	last := len(part) - 1
+	part[e.ssIdx] = part[last]
+	part[e.ssIdx].ssIdx = e.ssIdx
+	ss.entries[e.l.shard] = part[:last]
 	e.ssIdx = -1
 }
 
@@ -242,6 +375,120 @@ func clearYieldRegs(t *ThreadState) {
 	}
 	t.yieldRegs = t.yieldRegs[:0]
 	t.yieldSig = nil
+}
+
+// classifySafe reports whether in is provably safe under the live danger
+// index: its innermost frame cannot match any enabled signature stack at
+// any depth. The verdict is cached in the interned stack's marker and
+// self-invalidates when the history epoch moves (AddSignature,
+// SetDisabled, Remove, ReplaceAll — including ReloadHistory's §8
+// hot-patch — all publish a fresh index).
+func (c *Cache) classifySafe(in *stack.Interned) bool {
+	idx := c.hist.Danger()
+	if ep, dangerous := in.Marker(); ep == idx.Epoch() {
+		return !dangerous
+	}
+	dangerous := idx.Dangerous(in.S)
+	in.SetMarker(idx.Epoch(), dangerous)
+	return !dangerous
+}
+
+// FastEligible is the gate of the lock-free first tier of the §5.4
+// request protocol: it reports whether the requesting stack is provably
+// safe under the current history epoch. A safe-stack request can never
+// yield and its allow/hold edges could never participate in a signature
+// instance (safe stacks appear in no matcher), so the caller may skip the
+// guarded protocol entirely:
+//
+//   - uncontended raw lock  -> FastAcquiredImmediate (one Acquired event;
+//     no Go event is owed because the thread never blocks, so no wait
+//     edge could join a deadlock cycle),
+//   - about to block        -> FastBlocking (publishes the Go wait edge
+//     for first-occurrence detection), then FastAcquired or FastCancel,
+//   - trylock failure       -> FastTryFailed (counters only).
+//
+// A pending ForceGo is not consumed on this tier: it stays armed for the
+// thread's next guarded request, which is where yields happen.
+func (c *Cache) FastEligible(in *stack.Interned) bool {
+	return c.fastOK && c.classifySafe(in)
+}
+
+// FastAcquiredImmediate records an uncontended fast-tier acquisition: the
+// raw lock was free, the thread never blocked. One Acquired event covers
+// the whole request/go/acquired sequence. No Allowed-set entry is created
+// (the stack is safe, so the hold could never cover a signature position)
+// and the cache's per-lock owner view is not updated; the monitor's RAG
+// remains exact via the event stream.
+//
+// Known avoidance gap, by design: a fast hold outlives the epoch it was
+// classified under. If a signature naming this stack is archived while
+// the hold is outstanding, the hold stays invisible to covers until it
+// is released (re-acquisition then classifies dangerous and takes the
+// guarded tier), so avoidance of the new signature phases in as
+// pre-existing fast holds retire. Detection is unaffected throughout —
+// the event stream keeps the RAG exact — so a re-formed pattern in that
+// window is still caught and recovered like a first occurrence. Indexing
+// live fast holds per stack would reintroduce shared-cache-line traffic
+// on hot call sites, which is exactly what this tier removes.
+func (c *Cache) FastAcquiredImmediate(t *ThreadState, l *LockState, in *stack.Interned, shared bool) {
+	c.stats.Requests.Add(1)
+	c.stats.Gos.Add(1)
+	c.stats.FastGos.Add(1)
+	c.fastAcquired(t, l, in, shared)
+}
+
+// FastBlocking announces that a fast-tier request is about to block on
+// the raw lock. The Go event (whose RAG effect subsumes Request's)
+// publishes the wait edge before the caller blocks, preserving
+// first-occurrence deadlock detection; follow up with FastAcquired or
+// FastCancel.
+func (c *Cache) FastBlocking(t *ThreadState, l *LockState, in *stack.Interned) {
+	c.stats.Requests.Add(1)
+	c.stats.Gos.Add(1)
+	c.stats.FastGos.Add(1)
+	c.emit(event.Event{Kind: event.Go, TID: t.ID, LID: l.ID, Stack: in})
+}
+
+// FastTryFailed accounts a fast-tier trylock that found the raw lock
+// busy. Nothing was published, so nothing is rolled back.
+func (c *Cache) FastTryFailed() {
+	c.stats.Requests.Add(1)
+	c.stats.Gos.Add(1)
+	c.stats.FastGos.Add(1)
+	c.stats.Cancels.Add(1)
+}
+
+// FastAcquired completes a FastBlocking'd acquisition.
+func (c *Cache) FastAcquired(t *ThreadState, l *LockState, in *stack.Interned, shared bool) {
+	c.fastAcquired(t, l, in, shared)
+}
+
+func (c *Cache) fastAcquired(t *ThreadState, l *LockState, in *stack.Interned, shared bool) {
+	c.stats.Acquired.Add(1)
+	if shared {
+		c.stats.SharedAcquired.Add(1)
+	}
+	t.liveHolds.Add(1)
+	c.emit(event.Event{Kind: event.Acquired, TID: t.ID, LID: l.ID, Stack: in})
+}
+
+// FastRelease retires a fast-path hold. A fast hold was never an
+// Allowed-set entry, so it cannot be a yield-cause binding of any
+// yielding thread — no wakeups are owed and no guard is needed; only the
+// release event is emitted (the caller must return the raw lock strictly
+// after, preserving the §5.2 order).
+func (c *Cache) FastRelease(t *ThreadState, l *LockState) {
+	c.stats.Releases.Add(1)
+	t.liveHolds.Add(-1)
+	c.emit(event.Event{Kind: event.Release, TID: t.ID, LID: l.ID})
+}
+
+// FastCancel rolls back a FastBlocking'd acquisition whose raw block
+// failed (timeout, context, recovery abort). As with FastRelease, no
+// shared state was touched, so only the event is owed.
+func (c *Cache) FastCancel(t *ThreadState, l *LockState) {
+	c.stats.Cancels.Add(1)
+	c.emit(event.Event{Kind: event.Cancel, TID: t.ID, LID: l.ID})
 }
 
 // Request implements the §5.4 request method. It returns GO when it is
@@ -257,11 +504,15 @@ func (c *Cache) Request(t *ThreadState, l *LockState, in *stack.Interned) Decisi
 		return Decision{Go: true}
 	}
 
-	c.guard.Lock(t.Slot)
+	// Full mode must read every shard's entries to match instances; the
+	// data-structs ablation only touches this lock's and thread's state.
+	full := c.cfg.Mode == ModeFull
+	ts := c.tShard(t)
+	c.lockScope(full, l.shard, ts, t.Slot)
 	clearYieldRegs(t)
 
 	var dec Decision
-	if c.cfg.Mode == ModeFull {
+	if full {
 		c.refreshIndex()
 		if t.forcedGo {
 			t.forcedGo = false
@@ -295,7 +546,7 @@ func (c *Cache) Request(t *ThreadState, l *LockState, in *stack.Interned) Decisi
 			t.yieldRegs = append(t.yieldRegs, b.L)
 			causes = append(causes, event.Cause{TID: b.T.ID, LID: b.L.ID, Stack: b.St, SigIdx: b.SigIdx})
 		}
-		c.guard.Unlock(t.Slot)
+		c.unlockScope(full, l.shard, ts, t.Slot)
 		c.lastAvoided.Store(dec.Sig)
 		c.stats.Yields.Add(1)
 		c.emit(event.Event{
@@ -315,20 +566,40 @@ func (c *Cache) Request(t *ThreadState, l *LockState, in *stack.Interned) Decisi
 
 	// GO: commit the allow edge.
 	t.pendingAllow = c.addEntry(t, l, in, false)
-	c.guard.Unlock(t.Slot)
+	c.unlockScope(full, l.shard, ts, t.Slot)
 	c.stats.Gos.Add(1)
 	c.emit(event.Event{Kind: event.Go, TID: t.ID, LID: l.ID, Stack: in})
 	return dec
 }
 
+// lockScope acquires the guard scope of a request: every shard in full
+// mode, the lock/thread shard pair otherwise.
+func (c *Cache) lockScope(full bool, lshard, tshard, slot int) {
+	if full {
+		c.lockAll(slot)
+	} else {
+		c.lockPair(lshard, tshard, slot)
+	}
+}
+
+func (c *Cache) unlockScope(full bool, lshard, tshard, slot int) {
+	if full {
+		c.unlockAll(slot)
+	} else {
+		c.unlockPair(lshard, tshard, slot)
+	}
+}
+
 // Acquired converts t's outstanding allow edge on l into a hold edge.
 func (c *Cache) Acquired(t *ThreadState, l *LockState) {
 	c.stats.Acquired.Add(1)
+	t.liveHolds.Add(1)
 	if c.cfg.Mode == ModeInstrument {
 		c.emit(event.Event{Kind: event.Acquired, TID: t.ID, LID: l.ID})
 		return
 	}
-	c.guard.Lock(t.Slot)
+	ts := c.tShard(t)
+	c.lockPair(l.shard, ts, t.Slot)
 	e := t.pendingAllow
 	var in *stack.Interned
 	if e != nil && e.l == l {
@@ -338,7 +609,7 @@ func (c *Cache) Acquired(t *ThreadState, l *LockState) {
 		in = e.st
 	}
 	l.owner = t
-	c.guard.Unlock(t.Slot)
+	c.unlockPair(l.shard, ts, t.Slot)
 	c.emit(event.Event{Kind: event.Acquired, TID: t.ID, LID: l.ID, Stack: in})
 }
 
@@ -350,11 +621,13 @@ func (c *Cache) Acquired(t *ThreadState, l *LockState) {
 func (c *Cache) AcquiredShared(t *ThreadState, l *LockState) {
 	c.stats.Acquired.Add(1)
 	c.stats.SharedAcquired.Add(1)
+	t.liveHolds.Add(1)
 	if c.cfg.Mode == ModeInstrument {
 		c.emit(event.Event{Kind: event.Acquired, TID: t.ID, LID: l.ID})
 		return
 	}
-	c.guard.Lock(t.Slot)
+	ts := c.tShard(t)
+	c.lockPair(l.shard, ts, t.Slot)
 	e := t.pendingAllow
 	var in *stack.Interned
 	if e != nil && e.l == l {
@@ -363,21 +636,32 @@ func (c *Cache) AcquiredShared(t *ThreadState, l *LockState) {
 		t.holds = append(t.holds, e)
 		in = e.st
 	}
-	c.guard.Unlock(t.Slot)
+	c.unlockPair(l.shard, ts, t.Slot)
 	c.emit(event.Event{Kind: event.Acquired, TID: t.ID, LID: l.ID, Stack: in})
 }
 
 // ReentrantAcquired records a reentrant acquisition (no decision needed:
-// the thread already owns the lock, so it cannot block).
-func (c *Cache) ReentrantAcquired(t *ThreadState, l *LockState, in *stack.Interned) {
+// the thread already owns the lock, so it cannot block). It reports
+// whether the hold took the lock-free fast tier — a provably safe stack
+// needs no Allowed-set entry — in which case the caller must route the
+// matching release through FastRelease.
+func (c *Cache) ReentrantAcquired(t *ThreadState, l *LockState, in *stack.Interned) bool {
 	c.stats.Reentries.Add(1)
+	t.liveHolds.Add(1)
+	if c.fastOK && c.classifySafe(in) {
+		c.stats.FastGos.Add(1)
+		c.emit(event.Event{Kind: event.Acquired, TID: t.ID, LID: l.ID, Stack: in})
+		return true
+	}
 	if c.cfg.Mode != ModeInstrument {
-		c.guard.Lock(t.Slot)
+		ts := c.tShard(t)
+		c.lockPair(l.shard, ts, t.Slot)
 		e := c.addEntry(t, l, in, true)
 		t.holds = append(t.holds, e)
-		c.guard.Unlock(t.Slot)
+		c.unlockPair(l.shard, ts, t.Slot)
 	}
 	c.emit(event.Event{Kind: event.Acquired, TID: t.ID, LID: l.ID, Stack: in})
+	return false
 }
 
 // Release removes t's most recent hold edge on l and wakes every thread
@@ -385,11 +669,13 @@ func (c *Cache) ReentrantAcquired(t *ThreadState, l *LockState, in *stack.Intern
 // actual unlock strictly after Release returns (§5.2's event ordering).
 func (c *Cache) Release(t *ThreadState, l *LockState) {
 	c.stats.Releases.Add(1)
+	t.liveHolds.Add(-1)
 	if c.cfg.Mode == ModeInstrument {
 		c.emit(event.Event{Kind: event.Release, TID: t.ID, LID: l.ID})
 		return
 	}
-	c.guard.Lock(t.Slot)
+	ts := c.tShard(t)
+	c.lockPair(l.shard, ts, t.Slot)
 	for i := len(t.holds) - 1; i >= 0; i-- {
 		if t.holds[i].l == l {
 			c.removeEntry(t.holds[i])
@@ -414,7 +700,7 @@ func (c *Cache) Release(t *ThreadState, l *LockState) {
 			toWake = append(toWake, w)
 		}
 	}
-	c.guard.Unlock(t.Slot)
+	c.unlockPair(l.shard, ts, t.Slot)
 	c.emit(event.Event{Kind: event.Release, TID: t.ID, LID: l.ID})
 	for _, w := range toWake {
 		wake(w)
@@ -430,7 +716,9 @@ func (c *Cache) Cancel(t *ThreadState, l *LockState) {
 		c.emit(event.Event{Kind: event.Cancel, TID: t.ID, LID: l.ID})
 		return
 	}
-	c.guard.Lock(t.Slot)
+	// Decision scope: clearYieldRegs may touch waiter sets of cause locks
+	// on any shard.
+	c.lockAll(t.Slot)
 	clearYieldRegs(t)
 	if e := t.pendingAllow; e != nil && e.l == l {
 		c.removeEntry(e)
@@ -443,7 +731,7 @@ func (c *Cache) Cancel(t *ThreadState, l *LockState) {
 			toWake = append(toWake, w)
 		}
 	}
-	c.guard.Unlock(t.Slot)
+	c.unlockAll(t.Slot)
 	c.emit(event.Event{Kind: event.Cancel, TID: t.ID, LID: l.ID})
 	for _, w := range toWake {
 		wake(w)
@@ -453,7 +741,7 @@ func (c *Cache) Cancel(t *ThreadState, l *LockState) {
 // ThreadExit deregisters a thread.
 func (c *Cache) ThreadExit(t *ThreadState) {
 	if c.cfg.Mode != ModeInstrument {
-		c.guard.Lock(t.Slot)
+		c.lockAll(t.Slot)
 		clearYieldRegs(t)
 		if t.pendingAllow != nil {
 			c.removeEntry(t.pendingAllow)
@@ -466,18 +754,37 @@ func (c *Cache) ThreadExit(t *ThreadState) {
 			}
 		}
 		t.holds = nil
-		c.guard.Unlock(t.Slot)
+		c.unlockAll(t.Slot)
 	}
+	t.liveHolds.Store(0)
 	c.emit(event.Event{Kind: event.ThreadExit, TID: t.ID})
 }
 
-// ForceGo releases t from its yield: its next Request proceeds without
-// matching. Used by the monitor to break starvation (§3) and by the
-// max-yield bound (§5.7).
+// ThreadQuiescent reports whether t has no avoidance-side footprint: no
+// allow edge, no guarded holds, no yield registrations. Together with a
+// zero LiveHolds count (which also covers fast-path holds) this is the
+// runtime's proof that an idle implicit thread can be pruned.
+func (c *Cache) ThreadQuiescent(t *ThreadState) bool {
+	if c.cfg.Mode == ModeInstrument {
+		return true
+	}
+	ts := c.tShard(t)
+	c.guards[ts].Lock(t.Slot)
+	quiet := t.pendingAllow == nil && len(t.holds) == 0 &&
+		len(t.yieldRegs) == 0 && t.yieldSig == nil
+	c.guards[ts].Unlock(t.Slot)
+	return quiet
+}
+
+// ForceGo releases t from its yield: its next guarded Request proceeds
+// without matching. Used by the monitor to break starvation (§3) and by
+// the max-yield bound (§5.7). Fast-path requests leave the flag armed
+// (they never yield, so consuming it there would waive nothing).
 func (c *Cache) ForceGo(t *ThreadState) {
-	c.guard.Lock(t.Slot)
+	ts := c.tShard(t)
+	c.guards[ts].Lock(t.Slot)
 	t.forcedGo = true
-	c.guard.Unlock(t.Slot)
+	c.guards[ts].Unlock(t.Slot)
 	wake(t)
 }
 
@@ -486,7 +793,8 @@ func (c *Cache) ForceGo(t *ThreadState) {
 // automatically (§5.7). A zero threshold disables auto-disabling.
 func (c *Cache) NoteAbort(t *ThreadState, sigID string, autoDisableAfter uint64) {
 	c.stats.Aborts.Add(1)
-	c.guard.Lock(t.Slot)
+	// Decision scope: signature fields are shared with Request matching.
+	c.lockAll(t.Slot)
 	t.forcedGo = true
 	if sig := c.hist.Get(sigID); sig != nil {
 		sig.AbortCount++
@@ -494,7 +802,7 @@ func (c *Cache) NoteAbort(t *ThreadState, sigID string, autoDisableAfter uint64)
 			sig.Disabled = true
 		}
 	}
-	c.guard.Unlock(t.Slot)
+	c.unlockAll(t.Slot)
 }
 
 // RecordOutcome applies a retrospective FP/TP verdict for an avoidance of
@@ -505,7 +813,7 @@ func (c *Cache) RecordOutcome(sigID string, depth int, fp bool, yielderStack *st
 	if sig == nil {
 		return
 	}
-	c.guard.Lock(0)
+	c.lockAll(0)
 	if fp {
 		sig.FPCount++
 	} else {
@@ -541,7 +849,7 @@ func (c *Cache) RecordOutcome(sigID string, depth int, fp bool, yielderStack *st
 			c.hist.Remove(sig.ID)
 		}
 	}
-	c.guard.Unlock(0)
+	c.unlockAll(0)
 }
 
 // BindingRecord is the durable form of a Binding, kept by the monitor for
@@ -561,8 +869,8 @@ func (c *Cache) LastAvoided() *signature.Signature {
 // HolderOf returns the cache's view of l's owner thread ID (0 if free),
 // for diagnostics.
 func (c *Cache) HolderOf(l *LockState) int32 {
-	c.guard.Lock(0)
-	defer c.guard.Unlock(0)
+	c.guards[l.shard].Lock(0)
+	defer c.guards[l.shard].Unlock(0)
 	if l.owner == nil {
 		return 0
 	}

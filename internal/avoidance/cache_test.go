@@ -353,7 +353,9 @@ func TestCancelRollsBackAllow(t *testing.T) {
 }
 
 func TestReleaseOfReentrantHoldKeepsOwnership(t *testing.T) {
-	e := newEnv(Config{Mode: ModeFull})
+	// DisableFastPath: this test exercises the guarded tier's reentrant
+	// entry bookkeeping, which a safe stack would otherwise bypass.
+	e := newEnv(Config{Mode: ModeFull, DisableFastPath: true})
 	t1 := e.c.NewThread(1, 1, "T1")
 	l := e.c.NewLock()
 	s1 := e.stk("lock", "outer")

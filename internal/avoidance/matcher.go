@@ -187,26 +187,25 @@ func (c *Cache) cover(m *sigMatcher, yIdx int, t *ThreadState, l *LockState) ([]
 			return rec(j + 1)
 		}
 		for _, sid := range m.matchIDs[j] {
-			if int(sid) >= len(c.stackStates) {
-				continue
-			}
-			ss := c.stackStates[sid]
+			ss := c.stackStateByID(sid)
 			if ss == nil {
 				continue
 			}
-			for _, e := range ss.entries {
-				if usedT[e.t] || usedL[e.l] {
-					continue
+			for _, part := range ss.entries {
+				for _, e := range part {
+					if usedT[e.t] || usedL[e.l] {
+						continue
+					}
+					usedT[e.t] = true
+					usedL[e.l] = true
+					bindings = append(bindings, Binding{T: e.t, L: e.l, St: e.st, SigIdx: j})
+					if rec(j + 1) {
+						return true
+					}
+					bindings = bindings[:len(bindings)-1]
+					delete(usedT, e.t)
+					delete(usedL, e.l)
 				}
-				usedT[e.t] = true
-				usedL[e.l] = true
-				bindings = append(bindings, Binding{T: e.t, L: e.l, St: e.st, SigIdx: j})
-				if rec(j + 1) {
-					return true
-				}
-				bindings = bindings[:len(bindings)-1]
-				delete(usedT, e.t)
-				delete(usedL, e.l)
 			}
 		}
 		return false

@@ -18,6 +18,8 @@ type Stats struct {
 	Reentries atomic.Uint64 // reentrant acquisitions (no decision needed)
 
 	SharedAcquired atomic.Uint64 // shared (reader) acquisitions, also counted in Acquired
+
+	FastGos atomic.Uint64 // GO decisions served by the lock-free fast tier
 }
 
 // Snapshot is a plain-value copy of Stats.
@@ -25,6 +27,7 @@ type Snapshot struct {
 	Requests, Gos, Yields, Acquired, Releases, Cancels uint64
 	ForcedGos, Aborts, Ignored, ProbeFPs, Reentries    uint64
 	SharedAcquired                                     uint64
+	FastGos                                            uint64
 }
 
 // Snapshot returns a consistent-enough point-in-time copy.
@@ -43,5 +46,7 @@ func (s *Stats) Snapshot() Snapshot {
 		Reentries: s.Reentries.Load(),
 
 		SharedAcquired: s.SharedAcquired.Load(),
+
+		FastGos: s.FastGos.Load(),
 	}
 }

@@ -46,6 +46,8 @@ func (c *Cond) WaitTimeoutT(t *Thread, d time.Duration) error {
 }
 
 func (c *Cond) waitT(t *Thread, timeout time.Duration) error {
+	t.pin() // the pruner must not retire t between the release and re-acquire
+	defer t.unpin()
 	if c.L.owner.Load() != t {
 		return ErrNotHeld
 	}
@@ -92,7 +94,11 @@ func (c *Cond) waitT(t *Thread, timeout time.Duration) error {
 }
 
 // Wait is WaitT for the calling goroutine.
-func (c *Cond) Wait() error { return c.WaitT(c.L.rt.CurrentThread()) }
+func (c *Cond) Wait() error {
+	t := c.L.rt.currentPinned()
+	defer t.unpin()
+	return c.WaitT(t)
+}
 
 // removeWaiter drops ch from the wait list if still present.
 func (c *Cond) removeWaiter(ch chan struct{}) {

@@ -59,6 +59,10 @@ const (
 // pattern before it is forcibly released (§5.7 suggests e.g. 200 ms).
 const DefaultMaxYield = 200 * time.Millisecond
 
+// DefaultThreadTTL is how long an implicitly-registered goroutine may sit
+// idle before its thread slot is pruned (Config.ThreadTTL).
+const DefaultThreadTTL = time.Minute
+
 // Config configures a Runtime. The zero value is usable: full Dimmunix,
 // weak immunity, τ = 100 ms, matching depth 4, no history file.
 type Config struct {
@@ -99,9 +103,32 @@ type Config struct {
 	AbortDisableThreshold uint64
 	// Guard selects the avoidance guard implementation.
 	Guard GuardKind
+	// GuardShards splits the avoidance guard into this many independently
+	// lockable shards (<= 1 keeps the single global guard). Decision
+	// operations still acquire every shard; bookkeeping operations
+	// (acquired/release) take only the lock's shard and the thread's home
+	// shard, so they stop serializing against each other. Most workloads
+	// should prefer the default: the lock-free fast path already removes
+	// safe traffic from the guard entirely, and sharding only helps when
+	// the residual guarded bookkeeping itself is contended (e.g. the
+	// data-structs ablation, or dense dangerous-stack traffic over many
+	// locks).
+	GuardShards int
+	// DisableFastPath forces every request through the guarded §5.4
+	// protocol, disabling the epoch-validated safe-stack bypass. Used for
+	// benchmark baselines and differential testing.
+	DisableFastPath bool
 	// MaxThreads sizes the thread slot table (default 1024; the paper
 	// scales Dimmunix to 1024 threads).
 	MaxThreads int
+	// ThreadTTL bounds how long an idle implicitly-registered thread
+	// (CurrentThread with no explicit handle) stays registered: a
+	// goroutine quiescent for at least this long has its thread slot
+	// pruned and reclaimed, so goroutine-per-request servers do not grow
+	// the runtime maps unboundedly. Zero selects DefaultThreadTTL;
+	// negative disables pruning. Explicit RegisterThread handles are
+	// never pruned.
+	ThreadTTL time.Duration
 	// StackDepth is the number of frames captured per lock operation
 	// (default 16; must be at least MatchDepth and the calibration max).
 	StackDepth int
@@ -131,6 +158,12 @@ func (c *Config) fill() {
 	}
 	if c.MaxThreads <= 0 {
 		c.MaxThreads = 1024
+	}
+	if c.GuardShards < 1 {
+		c.GuardShards = 1
+	}
+	if c.ThreadTTL == 0 {
+		c.ThreadTTL = DefaultThreadTTL
 	}
 	if c.StackDepth <= 0 {
 		c.StackDepth = 16

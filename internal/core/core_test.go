@@ -223,13 +223,7 @@ func seedSignatureVia(t *testing.T, rt *Runtime, a, b *Mutex, first1, first2 fun
 	}()
 	waitFor(t, "deadlock detection", func() bool { return rt.History().Len() >= 1 })
 	// Abort all live threads so the workers unwind.
-	rt.mu.RLock()
-	ids := make([]int32, 0, len(rt.byID))
-	for id := range rt.byID {
-		ids = append(ids, id)
-	}
-	rt.mu.RUnlock()
-	rt.AbortThreads(ids...)
+	rt.AbortThreads(rt.LiveThreadIDs()...)
 	<-done
 	waitFor(t, "locks released", func() bool { return a.Holder() == 0 && b.Holder() == 0 })
 }

@@ -33,6 +33,16 @@ var (
 	ErrDeadlockRecovered = errors.New("dimmunix: lock wait aborted by deadlock recovery")
 	// ErrNotOwner reports an unlock by a non-owner.
 	ErrNotOwner = errors.New("dimmunix: unlock of mutex not owned by this thread")
+	// ErrThreadPruned reports a lock operation on a Thread handle the
+	// idle pruner already retired (best-effort detection): re-resolve
+	// via CurrentThread, or hold handles via RegisterThread, which is
+	// never pruned.
+	ErrThreadPruned = errors.New("dimmunix: thread handle was pruned after idling")
+	// ErrMutexRetired reports an acquisition attempt on a mutex that was
+	// retired by Retire (the drop-in facade supersedes a binding after a
+	// default-runtime Shutdown). Callers should re-resolve the current
+	// instance and retry.
+	ErrMutexRetired = errors.New("dimmunix: mutex retired after runtime shutdown")
 )
 
 // Mutex is Dimmunix's instrumented mutex. Create with Runtime.NewMutex.
@@ -47,6 +57,13 @@ type Mutex struct {
 	token chan struct{}
 	owner atomic.Pointer[Thread]
 	rec   int32 // owner-only
+	// fastHolds counts how many of the current recursion levels were
+	// acquired on the lock-free fast tier (no Allowed-set entry); their
+	// releases route through FastRelease. Owner-only, like rec.
+	fastHolds int32
+	// retired marks a superseded instance (see Retire). Checked under
+	// token ownership, so retire-vs-acquire is race-free.
+	retired atomic.Bool
 }
 
 // lockStateRef aliases avoidance.LockState without exporting it.
@@ -74,17 +91,31 @@ func (m *Mutex) ID() uint64 { return m.ls.ID }
 func (m *Mutex) Kind() MutexKind { return m.kind }
 
 // Lock acquires the mutex on behalf of the calling goroutine.
-func (m *Mutex) Lock() error { return m.LockT(m.rt.CurrentThread()) }
+func (m *Mutex) Lock() error {
+	t := m.rt.currentPinned()
+	defer t.unpin()
+	return m.LockT(t)
+}
 
 // Unlock releases the mutex on behalf of the calling goroutine.
-func (m *Mutex) Unlock() error { return m.UnlockT(m.rt.CurrentThread()) }
+func (m *Mutex) Unlock() error {
+	t := m.rt.currentPinned()
+	defer t.unpin()
+	return m.UnlockT(t)
+}
 
 // TryLock attempts the lock without blocking.
-func (m *Mutex) TryLock() (bool, error) { return m.TryLockT(m.rt.CurrentThread()) }
+func (m *Mutex) TryLock() (bool, error) {
+	t := m.rt.currentPinned()
+	defer t.unpin()
+	return m.TryLockT(t)
+}
 
 // LockTimeout acquires the mutex, failing with ErrTimeout after d.
 func (m *Mutex) LockTimeout(d time.Duration) error {
-	return m.LockTimeoutT(m.rt.CurrentThread(), d)
+	t := m.rt.currentPinned()
+	defer t.unpin()
+	return m.LockTimeoutT(t, d)
 }
 
 // MustLock is Lock that panics on error, for code that uses Normal or
@@ -128,7 +159,9 @@ func (m *Mutex) LockTimeoutT(t *Thread, d time.Duration) error {
 // ctx.Err()). A context cancellation rolls the request back with the same
 // §6 cancel event as a timeout.
 func (m *Mutex) LockCtx(ctx context.Context) error {
-	return m.LockCtxT(m.rt.CurrentThread(), ctx)
+	t := m.rt.currentPinned()
+	defer t.unpin()
+	return m.LockCtxT(t, ctx)
 }
 
 // LockCtxT is LockCtx on behalf of an explicit thread handle.
@@ -159,6 +192,11 @@ var errWouldBlock = errors.New("dimmunix: would block")
 var errCtxDone = errors.New("dimmunix: context done")
 
 func (m *Mutex) lockT(t *Thread, timeout time.Duration, try bool, done <-chan struct{}) error {
+	t.pin() // the pruner must not retire t while this operation is in flight
+	defer t.unpin()
+	if t.released.Load() {
+		return ErrThreadPruned
+	}
 	// Reentrancy handling first: it never blocks, so no avoidance
 	// decision is needed (§5.1 multiset edges record it).
 	if m.owner.Load() == t {
@@ -166,7 +204,9 @@ func (m *Mutex) lockT(t *Thread, timeout time.Duration, try bool, done <-chan st
 		case Recursive:
 			m.rec++
 			if m.rt.cfg.Mode != ModeOff {
-				m.rt.cache.ReentrantAcquired(t.ts, m.ls, t.captureStack(1))
+				if m.rt.cache.ReentrantAcquired(t.ts, m.ls, t.captureStack(1)) {
+					m.fastHolds++
+				}
 			}
 			return nil
 		case ErrorCheck:
@@ -179,10 +219,43 @@ func (m *Mutex) lockT(t *Thread, timeout time.Duration, try bool, done <-chan st
 	}
 
 	if m.rt.cfg.Mode == ModeOff {
-		return m.acquireToken(t, timeout, try, nil, done)
+		err := m.acquireToken(t, timeout, try, nil, done)
+		if err == nil {
+			t.ts.NoteHold() // pruning-only bookkeeping; no cache involved
+		}
+		return err
 	}
 
 	in := t.captureStack(1)
+
+	// Fast tier: a stack provably safe under the live history epoch skips
+	// the guarded §5.4 protocol entirely — one atomic marker check, then
+	// straight to the raw lock. An uncontended acquisition costs a single
+	// event push; only a blocking one publishes the Go wait edge first
+	// (so a brand-new deadlock through this call site is still detected).
+	if m.rt.cache.FastEligible(in) {
+		ok, err := m.tokenTry(t)
+		if err != nil {
+			return err
+		}
+		if ok {
+			m.fastHolds++
+			m.rt.cache.FastAcquiredImmediate(t.ts, m.ls, in, false)
+			return nil
+		}
+		if try {
+			m.rt.cache.FastTryFailed()
+			return errWouldBlock
+		}
+		m.rt.cache.FastBlocking(t.ts, m.ls, in)
+		if err := m.acquireToken(t, timeout, false, nil, done); err != nil {
+			m.rt.cache.FastCancel(t.ts, m.ls)
+			return err
+		}
+		m.fastHolds++
+		m.rt.cache.FastAcquired(t.ts, m.ls, in, false)
+		return nil
+	}
 
 	var deadline <-chan time.Time
 	var deadlineTimer *time.Timer
@@ -258,16 +331,49 @@ func (rt *Runtime) requestLoop(t *Thread, ls *lockStateRef, in *stackInterned, t
 	}
 }
 
+// Retire marks the mutex as superseded, succeeding only if it can
+// observe the mutex free with no acquisition in flight: taking the token
+// serializes retirement against every acquirer, which re-checks the flag
+// under token ownership and bounces with ErrMutexRetired. Used by the
+// drop-in facade when rebinding after a default-runtime Shutdown; once
+// retired, a mutex never grants again.
+func (m *Mutex) Retire() bool {
+	select {
+	case <-m.token:
+	default:
+		return false
+	}
+	m.retired.Store(true)
+	m.token <- struct{}{}
+	return true
+}
+
+// tokenTry grabs the token without blocking (the uncontended path).
+func (m *Mutex) tokenTry(t *Thread) (bool, error) {
+	select {
+	case <-m.token:
+	default:
+		return false, nil
+	}
+	if m.retired.Load() {
+		m.token <- struct{}{}
+		return false, ErrMutexRetired
+	}
+	m.owner.Store(t)
+	m.rec = 1
+	return true, nil
+}
+
 // acquireToken performs the raw blocking acquisition.
 func (m *Mutex) acquireToken(t *Thread, timeout time.Duration, try bool, deadline <-chan time.Time, done <-chan struct{}) error {
 	if try {
-		select {
-		case <-m.token:
-		default:
+		ok, err := m.tokenTry(t)
+		if err != nil {
+			return err
+		}
+		if !ok {
 			return errWouldBlock
 		}
-		m.owner.Store(t)
-		m.rec = 1
 		return nil
 	}
 	if timeout > 0 && deadline == nil {
@@ -285,6 +391,10 @@ func (m *Mutex) acquireToken(t *Thread, timeout time.Duration, try bool, deadlin
 		t.consumeAbort()
 		return ErrDeadlockRecovered
 	}
+	if m.retired.Load() {
+		m.token <- struct{}{}
+		return ErrMutexRetired
+	}
 	m.owner.Store(t)
 	m.rec = 1
 	return nil
@@ -297,20 +407,38 @@ func (m *Mutex) UnlockT(t *Thread) error {
 	if m.owner.Load() != t {
 		return ErrNotOwner
 	}
+	t.pin() // keep t live until the release event is emitted
+	defer t.unpin()
 	if m.rec > 1 {
 		m.rec--
 		if m.rt.cfg.Mode != ModeOff {
-			m.rt.cache.Release(t.ts, m.ls)
+			m.releaseOne(t)
 		}
 		return nil
 	}
 	if m.rt.cfg.Mode != ModeOff {
-		m.rt.cache.Release(t.ts, m.ls)
+		m.releaseOne(t)
+	} else {
+		t.ts.NoteRelease()
 	}
 	m.rec = 0
 	m.owner.Store(nil)
 	m.token <- struct{}{}
 	return nil
+}
+
+// releaseOne retires one recursion level's avoidance hold, routing
+// fast-tier holds (which left no Allowed-set entry) through FastRelease.
+// Hold entries of one lock are interchangeable for removal, so pairing
+// levels out of order is immaterial; only the fast/guarded counts must
+// balance. Owner-only, called before the token is returned.
+func (m *Mutex) releaseOne(t *Thread) {
+	if m.fastHolds > 0 {
+		m.fastHolds--
+		m.rt.cache.FastRelease(t.ts, m.ls)
+		return
+	}
+	m.rt.cache.Release(t.ts, m.ls)
 }
 
 // UnlockHandoff releases the mutex on behalf of whichever thread owns it,

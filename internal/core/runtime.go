@@ -3,7 +3,10 @@ package core
 import (
 	"errors"
 	"fmt"
+	"runtime"
 	"sync"
+	"sync/atomic"
+	"time"
 
 	"dimmunix/internal/avoidance"
 	"dimmunix/internal/event"
@@ -15,6 +18,21 @@ import (
 	"dimmunix/internal/stack"
 )
 
+// threadShards is the fixed shard count of the runtime's goroutine-ID and
+// thread-ID tables. Sharding keeps implicit-identity lookups
+// (CurrentThread) from serializing on one map lock at high parallelism.
+const threadShards = 64
+
+type gidShard struct {
+	mu sync.RWMutex
+	m  map[uint64]*Thread
+}
+
+type idShard struct {
+	mu sync.RWMutex
+	m  map[int32]*Thread
+}
+
 // Runtime is one Dimmunix instance: a history, an avoidance cache, an
 // event queue, and a monitor goroutine, serving any number of threads and
 // mutexes. A process typically has one Runtime, but tests and benchmarks
@@ -22,19 +40,40 @@ import (
 type Runtime struct {
 	cfg      Config
 	interner *stack.Interner
+	pcCache  *stack.PCCache // nil when DisableFastPath (legacy capture)
 	hist     *signature.History
 	q        *queue.MPSC[event.Event]
 	cache    *avoidance.Cache
 	mon      *monitor.Monitor
 	stats    *avoidance.Stats
 
-	mu       sync.RWMutex
-	byGID    map[uint64]*Thread
-	byID     map[int32]*Thread
-	nextTID  int32
+	gidTab   [threadShards]gidShard
+	idTab    [threadShards]idShard
+	nThreads atomic.Int64
+	nextTID  atomic.Int32
+
+	// sweep is the coarse idle clock: bumped once per janitor sweep (or
+	// PruneIdleThreads call) and stamped into Thread.lastUse on every
+	// implicit-identity lookup.
+	sweep atomic.Int64
+
+	slotMu   sync.Mutex
 	slotFree []int
+	slotCool []coolSlot // pruned slots cooling down (filter guard only)
 	nextSlot int
-	stopped  bool
+
+	stopped     atomic.Bool
+	janitorStop chan struct{}
+	janitorDone chan struct{}
+}
+
+// coolSlot is a pruned thread slot parked before reuse. Under the filter
+// guard a slot identifies a spin-level participant, so a slot freed by
+// pruning (rather than an explicit Close) only recycles after a full TTL,
+// in case a stale implicit handle still names it.
+type coolSlot struct {
+	slot int
+	at   time.Time
 }
 
 // New creates and starts a Runtime (loads the history, launches the
@@ -58,23 +97,37 @@ func New(cfg Config) (*Runtime, error) {
 		hist:     hist,
 		q:        queue.New[event.Event](),
 		stats:    &avoidance.Stats{},
-		byGID:    make(map[uint64]*Thread),
-		byID:     make(map[int32]*Thread),
 		nextSlot: 1, // slot 0 is reserved for the monitor/admin paths
 	}
+	if !cfg.DisableFastPath {
+		// The raw-PC capture cache is part of the fast tier; the disabled
+		// configuration keeps the full pre-refactor capture pipeline as a
+		// benchmark baseline.
+		rt.pcCache = stack.NewPCCache()
+	}
+	for i := range rt.gidTab {
+		rt.gidTab[i].m = make(map[uint64]*Thread)
+	}
+	for i := range rt.idTab {
+		rt.idTab[i].m = make(map[int32]*Thread)
+	}
 
-	var guard peterson.Guard
-	switch cfg.Guard {
-	case GuardSpin:
-		guard = peterson.NewSpin()
-	case GuardFilter:
-		guard = peterson.NewFilter(cfg.MaxThreads + 1)
-	default:
-		guard = peterson.NewMutex()
+	newGuard := func() peterson.Guard {
+		switch cfg.Guard {
+		case GuardSpin:
+			return peterson.NewSpin()
+		case GuardFilter:
+			return peterson.NewFilter(cfg.MaxThreads + 1)
+		default:
+			return peterson.NewMutex()
+		}
 	}
 
 	rt.cache = avoidance.NewCache(avoidance.Config{
-		Guard:           guard,
+		Guard:           newGuard(),
+		NewGuard:        newGuard,
+		GuardShards:     cfg.GuardShards,
+		DisableFastPath: cfg.DisableFastPath,
 		Mode:            cfg.avoidanceMode(),
 		IgnoreDecisions: cfg.IgnoreDecisions,
 		ProbeDepth:      cfg.ProbeDepth,
@@ -108,6 +161,15 @@ func New(cfg Config) (*Runtime, error) {
 	if cfg.Mode != ModeOff {
 		rt.mon.Start()
 	}
+	if cfg.ThreadTTL > 0 {
+		rt.janitorStop = make(chan struct{})
+		rt.janitorDone = make(chan struct{})
+		// Sweeping every TTL with a one-sweep idle requirement prunes a
+		// thread between TTL and 2×TTL after its last use — never sooner
+		// than the documented TTL. Runs in every mode: ModeOff tracks
+		// holds via ThreadState.NoteHold so quiescence stays provable.
+		go rt.janitor(cfg.ThreadTTL)
+	}
 	return rt, nil
 }
 
@@ -122,13 +184,13 @@ func MustNew(cfg Config) *Runtime {
 
 // Stop shuts the monitor down (after a final pass) and saves the history.
 func (rt *Runtime) Stop() error {
-	rt.mu.Lock()
-	if rt.stopped {
-		rt.mu.Unlock()
+	if !rt.stopped.CompareAndSwap(false, true) {
 		return nil
 	}
-	rt.stopped = true
-	rt.mu.Unlock()
+	if rt.janitorStop != nil {
+		close(rt.janitorStop)
+		<-rt.janitorDone
+	}
 	if rt.cfg.Mode != ModeOff {
 		rt.mon.Stop()
 	}
@@ -166,66 +228,120 @@ func (rt *Runtime) ReloadHistory() error {
 }
 
 // RegisterThread creates an explicit thread handle — the fast-path
-// identity API. name is for diagnostics only and may be empty.
+// identity API. name is for diagnostics only and may be empty. Explicit
+// handles are never pruned; release them with Thread.Close.
 func (rt *Runtime) RegisterThread(name string) *Thread {
-	rt.mu.Lock()
-	defer rt.mu.Unlock()
-	rt.nextTID++
-	id := rt.nextTID
-	var slot int
-	if n := len(rt.slotFree); n > 0 {
-		slot = rt.slotFree[n-1]
-		rt.slotFree = rt.slotFree[:n-1]
-	} else {
-		if rt.cfg.Guard == GuardFilter && rt.nextSlot > rt.cfg.MaxThreads {
-			panic(fmt.Sprintf("dimmunix: more than MaxThreads=%d live threads with the filter guard", rt.cfg.MaxThreads))
-		}
-		slot = rt.nextSlot
-		rt.nextSlot++
-	}
+	id := rt.nextTID.Add(1)
 	t := &Thread{
 		rt:    rt,
-		ts:    rt.cache.NewThread(id, slot, name),
+		ts:    rt.cache.NewThread(id, rt.allocSlot(), name),
 		abort: make(chan struct{}),
 	}
-	rt.byID[id] = t
+	sh := &rt.idTab[uint32(id)%threadShards]
+	sh.mu.Lock()
+	sh.m[id] = t
+	sh.mu.Unlock()
+	rt.nThreads.Add(1)
 	return t
+}
+
+func (rt *Runtime) allocSlot() int {
+	rt.slotMu.Lock()
+	defer rt.slotMu.Unlock()
+	if n := len(rt.slotFree); n > 0 {
+		slot := rt.slotFree[n-1]
+		rt.slotFree = rt.slotFree[:n-1]
+		return slot
+	}
+	if len(rt.slotCool) > 0 && time.Since(rt.slotCool[0].at) > rt.cfg.ThreadTTL {
+		slot := rt.slotCool[0].slot
+		rt.slotCool = rt.slotCool[1:]
+		return slot
+	}
+	if rt.cfg.Guard == GuardFilter && rt.nextSlot > rt.cfg.MaxThreads {
+		panic(fmt.Sprintf("dimmunix: more than MaxThreads=%d live threads with the filter guard", rt.cfg.MaxThreads))
+	}
+	slot := rt.nextSlot
+	rt.nextSlot++
+	return slot
+}
+
+func (rt *Runtime) freeSlot(slot int, pruned bool) {
+	rt.slotMu.Lock()
+	defer rt.slotMu.Unlock()
+	if pruned && rt.cfg.Guard == GuardFilter {
+		rt.slotCool = append(rt.slotCool, coolSlot{slot: slot, at: time.Now()})
+		return
+	}
+	rt.slotFree = append(rt.slotFree, slot)
 }
 
 // CurrentThread returns the calling goroutine's thread handle,
 // registering it on first use — the implicit identity API (costs a
 // goroutine-ID extraction per call; hot paths should hold a *Thread).
+//
+// Every core lock/unlock/wait operation pins its thread for its whole
+// duration (including blocked waits), and the idle pruner never touches
+// a pinned thread or one holding any lock — so a handle in active use is
+// safe. With pruning active (Config.ThreadTTL), do not cache a handle
+// across long idle stretches while holding nothing: the pruner may
+// retire it between operations. Re-resolve via CurrentThread (cheap) or
+// use RegisterThread (never pruned) instead.
 func (rt *Runtime) CurrentThread() *Thread {
-	g := gid.Current()
-	rt.mu.RLock()
-	t := rt.byGID[g]
-	rt.mu.RUnlock()
-	if t != nil {
-		return t
-	}
-	t = rt.RegisterThread("")
-	t.gid = g
-	rt.mu.Lock()
-	rt.byGID[g] = t
-	rt.mu.Unlock()
+	t := rt.currentPinned()
+	t.unpin()
 	return t
+}
+
+// currentPinned resolves (or registers) the calling goroutine's thread
+// and returns it pinned: the pruner will not retire a pinned thread. The
+// caller must unpin when its operation completes.
+func (rt *Runtime) currentPinned() *Thread {
+	g := gid.Current()
+	sh := &rt.gidTab[g%threadShards]
+	for {
+		sh.mu.RLock()
+		t := sh.m[g]
+		sh.mu.RUnlock()
+		if t == nil {
+			t = rt.RegisterThread("")
+			t.gid = g
+			t.lastUse.Store(rt.sweep.Load())
+			t.pins.Add(1)
+			sh.mu.Lock()
+			sh.m[g] = t
+			sh.mu.Unlock()
+			return t
+		}
+		// Dekker with the pruner: stamp use, pin, then verify the thread
+		// was not concurrently retired. The pruner sets retired first and
+		// re-checks pins/lastUse after, so at least one side observes the
+		// other.
+		t.lastUse.Store(rt.sweep.Load())
+		t.pins.Add(1)
+		if !t.retired.Load() {
+			return t
+		}
+		t.pins.Add(-1)
+		// The pruner won; it is removing t from the table. Retry (and
+		// re-register once the removal lands).
+		runtime.Gosched()
+	}
 }
 
 // ThreadByID resolves a thread handle from its Dimmunix ID, or nil.
 func (rt *Runtime) ThreadByID(id int32) *Thread {
-	rt.mu.RLock()
-	defer rt.mu.RUnlock()
-	return rt.byID[id]
+	sh := &rt.idTab[uint32(id)%threadShards]
+	sh.mu.RLock()
+	defer sh.mu.RUnlock()
+	return sh.m[id]
 }
 
 func (rt *Runtime) resolveThreadState(id int32) *avoidance.ThreadState {
-	rt.mu.RLock()
-	t := rt.byID[id]
-	rt.mu.RUnlock()
-	if t == nil {
-		return nil
+	if t := rt.ThreadByID(id); t != nil {
+		return t.ts
 	}
-	return t.ts
+	return nil
 }
 
 // AbortThreads aborts the pending or future lock waits of the given
@@ -240,22 +356,118 @@ func (rt *Runtime) AbortThreads(ids ...int32) {
 	}
 }
 
-// unregister removes a closed thread.
-func (rt *Runtime) unregister(t *Thread) {
-	rt.mu.Lock()
-	defer rt.mu.Unlock()
-	delete(rt.byID, t.ts.ID)
-	if t.gid != 0 {
-		delete(rt.byGID, t.gid)
+// removeThread detaches a thread from the registry, cleans its avoidance
+// state, and recycles its slot. Idempotent: the explicit Close path and
+// the pruner may race, and exactly one side wins.
+func (rt *Runtime) removeThread(t *Thread, pruned bool) {
+	if !t.released.CompareAndSwap(false, true) {
+		return
 	}
-	rt.slotFree = append(rt.slotFree, t.ts.Slot)
+	if rt.cfg.Mode != ModeOff {
+		rt.cache.ThreadExit(t.ts)
+	}
+	ish := &rt.idTab[uint32(t.ts.ID)%threadShards]
+	ish.mu.Lock()
+	delete(ish.m, t.ts.ID)
+	ish.mu.Unlock()
+	if t.gid != 0 {
+		gsh := &rt.gidTab[t.gid%threadShards]
+		gsh.mu.Lock()
+		// The goroutine may have re-registered after a prune; only remove
+		// the mapping if it still names this handle.
+		if gsh.m[t.gid] == t {
+			delete(gsh.m, t.gid)
+		}
+		gsh.mu.Unlock()
+	}
+	rt.freeSlot(t.ts.Slot, pruned)
+	rt.nThreads.Add(-1)
 }
 
 // NumThreads reports the number of live registered threads.
 func (rt *Runtime) NumThreads() int {
-	rt.mu.RLock()
-	defer rt.mu.RUnlock()
-	return len(rt.byID)
+	return int(rt.nThreads.Load())
+}
+
+// LiveThreadIDs returns the IDs of every live registered thread, for
+// diagnostics and abort-all recovery sweeps.
+func (rt *Runtime) LiveThreadIDs() []int32 {
+	var ids []int32
+	for i := range rt.idTab {
+		sh := &rt.idTab[i]
+		sh.mu.RLock()
+		for id := range sh.m {
+			ids = append(ids, id)
+		}
+		sh.mu.RUnlock()
+	}
+	return ids
+}
+
+// janitor periodically retires idle implicit threads (Config.ThreadTTL).
+func (rt *Runtime) janitor(interval time.Duration) {
+	defer close(rt.janitorDone)
+	if interval < time.Millisecond {
+		interval = time.Millisecond
+	}
+	tick := time.NewTicker(interval)
+	defer tick.Stop()
+	for {
+		select {
+		case <-rt.janitorStop:
+			return
+		case <-tick.C:
+			rt.PruneIdleThreads()
+		}
+	}
+}
+
+// PruneIdleThreads advances the idle clock one sweep and retires every
+// implicitly-registered thread that is quiescent (holds nothing, waits
+// for nothing) and has not been used since before the previous sweep —
+// i.e. idle for at least one full sweep interval. Explicit RegisterThread
+// handles are untouched. Returns the number of threads pruned.
+//
+// The janitor calls this every ThreadTTL (so a thread is pruned between
+// one and two TTLs after its last use); tests and servers that just
+// drained a goroutine flood may call it directly (twice, for brand-new
+// idle threads) to reclaim slots immediately.
+func (rt *Runtime) PruneIdleThreads() int {
+	cutoff := rt.sweep.Add(1) - 2
+	pruned := 0
+	for i := range rt.gidTab {
+		sh := &rt.gidTab[i]
+		sh.mu.RLock()
+		var cands []*Thread
+		for _, t := range sh.m {
+			if t.pins.Load() == 0 && t.lastUse.Load() <= cutoff && t.ts.LiveHolds() == 0 {
+				cands = append(cands, t)
+			}
+		}
+		sh.mu.RUnlock()
+		for _, t := range cands {
+			if rt.pruneThread(t, cutoff) {
+				pruned++
+			}
+		}
+	}
+	return pruned
+}
+
+// pruneThread retires one idle implicit thread using a set-then-verify
+// protocol against concurrent CurrentThread lookups (which stamp lastUse
+// and pin before reading the retired flag).
+func (rt *Runtime) pruneThread(t *Thread, cutoff int64) bool {
+	if t.gid == 0 || !t.retired.CompareAndSwap(false, true) {
+		return false
+	}
+	if t.pins.Load() != 0 || t.lastUse.Load() > cutoff ||
+		t.ts.LiveHolds() != 0 || !rt.cache.ThreadQuiescent(t.ts) {
+		t.retired.Store(false)
+		return false
+	}
+	rt.removeThread(t, true)
+	return true
 }
 
 // LastAvoided returns the most recently avoided signature, or nil. This

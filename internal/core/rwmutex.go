@@ -34,14 +34,33 @@ type RWMutex struct {
 	mu      sync.Mutex
 	gate    chan struct{}         // lazily made; closed+cleared to broadcast
 	writer  *Thread               // exclusive holder, nil when not write-locked
+	wFast   bool                  // writer hold came from the lock-free fast tier
 	readers map[int32]*readerHold // reader thread ID -> hold record
 	wwait   int                   // writers blocked in acquire
+	retired bool                  // superseded instance (see Retire); grants bounce
+}
+
+// Retire marks the mutex as superseded, succeeding only when it is
+// observed free (no holder, no reader, no blocked writer) under rw.mu —
+// which serializes retirement against every grant, so any straggler
+// bounces with ErrMutexRetired and re-resolves. Used by the drop-in
+// facade when rebinding after a default-runtime Shutdown.
+func (rw *RWMutex) Retire() bool {
+	rw.mu.Lock()
+	defer rw.mu.Unlock()
+	if rw.writer != nil || len(rw.readers) != 0 || rw.wwait != 0 {
+		return false
+	}
+	rw.retired = true
+	rw.broadcastLocked()
+	return true
 }
 
 // readerHold records one thread's outstanding read holds.
 type readerHold struct {
-	t *Thread
-	n int // recursive hold count
+	t     *Thread
+	n     int // recursive hold count
+	fastN int // how many of those came from the lock-free fast tier
 }
 
 // NewRWMutex creates an instrumented reader/writer mutex.
@@ -57,44 +76,76 @@ func (rt *Runtime) NewRWMutex() *RWMutex {
 func (rw *RWMutex) ID() uint64 { return rw.ls.ID }
 
 // Lock write-locks on behalf of the calling goroutine.
-func (rw *RWMutex) Lock() error { return rw.LockT(rw.rt.CurrentThread()) }
+func (rw *RWMutex) Lock() error {
+	t := rw.rt.currentPinned()
+	defer t.unpin()
+	return rw.LockT(t)
+}
 
 // Unlock write-unlocks on behalf of the calling goroutine.
-func (rw *RWMutex) Unlock() error { return rw.UnlockT(rw.rt.CurrentThread()) }
+func (rw *RWMutex) Unlock() error {
+	t := rw.rt.currentPinned()
+	defer t.unpin()
+	return rw.UnlockT(t)
+}
 
 // RLock read-locks on behalf of the calling goroutine.
-func (rw *RWMutex) RLock() error { return rw.RLockT(rw.rt.CurrentThread()) }
+func (rw *RWMutex) RLock() error {
+	t := rw.rt.currentPinned()
+	defer t.unpin()
+	return rw.RLockT(t)
+}
 
 // RUnlock read-unlocks on behalf of the calling goroutine — with the
 // sync.RWMutex hand-off tolerance: if this goroutine holds no read lock
 // but another thread does, one of those holds is released instead (see
 // RUnlockHandoff). Use RUnlockT for strict per-thread ownership.
-func (rw *RWMutex) RUnlock() error { return rw.RUnlockHandoff(rw.rt.CurrentThread()) }
+func (rw *RWMutex) RUnlock() error {
+	t := rw.rt.currentPinned()
+	defer t.unpin()
+	return rw.RUnlockHandoff(t)
+}
 
 // TryLock attempts the write lock without blocking.
-func (rw *RWMutex) TryLock() (bool, error) { return rw.TryLockT(rw.rt.CurrentThread()) }
+func (rw *RWMutex) TryLock() (bool, error) {
+	t := rw.rt.currentPinned()
+	defer t.unpin()
+	return rw.TryLockT(t)
+}
 
 // TryRLock attempts a read lock without blocking.
-func (rw *RWMutex) TryRLock() (bool, error) { return rw.TryRLockT(rw.rt.CurrentThread()) }
+func (rw *RWMutex) TryRLock() (bool, error) {
+	t := rw.rt.currentPinned()
+	defer t.unpin()
+	return rw.TryRLockT(t)
+}
 
 // LockTimeout write-locks, failing with ErrTimeout after d.
 func (rw *RWMutex) LockTimeout(d time.Duration) error {
-	return rw.LockTimeoutT(rw.rt.CurrentThread(), d)
+	t := rw.rt.currentPinned()
+	defer t.unpin()
+	return rw.LockTimeoutT(t, d)
 }
 
 // RLockTimeout read-locks, failing with ErrTimeout after d.
 func (rw *RWMutex) RLockTimeout(d time.Duration) error {
-	return rw.RLockTimeoutT(rw.rt.CurrentThread(), d)
+	t := rw.rt.currentPinned()
+	defer t.unpin()
+	return rw.RLockTimeoutT(t, d)
 }
 
 // LockCtx write-locks, giving up when ctx fires (error is then ctx.Err()).
 func (rw *RWMutex) LockCtx(ctx context.Context) error {
-	return rw.LockCtxT(rw.rt.CurrentThread(), ctx)
+	t := rw.rt.currentPinned()
+	defer t.unpin()
+	return rw.LockCtxT(t, ctx)
 }
 
 // RLockCtx read-locks, giving up when ctx fires (error is then ctx.Err()).
 func (rw *RWMutex) RLockCtx(ctx context.Context) error {
-	return rw.RLockCtxT(rw.rt.CurrentThread(), ctx)
+	t := rw.rt.currentPinned()
+	defer t.unpin()
+	return rw.RLockCtxT(t, ctx)
 }
 
 // LockT write-locks on behalf of t, running the full avoidance protocol.
@@ -160,6 +211,11 @@ func tryResult(err error) (bool, error) {
 }
 
 func (rw *RWMutex) lockRW(t *Thread, timeout time.Duration, try bool, done <-chan struct{}, read bool) error {
+	t.pin() // the pruner must not retire t while this operation is in flight
+	defer t.unpin()
+	if t.released.Load() {
+		return ErrThreadPruned
+	}
 	if read {
 		// Recursive read acquisition never blocks (the shared hold is
 		// already granted to this thread), so like Mutex reentrancy it
@@ -170,7 +226,9 @@ func (rw *RWMutex) lockRW(t *Thread, timeout time.Duration, try bool, done <-cha
 			h.n++
 			rw.mu.Unlock()
 			if rw.rt.cfg.Mode != ModeOff {
-				rw.rt.cache.ReentrantAcquired(t.ts, rw.ls, t.captureStack(1))
+				if rw.rt.cache.ReentrantAcquired(t.ts, rw.ls, t.captureStack(1)) {
+					rw.noteFast(t, true)
+				}
 			}
 			return nil
 		}
@@ -186,10 +244,43 @@ func (rw *RWMutex) lockRW(t *Thread, timeout time.Duration, try bool, done <-cha
 	}
 
 	if rw.rt.cfg.Mode == ModeOff {
-		return rw.acquire(t, try, deadline, done, read)
+		err := rw.acquire(t, try, deadline, done, read)
+		if err == nil {
+			t.ts.NoteHold() // pruning-only bookkeeping; no cache involved
+		}
+		return err
 	}
 
 	in := t.captureStack(1)
+
+	// Fast tier: a provably safe stack skips the guarded protocol (see
+	// Mutex.lockT); the hold is tracked so its release pairs with
+	// FastRelease. An immediate grant costs one event; a blocking one
+	// publishes its Go wait edge first.
+	if rw.rt.cache.FastEligible(in) {
+		switch err := rw.acquire(t, true, nil, nil, read); {
+		case err == nil:
+			rw.noteFast(t, read)
+			rw.rt.cache.FastAcquiredImmediate(t.ts, rw.ls, in, read)
+			return nil
+		case !errors.Is(err, errWouldBlock):
+			// ErrMutexRetired: propagate so the caller re-resolves.
+			return err
+		}
+		if try {
+			rw.rt.cache.FastTryFailed()
+			return errWouldBlock
+		}
+		rw.rt.cache.FastBlocking(t.ts, rw.ls, in)
+		if err := rw.acquire(t, false, deadline, done, read); err != nil {
+			rw.rt.cache.FastCancel(t.ts, rw.ls)
+			return err
+		}
+		rw.noteFast(t, read)
+		rw.rt.cache.FastAcquired(t.ts, rw.ls, in, read)
+		return nil
+	}
+
 	if err := rw.rt.requestLoop(t, rw.ls, in, try, deadline, done); err != nil {
 		return err
 	}
@@ -207,9 +298,30 @@ func (rw *RWMutex) lockRW(t *Thread, timeout time.Duration, try bool, done <-cha
 	return nil
 }
 
+// noteFast marks a freshly granted fast-tier hold so its release routes
+// through FastRelease. For reads: if the hold was already handed off and
+// fully released (sync.RWMutex's cross-goroutine discipline), the extra
+// guarded Release that retired it was a tolerated no-op and nothing needs
+// recording.
+func (rw *RWMutex) noteFast(t *Thread, read bool) {
+	rw.mu.Lock()
+	if read {
+		if h := rw.readers[t.ts.ID]; h != nil {
+			h.fastN++
+		}
+	} else {
+		rw.wFast = true
+	}
+	rw.mu.Unlock()
+}
+
 // acquire performs the raw blocking acquisition against the gate.
 func (rw *RWMutex) acquire(t *Thread, try bool, deadline <-chan time.Time, done <-chan struct{}, read bool) error {
 	rw.mu.Lock()
+	if rw.retired {
+		rw.mu.Unlock()
+		return ErrMutexRetired
+	}
 	if rw.grantLocked(t, read) {
 		rw.mu.Unlock()
 		return nil
@@ -236,6 +348,9 @@ func (rw *RWMutex) acquire(t *Thread, try bool, deadline <-chan time.Time, done 
 			err = ErrDeadlockRecovered
 		}
 		rw.mu.Lock()
+		if err == nil && rw.retired {
+			err = ErrMutexRetired
+		}
 		if err != nil {
 			if !read {
 				rw.wwait--
@@ -291,14 +406,23 @@ func (rw *RWMutex) broadcastLocked() {
 // reaches the monitor queue strictly before the lock becomes available
 // (§5.2 event order — both happen under rw.mu).
 func (rw *RWMutex) UnlockT(t *Thread) error {
+	t.pin() // keep t live until the release event is emitted
+	defer t.unpin()
 	rw.mu.Lock()
 	if rw.writer != t {
 		rw.mu.Unlock()
 		return ErrNotOwner
 	}
 	if rw.rt.cfg.Mode != ModeOff {
-		rw.rt.cache.Release(t.ts, rw.ls)
+		if rw.wFast {
+			rw.rt.cache.FastRelease(t.ts, rw.ls)
+		} else {
+			rw.rt.cache.Release(t.ts, rw.ls)
+		}
+	} else {
+		t.ts.NoteRelease()
 	}
+	rw.wFast = false
 	rw.writer = nil
 	rw.broadcastLocked()
 	rw.mu.Unlock()
@@ -308,6 +432,8 @@ func (rw *RWMutex) UnlockT(t *Thread) error {
 // RUnlockT read-unlocks on behalf of t (strict: t must hold a read
 // lock).
 func (rw *RWMutex) RUnlockT(t *Thread) error {
+	t.pin()
+	defer t.unpin()
 	rw.mu.Lock()
 	h := rw.readers[t.ts.ID]
 	if h == nil {
@@ -326,6 +452,8 @@ func (rw *RWMutex) RUnlockT(t *Thread) error {
 // approximate (some reader's hold is retired), which keeps the hold
 // multiset correct; prefer RUnlockT when thread identity is known.
 func (rw *RWMutex) RUnlockHandoff(t *Thread) error {
+	t.pin()
+	defer t.unpin()
 	rw.mu.Lock()
 	h := rw.readers[t.ts.ID]
 	if h == nil {
@@ -348,7 +476,16 @@ func (rw *RWMutex) RUnlockHandoff(t *Thread) error {
 // preserving the §5.2 order.
 func (rw *RWMutex) runlockLocked(h *readerHold) {
 	if rw.rt.cfg.Mode != ModeOff {
-		rw.rt.cache.Release(h.t.ts, rw.ls)
+		if h.fastN > 0 {
+			h.fastN--
+			rw.rt.cache.FastRelease(h.t.ts, rw.ls)
+		} else {
+			rw.rt.cache.Release(h.t.ts, rw.ls)
+		}
+	} else if h.n == 1 {
+		// ModeOff counts one hold per reader (reentrant reads return
+		// before the counter); retire it with the final release.
+		h.t.ts.NoteRelease()
 	}
 	if h.n > 1 {
 		h.n--

@@ -1,8 +1,10 @@
 package core
 
 import (
+	"runtime"
 	"strings"
 	"sync"
+	"sync/atomic"
 
 	"dimmunix/internal/avoidance"
 	"dimmunix/internal/stack"
@@ -15,11 +17,27 @@ import (
 type Thread struct {
 	rt  *Runtime
 	ts  *avoidance.ThreadState
-	gid uint64
+	gid uint64 // nonzero marks an implicitly-registered (prunable) thread
+
+	// Idle-pruning state (implicit threads only; see Runtime.janitor).
+	pins     atomic.Int32 // operations in flight holding this handle
+	lastUse  atomic.Int64 // sweep-clock value at the last implicit lookup
+	retired  atomic.Bool  // set by the pruner; pinners verify after pinning
+	released atomic.Bool  // registry removal happened (Close or prune)
 
 	abortMu sync.Mutex
 	abort   chan struct{}
 }
+
+// pin marks an operation in flight on this handle: the idle pruner never
+// retires a pinned thread, so a blocked lock wait (which may leave no
+// other avoidance footprint on the fast tier) cannot lose its identity
+// or slot mid-operation. Every core lock/unlock/wait entry point pins for
+// its duration; pinning an explicit (non-prunable) handle is harmless.
+func (t *Thread) pin() { t.pins.Add(1) }
+
+// unpin releases a pin taken by pin or Runtime.currentPinned.
+func (t *Thread) unpin() { t.pins.Add(-1) }
 
 // ID returns the thread's Dimmunix ID.
 func (t *Thread) ID() int32 { return t.ts.ID }
@@ -36,10 +54,10 @@ func (t *Thread) SetPriority(p int32) { t.ts.Priority.Store(p) }
 func (t *Thread) Priority() int32 { return t.ts.Priority.Load() }
 
 // Close deregisters the thread and prunes its state from the monitor's
-// graph. The thread must not hold any Dimmunix mutex.
+// graph. The thread must not hold any Dimmunix mutex. Closing a thread
+// the idle pruner already retired is a no-op.
 func (t *Thread) Close() {
-	t.rt.cache.ThreadExit(t.ts)
-	t.rt.unregister(t)
+	t.rt.removeThread(t, false)
 }
 
 // signalAbort makes the thread's pending (and next) lock wait fail with
@@ -77,8 +95,27 @@ func (t *Thread) consumeAbort() {
 // captureStack records the caller's call stack with Dimmunix's own frames
 // stripped, so the innermost frame is the application's lock call site —
 // the Go analog of the paper's return-address stacks.
+//
+// With the fast tier enabled, the symbolization/strip/intern pipeline is
+// memoized by raw PC stack (Runtime.pcCache): after the first occurrence
+// of a call path, a capture costs one runtime.Callers walk plus one hash
+// lookup. DisableFastPath keeps the full per-operation pipeline.
 func (t *Thread) captureStack(extraSkip int) *stack.Interned {
-	raw := stack.Capture(extraSkip+1, t.rt.cfg.StackDepth+4)
+	max := t.rt.cfg.StackDepth + 4
+	if max > stack.MaxCaptureDepth {
+		max = stack.MaxCaptureDepth
+	}
+	var pcbuf [stack.MaxCaptureDepth + 2]uintptr
+	// +2 skips runtime.Callers and captureStack itself, matching the old
+	// stack.Capture(extraSkip+1, ...) skip accounting.
+	n := runtime.Callers(extraSkip+2, pcbuf[:max])
+	pcs := pcbuf[:n]
+	if t.rt.pcCache != nil {
+		if in, ok := t.rt.pcCache.Get(pcs); ok {
+			return in
+		}
+	}
+	raw := stack.ResolvePCs(pcs, max)
 	i := 0
 	for i < len(raw) && isRuntimeFrame(raw[i]) {
 		i++
@@ -90,7 +127,11 @@ func (t *Thread) captureStack(extraSkip int) *stack.Interned {
 	if len(s) == 0 {
 		s = raw
 	}
-	return t.rt.interner.Intern(s.Clone())
+	in := t.rt.interner.Intern(s.Clone())
+	if t.rt.pcCache != nil {
+		t.rt.pcCache.Put(pcs, in)
+	}
+	return in
 }
 
 // isRuntimeFrame identifies Dimmunix's own lock-path frames (and only

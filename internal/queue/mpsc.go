@@ -11,7 +11,10 @@
 // (unlock in Ti ≺ lock completes in Tj) orders the two exchanges.
 package queue
 
-import "sync/atomic"
+import (
+	"sync"
+	"sync/atomic"
+)
 
 type node[T any] struct {
 	next atomic.Pointer[node[T]]
@@ -22,15 +25,21 @@ type node[T any] struct {
 // Push may be called from any goroutine; Pop and Drain must be called from
 // a single consumer goroutine at a time. The zero value is not ready for
 // use; call New.
+//
+// Nodes are recycled through a sync.Pool: once the consumer advances past
+// the old tail, no producer can reference it (producers only ever touch
+// the head), so steady-state event emission allocates nothing.
 type MPSC[T any] struct {
 	head atomic.Pointer[node[T]] // producers swap this
 	tail *node[T]                // consumer-owned
 	len  atomic.Int64
+	pool sync.Pool
 }
 
 // New returns an empty queue.
 func New[T any]() *MPSC[T] {
 	q := &MPSC[T]{}
+	q.pool.New = func() any { return new(node[T]) }
 	stub := &node[T]{}
 	q.head.Store(stub)
 	q.tail = stub
@@ -39,7 +48,9 @@ func New[T any]() *MPSC[T] {
 
 // Push enqueues v. Safe for concurrent use by any number of producers.
 func (q *MPSC[T]) Push(v T) {
-	n := &node[T]{val: v}
+	n := q.pool.Get().(*node[T])
+	n.next.Store(nil)
+	n.val = v
 	prev := q.head.Swap(n)
 	// Between the Swap and this Store the queue is momentarily
 	// disconnected; the consumer observes next == nil and treats the
@@ -62,6 +73,11 @@ func (q *MPSC[T]) Pop() (T, bool) {
 	var zero T
 	next.val = zero // release reference for GC
 	q.len.Add(-1)
+	// The old tail is unreachable now: producers only reference nodes
+	// obtained from the head swap, and this one left the head position
+	// the moment its successor was pushed. Recycle it.
+	tail.next.Store(nil)
+	q.pool.Put(tail)
 	return v, true
 }
 

@@ -53,6 +53,12 @@ type Thread struct {
 
 	// Yields maps cause thread ID -> yield edge.
 	Yields map[int32]*YieldEdge
+
+	// spare recycles the last fully released hold edge: lock/unlock churn
+	// on an uncontended mutex would otherwise allocate a HoldEdge (plus
+	// its Stacks backing array) per acquisition, and the monitor's Apply
+	// loop shares cores with the instrumented application.
+	spare *HoldEdge
 }
 
 // HoldEdge is a lock->thread hold edge; Stacks has one entry per
@@ -224,7 +230,13 @@ func (g *RAG) Apply(ev event.Event) {
 		t.Yielding = false
 		h := t.Holds[l.ID]
 		if h == nil {
-			h = &HoldEdge{Lock: l, Thread: t}
+			if t.spare != nil {
+				h = t.spare
+				t.spare = nil
+				h.Lock, h.Thread = l, t
+			} else {
+				h = &HoldEdge{Lock: l, Thread: t}
+			}
 			t.Holds[l.ID] = h
 		}
 		h.Stacks = append(h.Stacks, ev.Stack)
@@ -238,6 +250,7 @@ func (g *RAG) Apply(ev event.Event) {
 		h := t.Holds[l.ID]
 		if h != nil {
 			if n := len(h.Stacks); n > 0 {
+				h.Stacks[n-1] = nil
 				h.Stacks = h.Stacks[:n-1]
 			}
 			if len(h.Stacks) == 0 {
@@ -246,6 +259,8 @@ func (g *RAG) Apply(ev event.Event) {
 				if l.Holder == t {
 					l.Holder = nil
 				}
+				h.Lock, h.Thread = nil, nil
+				t.spare = h
 			}
 		}
 		g.dirty[t.ID] = t

@@ -29,12 +29,80 @@ type History struct {
 	sigs    []*Signature
 	byID    map[string]*Signature
 	version atomic.Uint64
+
+	// danger is the epoch-versioned dangerous-stack index consulted by
+	// the avoidance fast path. It is republished (immutable snapshot)
+	// inside every mutation's critical section; see DangerIndex.
+	danger atomic.Pointer[DangerIndex]
 }
+
+// DangerIndex is an immutable over-approximation of the call stacks that
+// can participate in any enabled signature, keyed by innermost frame.
+// Matching at depth d >= 1 implies the innermost frames agree (and the
+// depth <= 0 / short-stack fallbacks compare full stacks, which also
+// implies it), so a stack whose innermost frame is absent from the index
+// can never match an enabled signature stack at any effective depth —
+// including every rung a calibration ladder may move through. That is the
+// soundness argument for the lock-free fast path: "safe" verdicts stay
+// valid until the signature set itself changes, at which point a new index
+// with a fresh epoch is published and all cached markers self-invalidate.
+type DangerIndex struct {
+	epoch  uint64
+	frames map[stack.Frame]struct{}
+}
+
+// Epoch returns the history version this index was built from. Epochs
+// start at 1 so the zero marker on an interned stack never validates.
+func (d *DangerIndex) Epoch() uint64 { return d.epoch }
+
+// Dangerous reports whether s could match any enabled signature stack at
+// any matching depth (an over-approximation; false is authoritative).
+func (d *DangerIndex) Dangerous(s stack.Stack) bool {
+	if len(d.frames) == 0 {
+		return len(s) == 0 // empty stacks never get the fast path
+	}
+	if len(s) == 0 {
+		return true
+	}
+	_, hit := d.frames[s[0]]
+	return hit
+}
+
+// Len returns the number of distinct dangerous innermost frames.
+func (d *DangerIndex) Len() int { return len(d.frames) }
 
 // NewHistory returns an empty, unbacked history (nothing persists until
 // SetPath/SaveTo).
 func NewHistory() *History {
-	return &History{byID: make(map[string]*Signature)}
+	h := &History{byID: make(map[string]*Signature)}
+	h.version.Store(1)
+	h.danger.Store(&DangerIndex{epoch: 1})
+	return h
+}
+
+// Danger returns the current dangerous-stack index. The returned snapshot
+// is immutable; its epoch equals Version() at the time it was published.
+func (h *History) Danger() *DangerIndex { return h.danger.Load() }
+
+// rebuildDangerLocked republishes the danger index; h.mu must be held by
+// a writer, after version has been bumped for the mutation.
+func (h *History) rebuildDangerLocked() {
+	idx := &DangerIndex{epoch: h.version.Load()}
+	for _, s := range h.sigs {
+		if s.Disabled {
+			continue
+		}
+		for _, st := range s.Stacks {
+			if len(st) == 0 {
+				continue
+			}
+			if idx.frames == nil {
+				idx.frames = make(map[stack.Frame]struct{})
+			}
+			idx.frames[st[0]] = struct{}{}
+		}
+	}
+	h.danger.Store(idx)
 }
 
 // Load reads a history file. A missing file yields an empty history bound
@@ -85,6 +153,7 @@ func (h *History) Add(sig *Signature) bool {
 	h.sigs = append(h.sigs, sig)
 	h.byID[sig.ID] = sig
 	h.version.Add(1)
+	h.rebuildDangerLocked()
 	return true
 }
 
@@ -123,6 +192,7 @@ func (h *History) SetDisabled(id string, disabled bool) bool {
 	}
 	s.Disabled = disabled
 	h.version.Add(1)
+	h.rebuildDangerLocked()
 	return true
 }
 
@@ -142,6 +212,7 @@ func (h *History) Remove(id string) bool {
 		}
 	}
 	h.version.Add(1)
+	h.rebuildDangerLocked()
 	return true
 }
 
@@ -170,6 +241,7 @@ func (h *History) ReplaceAll(other *History) {
 		h.byID[s.ID] = s
 	}
 	h.version.Add(1)
+	h.rebuildDangerLocked()
 	h.mu.Unlock()
 }
 
@@ -259,6 +331,7 @@ func (h *History) UnmarshalJSON(data []byte) error {
 		h.byID[s.ID] = s
 	}
 	h.version.Add(1)
+	h.rebuildDangerLocked()
 	return nil
 }
 

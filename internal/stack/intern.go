@@ -1,6 +1,9 @@
 package stack
 
-import "sync"
+import (
+	"sync"
+	"sync/atomic"
+)
 
 // Interned is a canonical, immutable representative of a call stack.
 // Pointer identity of *Interned implies stack equality, and ID is a dense
@@ -10,6 +13,29 @@ type Interned struct {
 	S  Stack
 	H  uint64 // full-depth hash
 	ID uint32 // dense, assigned in interning order starting at 0
+
+	// marker caches this stack's last safe/dangerous classification
+	// against a history danger index: epoch<<1 | dangerousBit. Zero means
+	// unclassified (index epochs start at 1). Written racily by any
+	// requester; a stale overwrite only costs a reclassification because
+	// readers validate the epoch before trusting the bit.
+	marker atomic.Uint64
+}
+
+// Marker returns the cached classification: the epoch it was made under
+// (0 = never classified) and whether the stack was dangerous then.
+func (in *Interned) Marker() (epoch uint64, dangerous bool) {
+	m := in.marker.Load()
+	return m >> 1, m&1 != 0
+}
+
+// SetMarker caches a classification made under the given index epoch.
+func (in *Interned) SetMarker(epoch uint64, dangerous bool) {
+	m := epoch << 1
+	if dangerous {
+		m |= 1
+	}
+	in.marker.Store(m)
 }
 
 // Interner deduplicates stacks. It is safe for concurrent use.

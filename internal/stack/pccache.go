@@ -1,0 +1,105 @@
+package stack
+
+import "sync"
+
+// PCCache memoizes the full capture pipeline — symbol resolution,
+// runtime-frame stripping, interning — keyed by the raw program-counter
+// stack that runtime.Callers records. Raw PC stacks are the Go analog of
+// the paper's return-address stacks: after the first occurrence of a call
+// path, a lock operation pays one PC walk plus one hash lookup instead of
+// a CallersFrames symbolization, which dominates instrumented-lock cost.
+//
+// Soundness: a PC value identifies one instruction in the immutable text
+// segment, and frame expansion (including inlining) is a pure function of
+// the PC stack, so equal PC stacks always map to the same *Interned.
+type PCCache struct {
+	shards [pcShards]pcShard
+}
+
+const pcShards = 16
+
+type pcShard struct {
+	mu sync.RWMutex
+	m  map[uint64][]pcEntry
+}
+
+type pcEntry struct {
+	pcs []uintptr
+	in  *Interned
+}
+
+// NewPCCache returns an empty cache.
+func NewPCCache() *PCCache {
+	c := &PCCache{}
+	for i := range c.shards {
+		c.shards[i].m = make(map[uint64][]pcEntry)
+	}
+	return c
+}
+
+func hashPCs(pcs []uintptr) uint64 {
+	h := uint64(fnvOffset)
+	for _, pc := range pcs {
+		h ^= uint64(pc)
+		h *= fnvPrime
+	}
+	return h
+}
+
+func equalPCs(a, b []uintptr) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// Get returns the interned stack previously recorded for pcs.
+func (c *PCCache) Get(pcs []uintptr) (*Interned, bool) {
+	h := hashPCs(pcs)
+	sh := &c.shards[h%pcShards]
+	sh.mu.RLock()
+	for _, e := range sh.m[h] {
+		if equalPCs(e.pcs, pcs) {
+			sh.mu.RUnlock()
+			return e.in, true
+		}
+	}
+	sh.mu.RUnlock()
+	return nil, false
+}
+
+// Put records the resolution of pcs. The slice is copied.
+func (c *PCCache) Put(pcs []uintptr, in *Interned) {
+	h := hashPCs(pcs)
+	sh := &c.shards[h%pcShards]
+	sh.mu.Lock()
+	for _, e := range sh.m[h] {
+		if equalPCs(e.pcs, pcs) {
+			sh.mu.Unlock()
+			return
+		}
+	}
+	cp := make([]uintptr, len(pcs))
+	copy(cp, pcs)
+	sh.m[h] = append(sh.m[h], pcEntry{pcs: cp, in: in})
+	sh.mu.Unlock()
+}
+
+// Len returns the number of distinct PC stacks cached.
+func (c *PCCache) Len() int {
+	n := 0
+	for i := range c.shards {
+		sh := &c.shards[i]
+		sh.mu.RLock()
+		for _, es := range sh.m {
+			n += len(es)
+		}
+		sh.mu.RUnlock()
+	}
+	return n
+}

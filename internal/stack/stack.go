@@ -68,11 +68,27 @@ func Capture(skip, max int) Stack {
 	var pcs [MaxCaptureDepth + 2]uintptr
 	// +2: skip runtime.Callers and Capture itself.
 	n := runtime.Callers(skip+2, pcs[:max])
-	if n == 0 {
+	return ResolvePCs(pcs[:n], max)
+}
+
+// ResolvePCs expands a raw PC stack (as recorded by runtime.Callers) into
+// at most max normalized frames. Resolution is deterministic: identical
+// PC stacks always produce identical frames (inline expansion included),
+// which is what makes PCCache sound.
+func ResolvePCs(pcs []uintptr, max int) Stack {
+	if len(pcs) == 0 {
 		return nil
 	}
-	frames := runtime.CallersFrames(pcs[:n])
-	s := make(Stack, 0, n)
+	if max <= 0 || max > MaxCaptureDepth {
+		max = MaxCaptureDepth
+	}
+	// Copy before handing to CallersFrames, which retains its argument:
+	// this keeps callers' stack-allocated PC buffers from escaping (the
+	// hot capture path resolves only on a PC-cache miss).
+	cp := make([]uintptr, len(pcs))
+	copy(cp, pcs)
+	frames := runtime.CallersFrames(cp)
+	s := make(Stack, 0, len(pcs))
 	for {
 		fr, more := frames.Next()
 		if fr.Function != "" {

@@ -31,25 +31,89 @@ import (
 //
 // A Mutex must not be copied after first use.
 type Mutex struct {
-	c atomic.Pointer[core.Mutex]
+	b atomic.Pointer[mutexBinding]
+}
+
+// mutexBinding pairs the instrumented mutex with the default-runtime
+// generation it bound under; a stale generation triggers a rebind.
+type mutexBinding struct {
+	c   *core.Mutex
+	gen uint64
 }
 
 // core returns the bound instrumented mutex, binding to the default
-// Runtime on first use.
+// Runtime on first use and rebinding after a Shutdown→Init transition
+// (when the old binding's runtime was replaced and the mutex is free).
 func (m *Mutex) core() *core.Mutex {
-	if c := m.c.Load(); c != nil {
-		return c
+	b := m.b.Load()
+	if b != nil && b.gen == generation() {
+		return b.c
 	}
-	c := Default().NewMutex()
-	if m.c.CompareAndSwap(nil, c) {
-		return c
+	return m.rebind(b)
+}
+
+func (m *Mutex) rebind(old *mutexBinding) *core.Mutex {
+	for {
+		if old != nil {
+			if old.gen == generation() {
+				// A racing rebind (or Init) already refreshed it.
+				return old.c
+			}
+			if !old.c.Retire() {
+				// Still held, or an acquisition is in flight, through
+				// the previous runtime: the holder must unlock what it
+				// locked. Keep the old binding; a later operation
+				// rebinds once the mutex is observed free. (Retirement
+				// is atomic with token ownership, so a straggler that
+				// wins the token after we retire bounces with
+				// ErrMutexRetired and re-resolves.)
+				return old.c
+			}
+		}
+		// Read the generation around Default() so a lazily created
+		// runtime (which bumps the generation) never yields a binding
+		// stamped stale at birth.
+		gen := generation()
+		rt := Default()
+		if generation() != gen {
+			old = m.b.Load()
+			continue
+		}
+		nb := &mutexBinding{c: rt.NewMutex(), gen: gen}
+		if m.b.CompareAndSwap(old, nb) {
+			return nb.c
+		}
+		old = m.b.Load()
 	}
-	return m.c.Load()
 }
 
 // Core exposes the underlying explicit-runtime mutex (binding it first
 // if needed), for interop with the Thread fast path and Cond.
 func (m *Mutex) Core() *CoreMutex { return m.core() }
+
+// retryRetired runs op until it stops failing with ErrMutexRetired: the
+// binding was superseded mid-operation by a Shutdown→Init rebind, and
+// the next attempt re-resolves the fresh instance via core(). Shared by
+// every facade acquisition method.
+func retryRetired(op func() error) error {
+	for {
+		err := op()
+		if !errors.Is(err, core.ErrMutexRetired) {
+			return err
+		}
+	}
+}
+
+// retryRetiredOK is retryRetired for the (bool, error)-shaped try
+// methods.
+func retryRetiredOK(op func() (bool, error)) (bool, error) {
+	for {
+		ok, err := op()
+		if !errors.Is(err, core.ErrMutexRetired) {
+			return ok, err
+		}
+	}
+}
 
 // Lock acquires the mutex, running the full avoidance protocol. It
 // blocks like sync.Mutex.Lock and panics only if a deadlock-recovery
@@ -57,19 +121,20 @@ func (m *Mutex) Core() *CoreMutex { return m.core() }
 // so a supervisor can recover() and test errors.Is(v.(error),
 // ErrDeadlockRecovered) to treat it as the in-process restart.
 func (m *Mutex) Lock() {
-	if err := m.core().Lock(); err != nil {
+	if err := retryRetired(func() error { return m.core().Lock() }); err != nil {
 		panic(err)
 	}
 }
 
 // Unlock releases the mutex. It panics if the mutex is not locked,
-// matching sync.Mutex.
+// matching sync.Mutex. Unlock always goes through the binding that
+// granted the lock, even when a Shutdown has made it stale.
 func (m *Mutex) Unlock() {
-	c := m.c.Load()
-	if c == nil {
+	b := m.b.Load()
+	if b == nil {
 		panic("dimmunix: Unlock of unlocked Mutex")
 	}
-	if err := c.UnlockHandoff(); err != nil {
+	if err := b.c.UnlockHandoff(); err != nil {
 		if errors.Is(err, ErrNotOwner) {
 			panic("dimmunix: Unlock of unlocked Mutex")
 		}
@@ -81,7 +146,7 @@ func (m *Mutex) Unlock() {
 // A YIELD avoidance decision counts as failure: the thread may not enter
 // a known-dangerous pattern.
 func (m *Mutex) TryLock() bool {
-	ok, err := m.core().TryLock()
+	ok, err := retryRetiredOK(func() (bool, error) { return m.core().TryLock() })
 	if err != nil {
 		panic(err)
 	}
@@ -92,10 +157,10 @@ func (m *Mutex) TryLock() bool {
 // deadline passes (returning ctx.Err()) or when a deadlock-recovery
 // abort unwinds the wait (returning ErrDeadlockRecovered).
 func (m *Mutex) LockCtx(ctx context.Context) error {
-	return m.core().LockCtx(ctx)
+	return retryRetired(func() error { return m.core().LockCtx(ctx) })
 }
 
 // LockTimeout acquires the mutex, failing with ErrTimeout after d.
 func (m *Mutex) LockTimeout(d time.Duration) error {
-	return m.core().LockTimeout(d)
+	return retryRetired(func() error { return m.core().LockTimeout(d) })
 }

@@ -1,0 +1,173 @@
+// Tests for the Shutdown→Init rebinding of drop-in mutexes: a zero-value
+// Mutex/RWMutex bound to a default runtime that is later shut down must
+// detach and rebind to the next default runtime instead of staying
+// attached (unmonitored) to the stopped one.
+package dimmunix_test
+
+import (
+	"sync"
+	"testing"
+	"time"
+
+	"dimmunix"
+)
+
+func TestMutexRebindsAfterShutdownInit(t *testing.T) {
+	initDefault(t)
+	rt1 := dimmunix.Default()
+
+	var mu dimmunix.Mutex
+	mu.Lock()
+	mu.Unlock()
+	c1 := mu.Core()
+	if got := rt1.Stats().Acquired; got == 0 {
+		t.Fatal("first runtime never saw the acquisition")
+	}
+
+	if err := dimmunix.Shutdown(); err != nil {
+		t.Fatalf("Shutdown: %v", err)
+	}
+	if err := dimmunix.Init(dimmunix.WithTau(2 * time.Millisecond)); err != nil {
+		t.Fatalf("Init: %v", err)
+	}
+	rt2 := dimmunix.Default()
+	if rt1 == rt2 {
+		t.Fatal("Init did not create a fresh runtime")
+	}
+
+	mu.Lock()
+	mu.Unlock()
+	if c2 := mu.Core(); c2 == c1 {
+		t.Fatal("mutex still bound to the stopped runtime after Shutdown→Init")
+	}
+	if got := rt2.Stats().Acquired; got != 1 {
+		t.Fatalf("new runtime Acquired = %d, want 1: rebound mutex not monitored", got)
+	}
+}
+
+func TestMutexLockedAcrossShutdownUnbindsLazily(t *testing.T) {
+	initDefault(t)
+
+	var mu dimmunix.Mutex
+	mu.Lock()
+	c1 := mu.Core()
+
+	if err := dimmunix.Shutdown(); err != nil {
+		t.Fatalf("Shutdown: %v", err)
+	}
+	if err := dimmunix.Init(dimmunix.WithTau(2 * time.Millisecond)); err != nil {
+		t.Fatalf("Init: %v", err)
+	}
+
+	// Held across the transition: operations keep going through the old
+	// binding (the holder must unlock what it locked)...
+	if mu.TryLock() {
+		t.Fatal("TryLock succeeded on a held mutex")
+	}
+	if mu.Core() != c1 {
+		t.Fatal("held mutex rebound out from under its holder")
+	}
+	mu.Unlock()
+
+	// ...and once free, the next operation rebinds.
+	mu.Lock()
+	defer mu.Unlock()
+	if mu.Core() == c1 {
+		t.Fatal("freed mutex did not rebind to the new runtime")
+	}
+	if got := dimmunix.Default().Stats().Acquired; got != 1 {
+		t.Fatalf("new runtime Acquired = %d, want 1", got)
+	}
+}
+
+func TestRWMutexRebindsAfterShutdownInit(t *testing.T) {
+	initDefault(t)
+
+	var rw dimmunix.RWMutex
+	rw.RLock()
+	rw.RUnlock()
+	c1 := rw.Core()
+
+	if err := dimmunix.Shutdown(); err != nil {
+		t.Fatalf("Shutdown: %v", err)
+	}
+	if err := dimmunix.Init(dimmunix.WithTau(2 * time.Millisecond)); err != nil {
+		t.Fatalf("Init: %v", err)
+	}
+
+	rw.Lock()
+	rw.Unlock()
+	rw.RLock()
+	rw.RUnlock()
+	if rw.Core() == c1 {
+		t.Fatal("RWMutex still bound to the stopped runtime")
+	}
+	if got := dimmunix.Default().Stats().Acquired; got != 2 {
+		t.Fatalf("new runtime Acquired = %d, want 2", got)
+	}
+}
+
+// TestRebindUnderConcurrentLockTraffic hammers one drop-in mutex from
+// several goroutines across repeated Shutdown→Init transitions. The
+// retire protocol must preserve mutual exclusion throughout: x++ under
+// the lock is unsynchronized otherwise, so -race proves exclusion, and
+// stragglers bounced off a retired binding must retry, not panic.
+func TestRebindUnderConcurrentLockTraffic(t *testing.T) {
+	initDefault(t)
+	var mu dimmunix.Mutex
+	var x int
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	for i := 0; i < 4; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				mu.Lock()
+				x++
+				mu.Unlock()
+			}
+		}()
+	}
+	for i := 0; i < 25; i++ {
+		time.Sleep(2 * time.Millisecond)
+		if err := dimmunix.Shutdown(); err != nil {
+			t.Errorf("Shutdown: %v", err)
+			break
+		}
+		// A lazy Default may win the re-creation race; ErrInitialized is
+		// then expected.
+		_ = dimmunix.Init(dimmunix.WithTau(2 * time.Millisecond))
+	}
+	close(stop)
+	wg.Wait()
+	if x == 0 {
+		t.Fatal("no lock traffic happened")
+	}
+}
+
+func TestShutdownWithoutInitRebindsOnLazyDefault(t *testing.T) {
+	initDefault(t)
+
+	var mu dimmunix.Mutex
+	mu.Lock()
+	mu.Unlock()
+	c1 := mu.Core()
+
+	if err := dimmunix.Shutdown(); err != nil {
+		t.Fatalf("Shutdown: %v", err)
+	}
+	// No Init: the next Lock lazily creates a fresh default runtime and
+	// the mutex rebinds to it.
+	mu.Lock()
+	mu.Unlock()
+	t.Cleanup(func() { dimmunix.Shutdown() })
+	if mu.Core() == c1 {
+		t.Fatal("mutex did not rebind through the lazy Default path")
+	}
+}

@@ -25,20 +25,53 @@ import (
 //
 // A RWMutex must not be copied after first use.
 type RWMutex struct {
-	c atomic.Pointer[core.RWMutex]
+	b atomic.Pointer[rwBinding]
+}
+
+// rwBinding pairs the instrumented mutex with the default-runtime
+// generation it bound under; a stale generation triggers a rebind.
+type rwBinding struct {
+	c   *core.RWMutex
+	gen uint64
 }
 
 // core returns the bound instrumented mutex, binding to the default
-// Runtime on first use.
+// Runtime on first use and rebinding after a Shutdown→Init transition
+// (when the old binding's runtime was replaced and the lock is free).
 func (rw *RWMutex) core() *core.RWMutex {
-	if c := rw.c.Load(); c != nil {
-		return c
+	b := rw.b.Load()
+	if b != nil && b.gen == generation() {
+		return b.c
 	}
-	c := Default().NewRWMutex()
-	if rw.c.CompareAndSwap(nil, c) {
-		return c
+	return rw.rebind(b)
+}
+
+func (rw *RWMutex) rebind(old *rwBinding) *core.RWMutex {
+	for {
+		if old != nil {
+			if old.gen == generation() {
+				// A racing rebind (or Init) already refreshed it.
+				return old.c
+			}
+			if !old.c.Retire() {
+				// Still held, or a writer is queued, through the
+				// previous runtime; see Mutex.rebind.
+				return old.c
+			}
+		}
+		// See Mutex.rebind for the generation-around-Default protocol.
+		gen := generation()
+		rt := Default()
+		if generation() != gen {
+			old = rw.b.Load()
+			continue
+		}
+		nb := &rwBinding{c: rt.NewRWMutex(), gen: gen}
+		if rw.b.CompareAndSwap(old, nb) {
+			return nb.c
+		}
+		old = rw.b.Load()
 	}
-	return rw.c.Load()
 }
 
 // Core exposes the underlying explicit-runtime RWMutex (binding it
@@ -50,7 +83,7 @@ func (rw *RWMutex) Core() *CoreRWMutex { return rw.core() }
 // value is the error itself, so a supervisor can recover() and test
 // errors.Is(v.(error), ErrDeadlockRecovered).
 func (rw *RWMutex) Lock() {
-	if err := rw.core().Lock(); err != nil {
+	if err := retryRetired(func() error { return rw.core().Lock() }); err != nil {
 		panic(err)
 	}
 }
@@ -59,11 +92,11 @@ func (rw *RWMutex) Lock() {
 // matching sync.RWMutex. Like sync, a write-locked RWMutex may be handed
 // off and unlocked by a different goroutine.
 func (rw *RWMutex) Unlock() {
-	c := rw.c.Load()
-	if c == nil {
+	b := rw.b.Load()
+	if b == nil {
 		panic("dimmunix: Unlock of unlocked RWMutex")
 	}
-	if err := c.UnlockHandoff(); err != nil {
+	if err := b.c.UnlockHandoff(); err != nil {
 		if errors.Is(err, ErrNotOwner) {
 			panic("dimmunix: Unlock of unlocked RWMutex")
 		}
@@ -74,7 +107,7 @@ func (rw *RWMutex) Unlock() {
 // RLock read-locks. The acquisition participates in the avoidance
 // protocol; the hold is shared with other readers.
 func (rw *RWMutex) RLock() {
-	if err := rw.core().RLock(); err != nil {
+	if err := retryRetired(func() error { return rw.core().RLock() }); err != nil {
 		panic(err)
 	}
 }
@@ -82,11 +115,11 @@ func (rw *RWMutex) RLock() {
 // RUnlock releases one read lock held by the calling goroutine. It
 // panics if the calling goroutine holds no read lock.
 func (rw *RWMutex) RUnlock() {
-	c := rw.c.Load()
-	if c == nil {
+	b := rw.b.Load()
+	if b == nil {
 		panic("dimmunix: RUnlock of unlocked RWMutex")
 	}
-	if err := c.RUnlock(); err != nil {
+	if err := b.c.RUnlock(); err != nil {
 		panic("dimmunix: RUnlock: " + err.Error())
 	}
 }
@@ -94,7 +127,7 @@ func (rw *RWMutex) RUnlock() {
 // TryLock attempts the write lock without blocking; a YIELD avoidance
 // decision counts as failure.
 func (rw *RWMutex) TryLock() bool {
-	ok, err := rw.core().TryLock()
+	ok, err := retryRetiredOK(func() (bool, error) { return rw.core().TryLock() })
 	if err != nil {
 		panic(err)
 	}
@@ -103,7 +136,7 @@ func (rw *RWMutex) TryLock() bool {
 
 // TryRLock attempts a read lock without blocking.
 func (rw *RWMutex) TryRLock() bool {
-	ok, err := rw.core().TryRLock()
+	ok, err := retryRetiredOK(func() (bool, error) { return rw.core().TryRLock() })
 	if err != nil {
 		panic(err)
 	}
@@ -114,22 +147,22 @@ func (rw *RWMutex) TryRLock() bool {
 // or when a deadlock-recovery abort unwinds the wait (returning
 // ErrDeadlockRecovered).
 func (rw *RWMutex) LockCtx(ctx context.Context) error {
-	return rw.core().LockCtx(ctx)
+	return retryRetired(func() error { return rw.core().LockCtx(ctx) })
 }
 
 // RLockCtx read-locks with the same cancellation behavior as LockCtx.
 func (rw *RWMutex) RLockCtx(ctx context.Context) error {
-	return rw.core().RLockCtx(ctx)
+	return retryRetired(func() error { return rw.core().RLockCtx(ctx) })
 }
 
 // LockTimeout write-locks, failing with ErrTimeout after d.
 func (rw *RWMutex) LockTimeout(d time.Duration) error {
-	return rw.core().LockTimeout(d)
+	return retryRetired(func() error { return rw.core().LockTimeout(d) })
 }
 
 // RLockTimeout read-locks, failing with ErrTimeout after d.
 func (rw *RWMutex) RLockTimeout(d time.Duration) error {
-	return rw.core().RLockTimeout(d)
+	return retryRetired(func() error { return rw.core().RLockTimeout(d) })
 }
 
 // RLocker returns a sync.Locker whose Lock and Unlock call RLock and
