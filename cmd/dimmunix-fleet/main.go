@@ -1,0 +1,140 @@
+// Command dimmunix-fleet is the two-process shared-immunity smoke
+// worker: role "a" triggers a lock-order-inversion deadlock once (it is
+// recovered, its signature archived and pushed to the shared store);
+// role "b" waits for the signature to arrive through the store's sync
+// loop, then runs the exact same locking pattern and must complete
+// cleanly — deadlock immunity acquired without ever deadlocking itself,
+// the paper's §8 fleet scenario.
+//
+// Usage:
+//
+//	dimmunix-fleet -store http://127.0.0.1:7676 -role a
+//	dimmunix-fleet -store http://127.0.0.1:7676 -role b [-wait 15s]
+//
+// Both roles exit 0 on success and 1 on a property violation, so the CI
+// smoke step can assert the fleet-immunity property end to end.
+package main
+
+import (
+	"fmt"
+	"os"
+	"time"
+
+	"flag"
+
+	"dimmunix"
+)
+
+var (
+	storeSpec = flag.String("store", "", "shared history store (file, dir, or http:// daemon)")
+	role      = flag.String("role", "", "a = hit the deadlock once; b = converge and avoid it")
+	wait      = flag.Duration("wait", 15*time.Second, "role b: how long to wait for convergence")
+	hold      = flag.Duration("hold", 150*time.Millisecond, "timing window between the nested acquisitions")
+)
+
+func main() {
+	flag.Parse()
+	if *storeSpec == "" || (*role != "a" && *role != "b") {
+		fmt.Fprintln(os.Stderr, "usage: dimmunix-fleet -store <spec> -role a|b")
+		os.Exit(2)
+	}
+
+	store, err := dimmunix.OpenHistoryStore(*storeSpec)
+	if err != nil {
+		fatal(err)
+	}
+	rt, err := dimmunix.New(dimmunix.Config{
+		HistoryStore:  store,
+		SyncInterval:  100 * time.Millisecond,
+		Tau:           5 * time.Millisecond,
+		MatchDepth:    2,
+		RecoverAborts: true,
+	})
+	if err != nil {
+		fatal(err)
+	}
+	defer rt.Stop()
+
+	switch *role {
+	case "a":
+		errs := exercise(rt, *hold)
+		if !deadlocked(errs) {
+			fatal(fmt.Errorf("role a: expected the exploit to deadlock, got %v", errs))
+		}
+		if err := rt.SyncNow(); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("role a: deadlocked once, archived and pushed %d signature(s)\n",
+			rt.History().Len())
+	case "b":
+		deadline := time.Now().Add(*wait)
+		for rt.History().Len() == 0 {
+			if time.Now().After(deadline) {
+				fatal(fmt.Errorf("role b: no signature arrived within %v", *wait))
+			}
+			time.Sleep(10 * time.Millisecond)
+		}
+		fmt.Printf("role b: converged to %d signature(s), danger epoch %d\n",
+			rt.History().Len(), rt.History().Danger().Epoch())
+		errs := exercise(rt, *hold)
+		if deadlocked(errs) {
+			fatal(fmt.Errorf("role b: deadlocked despite the shared signature"))
+		}
+		for _, e := range errs {
+			if e != nil {
+				fatal(fmt.Errorf("role b: worker failed: %v", e))
+			}
+		}
+		fmt.Printf("role b: clean run, %d yields — immunity acquired without deadlocking\n",
+			rt.Stats().Yields)
+	}
+}
+
+// exercise runs the canonical AB/BA inversion: two workers each nest a
+// pair of locks in opposite order, holding the first for the timing
+// window. Identical code in both roles means identical call stacks, so
+// role a's archived signature matches role b's requests.
+func exercise(rt *dimmunix.Runtime, hold time.Duration) []error {
+	a, b := rt.NewMutex(), rt.NewMutex()
+	errs := make([]error, 2)
+	done := make(chan struct{}, 2)
+	run := func(i int, first, second *dimmunix.CoreMutex) {
+		th := rt.RegisterThread(fmt.Sprintf("w%d", i))
+		defer th.Close()
+		defer func() { done <- struct{}{} }()
+		errs[i] = nest(th, first, second, hold)
+	}
+	go run(0, a, b)
+	go run(1, b, a)
+	<-done
+	<-done
+	return errs
+}
+
+func nest(th *dimmunix.Thread, outer, inner *dimmunix.CoreMutex, hold time.Duration) error {
+	if err := outer.LockT(th); err != nil {
+		return err
+	}
+	time.Sleep(hold)
+	if err := inner.LockT(th); err != nil {
+		_ = outer.UnlockT(th)
+		return err
+	}
+	_ = inner.UnlockT(th)
+	_ = outer.UnlockT(th)
+	return nil
+}
+
+func deadlocked(errs []error) bool {
+	for _, err := range errs {
+		if err == dimmunix.ErrDeadlockRecovered {
+			return true
+		}
+	}
+	return false
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "dimmunix-fleet:", err)
+	os.Exit(1)
+}

@@ -1,7 +1,11 @@
-// Command dimmunix-hist inspects and maintains Dimmunix history files:
-// listing and showing signatures, disabling/enabling them (§5.7), merging
-// vendor-distributed histories (§8's proactive immunization), and porting
-// signatures across code revisions (§8) with sigport rules.
+// Command dimmunix-hist inspects, maintains, and distributes Dimmunix
+// histories: listing and showing signatures, disabling/enabling them
+// (§5.7), removing them (leaving format-v2 tombstones so the removal
+// propagates), merging vendor-distributed histories (§8's proactive
+// immunization), porting signatures across code revisions (§8) with
+// sigport rules, and syncing with shared immunity stores — including
+// running the HTTP sync daemon fleets of machines without a shared
+// filesystem converge through.
 //
 // Usage:
 //
@@ -12,14 +16,23 @@
 //	dimmunix-hist -f hist.json remove <sig-id>
 //	dimmunix-hist -f hist.json merge <other.json>
 //	dimmunix-hist -f hist.json port <rules.txt> -o ported.json
+//	dimmunix-hist -f hist.json serve <addr>      # run the sync daemon
+//	dimmunix-hist -f hist.json push <store>      # publish -f into a store
+//	dimmunix-hist -f hist.json pull <store>      # fold a store into -f
+//	dimmunix-hist -f hist.json diff <store>      # compare -f with a store
+//
+// A <store> is a file path, a directory of per-process journals (or
+// dir:PATH), or the http:// URL of a serve daemon.
 package main
 
 import (
 	"flag"
 	"fmt"
+	"net/http"
 	"os"
 	"time"
 
+	"dimmunix/internal/histstore"
 	"dimmunix/internal/signature"
 	"dimmunix/internal/sigport"
 )
@@ -32,7 +45,7 @@ func main() {
 	flag.Parse()
 	args := flag.Args()
 	if len(args) == 0 {
-		fmt.Fprintln(os.Stderr, "missing command: list | show | disable | enable | remove | merge | port")
+		fmt.Fprintln(os.Stderr, "missing command: list | show | disable | enable | remove | merge | port | serve | push | pull | diff")
 		os.Exit(2)
 	}
 
@@ -43,7 +56,11 @@ func main() {
 
 	switch args[0] {
 	case "list":
-		fmt.Printf("%d signatures in %s\n", h.Len(), *file)
+		fmt.Printf("%d signatures in %s", h.Len(), *file)
+		if n := len(h.Tombstones()); n > 0 {
+			fmt.Printf(" (+%d tombstones)", n)
+		}
+		fmt.Println()
 		for _, sig := range h.Snapshot() {
 			state := ""
 			if sig.Disabled {
@@ -109,8 +126,117 @@ func main() {
 		}
 		fmt.Printf("ported %d signatures (%d frames rewritten, %d dropped) -> %s\n",
 			st.Ported, st.Frames, st.Dropped, dst)
+	case "serve":
+		addr := arg(args, 1)
+		srv, err := histstore.NewServer(histstore.NewFileStore(*file))
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Printf("dimmunix-hist: serving %s on %s (%d signatures)\n",
+			*file, addr, srv.History().Len())
+		fatal(http.ListenAndServe(addr, srv.Handler()))
+	case "push":
+		st := openStore(arg(args, 1))
+		defer st.Close()
+		if _, err := st.Push(h); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("pushed %d signatures, %d tombstones -> %s\n",
+			h.Len(), len(h.Tombstones()), arg(args, 1))
+	case "pull":
+		st := openStore(arg(args, 1))
+		defer st.Close()
+		remote, _, err := st.Load()
+		if err != nil {
+			fatal(err)
+		}
+		n := h.Merge(remote)
+		save(h)
+		fmt.Printf("pulled %d changes from %s (total %d signatures, %d tombstones)\n",
+			n, arg(args, 1), h.Len(), len(h.Tombstones()))
+	case "diff":
+		st := openStore(arg(args, 1))
+		defer st.Close()
+		remote, _, err := st.Load()
+		if err != nil {
+			fatal(err)
+		}
+		diff(h, remote, *file, arg(args, 1))
 	default:
 		fatal(fmt.Errorf("unknown command %q", args[0]))
+	}
+}
+
+// openStore resolves a store argument; a plain path to a (possibly
+// missing) history file resolves to a FileStore, so `push other.json`
+// keeps working like `merge` in reverse.
+func openStore(spec string) histstore.Store {
+	st, err := histstore.Open(spec)
+	if err != nil {
+		fatal(err)
+	}
+	return st
+}
+
+// diff prints the entry-by-entry comparison of two snapshots under the
+// v2 revision-join semantics: which side would win each entry on merge.
+func diff(local, remote *signature.History, lname, rname string) {
+	fmt.Printf("diff %s (local) vs %s (remote)\n", lname, rname)
+	same := true
+	rTombs := make(map[string]signature.Tombstone)
+	for _, t := range remote.Tombstones() {
+		rTombs[t.ID] = t
+	}
+	lTombs := make(map[string]signature.Tombstone)
+	for _, t := range local.Tombstones() {
+		lTombs[t.ID] = t
+	}
+	seen := make(map[string]bool)
+	for _, s := range local.Snapshot() {
+		seen[s.ID] = true
+		r := remote.Get(s.ID)
+		switch {
+		case r != nil:
+			if r.Disabled != s.Disabled || r.Rev != s.Rev {
+				fmt.Printf("  ~ %s  local rev=%d disabled=%v, remote rev=%d disabled=%v\n",
+					s.ID, s.Rev, s.Disabled, r.Rev, r.Disabled)
+				same = false
+			}
+		case rTombs[s.ID].Rev >= s.Rev:
+			fmt.Printf("  - %s  removed remotely (tombstone rev=%d >= local rev=%d)\n",
+				s.ID, rTombs[s.ID].Rev, s.Rev)
+			same = false
+		default:
+			fmt.Printf("  + %s  only local (rev=%d)\n", s.ID, s.Rev)
+			same = false
+		}
+	}
+	for _, r := range remote.Snapshot() {
+		if seen[r.ID] {
+			continue
+		}
+		if lTombs[r.ID].Rev >= r.Rev {
+			fmt.Printf("  - %s  removed locally (tombstone rev=%d >= remote rev=%d)\n",
+				r.ID, lTombs[r.ID].Rev, r.Rev)
+		} else {
+			fmt.Printf("  + %s  only remote (rev=%d)\n", r.ID, r.Rev)
+		}
+		same = false
+	}
+	for id, t := range rTombs {
+		if _, dup := lTombs[id]; !dup && local.Get(id) == nil && remote.Get(id) == nil {
+			fmt.Printf("  t %s  tombstone only remote (rev=%d)\n", id, t.Rev)
+			same = false
+		}
+	}
+	for id, t := range lTombs {
+		if _, dup := rTombs[id]; !dup && local.Get(id) == nil && remote.Get(id) == nil {
+			fmt.Printf("  t %s  tombstone only local (rev=%d)\n", id, t.Rev)
+			same = false
+		}
+	}
+	if same {
+		fmt.Println("  histories are identical")
 	}
 }
 

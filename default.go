@@ -122,6 +122,12 @@ func Shutdown() error {
 // Options passed to Init take precedence over all of them.
 //
 //	DIMMUNIX_HISTORY           history file path ("" = in-memory)
+//	DIMMUNIX_HISTORY_SYNC      shared store spec: file path, directory of
+//	                           per-process journals, or http:// URL of a
+//	                           dimmunix-hist serve daemon; enables the
+//	                           cross-process sync loop
+//	DIMMUNIX_SYNC_INTERVAL     sync cadence, Go duration (default 2s with
+//	                           a shared store; negative disables the loop)
 //	DIMMUNIX_TAU               monitor period, Go duration ("100ms")
 //	DIMMUNIX_MODE              off | instrument | datastructs | full
 //	DIMMUNIX_IMMUNITY          weak | strong
@@ -140,7 +146,11 @@ func Shutdown() error {
 func configFromEnv() (Config, error) {
 	var cfg Config
 	cfg.HistoryPath = os.Getenv("DIMMUNIX_HISTORY")
+	cfg.HistorySync = os.Getenv("DIMMUNIX_HISTORY_SYNC")
 
+	if err := envDuration("DIMMUNIX_SYNC_INTERVAL", &cfg.SyncInterval); err != nil {
+		return cfg, err
+	}
 	if err := envDuration("DIMMUNIX_TAU", &cfg.Tau); err != nil {
 		return cfg, err
 	}

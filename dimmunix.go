@@ -61,6 +61,7 @@ package dimmunix
 import (
 	"dimmunix/internal/avoidance"
 	"dimmunix/internal/core"
+	"dimmunix/internal/histstore"
 	"dimmunix/internal/monitor"
 	"dimmunix/internal/signature"
 )
@@ -97,6 +98,12 @@ type (
 	History = signature.History
 	// Signature is one archived deadlock/starvation pattern.
 	Signature = signature.Signature
+	// Tombstone marks a removed signature in format v2 histories.
+	Tombstone = signature.Tombstone
+	// HistoryStore is a pluggable shared immunity backend: one file
+	// (advisory-locked), a directory of per-process journals, or a
+	// dimmunix-hist serve daemon. See OpenHistoryStore.
+	HistoryStore = histstore.Store
 	// Stats is a snapshot of the avoidance counters.
 	Stats = avoidance.Snapshot
 	// Cond is a condition variable bound to a CoreMutex.
@@ -155,3 +162,10 @@ func MustNew(cfg Config) *Runtime { return core.MustNew(cfg) }
 // LoadHistory reads a signature history file (missing file = empty
 // history), for tooling that inspects or merges histories.
 func LoadHistory(path string) (*History, error) { return signature.Load(path) }
+
+// OpenHistoryStore resolves a store specification to a shared immunity
+// backend: "http(s)://…" selects a dimmunix-hist serve daemon, an
+// existing directory (or "dir:PATH", or a trailing "/") selects
+// per-process journals, anything else a single advisory-locked file.
+// Pass the result to WithHistoryStore (or Config.HistoryStore).
+func OpenHistoryStore(spec string) (HistoryStore, error) { return histstore.Open(spec) }

@@ -788,6 +788,19 @@ func (c *Cache) ForceGo(t *ThreadState) {
 	wake(t)
 }
 
+// WithGuard runs fn inside the full decision scope (every guard shard
+// held). The mutable per-signature fields (counters, calibration state,
+// disabled adoption) are owned by this guard, so history snapshots taken
+// for store pushes and store merges folded into the live history must run
+// under it. slot identifies the caller for the filter guard: concurrent
+// callers need distinct slots (the runtime reserves one for the monitor
+// and one for the sync domain).
+func (c *Cache) WithGuard(slot int, fn func()) {
+	c.lockAll(slot)
+	defer c.unlockAll(slot)
+	fn()
+}
+
 // NoteAbort records that t's yield on sig timed out (max yield duration);
 // after autoDisableAfter such aborts the signature is disabled
 // automatically (§5.7). A zero threshold disables auto-disabling.
@@ -799,7 +812,10 @@ func (c *Cache) NoteAbort(t *ThreadState, sigID string, autoDisableAfter uint64)
 	if sig := c.hist.Get(sigID); sig != nil {
 		sig.AbortCount++
 		if autoDisableAfter > 0 && sig.AbortCount >= autoDisableAfter && !sig.Disabled {
-			sig.Disabled = true
+			// Through the history so the flip carries a revision bump and
+			// a version change — it must propagate to the fleet (and
+			// invalidate fast-path markers) like any other disable.
+			c.hist.SetDisabled(sigID, true)
 		}
 	}
 	c.unlockAll(t.Slot)

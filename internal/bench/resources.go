@@ -43,12 +43,14 @@ func Resources(s Scale) Report {
 		}
 		r.Run()
 		heapAfter := heapAlloc()
+		stacks := len(rt.CapturedStacks())
+		rt.Stop()
+		// Estimate after Stop: marshaling reads the per-signature counters
+		// the (now quiescent) avoidance and monitor goroutines mutate.
 		perSig := 0
 		if l := rt.History().Len(); l > 0 {
 			perSig = rt.History().SizeOnDiskEstimate() / l
 		}
-		stacks := len(rt.CapturedStacks())
-		rt.Stop()
 
 		delta := int64(heapAfter) - int64(heapBefore)
 		if delta < 0 {

@@ -73,6 +73,15 @@ func NewState(maxDepth, na int, nt uint64) State {
 	}
 }
 
+// Clone returns a deep copy (the counter slices are duplicated), for
+// snapshots serialized outside the guard that owns the live state.
+func (s State) Clone() State {
+	c := s
+	c.Avoids = append([]uint64(nil), s.Avoids...)
+	c.FPs = append([]uint64(nil), s.FPs...)
+	return c
+}
+
 // Active reports whether the ladder is currently running (matching should
 // use CurrentDepth rather than the signature's fixed depth).
 func (s *State) Active() bool { return s.On && s.Rung >= 1 }

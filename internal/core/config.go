@@ -9,8 +9,10 @@ import (
 	"time"
 
 	"dimmunix/internal/avoidance"
+	"dimmunix/internal/histstore"
 	"dimmunix/internal/monitor"
 	"dimmunix/internal/signature"
+	"dimmunix/internal/sigport"
 )
 
 // Mode selects how much of Dimmunix runs; used for the Fig 8 overhead
@@ -63,11 +65,39 @@ const DefaultMaxYield = 200 * time.Millisecond
 // idle before its thread slot is pruned (Config.ThreadTTL).
 const DefaultThreadTTL = time.Minute
 
+// DefaultSyncInterval is the history-store sync cadence used when a
+// store is configured (HistoryStore or HistorySync) and SyncInterval is
+// left zero.
+const DefaultSyncInterval = 2 * time.Second
+
 // Config configures a Runtime. The zero value is usable: full Dimmunix,
 // weak immunity, τ = 100 ms, matching depth 4, no history file.
 type Config struct {
 	// HistoryPath is the persistent history file ("" = in-memory only).
+	// It is served by a FileStore underneath; unlike HistoryStore /
+	// HistorySync it does not enable the periodic sync loop by default,
+	// preserving the single-process semantics (save on archive and Stop,
+	// pull on ReloadHistory).
 	HistoryPath string
+	// HistoryStore, when non-nil, is the shared immunity store this
+	// runtime loads from, persists to, and syncs with (§8 distribution).
+	// Takes precedence over HistorySync and HistoryPath.
+	HistoryStore histstore.Store
+	// HistorySync is a store specification string (histstore.Open form:
+	// a file path, a directory, or an http:// daemon URL), the
+	// DIMMUNIX_HISTORY_SYNC plumbing. Used when HistoryStore is nil.
+	HistorySync string
+	// SyncInterval is the pull→merge→push cadence against the store.
+	// Zero selects DefaultSyncInterval when a store was configured via
+	// HistoryStore/HistorySync (and disables the loop for plain
+	// HistoryPath); negative disables the loop entirely.
+	SyncInterval time.Duration
+	// SyncPortRules are sigport rules applied to pulled snapshots whose
+	// build fingerprint differs from BuildFingerprint (§8 porting).
+	SyncPortRules []sigport.Rule
+	// BuildFingerprint identifies this build in pushed snapshots (""
+	// selects signature.BuildFingerprint()).
+	BuildFingerprint string
 	// Tau is the monitor wakeup period (default 100 ms).
 	Tau time.Duration
 	// MatchDepth is the fixed matching depth recorded in new signatures
@@ -167,6 +197,9 @@ func (c *Config) fill() {
 	}
 	if c.StackDepth <= 0 {
 		c.StackDepth = 16
+	}
+	if c.BuildFingerprint == "" {
+		c.BuildFingerprint = signature.BuildFingerprint()
 	}
 	if c.StackDepth < c.MatchDepth {
 		c.StackDepth = c.MatchDepth

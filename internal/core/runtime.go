@@ -11,10 +11,12 @@ import (
 	"dimmunix/internal/avoidance"
 	"dimmunix/internal/event"
 	"dimmunix/internal/gid"
+	"dimmunix/internal/histstore"
 	"dimmunix/internal/monitor"
 	"dimmunix/internal/peterson"
 	"dimmunix/internal/queue"
 	"dimmunix/internal/signature"
+	"dimmunix/internal/sigport"
 	"dimmunix/internal/stack"
 )
 
@@ -42,6 +44,8 @@ type Runtime struct {
 	interner *stack.Interner
 	pcCache  *stack.PCCache // nil when DisableFastPath (legacy capture)
 	hist     *signature.History
+	store    histstore.Store // nil = in-memory-only history
+	ownStore bool            // the runtime opened store and closes it on Stop
 	q        *queue.MPSC[event.Event]
 	cache    *avoidance.Cache
 	mon      *monitor.Monitor
@@ -76,25 +80,77 @@ type coolSlot struct {
 	at   time.Time
 }
 
-// New creates and starts a Runtime (loads the history, launches the
-// monitor).
+// New creates and starts a Runtime (resolves and loads the history
+// store, launches the monitor and — when a shared store is configured —
+// its sync loop).
 func New(cfg Config) (*Runtime, error) {
 	cfg.fill()
-	var hist *signature.History
-	if cfg.HistoryPath == "" {
-		hist = signature.NewHistory()
-	} else {
-		var err error
-		hist, err = signature.Load(cfg.HistoryPath)
+
+	// Resolve the immunity store: explicit > spec (env plumbing) >
+	// legacy single file > in-memory only.
+	var (
+		store    histstore.Store
+		ownStore bool
+		err      error
+	)
+	switch {
+	case cfg.HistoryStore != nil:
+		store = cfg.HistoryStore
+	case cfg.HistorySync != "":
+		store, err = histstore.Open(cfg.HistorySync)
 		if err != nil {
 			return nil, err
 		}
+		ownStore = true
+	case cfg.HistoryPath != "":
+		store = histstore.NewFileStore(cfg.HistoryPath)
+		ownStore = true
+	}
+
+	hist := signature.NewHistory()
+	if store != nil {
+		hist, _, err = store.Load()
+		if err != nil {
+			if _, netStore := store.(*histstore.HTTPStore); netStore {
+				// An unreachable sync daemon must not keep the application
+				// from starting (daemon restarts are routine): begin with
+				// an empty history and let the sync loop converge once the
+				// daemon is back. File corruption, in contrast, stays
+				// fail-fast below.
+				hist = signature.NewHistory()
+			} else {
+				if ownStore {
+					store.Close()
+				}
+				return nil, err
+			}
+		}
+		if len(cfg.SyncPortRules) > 0 && cfg.BuildFingerprint != "" &&
+			hist.Fingerprint() != "" && hist.Fingerprint() != cfg.BuildFingerprint {
+			// The store was last written by a different build: port the
+			// initial snapshot the same way sync pulls are ported (§8).
+			hist, _ = sigport.Port(hist, cfg.SyncPortRules)
+		}
+	}
+	hist.SetFingerprint(cfg.BuildFingerprint)
+
+	// The sync loop defaults on only for explicitly shared stores; a
+	// plain HistoryPath keeps the single-process cadence (archive-time
+	// and Stop-time pushes, manual ReloadHistory pulls).
+	syncInterval := cfg.SyncInterval
+	if syncInterval == 0 && (cfg.HistoryStore != nil || cfg.HistorySync != "") {
+		syncInterval = DefaultSyncInterval
+	}
+	if syncInterval < 0 || store == nil {
+		syncInterval = 0
 	}
 
 	rt := &Runtime{
 		cfg:      cfg,
 		interner: stack.NewInterner(),
 		hist:     hist,
+		store:    store,
+		ownStore: ownStore,
 		q:        queue.New[event.Event](),
 		stats:    &avoidance.Stats{},
 		nextSlot: 1, // slot 0 is reserved for the monitor/admin paths
@@ -112,12 +168,16 @@ func New(cfg Config) (*Runtime, error) {
 		rt.idTab[i].m = make(map[int32]*Thread)
 	}
 
+	// Slot 0 is the monitor's; MaxThreads+1 is the sync domain's (sync
+	// loop / SyncNow / Stop publish, serialized among themselves by the
+	// monitor's syncMu). The filter guard needs a seat for both.
+	syncSlot := cfg.MaxThreads + 1
 	newGuard := func() peterson.Guard {
 		switch cfg.Guard {
 		case GuardSpin:
 			return peterson.NewSpin()
 		case GuardFilter:
-			return peterson.NewFilter(cfg.MaxThreads + 1)
+			return peterson.NewFilter(cfg.MaxThreads + 2)
 		default:
 			return peterson.NewMutex()
 		}
@@ -154,6 +214,11 @@ func New(cfg Config) (*Runtime, error) {
 		CalibMaxDepth: cfg.CalibMaxDepth,
 		CalibNA:       cfg.CalibNA,
 		CalibNT:       cfg.CalibNT,
+		Store:         store,
+		SyncInterval:  syncInterval,
+		PortRules:     cfg.SyncPortRules,
+		Fingerprint:   cfg.BuildFingerprint,
+		SyncSlot:      syncSlot,
 		OnDeadlock:    onDeadlock,
 		OnStarvation:  cfg.OnStarvation,
 	}, rt.q, hist, rt.cache, rt.resolveThreadState)
@@ -182,7 +247,8 @@ func MustNew(cfg Config) *Runtime {
 	return rt
 }
 
-// Stop shuts the monitor down (after a final pass) and saves the history.
+// Stop shuts the monitor down (after a final pass and a final sync
+// round) and publishes the history through the store.
 func (rt *Runtime) Stop() error {
 	if !rt.stopped.CompareAndSwap(false, true) {
 		return nil
@@ -194,11 +260,24 @@ func (rt *Runtime) Stop() error {
 	if rt.cfg.Mode != ModeOff {
 		rt.mon.Stop()
 	}
-	return rt.hist.Save()
+	var err error
+	if rt.store != nil {
+		err = rt.mon.PublishToStore()
+		if rt.ownStore {
+			if cerr := rt.store.Close(); err == nil {
+				err = cerr
+			}
+		}
+	}
+	return err
 }
 
 // History exposes the signature history.
 func (rt *Runtime) History() *signature.History { return rt.hist }
+
+// HistoryStore exposes the resolved immunity store (nil when the history
+// is in-memory only).
+func (rt *Runtime) HistoryStore() histstore.Store { return rt.store }
 
 // Monitor exposes the monitor (Kick for tests/tools).
 func (rt *Runtime) Monitor() *monitor.Monitor { return rt.mon }
@@ -212,20 +291,29 @@ func (rt *Runtime) MonitorCounters() *monitor.Counters { return &rt.mon.Counters
 // Config returns the runtime's effective configuration.
 func (rt *Runtime) Config() Config { return rt.cfg }
 
-// ReloadHistory re-reads the history file and swaps the signature set
-// in-place — the §8 "patch without restarting" path. New signatures take
-// effect on the next lock request.
-func (rt *Runtime) ReloadHistory() error {
-	if rt.cfg.HistoryPath == "" {
-		return errors.New("dimmunix: runtime has no history path")
+// SyncNow performs one synchronous pull→merge→push round against the
+// history store — the §8 "patch without restarting" path, now a
+// deterministic revision join: remote additions, removals (tombstones),
+// and disabled-flips all take effect on the next lock request, and local
+// changes are published back. Returns an error when the runtime has no
+// store.
+func (rt *Runtime) SyncNow() error {
+	if rt.store == nil {
+		return errors.New("dimmunix: runtime has no history store")
 	}
-	fresh, err := signature.Load(rt.cfg.HistoryPath)
-	if err != nil {
-		return err
-	}
-	rt.hist.ReplaceAll(fresh)
-	return nil
+	return rt.mon.SyncNow()
 }
+
+// ReloadHistory is the historical name for SyncNow: re-read the backing
+// store and fold its state into the live signature set.
+//
+// Semantics changed with format v2: the fold is a merge (revision join),
+// not the old file-wins replacement. Deleting a signature by hand-editing
+// the file leaves no tombstone, so the live entry survives the merge and
+// the next push writes it back — remove signatures through
+// History.Remove or `dimmunix-hist remove` instead, which record a
+// tombstone that propagates.
+func (rt *Runtime) ReloadHistory() error { return rt.SyncNow() }
 
 // RegisterThread creates an explicit thread handle — the fast-path
 // identity API. name is for diagnostics only and may be empty. Explicit

@@ -1,0 +1,293 @@
+// Store-driven runtime tests: two live runtimes over one shared store
+// converge through their sync loops — new signatures enable avoidance in
+// the peer (danger-index epoch bumped, fast-path markers invalidated)
+// within one sync interval, and removals/disabled-flips propagate
+// without resurrection.
+package core
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"dimmunix/internal/histstore"
+	"dimmunix/internal/signature"
+	"dimmunix/internal/sigport"
+	"dimmunix/internal/stack"
+)
+
+const testSyncInterval = 10 * time.Millisecond
+
+func syncedConfig(st histstore.Store) Config {
+	cfg := testConfig()
+	cfg.HistoryStore = st
+	cfg.SyncInterval = testSyncInterval
+	cfg.RecoverAborts = true
+	cfg.MatchDepth = 2
+	return cfg
+}
+
+// TestTwoRuntimesConvergeOverFileStore: the full propagation cycle over
+// one shared file — archive on A appears on B (epoch bump observed),
+// disable on B reaches A, removal on A reaches B, and a stale push from
+// B cannot resurrect it.
+func TestTwoRuntimesConvergeOverFileStore(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "shared.json")
+	rtA := MustNew(syncedConfig(histstore.NewFileStore(path)))
+	defer rtA.Stop()
+	rtB := MustNew(syncedConfig(histstore.NewFileStore(path)))
+	defer rtB.Stop()
+
+	epoch0 := rtB.History().Danger().Epoch()
+
+	// A pays the manifestation.
+	a, b := rtA.NewMutex(), rtA.NewMutex()
+	forceDeadlock(rtA, a, b, holdTime)
+	waitFor(t, "A to archive", func() bool { return rtA.History().Len() == 1 })
+	sigID := rtA.History().Snapshot()[0].ID
+
+	// B converges through its own sync loop: signature present, danger
+	// index republished under a fresh epoch (so any cached fast-path
+	// safe-markers are stale), and the stack is indexed as dangerous.
+	waitFor(t, "B to converge", func() bool { return rtB.History().Len() == 1 })
+	if rtB.History().Danger().Epoch() <= epoch0 {
+		t.Fatal("danger-index epoch did not bump on remote arrival")
+	}
+	if rtB.History().Danger().Len() == 0 {
+		t.Fatal("remote signature not indexed as dangerous")
+	}
+
+	// B avoids the same pattern on first encounter.
+	a2, b2 := rtB.NewMutex(), rtB.NewMutex()
+	e1, e2 := forceDeadlock(rtB, a2, b2, holdTime)
+	if e1 != nil || e2 != nil {
+		t.Fatalf("B deadlocked despite the shared signature: %v %v", e1, e2)
+	}
+	if rtB.Stats().Yields == 0 {
+		t.Fatal("B completed without yielding — avoidance never engaged")
+	}
+
+	// Disable on B propagates to A.
+	if !rtB.History().SetDisabled(sigID, true) {
+		t.Fatal("disable failed")
+	}
+	waitFor(t, "disable to reach A", func() bool {
+		s := rtA.History().Get(sigID)
+		return s != nil && s.Disabled
+	})
+
+	// Removal on A propagates to B and survives B's own pushes (no
+	// resurrection).
+	if !rtA.History().Remove(sigID) {
+		t.Fatal("remove failed")
+	}
+	waitFor(t, "removal to reach B", func() bool { return rtB.History().Get(sigID) == nil })
+	if err := rtB.SyncNow(); err != nil { // B pushes its (tombstoned) state
+		t.Fatal(err)
+	}
+	if err := rtA.SyncNow(); err != nil {
+		t.Fatal(err)
+	}
+	if rtA.History().Get(sigID) != nil || rtB.History().Get(sigID) != nil {
+		t.Fatal("removed signature resurrected through the store")
+	}
+}
+
+// TestSyncAppliesPortRulesOnForeignFingerprint: a snapshot pushed under
+// a different build fingerprint is run through the sigport rules before
+// it joins the live history (§8 porting across code revisions).
+func TestSyncAppliesPortRulesOnForeignFingerprint(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "shared.json")
+
+	// "Old build" publishes a signature under its own fingerprint.
+	oldCfg := syncedConfig(histstore.NewFileStore(path))
+	oldCfg.SyncInterval = -1 // manual sync only
+	oldCfg.BuildFingerprint = "build-old"
+	rtOld := MustNew(oldCfg)
+	a, b := rtOld.NewMutex(), rtOld.NewMutex()
+	forceDeadlock(rtOld, a, b, holdTime)
+	waitFor(t, "old build to archive", func() bool { return rtOld.History().Len() == 1 })
+	oldSig := rtOld.History().Snapshot()[0]
+	var oldFunc string
+	for _, fr := range oldSig.Stacks[0] {
+		oldFunc = fr.Func
+		break
+	}
+	if err := rtOld.Stop(); err != nil {
+		t.Fatal(err)
+	}
+
+	// "New build" (different fingerprint) pulls with a rename rule, as a
+	// static analysis of the upgrade would emit.
+	newCfg := syncedConfig(histstore.NewFileStore(path))
+	newCfg.BuildFingerprint = "build-new"
+	newCfg.SyncPortRules = []sigport.Rule{{Kind: "rename", Func: oldFunc, To: oldFunc + "_v2"}}
+	rtNew := MustNew(newCfg)
+	defer rtNew.Stop()
+
+	waitFor(t, "ported signature to arrive", func() bool { return rtNew.History().Len() == 1 })
+	got := rtNew.History().Snapshot()[0]
+	if got.ID == oldSig.ID {
+		t.Fatal("signature was not ported (same ID)")
+	}
+	found := false
+	for _, s := range got.Stacks {
+		for _, fr := range s {
+			if fr.Func == oldFunc+"_v2" {
+				found = true
+			}
+			if fr.Func == oldFunc {
+				t.Fatalf("unported frame %q survived the pull", oldFunc)
+			}
+		}
+	}
+	if !found {
+		t.Fatal("renamed frame missing from the ported signature")
+	}
+	// The sync loop's own pulls port too (the file still carries the old
+	// build's fingerprint until rtNew pushes).
+	waitFor(t, "a ported sync pull", func() bool {
+		return rtNew.MonitorCounters().SyncPorted.Load() > 0
+	})
+}
+
+// TestSyncSameFingerprintSkipsPorting: rules configured but the snapshot
+// comes from the same build — no porting.
+func TestSyncSameFingerprintSkipsPorting(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "shared.json")
+	mk := func() *Runtime {
+		cfg := syncedConfig(histstore.NewFileStore(path))
+		cfg.BuildFingerprint = "build-same"
+		cfg.SyncPortRules = []sigport.Rule{{Kind: "drop", Func: "core.lockA"}}
+		return MustNew(cfg)
+	}
+	rtA := mk()
+	a, b := rtA.NewMutex(), rtA.NewMutex()
+	forceDeadlock(rtA, a, b, holdTime)
+	waitFor(t, "archive", func() bool { return rtA.History().Len() == 1 })
+	if err := rtA.Stop(); err != nil {
+		t.Fatal(err)
+	}
+
+	rtB := mk()
+	defer rtB.Stop()
+	waitFor(t, "signature to arrive unported", func() bool { return rtB.History().Len() == 1 })
+	if rtB.MonitorCounters().SyncPorted.Load() != 0 {
+		t.Fatal("same-fingerprint snapshot was ported")
+	}
+}
+
+// TestRuntimeStoreResolution covers the Config precedence: explicit
+// store > HistorySync spec > HistoryPath > in-memory.
+func TestRuntimeStoreResolution(t *testing.T) {
+	dir := t.TempDir()
+
+	rt := MustNew(testConfig())
+	if rt.HistoryStore() != nil {
+		t.Error("in-memory runtime must have no store")
+	}
+	if err := rt.SyncNow(); err == nil {
+		t.Error("SyncNow without a store must fail")
+	}
+	rt.Stop()
+
+	cfg := testConfig()
+	cfg.HistoryPath = filepath.Join(dir, "p.json")
+	rt = MustNew(cfg)
+	if _, ok := rt.HistoryStore().(*histstore.FileStore); !ok {
+		t.Errorf("HistoryPath must resolve to a FileStore, got %T", rt.HistoryStore())
+	}
+	rt.Stop()
+
+	cfg = testConfig()
+	cfg.HistorySync = dir + "/"
+	rt = MustNew(cfg)
+	if _, ok := rt.HistoryStore().(*histstore.DirStore); !ok {
+		t.Errorf("HistorySync dir spec must resolve to a DirStore, got %T", rt.HistoryStore())
+	}
+	rt.Stop()
+
+	explicit := histstore.NewFileStore(filepath.Join(dir, "e.json"))
+	cfg = testConfig()
+	cfg.HistoryStore = explicit
+	cfg.HistorySync = dir + "/"
+	rt = MustNew(cfg)
+	if rt.HistoryStore() != explicit {
+		t.Error("explicit HistoryStore must take precedence")
+	}
+	rt.Stop()
+}
+
+// TestUnreachableDaemonDoesNotBlockStartup: an HTTP store whose daemon
+// is down must not keep the runtime from starting — it begins empty and
+// the sync loop converges when the daemon returns (availability over
+// freshness; file corruption stays fail-fast).
+func TestUnreachableDaemonDoesNotBlockStartup(t *testing.T) {
+	cfg := syncedConfig(histstore.NewHTTPStore("http://127.0.0.1:1"))
+	cfg.SyncInterval = -1 // don't hammer the dead port in the background
+	rt, err := New(cfg)
+	if err != nil {
+		t.Fatalf("unreachable daemon blocked startup: %v", err)
+	}
+	if rt.History().Len() != 0 {
+		t.Fatal("expected an empty starting history")
+	}
+	if err := rt.SyncNow(); err == nil {
+		t.Fatal("SyncNow against a dead daemon should report the error")
+	}
+	_ = rt.Stop() // the final publish fails; Stop must still return
+
+	// A corrupt file store, by contrast, still fails construction.
+	dir := t.TempDir()
+	bad := filepath.Join(dir, "bad.json")
+	if err := os.WriteFile(bad, []byte("not json"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	badCfg := testConfig()
+	badCfg.HistoryPath = bad
+	if _, err := New(badCfg); err == nil {
+		t.Fatal("corrupt history file must fail construction")
+	}
+}
+
+// TestLegacyHistoryPathSemantics: a plain HistoryPath keeps the
+// single-process cadence — no sync loop, but archive-time persistence
+// and Stop-time publishing still reach the file, and a v1-era workflow
+// (ReloadHistory after an external edit) still works.
+func TestLegacyHistoryPathSemantics(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "legacy.json")
+	cfg := testConfig()
+	cfg.HistoryPath = path
+	cfg.MatchDepth = 2
+	cfg.RecoverAborts = true
+	rt := MustNew(cfg)
+	a, b := rt.NewMutex(), rt.NewMutex()
+	forceDeadlock(rt, a, b, holdTime)
+	waitFor(t, "archive to persist", func() bool {
+		h, err := signature.Load(path)
+		return err == nil && h.Len() == 1
+	})
+	if rt.MonitorCounters().SyncPulls.Load() != 0 {
+		t.Error("plain HistoryPath must not run the sync loop")
+	}
+	if err := rt.Stop(); err != nil {
+		t.Fatal(err)
+	}
+
+	// An external edit (vendor patch) + ReloadHistory on a fresh runtime.
+	rt2 := MustNew(cfg)
+	defer rt2.Stop()
+	extra := signature.NewHistory()
+	extra.Add(signature.New(signature.Deadlock,
+		[]stack.Stack{stack.Synthetic(1, 4), stack.Synthetic(2, 4)}, 4))
+	if _, err := histstore.NewFileStore(path).Push(extra); err != nil {
+		t.Fatal(err)
+	}
+	if err := rt2.ReloadHistory(); err != nil {
+		t.Fatal(err)
+	}
+	if rt2.History().Len() != 2 {
+		t.Fatalf("ReloadHistory folded %d signatures, want 2", rt2.History().Len())
+	}
+}

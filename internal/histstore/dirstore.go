@@ -1,0 +1,273 @@
+package histstore
+
+import (
+	"bufio"
+	"errors"
+	"fmt"
+	"hash/fnv"
+	"io/fs"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"dimmunix/internal/signature"
+)
+
+// journalExt marks DirStore journal files. Each line of a journal is one
+// compact v2 snapshot record; the newest parseable line of a journal
+// subsumes the older ones (a process's local history only moves forward
+// in join order), so compaction may rewrite a journal down to its latest
+// record at any time.
+const journalExt = ".histj"
+
+// DefaultJournalRecords bounds a journal's record count before Push
+// compacts it back to one record.
+const DefaultJournalRecords = 8
+
+var journalSeq atomic.Uint64
+
+// DirStore shares a directory of per-process append journals. Every
+// store handle owns exactly one journal file, so pushes from different
+// processes (or different handles) never contend on a lock or overwrite
+// each other; Load merges every journal's records through the revision
+// join. This is the no-write-contention backend for many instances on
+// one filesystem.
+type DirStore struct {
+	dir     string
+	journal string // own journal path
+
+	mu         sync.Mutex
+	acc        *signature.History // join of everything this handle pushed
+	f          *os.File
+	records    int
+	maxRecords int
+}
+
+// NewDirStore returns a store backed by dir (created if missing). The
+// handle's journal is named uniquely per process and handle; it is
+// created on first Push.
+func NewDirStore(dir string) (*DirStore, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("histstore: %w", err)
+	}
+	name := fmt.Sprintf("j-%d-%d-%d%s",
+		os.Getpid(), time.Now().UnixNano(), journalSeq.Add(1), journalExt)
+	return &DirStore{
+		dir:        dir,
+		journal:    filepath.Join(dir, name),
+		maxRecords: DefaultJournalRecords,
+	}, nil
+}
+
+// Dir returns the shared directory.
+func (s *DirStore) Dir() string { return s.dir }
+
+// JournalPath returns this handle's own journal file path.
+func (s *DirStore) JournalPath() string { return s.journal }
+
+// SetJournalRecordLimit bounds the own journal's records before a push
+// compacts it (<= 0 restores the default).
+func (s *DirStore) SetJournalRecordLimit(n int) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if n <= 0 {
+		n = DefaultJournalRecords
+	}
+	s.maxRecords = n
+}
+
+// Load merges every journal in the directory into a fresh history. A
+// torn or unparseable record (e.g. a crash mid-append) is skipped; the
+// join makes partial reads safe — they only delay convergence. The
+// merged snapshot carries a fingerprint only when every record agrees on
+// one.
+func (s *DirStore) Load() (*signature.History, Version, error) {
+	v, err := s.Probe()
+	if err != nil {
+		return nil, "", err
+	}
+	out := signature.NewHistory()
+	fp, fpMixed := "", false
+	paths, err := s.journalPaths()
+	if err != nil {
+		return nil, "", err
+	}
+	for _, path := range paths {
+		f, err := os.Open(path)
+		if errors.Is(err, fs.ErrNotExist) {
+			continue // compacted or removed between readdir and open
+		}
+		if err != nil {
+			return nil, "", fmt.Errorf("histstore: %w", err)
+		}
+		sc := bufio.NewScanner(f)
+		sc.Buffer(make([]byte, 0, 64*1024), 64*1024*1024)
+		for sc.Scan() {
+			line := strings.TrimSpace(sc.Text())
+			if line == "" {
+				continue
+			}
+			rec := signature.NewHistory()
+			if err := rec.UnmarshalJSON([]byte(line)); err != nil {
+				continue // torn trailing record
+			}
+			out.Merge(rec)
+			switch rfp := rec.Fingerprint(); {
+			case rfp == "":
+			case fp == "":
+				fp = rfp
+			case fp != rfp:
+				fpMixed = true
+			}
+		}
+		err = sc.Err()
+		f.Close()
+		if err != nil {
+			return nil, "", fmt.Errorf("histstore: %w", err)
+		}
+	}
+	if fp != "" && !fpMixed {
+		out.SetFingerprint(fp)
+	}
+	return out, v, nil
+}
+
+// Push joins h into the handle's accumulated state and appends that as
+// one record to its own journal — no cross-process lock, no
+// read-modify-write. Because each record is the join of everything the
+// handle ever pushed, the newest record subsumes the older ones, which
+// is what lets compaction rewrite the journal down to a single record.
+func (s *DirStore) Push(h *signature.History) (Version, error) {
+	s.mu.Lock()
+	if s.acc == nil {
+		s.acc = signature.NewHistory()
+	}
+	s.acc.Merge(h)
+	if fp := h.Fingerprint(); fp != "" {
+		s.acc.SetFingerprint(fp)
+	}
+	data, err := s.acc.MarshalJSONCompact()
+	if err != nil {
+		s.mu.Unlock()
+		return "", err
+	}
+	data = append(data, '\n')
+	err = s.appendLocked(data)
+	s.mu.Unlock()
+	if err != nil {
+		return "", err
+	}
+	return s.Probe()
+}
+
+func (s *DirStore) appendLocked(record []byte) error {
+	if s.records+1 > s.maxRecords {
+		return s.compactLocked(record)
+	}
+	if s.f == nil {
+		f, err := os.OpenFile(s.journal, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+		if err != nil {
+			return fmt.Errorf("histstore: %w", err)
+		}
+		s.f = f
+	}
+	if _, err := s.f.Write(record); err != nil {
+		return fmt.Errorf("histstore: %w", err)
+	}
+	s.records++
+	return nil
+}
+
+// compactLocked atomically replaces the journal with the single newest
+// record.
+func (s *DirStore) compactLocked(record []byte) error {
+	tmp, err := os.CreateTemp(s.dir, ".histj-compact-*")
+	if err != nil {
+		return fmt.Errorf("histstore: %w", err)
+	}
+	tmpName := tmp.Name()
+	if _, err := tmp.Write(record); err != nil {
+		tmp.Close()
+		os.Remove(tmpName)
+		return fmt.Errorf("histstore: %w", err)
+	}
+	if err := tmp.Close(); err != nil {
+		os.Remove(tmpName)
+		return fmt.Errorf("histstore: %w", err)
+	}
+	if err := os.Rename(tmpName, s.journal); err != nil {
+		os.Remove(tmpName)
+		return fmt.Errorf("histstore: %w", err)
+	}
+	if s.f != nil {
+		s.f.Close()
+		s.f = nil
+	}
+	// Reopen in append mode so subsequent records extend the compacted
+	// file (the old descriptor points at the unlinked inode).
+	f, err := os.OpenFile(s.journal, os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return fmt.Errorf("histstore: %w", err)
+	}
+	s.f = f
+	s.records = 1
+	return nil
+}
+
+// Probe hashes every journal's (name, size, mtime) triple — one readdir
+// plus one stat per journal, no record parsing.
+func (s *DirStore) Probe() (Version, error) {
+	paths, err := s.journalPaths()
+	if err != nil {
+		return "", err
+	}
+	hash := fnv.New64a()
+	for _, path := range paths {
+		fi, err := os.Stat(path)
+		if errors.Is(err, fs.ErrNotExist) {
+			continue
+		}
+		if err != nil {
+			return "", fmt.Errorf("histstore: %w", err)
+		}
+		fmt.Fprintf(hash, "%s:%d:%d;", filepath.Base(path), fi.Size(), fi.ModTime().UnixNano())
+	}
+	return Version(fmt.Sprintf("%d:%x", len(paths), hash.Sum64())), nil
+}
+
+func (s *DirStore) journalPaths() ([]string, error) {
+	entries, err := os.ReadDir(s.dir)
+	if errors.Is(err, fs.ErrNotExist) {
+		return nil, nil // first run: nothing journaled yet
+	}
+	if err != nil {
+		// An unreadable directory must surface, not masquerade as an
+		// empty (healthy) fleet history.
+		return nil, fmt.Errorf("histstore: %w", err)
+	}
+	var paths []string
+	for _, e := range entries {
+		if !e.IsDir() && strings.HasSuffix(e.Name(), journalExt) {
+			paths = append(paths, filepath.Join(s.dir, e.Name()))
+		}
+	}
+	sort.Strings(paths)
+	return paths, nil
+}
+
+// Close releases the journal file handle; the journal itself stays — it
+// is this process's contribution to the shared immunity.
+func (s *DirStore) Close() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.f != nil {
+		err := s.f.Close()
+		s.f = nil
+		return err
+	}
+	return nil
+}

@@ -1,0 +1,96 @@
+package histstore
+
+import (
+	"errors"
+	"fmt"
+	"io/fs"
+	"os"
+	"path/filepath"
+
+	"dimmunix/internal/signature"
+)
+
+// FileStore shares one history file between any number of processes.
+// Reads rely on the file being written by atomic rename (a reader never
+// observes a torn snapshot); pushes take an advisory lock on a sidecar
+// .lock file so concurrent read-merge-write cycles serialize instead of
+// losing each other's entries. Version probes are a single stat.
+type FileStore struct {
+	path string
+}
+
+// NewFileStore returns a store backed by the history file at path. The
+// file (and its directory) is created on first push; a missing file loads
+// as an empty history, the common first-run case.
+func NewFileStore(path string) *FileStore {
+	return &FileStore{path: path}
+}
+
+// Path returns the backing file path.
+func (s *FileStore) Path() string { return s.path }
+
+// Load reads the current snapshot. The version token is taken before the
+// read, so a concurrent writer at worst makes the next Probe report a
+// change that was already observed — re-pulling is safe, missing an
+// update is not.
+func (s *FileStore) Load() (*signature.History, Version, error) {
+	v, err := s.Probe()
+	if err != nil {
+		return nil, "", err
+	}
+	h, err := signature.Load(s.path)
+	if err != nil {
+		return nil, "", err
+	}
+	return h, v, nil
+}
+
+// Push merges h into the file under the advisory lock: read the current
+// content, join h in, write back atomically. The file ends up stamped
+// with h's build fingerprint.
+func (s *FileStore) Push(h *signature.History) (Version, error) {
+	if dir := filepath.Dir(s.path); dir != "" {
+		if err := os.MkdirAll(dir, 0o755); err != nil {
+			return "", fmt.Errorf("histstore: %w", err)
+		}
+	}
+	unlock, err := lockFile(s.path + ".lock")
+	if err != nil {
+		return "", fmt.Errorf("histstore: lock %s: %w", s.path, err)
+	}
+	defer unlock()
+
+	cur, err := signature.Load(s.path)
+	if err != nil {
+		return "", err
+	}
+	cur.Merge(h)
+	if fp := h.Fingerprint(); fp != "" {
+		cur.SetFingerprint(fp)
+	}
+	if err := cur.SaveTo(s.path); err != nil {
+		return "", err
+	}
+	return s.Probe()
+}
+
+// Probe stats the file: size plus mtime (nanosecond granularity on
+// modern filesystems) changes on every atomic-rename publish.
+func (s *FileStore) Probe() (Version, error) {
+	fi, err := os.Stat(s.path)
+	if errors.Is(err, fs.ErrNotExist) {
+		return "absent", nil
+	}
+	if err != nil {
+		return "", fmt.Errorf("histstore: %w", err)
+	}
+	return Version(fmt.Sprintf("%d:%d", fi.Size(), fi.ModTime().UnixNano())), nil
+}
+
+// Close is a no-op: the file is the immunity and outlives the handle.
+func (s *FileStore) Close() error { return nil }
+
+func isDir(path string) bool {
+	fi, err := os.Stat(path)
+	return err == nil && fi.IsDir()
+}

@@ -1,0 +1,28 @@
+//go:build unix
+
+package histstore
+
+import (
+	"os"
+	"syscall"
+)
+
+// lockFile takes an exclusive advisory flock on path (creating it if
+// needed) and returns the release function. Advisory locks serialize
+// cooperating dimmunix processes' read-merge-write cycles; they do not
+// protect against non-cooperating writers, which is the same contract
+// the paper's persistent history file has.
+func lockFile(path string) (func(), error) {
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_RDWR, 0o644)
+	if err != nil {
+		return nil, err
+	}
+	if err := syscall.Flock(int(f.Fd()), syscall.LOCK_EX); err != nil {
+		f.Close()
+		return nil, err
+	}
+	return func() {
+		_ = syscall.Flock(int(f.Fd()), syscall.LOCK_UN)
+		_ = f.Close()
+	}, nil
+}

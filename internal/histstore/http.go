@@ -1,0 +1,232 @@
+package histstore
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+	"sync"
+	"time"
+
+	"dimmunix/internal/signature"
+)
+
+// versionHeader carries the store version on history responses.
+const versionHeader = "X-Dimmunix-History-Version"
+
+// maxSnapshotBytes bounds one pushed snapshot (a format-v2 history is a
+// few hundred bytes per signature; 64 MiB is far beyond any real
+// history, §5.3 bounds its growth).
+const maxSnapshotBytes = 64 << 20
+
+// Server is the `dimmunix-hist serve` daemon state: the authoritative
+// merged history for a fleet of machines that do not share a filesystem.
+// Every push joins into the in-memory history (and, when a backing store
+// is configured, is persisted through it); every pull serves the current
+// merged snapshot. The version is a monotonic sequence bumped only when
+// a push actually changed something, so idle clients probing
+// GET /v1/version never trigger re-pulls.
+type Server struct {
+	mu      sync.Mutex
+	hist    *signature.History
+	epoch   int64 // startup stamp: distinguishes daemon incarnations
+	seq     uint64
+	backing Store
+	// backingDirty marks in-memory state the backing store has not
+	// accepted yet (a failed persist); the next push retries even when
+	// it merges nothing new, so durability is eventually restored.
+	backingDirty bool
+}
+
+// NewServer builds a server, seeding from backing when non-nil (so a
+// restarted daemon re-serves everything it had persisted).
+func NewServer(backing Store) (*Server, error) {
+	hist := signature.NewHistory()
+	if backing != nil {
+		loaded, _, err := backing.Load()
+		if err != nil {
+			return nil, err
+		}
+		hist = loaded
+	}
+	return &Server{hist: hist, epoch: time.Now().UnixNano(), seq: 1, backing: backing}, nil
+}
+
+// History exposes the server's merged history (diagnostics, tests).
+func (s *Server) History() *signature.History { return s.hist }
+
+// Handler returns the HTTP API:
+//
+//	GET  /v1/version  → {"version":"<seq>"} — the cheap probe
+//	GET  /v1/history  → format-v2 snapshot, version in X-Dimmunix-History-Version
+//	POST /v1/history  → join the posted snapshot; returns {"version","changed"}
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/v1/version", func(w http.ResponseWriter, r *http.Request) {
+		if r.Method != http.MethodGet {
+			http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
+			return
+		}
+		s.mu.Lock()
+		v := s.versionLocked()
+		s.mu.Unlock()
+		w.Header().Set("Content-Type", "application/json")
+		json.NewEncoder(w).Encode(map[string]string{"version": string(v)})
+	})
+	mux.HandleFunc("/v1/history", func(w http.ResponseWriter, r *http.Request) {
+		switch r.Method {
+		case http.MethodGet:
+			s.mu.Lock()
+			data, err := s.hist.MarshalJSONCompact()
+			v := s.versionLocked()
+			s.mu.Unlock()
+			if err != nil {
+				http.Error(w, err.Error(), http.StatusInternalServerError)
+				return
+			}
+			w.Header().Set("Content-Type", "application/json")
+			w.Header().Set(versionHeader, string(v))
+			w.Write(data)
+		case http.MethodPost:
+			body, err := io.ReadAll(io.LimitReader(r.Body, maxSnapshotBytes))
+			if err != nil {
+				http.Error(w, err.Error(), http.StatusBadRequest)
+				return
+			}
+			in := signature.NewHistory()
+			if err := in.UnmarshalJSON(body); err != nil {
+				http.Error(w, err.Error(), http.StatusBadRequest)
+				return
+			}
+			s.mu.Lock()
+			changed := s.hist.Merge(in)
+			if changed > 0 {
+				s.seq++
+				if fp := in.Fingerprint(); fp != "" && s.hist.Fingerprint() == "" {
+					s.hist.SetFingerprint(fp)
+				}
+			}
+			if s.backing != nil && (changed > 0 || s.backingDirty) {
+				if _, err := s.backing.Push(s.hist); err != nil {
+					// The merge already applied in memory; remember that
+					// the backing store is behind so a later push (even a
+					// no-change one) retries the persist.
+					s.backingDirty = true
+					s.mu.Unlock()
+					http.Error(w, err.Error(), http.StatusInternalServerError)
+					return
+				}
+				s.backingDirty = false
+			}
+			v := s.versionLocked()
+			s.mu.Unlock()
+			w.Header().Set("Content-Type", "application/json")
+			json.NewEncoder(w).Encode(map[string]any{"version": string(v), "changed": changed})
+		default:
+			http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
+		}
+	})
+	return mux
+}
+
+// versionLocked prefixes the push sequence with the daemon's startup
+// epoch: a restarted daemon (whose sequence restarts at 1) can never
+// collide with a token a client remembered from the previous
+// incarnation — clients just re-pull once and reconverge.
+func (s *Server) versionLocked() Version {
+	return Version(fmt.Sprintf("%d-%d", s.epoch, s.seq))
+}
+
+// HTTPStore is the client backend speaking to a Server.
+type HTTPStore struct {
+	base string
+	c    *http.Client
+}
+
+// NewHTTPStore returns a store talking to the daemon at base
+// (e.g. "http://hist.internal:7676").
+func NewHTTPStore(base string) *HTTPStore {
+	return &HTTPStore{
+		base: strings.TrimSuffix(base, "/"),
+		c:    &http.Client{Timeout: 10 * time.Second},
+	}
+}
+
+// Base returns the daemon base URL.
+func (s *HTTPStore) Base() string { return s.base }
+
+// Load pulls the daemon's merged snapshot.
+func (s *HTTPStore) Load() (*signature.History, Version, error) {
+	resp, err := s.c.Get(s.base + "/v1/history")
+	if err != nil {
+		return nil, "", fmt.Errorf("histstore: %w", err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return nil, "", httpError("pull", resp)
+	}
+	body, err := io.ReadAll(io.LimitReader(resp.Body, maxSnapshotBytes))
+	if err != nil {
+		return nil, "", fmt.Errorf("histstore: %w", err)
+	}
+	h := signature.NewHistory()
+	if err := h.UnmarshalJSON(body); err != nil {
+		return nil, "", err
+	}
+	return h, Version(resp.Header.Get(versionHeader)), nil
+}
+
+// Push posts h to the daemon, which joins it into the fleet history.
+func (s *HTTPStore) Push(h *signature.History) (Version, error) {
+	data, err := h.MarshalJSONCompact()
+	if err != nil {
+		return "", err
+	}
+	resp, err := s.c.Post(s.base+"/v1/history", "application/json", bytes.NewReader(data))
+	if err != nil {
+		return "", fmt.Errorf("histstore: %w", err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return "", httpError("push", resp)
+	}
+	var out struct {
+		Version string `json:"version"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		return "", fmt.Errorf("histstore: %w", err)
+	}
+	return Version(out.Version), nil
+}
+
+// Probe asks the daemon for its version sequence.
+func (s *HTTPStore) Probe() (Version, error) {
+	resp, err := s.c.Get(s.base + "/v1/version")
+	if err != nil {
+		return "", fmt.Errorf("histstore: %w", err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return "", httpError("probe", resp)
+	}
+	var out struct {
+		Version string `json:"version"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		return "", fmt.Errorf("histstore: %w", err)
+	}
+	return Version(out.Version), nil
+}
+
+// Close is a no-op (the daemon owns the state).
+func (s *HTTPStore) Close() error {
+	s.c.CloseIdleConnections()
+	return nil
+}
+
+func httpError(op string, resp *http.Response) error {
+	msg, _ := io.ReadAll(io.LimitReader(resp.Body, 1024))
+	return fmt.Errorf("histstore: %s: %s: %s", op, resp.Status, strings.TrimSpace(string(msg)))
+}

@@ -1,0 +1,89 @@
+// Package histstore makes the persistent signature history pluggable and
+// shareable — the §8 vision that immunity outlives one process: histories
+// persist across restarts, port across code revisions, and are
+// proactively distributed so each deadlock pattern need only manifest
+// once anywhere in a fleet.
+//
+// A Store holds the authoritative merged history for some sharing domain
+// (one file, one directory of per-process journals, one sync daemon).
+// All backends speak the tombstoned format v2, so concurrent pushes from
+// many processes converge by the deterministic revision join
+// (signature.History.Merge): removals and disabled-flips propagate
+// instead of being resurrected by stale snapshots.
+//
+// Three backends ship:
+//
+//   - FileStore — one shared file; atomic-rename writes, advisory
+//     locking around read-merge-write pushes, stat-based version probes.
+//   - DirStore — a shared directory of per-process append journals;
+//     pushes never contend (each process owns its journal), reads merge
+//     and compact all journals.
+//   - HTTPStore / Server — a sync daemon (`dimmunix-hist serve`) plus a
+//     client backend, for machines that do not share a filesystem.
+//
+// Version tokens are opaque: equality means "nothing changed since";
+// Probe is designed to be much cheaper than Load so runtimes can poll at
+// a short sync interval without rereading snapshots.
+package histstore
+
+import (
+	"fmt"
+	"strings"
+
+	"dimmunix/internal/signature"
+)
+
+// Version is an opaque store version token. Two equal tokens mean the
+// store content has not changed between the observations; any change
+// produces a different token. "" means unknown (always treated as
+// changed).
+type Version string
+
+// Store is a pluggable immunity-history backend.
+//
+// Implementations must be safe for concurrent use by multiple goroutines
+// and — for the file-system backends — by multiple processes sharing the
+// same underlying path.
+type Store interface {
+	// Load reads the store's current merged snapshot and the version
+	// token it corresponds to. The returned history is private to the
+	// caller.
+	Load() (*signature.History, Version, error)
+
+	// Push publishes h's entries and tombstones into the store by the
+	// deterministic revision join; remote-only entries already in the
+	// store are preserved. It returns the store version after the push.
+	Push(h *signature.History) (Version, error)
+
+	// Probe cheaply returns the current version token without reading a
+	// full snapshot.
+	Probe() (Version, error)
+
+	// Close releases resources held by the store handle. The persisted
+	// state survives (journals and files are the immunity — they must
+	// outlive the process).
+	Close() error
+}
+
+// Open resolves a store specification string to a backend:
+//
+//	http://host:port or https://…  → HTTPStore (a dimmunix-hist serve daemon)
+//	dir:PATH, PATH/ or existing dir → DirStore (per-process journals)
+//	anything else                   → FileStore (one shared file)
+//
+// This is the form DIMMUNIX_HISTORY_SYNC and the dimmunix-hist
+// subcommands accept.
+func Open(spec string) (Store, error) {
+	switch {
+	case spec == "":
+		return nil, fmt.Errorf("histstore: empty store spec")
+	case strings.HasPrefix(spec, "http://") || strings.HasPrefix(spec, "https://"):
+		return NewHTTPStore(spec), nil
+	case strings.HasPrefix(spec, "dir:"):
+		return NewDirStore(strings.TrimPrefix(spec, "dir:"))
+	case strings.HasSuffix(spec, "/") || isDir(spec):
+		return NewDirStore(strings.TrimSuffix(spec, "/"))
+	default:
+		return NewFileStore(spec), nil
+	}
+}

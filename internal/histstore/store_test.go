@@ -1,0 +1,346 @@
+package histstore
+
+import (
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+	"testing"
+
+	"dimmunix/internal/signature"
+	"dimmunix/internal/stack"
+)
+
+func sig(seed uint64) *signature.Signature {
+	return signature.New(signature.Deadlock, []stack.Stack{
+		stack.Synthetic(seed, 4), stack.Synthetic(seed+1000, 4),
+	}, 4)
+}
+
+func histWith(sigs ...*signature.Signature) *signature.History {
+	h := signature.NewHistory()
+	for _, s := range sigs {
+		h.Add(s)
+	}
+	return h
+}
+
+// storeFactories builds each backend twice over the same shared state,
+// simulating two processes. The HTTP pair shares one daemon.
+func storeFactories(t *testing.T) map[string]func(t *testing.T) (a, b Store) {
+	return map[string]func(t *testing.T) (Store, Store){
+		"file": func(t *testing.T) (Store, Store) {
+			path := filepath.Join(t.TempDir(), "hist.json")
+			return NewFileStore(path), NewFileStore(path)
+		},
+		"dir": func(t *testing.T) (Store, Store) {
+			dir := t.TempDir()
+			a, err := NewDirStore(dir)
+			if err != nil {
+				t.Fatal(err)
+			}
+			b, err := NewDirStore(dir)
+			if err != nil {
+				t.Fatal(err)
+			}
+			return a, b
+		},
+		"http": func(t *testing.T) (Store, Store) {
+			srv, err := NewServer(nil)
+			if err != nil {
+				t.Fatal(err)
+			}
+			ts := httptest.NewServer(srv.Handler())
+			t.Cleanup(ts.Close)
+			return NewHTTPStore(ts.URL), NewHTTPStore(ts.URL)
+		},
+	}
+}
+
+// TestStoreConvergence is the backend contract: a signature pushed by
+// one handle is loaded by the other; a removal pushed by one handle
+// deletes it at the other and a stale re-push cannot resurrect it; a
+// disabled-flip propagates. Probe changes exactly when content does.
+func TestStoreConvergence(t *testing.T) {
+	for name, mk := range storeFactories(t) {
+		t.Run(name, func(t *testing.T) {
+			a, b := mk(t)
+			defer a.Close()
+			defer b.Close()
+
+			s := sig(1)
+			ha := histWith(s)
+			if _, err := a.Push(ha); err != nil {
+				t.Fatal(err)
+			}
+
+			hb, v1, err := b.Load()
+			if err != nil {
+				t.Fatal(err)
+			}
+			if hb.Get(s.ID) == nil {
+				t.Fatal("pushed signature did not arrive")
+			}
+
+			// Probe stability: no change → same token.
+			pv, err := b.Probe()
+			if err != nil {
+				t.Fatal(err)
+			}
+			if pv != v1 {
+				t.Fatalf("probe %q != load version %q with no writes between", pv, v1)
+			}
+
+			// Disable at b, push; a sees it.
+			hb.SetDisabled(s.ID, true)
+			if _, err := b.Push(hb); err != nil {
+				t.Fatal(err)
+			}
+			pv2, err := a.Probe()
+			if err != nil {
+				t.Fatal(err)
+			}
+			if pv2 == pv {
+				t.Fatal("probe did not change after a content push")
+			}
+			haSeen, _, err := a.Load()
+			if err != nil {
+				t.Fatal(err)
+			}
+			if got := haSeen.Get(s.ID); got == nil || !got.Disabled {
+				t.Fatal("disabled-flip did not propagate")
+			}
+
+			// Remove at a, push; then a stale snapshot (still carrying the
+			// signature enabled at rev 1) re-pushes from b — the tombstone
+			// must win.
+			haSeen.Remove(s.ID)
+			if _, err := a.Push(haSeen); err != nil {
+				t.Fatal(err)
+			}
+			stale := histWith(sig(1))
+			if _, err := b.Push(stale); err != nil {
+				t.Fatal(err)
+			}
+			final, _, err := b.Load()
+			if err != nil {
+				t.Fatal(err)
+			}
+			if final.Get(s.ID) != nil {
+				t.Fatal("stale push resurrected a removed signature")
+			}
+			if len(final.Tombstones()) == 0 {
+				t.Fatal("tombstone lost in the store round-trip")
+			}
+		})
+	}
+}
+
+// TestStoreConcurrentPushes hammers one store from many goroutines over
+// both handles; every distinct signature must survive into the final
+// merged state (no lost updates).
+func TestStoreConcurrentPushes(t *testing.T) {
+	for name, mk := range storeFactories(t) {
+		t.Run(name, func(t *testing.T) {
+			a, b := mk(t)
+			defer a.Close()
+			defer b.Close()
+			stores := []Store{a, b}
+
+			const writers, perWriter = 4, 8
+			var wg sync.WaitGroup
+			for w := 0; w < writers; w++ {
+				wg.Add(1)
+				go func(w int) {
+					defer wg.Done()
+					st := stores[w%2]
+					for i := 0; i < perWriter; i++ {
+						h := histWith(sig(uint64(w*1000 + i)))
+						if _, err := st.Push(h); err != nil {
+							t.Errorf("writer %d: %v", w, err)
+							return
+						}
+					}
+				}(w)
+			}
+			wg.Wait()
+
+			final, _, err := a.Load()
+			if err != nil {
+				t.Fatal(err)
+			}
+			if got := final.Len(); got != writers*perWriter {
+				t.Fatalf("final history has %d signatures, want %d (lost updates)", got, writers*perWriter)
+			}
+		})
+	}
+}
+
+// TestFileStoreV1Compat: a FileStore pointed at a legacy v1 file reads
+// it and upgrades it to v2 on the first push.
+func TestFileStoreV1Compat(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "hist.json")
+	s := sig(7)
+	v1 := `{"format":1,"signatures":[{"id":"` + s.ID + `","kind":"deadlock","stacks":["` +
+		s.Stacks[0].String() + `","` + s.Stacks[1].String() + `"],"depth":4}]}`
+	if err := os.WriteFile(path, []byte(v1), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	st := NewFileStore(path)
+	h, _, err := st.Load()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h.Get(s.ID) == nil {
+		t.Fatal("v1 file unreadable through the store")
+	}
+	if _, err := st.Push(signature.NewHistory()); err != nil {
+		t.Fatal(err)
+	}
+	raw, _ := os.ReadFile(path)
+	if !strings.Contains(string(raw), `"format": 2`) {
+		t.Fatal("push did not upgrade the file to v2")
+	}
+	h2, _, err := st.Load()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h2.Get(s.ID) == nil {
+		t.Fatal("upgrade lost the v1 content")
+	}
+}
+
+// TestDirStoreJournalCompaction: the per-process journal stays within
+// its record bound, and compaction loses nothing.
+func TestDirStoreJournalCompaction(t *testing.T) {
+	dir := t.TempDir()
+	st, err := NewDirStore(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st.Close()
+	st.SetJournalRecordLimit(3)
+
+	h := signature.NewHistory()
+	for i := 0; i < 10; i++ {
+		h.Add(sig(uint64(i)))
+		if _, err := st.Push(h); err != nil {
+			t.Fatal(err)
+		}
+	}
+	data, err := os.ReadFile(st.JournalPath())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if lines := strings.Count(string(data), "\n"); lines > 3 {
+		t.Fatalf("journal holds %d records, want <= 3", lines)
+	}
+	final, _, err := st.Load()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if final.Len() != 10 {
+		t.Fatalf("compaction lost signatures: %d/10", final.Len())
+	}
+}
+
+// TestDirStoreSkipsTornRecord: a torn trailing record (crash mid-append)
+// must not poison the merged read.
+func TestDirStoreSkipsTornRecord(t *testing.T) {
+	dir := t.TempDir()
+	st, err := NewDirStore(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st.Close()
+	s := sig(3)
+	if _, err := st.Push(histWith(s)); err != nil {
+		t.Fatal(err)
+	}
+	// Simulate another process dying mid-append.
+	torn := filepath.Join(dir, "j-dead-1"+journalExt)
+	if err := os.WriteFile(torn, []byte(`{"format":2,"signa`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	h, _, err := st.Load()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h.Get(s.ID) == nil || h.Len() != 1 {
+		t.Fatalf("torn record corrupted the merge: len=%d", h.Len())
+	}
+}
+
+// TestServerPersistsThroughBacking: a daemon backed by a FileStore
+// persists pushes, and a restarted daemon re-serves them.
+func TestServerPersistsThroughBacking(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "served.json")
+	srv, err := NewServer(NewFileStore(path))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(srv.Handler())
+	client := NewHTTPStore(ts.URL)
+	s := sig(11)
+	if _, err := client.Push(histWith(s)); err != nil {
+		t.Fatal(err)
+	}
+	ts.Close()
+
+	srv2, err := NewServer(NewFileStore(path))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts2 := httptest.NewServer(srv2.Handler())
+	defer ts2.Close()
+	h, _, err := NewHTTPStore(ts2.URL).Load()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h.Get(s.ID) == nil {
+		t.Fatal("restarted daemon lost the pushed signature")
+	}
+}
+
+// TestOpenResolution checks the spec grammar.
+func TestOpenResolution(t *testing.T) {
+	dir := t.TempDir()
+	cases := []struct {
+		spec string
+		want string
+	}{
+		{"http://x.example:1", "*histstore.HTTPStore"},
+		{"https://x.example:1", "*histstore.HTTPStore"},
+		{"dir:" + dir, "*histstore.DirStore"},
+		{dir, "*histstore.DirStore"},
+		{dir + "/", "*histstore.DirStore"},
+		{filepath.Join(dir, "hist.json"), "*histstore.FileStore"},
+	}
+	for _, c := range cases {
+		st, err := Open(c.spec)
+		if err != nil {
+			t.Fatalf("Open(%q): %v", c.spec, err)
+		}
+		if got := typeName(st); got != c.want {
+			t.Errorf("Open(%q) = %s, want %s", c.spec, got, c.want)
+		}
+		st.Close()
+	}
+	if _, err := Open(""); err == nil {
+		t.Error("Open(\"\") must fail")
+	}
+}
+
+func typeName(v any) string {
+	switch v.(type) {
+	case *HTTPStore:
+		return "*histstore.HTTPStore"
+	case *DirStore:
+		return "*histstore.DirStore"
+	case *FileStore:
+		return "*histstore.FileStore"
+	default:
+		return "?"
+	}
+}

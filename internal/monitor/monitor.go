@@ -15,9 +15,11 @@ import (
 	"dimmunix/internal/calib"
 	"dimmunix/internal/event"
 	"dimmunix/internal/fpdetect"
+	"dimmunix/internal/histstore"
 	"dimmunix/internal/queue"
 	"dimmunix/internal/rag"
 	"dimmunix/internal/signature"
+	"dimmunix/internal/sigport"
 	"dimmunix/internal/stack"
 )
 
@@ -64,6 +66,27 @@ type Config struct {
 	// cycle for this many passes.
 	SuppressTicks int
 
+	// Store, when non-nil, is the shared immunity store the monitor
+	// persists to and syncs with (§8 distribution). Newly archived
+	// signatures are pushed through it; with SyncInterval > 0 a sync
+	// loop also pulls remote changes (new signatures, removals,
+	// disabled-flips) into the live history.
+	Store histstore.Store
+	// SyncInterval is the pull→merge→push cadence (0 disables the loop;
+	// Store pushes then happen synchronously on archive and on SyncNow).
+	SyncInterval time.Duration
+	// PortRules, when set, are applied to pulled snapshots whose build
+	// fingerprint differs from Fingerprint (§8 porting across
+	// revisions).
+	PortRules []sigport.Rule
+	// Fingerprint identifies this build (signature.BuildFingerprint).
+	Fingerprint string
+	// SyncSlot is the avoidance-guard slot the sync domain uses when it
+	// takes the decision scope (distinct from the monitor's slot 0, so
+	// the filter guard stays sound when the sync loop and a monitor pass
+	// overlap).
+	SyncSlot int
+
 	// OnDeadlock is the §3 recovery hook.
 	OnDeadlock func(DeadlockInfo)
 	// OnStarvation is informational in weak mode; in strong mode it is
@@ -100,6 +123,11 @@ type Counters struct {
 	EpisodesConcluded   atomic.Uint64
 	FalsePositives      atomic.Uint64
 	TruePositives       atomic.Uint64
+	// Sync loop statistics (history store distribution).
+	SyncPulls  atomic.Uint64 // rounds that merged remote changes in
+	SyncPushes atomic.Uint64 // rounds that published local changes
+	SyncPorted atomic.Uint64 // pulled snapshots run through sigport
+	SyncErrors atomic.Uint64 // store errors (retried next round)
 }
 
 // episode pairs an fpdetect episode with the instance needed to replay the
@@ -129,6 +157,14 @@ type Monitor struct {
 
 	Counters Counters
 
+	// sync is the store distribution state (nil without a store); syncMu
+	// serializes sync rounds between the loop, SyncNow, and
+	// persistArchive. syncRunning is read from the monitor goroutine and
+	// arbitrary KickSync callers while Start/Stop flip it — atomic.
+	sync        *syncer
+	syncMu      sync.Mutex
+	syncRunning atomic.Bool
+
 	mu      sync.Mutex // serializes Pass between loop and Kick/Stop
 	stopCh  chan struct{}
 	kickCh  chan struct{}
@@ -140,7 +176,7 @@ type Monitor struct {
 // states (for starvation breaking) and may return nil for exited threads.
 func New(cfg Config, q *queue.MPSC[event.Event], hist *signature.History, cache *avoidance.Cache, resolve func(int32) *avoidance.ThreadState) *Monitor {
 	cfg.fill()
-	return &Monitor{
+	m := &Monitor{
 		cfg:        cfg,
 		q:          q,
 		g:          rag.New(),
@@ -152,25 +188,42 @@ func New(cfg Config, q *queue.MPSC[event.Event], hist *signature.History, cache 
 		kickCh:     make(chan struct{}, 1),
 		doneCh:     make(chan struct{}),
 	}
+	if cfg.Store != nil {
+		m.sync = newSyncer(cfg.Store, cfg.PortRules, cfg.Fingerprint)
+	}
+	return m
 }
 
-// Start launches the monitor goroutine.
+// Start launches the monitor goroutine (and the store sync loop when
+// configured).
 func (m *Monitor) Start() {
 	if m.started {
 		return
 	}
 	m.started = true
+	if m.sync != nil && m.cfg.SyncInterval > 0 {
+		// Before the monitor loop starts: its first pass may archive and
+		// consult syncRunning in persistArchive.
+		m.syncRunning.Store(true)
+		go m.syncLoop(m.cfg.SyncInterval)
+	}
 	go m.loop()
 }
 
 // Stop terminates the loop after a final pass (so late events are still
-// processed) and waits for it to exit.
+// processed) and waits for it to exit. The sync loop stops last, after a
+// final round that publishes anything the final pass archived.
 func (m *Monitor) Stop() {
 	if !m.started {
 		return
 	}
 	close(m.stopCh)
 	<-m.doneCh
+	if m.syncRunning.Load() {
+		close(m.sync.stopCh)
+		<-m.sync.doneCh
+		m.syncRunning.Store(false)
+	}
 	m.started = false
 }
 
@@ -324,7 +377,7 @@ func (m *Monitor) handleCycle(c *rag.Cycle) {
 	isNew := m.hist.Add(sig)
 	if isNew {
 		m.Counters.SignaturesSaved.Add(1)
-		_ = m.hist.Save() // best-effort persistence; path may be unset
+		m.persistArchive()
 	} else {
 		sig = m.hist.Get(sig.ID)
 	}

@@ -1,0 +1,205 @@
+package monitor
+
+import (
+	"errors"
+	"time"
+
+	"dimmunix/internal/histstore"
+	"dimmunix/internal/signature"
+	"dimmunix/internal/sigport"
+)
+
+// ErrNoStore reports a sync request on a monitor with no history store.
+var ErrNoStore = errors.New("dimmunix: no history store configured")
+
+// syncer is the monitor's cross-process distribution loop (§8): it
+// probes the store's version, and on a change pulls the remote snapshot,
+// ports it when it came from a different build, and joins it into the
+// live history — which republishes the danger index under a fresh epoch,
+// so the PR 2 fast path's cached safe-markers self-invalidate and remote
+// signatures take effect on the very next lock request. Local changes
+// (newly archived signatures, removals, disabled-flips) are pushed back
+// the same round: pull → merge → push.
+type syncer struct {
+	store       histstore.Store
+	rules       []sigport.Rule
+	fingerprint string
+
+	lastSeen   histstore.Version
+	lastPushed uint64 // local history version at the last successful push
+
+	kickCh chan struct{}
+	stopCh chan struct{}
+	doneCh chan struct{}
+}
+
+func newSyncer(store histstore.Store, rules []sigport.Rule, fingerprint string) *syncer {
+	return &syncer{
+		store:       store,
+		rules:       rules,
+		fingerprint: fingerprint,
+		kickCh:      make(chan struct{}, 1),
+		stopCh:      make(chan struct{}),
+		doneCh:      make(chan struct{}),
+	}
+}
+
+// SyncNow performs one pull→merge→push round against the history store.
+// Safe to call from any goroutine (the monitor's sync loop serializes
+// through the same path via m.syncMu).
+func (m *Monitor) SyncNow() error {
+	if m.sync == nil {
+		return ErrNoStore
+	}
+	return m.syncOnce()
+}
+
+// KickSync requests an asynchronous sync round from the sync loop (e.g.
+// right after archiving a new signature, so the fleet learns about it
+// without waiting a full interval). No-op when the loop is not running.
+func (m *Monitor) KickSync() {
+	if m.sync == nil || !m.syncRunning.Load() {
+		return
+	}
+	select {
+	case m.sync.kickCh <- struct{}{}:
+	default:
+	}
+}
+
+// syncOnce is one sync round. Errors are counted and returned but never
+// fatal: the store may be briefly unreachable (daemon restart, NFS blip)
+// and immunity must keep working from the local history.
+func (m *Monitor) syncOnce() error {
+	s := m.sync
+	m.syncMu.Lock()
+	defer m.syncMu.Unlock()
+
+	var firstErr error
+	fail := func(err error) {
+		m.Counters.SyncErrors.Add(1)
+		if firstErr == nil {
+			firstErr = err
+		}
+	}
+
+	v, err := s.store.Probe()
+	if err != nil {
+		fail(err)
+	} else if v == "" || v != s.lastSeen {
+		remote, rv, err := s.store.Load()
+		if err != nil {
+			fail(err)
+		} else {
+			if len(s.rules) > 0 && s.fingerprint != "" &&
+				remote.Fingerprint() != "" && remote.Fingerprint() != s.fingerprint {
+				// The snapshot comes from another code revision: apply the
+				// §8 porting rules before joining, so its call-stack
+				// locations line up with this build's.
+				remote, _ = sigport.Port(remote, s.rules)
+				m.Counters.SyncPorted.Add(1)
+			}
+			// The join may adopt disabled/revision state onto live
+			// signatures the avoidance matchers read — guard scope.
+			changed := 0
+			m.cache.WithGuard(m.cfg.SyncSlot, func() {
+				changed = m.hist.Merge(remote)
+			})
+			if changed > 0 {
+				m.Counters.SyncPulls.Add(1)
+			}
+			s.lastSeen = rv
+		}
+	}
+
+	if lv := m.hist.Version(); lv != s.lastPushed {
+		if _, err := s.store.Push(m.snapshotForStore()); err != nil {
+			fail(err)
+		} else {
+			// Deliberately NOT adopting the post-push version as lastSeen:
+			// a peer's change can land between this round's pull and push,
+			// and the push version would cover it — skipping it forever.
+			// The next probe re-pulls (a no-op self-merge at worst).
+			s.lastPushed = lv
+			m.Counters.SyncPushes.Add(1)
+		}
+	}
+	return firstErr
+}
+
+// snapshotForStore clones the live history under the avoidance guard
+// (which owns the mutable per-signature fields), so the push can
+// serialize and ship it without racing lock traffic — and without
+// holding the guard across store I/O.
+func (m *Monitor) snapshotForStore() *signature.History {
+	var snap *signature.History
+	m.cache.WithGuard(m.cfg.SyncSlot, func() {
+		snap = m.hist.CloneForStore()
+	})
+	return snap
+}
+
+// PublishToStore pushes the current history through the store (the
+// Runtime.Stop final publish). Safe whether or not the loops run; a
+// no-op when nothing changed since the last push (the sync loop's final
+// round usually already published).
+func (m *Monitor) PublishToStore() error {
+	if m.sync == nil {
+		return ErrNoStore
+	}
+	m.syncMu.Lock()
+	defer m.syncMu.Unlock()
+	lv := m.hist.Version()
+	if lv == m.sync.lastPushed {
+		return nil
+	}
+	if _, err := m.sync.store.Push(m.snapshotForStore()); err != nil {
+		m.Counters.SyncErrors.Add(1)
+		return err
+	}
+	m.sync.lastPushed = lv
+	m.Counters.SyncPushes.Add(1)
+	return nil
+}
+
+// syncLoop runs sync rounds on the interval (and on kicks) until
+// stopped; the way out runs a push-only round (PublishToStore) — it
+// publishes whatever the last monitor pass archived without pulling
+// state the stopping runtime would discard, and without paying a probe
+// timeout when the store is unreachable at shutdown.
+func (m *Monitor) syncLoop(interval time.Duration) {
+	defer close(m.sync.doneCh)
+	t := time.NewTicker(interval)
+	defer t.Stop()
+	for {
+		select {
+		case <-m.sync.stopCh:
+			_ = m.PublishToStore()
+			return
+		case <-m.sync.kickCh:
+			_ = m.syncOnce()
+		case <-t.C:
+			_ = m.syncOnce()
+		}
+	}
+}
+
+// persistArchive publishes the history right after a new signature is
+// archived: through the sync loop when it runs (asynchronous, so the
+// monitor pass is never blocked on the network), synchronously through
+// the store otherwise, falling back to the legacy file save for
+// storeless histories.
+func (m *Monitor) persistArchive() {
+	switch {
+	case m.syncRunning.Load():
+		m.KickSync()
+	case m.sync != nil:
+		_ = m.PublishToStore()
+	default:
+		// Best-effort persistence for store-less histories; the clone
+		// keeps the (rare) archive-time file write race-free and off the
+		// guard.
+		snap := m.snapshotForStore()
+		_ = snap.Save() // path may be unset
+	}
+}

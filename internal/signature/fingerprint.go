@@ -1,0 +1,30 @@
+package signature
+
+import (
+	"runtime/debug"
+	"strings"
+)
+
+// BuildFingerprint derives an identity for the running build from the
+// embedded module and VCS metadata. Two processes built from the same
+// source produce the same fingerprint; a history snapshot stamped with a
+// different fingerprint comes from another code revision, which is the
+// §8 porting trigger — call-stack locations may have shifted, so sigport
+// rules must be applied before merging it.
+//
+// The fingerprint is informative, not cryptographic: "" means the build
+// carries no metadata (and porting is then never triggered).
+func BuildFingerprint() string {
+	bi, ok := debug.ReadBuildInfo()
+	if !ok {
+		return ""
+	}
+	parts := []string{bi.Main.Path + "@" + bi.Main.Version}
+	for _, s := range bi.Settings {
+		switch s.Key {
+		case "vcs.revision", "vcs.time", "vcs.modified":
+			parts = append(parts, s.Key+"="+s.Value)
+		}
+	}
+	return strings.Join(parts, " ")
+}

@@ -10,6 +10,7 @@ import (
 	"sort"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"dimmunix/internal/calib"
 	"dimmunix/internal/stack"
@@ -20,9 +21,10 @@ import (
 // threads; the monitor is the only mutator of the on-disk file).
 //
 // Locking discipline: History's own mutex protects the signature *set*
-// (membership, lookup). The mutable per-signature fields (Depth, counters,
-// calibration state) are owned by the avoidance cache's guard; History
-// only reads them during Save, which callers must invoke from the monitor.
+// (membership, lookup, the Disabled/Rev state machine, tombstones). The
+// mutable per-signature fields (Depth, counters, calibration state) are
+// owned by the avoidance cache's guard; History only reads them during
+// Save, which callers must invoke from the monitor.
 type History struct {
 	mu      sync.RWMutex
 	path    string
@@ -30,11 +32,41 @@ type History struct {
 	byID    map[string]*Signature
 	version atomic.Uint64
 
+	// tombs records removed signatures (format v2): each removal leaves a
+	// tombstone carrying the revision that superseded the live entry, so
+	// merging an older snapshot that still contains the signature cannot
+	// resurrect it. Bounded by maxTombs (oldest dropped first).
+	tombs    map[string]Tombstone
+	maxTombs int
+
+	// fingerprint identifies the build that produced this snapshot (set
+	// by the runtime at startup, persisted in format v2). Sync pulls use
+	// it to decide whether sigport rules must be applied to an incoming
+	// snapshot from a different code revision (§8 porting).
+	fingerprint string
+
 	// danger is the epoch-versioned dangerous-stack index consulted by
 	// the avoidance fast path. It is republished (immutable snapshot)
 	// inside every mutation's critical section; see DangerIndex.
 	danger atomic.Pointer[DangerIndex]
 }
+
+// Tombstone marks a removed signature. Rev is strictly greater than the
+// revision of the live entry it superseded; a live entry only resurrects
+// through a merge when its revision exceeds the tombstone's (e.g. the
+// deadlock manifested again after the removal and was re-archived).
+type Tombstone struct {
+	ID          string
+	Rev         uint64
+	DeletedUnix int64
+}
+
+// DefaultMaxTombstones bounds how many tombstones a history retains.
+// Compaction drops the oldest (by deletion time, then revision) beyond
+// the bound — the price is that a sufficiently stale snapshot could
+// resurrect a removal that old, which keeps the store size bounded
+// (§5.3's history-growth argument applied to removals).
+const DefaultMaxTombstones = 4096
 
 // DangerIndex is an immutable over-approximation of the call stacks that
 // can participate in any enabled signature, keyed by innermost frame.
@@ -74,7 +106,11 @@ func (d *DangerIndex) Len() int { return len(d.frames) }
 // NewHistory returns an empty, unbacked history (nothing persists until
 // SetPath/SaveTo).
 func NewHistory() *History {
-	h := &History{byID: make(map[string]*Signature)}
+	h := &History{
+		byID:     make(map[string]*Signature),
+		tombs:    make(map[string]Tombstone),
+		maxTombs: DefaultMaxTombstones,
+	}
 	h.version.Store(1)
 	h.danger.Store(&DangerIndex{epoch: 1})
 	return h
@@ -143,12 +179,24 @@ func (h *History) Version() uint64 { return h.version.Load() }
 
 // Add inserts sig if no signature with the same stack multiset exists.
 // It reports whether the signature was new. Duplicate signatures are
-// disallowed, which bounds history growth (§5.3).
+// disallowed, which bounds history growth (§5.3). Adding over a tombstone
+// resurrects deliberately — the pattern manifested again after removal —
+// and the new entry's revision supersedes the tombstone's, so the
+// resurrection wins subsequent merges.
 func (h *History) Add(sig *Signature) bool {
 	h.mu.Lock()
 	defer h.mu.Unlock()
 	if _, dup := h.byID[sig.ID]; dup {
 		return false
+	}
+	if sig.Rev == 0 {
+		sig.Rev = 1
+	}
+	if t, ok := h.tombs[sig.ID]; ok {
+		if sig.Rev <= t.Rev {
+			sig.Rev = t.Rev + 1
+		}
+		delete(h.tombs, sig.ID)
 	}
 	h.sigs = append(h.sigs, sig)
 	h.byID[sig.ID] = sig
@@ -182,7 +230,9 @@ func (h *History) Snapshot() []*Signature {
 }
 
 // SetDisabled flips a signature's disabled flag (§5.7's "disable the last
-// avoided signature"). It reports whether the signature exists.
+// avoided signature"). A real state change bumps the entry's revision so
+// the flip propagates through merges. It reports whether the signature
+// exists.
 func (h *History) SetDisabled(id string, disabled bool) bool {
 	h.mu.Lock()
 	defer h.mu.Unlock()
@@ -190,55 +240,302 @@ func (h *History) SetDisabled(id string, disabled bool) bool {
 	if s == nil {
 		return false
 	}
-	s.Disabled = disabled
+	if s.Disabled != disabled {
+		s.Disabled = disabled
+		s.Rev++
+	}
 	h.version.Add(1)
 	h.rebuildDangerLocked()
 	return true
 }
 
-// Remove deletes a signature (obsolete after an upgrade, §8). It reports
-// whether the signature existed.
+// Remove deletes a signature (obsolete after an upgrade, §8), leaving a
+// tombstone whose revision supersedes the removed entry's so the removal
+// propagates through merges instead of being resurrected by older
+// snapshots. It reports whether the signature existed.
 func (h *History) Remove(id string) bool {
 	h.mu.Lock()
 	defer h.mu.Unlock()
-	if _, ok := h.byID[id]; !ok {
+	s, ok := h.byID[id]
+	if !ok {
 		return false
 	}
 	delete(h.byID, id)
-	for i, s := range h.sigs {
-		if s.ID == id {
+	for i, e := range h.sigs {
+		if e.ID == id {
 			h.sigs = append(h.sigs[:i], h.sigs[i+1:]...)
 			break
 		}
 	}
+	h.tombs[id] = Tombstone{ID: id, Rev: s.Rev + 1, DeletedUnix: time.Now().Unix()}
+	h.compactTombsLocked()
 	h.version.Add(1)
 	h.rebuildDangerLocked()
 	return true
 }
 
-// Merge adds every signature from other that is not already present and
-// returns how many were new — the §8 "proactive distribution" path
-// (vendors shipping signatures to users).
-func (h *History) Merge(other *History) int {
-	added := 0
-	for _, s := range other.Snapshot() {
-		if h.Add(s) {
-			added++
-		}
+// Tombstones returns the removal tombstones in lexical ID order.
+func (h *History) Tombstones() []Tombstone {
+	h.mu.RLock()
+	defer h.mu.RUnlock()
+	out := make([]Tombstone, 0, len(h.tombs))
+	for _, t := range h.tombs {
+		out = append(out, t)
 	}
-	return added
+	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
+	return out
 }
 
-// ReplaceAll atomically swaps the signature set with the one from other —
-// the §8 "reload the history without restarting" path.
+// RestoreTombstone installs a tombstone directly (porting and store
+// plumbing). A live entry with a revision above the tombstone's is kept;
+// otherwise the merge rule applies and the tombstone removes it.
+func (h *History) RestoreTombstone(t Tombstone) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if s, ok := h.byID[t.ID]; ok {
+		if s.Rev > t.Rev {
+			return
+		}
+		delete(h.byID, t.ID)
+		for i, e := range h.sigs {
+			if e.ID == t.ID {
+				h.sigs = append(h.sigs[:i], h.sigs[i+1:]...)
+				break
+			}
+		}
+		h.version.Add(1)
+		h.rebuildDangerLocked()
+	}
+	if lt, ok := h.tombs[t.ID]; ok && lt.Rev >= t.Rev {
+		return
+	}
+	h.tombs[t.ID] = t
+	h.compactTombsLocked()
+}
+
+// SetTombstoneLimit bounds the retained tombstones (<= 0 restores the
+// default). Compaction applies immediately and on every future removal.
+func (h *History) SetTombstoneLimit(n int) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if n <= 0 {
+		n = DefaultMaxTombstones
+	}
+	h.maxTombs = n
+	h.compactTombsLocked()
+}
+
+// compactTombsLocked drops the oldest tombstones beyond maxTombs; h.mu
+// must be held by a writer.
+func (h *History) compactTombsLocked() {
+	if h.maxTombs <= 0 {
+		h.maxTombs = DefaultMaxTombstones
+	}
+	if len(h.tombs) <= h.maxTombs {
+		return
+	}
+	all := make([]Tombstone, 0, len(h.tombs))
+	for _, t := range h.tombs {
+		all = append(all, t)
+	}
+	// Newest first: survivors are the most recent removals.
+	sort.Slice(all, func(i, j int) bool {
+		if all[i].DeletedUnix != all[j].DeletedUnix {
+			return all[i].DeletedUnix > all[j].DeletedUnix
+		}
+		if all[i].Rev != all[j].Rev {
+			return all[i].Rev > all[j].Rev
+		}
+		return all[i].ID < all[j].ID
+	})
+	for _, t := range all[h.maxTombs:] {
+		delete(h.tombs, t.ID)
+	}
+}
+
+// CloneForStore deep-copies the history into a private snapshot for
+// store pushes: the live *Signature values are shared with the avoidance
+// layer, whose guard owns their mutable fields (counters, calibration,
+// adopted disabled state) — so marshaling the live history from a sync
+// goroutine would race with lock traffic. Callers must hold that guard
+// across the clone (see avoidance.Cache.WithGuard); the returned copy
+// shares nothing mutable and can be serialized or pushed lock-free.
+func (h *History) CloneForStore() *History {
+	h.mu.RLock()
+	defer h.mu.RUnlock()
+	out := NewHistory()
+	out.path = h.path
+	out.fingerprint = h.fingerprint
+	out.maxTombs = h.maxTombs
+	for _, s := range h.sigs {
+		cp := *s
+		cp.Stacks = make([]stack.Stack, len(s.Stacks))
+		for i, st := range s.Stacks {
+			cp.Stacks[i] = st.Clone()
+		}
+		cp.Calib = s.Calib.Clone() // the ladder's counter slices are live
+		out.sigs = append(out.sigs, &cp)
+		out.byID[cp.ID] = &cp
+	}
+	for id, t := range h.tombs {
+		out.tombs[id] = t
+	}
+	out.version.Store(h.version.Load())
+	out.rebuildDangerLocked()
+	return out
+}
+
+// Fingerprint returns the build fingerprint recorded in this snapshot
+// ("" when unknown or mixed).
+func (h *History) Fingerprint() string {
+	h.mu.RLock()
+	defer h.mu.RUnlock()
+	return h.fingerprint
+}
+
+// SetFingerprint stamps the snapshot with the producing build's identity.
+func (h *History) SetFingerprint(fp string) {
+	h.mu.Lock()
+	h.fingerprint = fp
+	h.mu.Unlock()
+}
+
+// Merge joins other's entries and tombstones into h — the §8 "proactive
+// distribution" path (vendors shipping signatures to users, fleets
+// pooling what they learn). The join is a deterministic, commutative,
+// idempotent revision race per entry:
+//
+//   - an entry absent locally is added (a tombstone absent locally is
+//     recorded, so removals keep propagating onward);
+//   - between a live entry and a tombstone, the higher revision wins and
+//     a tie goes to the tombstone — so merging an older snapshot never
+//     resurrects a local removal;
+//   - between two live entries, the higher revision's disabled state
+//     wins; on a tie, disabled wins (the conservative state). Local
+//     counters and calibration state are kept either way — they are
+//     owned by the local avoidance guard, not merged.
+//
+// It returns how many local entries changed (adds, state adoptions,
+// removals). A plain merge of brand-new signatures returns the number
+// added, matching the historical contract.
+//
+// Merging into a history that live avoidance traffic reads must run
+// inside the avoidance decision guard (the monitor's sync loop does):
+// state adoption clones entries whose mutable fields that guard owns.
+func (h *History) Merge(other *History) int {
+	rsigs := other.Snapshot()
+	rtombs := other.Tombstones()
+
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	changed := 0
+
+	for _, rt := range rtombs {
+		if s, ok := h.byID[rt.ID]; ok {
+			if rt.Rev < s.Rev {
+				continue // local resurrection is newer; keep it
+			}
+			delete(h.byID, rt.ID)
+			for i, e := range h.sigs {
+				if e.ID == rt.ID {
+					h.sigs = append(h.sigs[:i], h.sigs[i+1:]...)
+					break
+				}
+			}
+			h.tombs[rt.ID] = rt
+			changed++
+			continue
+		}
+		if lt, ok := h.tombs[rt.ID]; ok {
+			if rt.Rev > lt.Rev {
+				h.tombs[rt.ID] = rt
+				changed++
+			}
+			continue
+		}
+		h.tombs[rt.ID] = rt
+		changed++
+	}
+
+	for _, r := range rsigs {
+		if t, ok := h.tombs[r.ID]; ok {
+			if r.Rev <= t.Rev {
+				continue // our removal (or a propagated one) wins
+			}
+			delete(h.tombs, r.ID)
+			h.sigs = append(h.sigs, r)
+			h.byID[r.ID] = r
+			changed++
+			continue
+		}
+		if s, ok := h.byID[r.ID]; ok {
+			// Adoption is clone-and-swap, never an in-place write: the
+			// old *Signature may be held by avoidance matchers and user
+			// snapshots, which read it without the history lock. (The
+			// struct copy reads the counter fields the avoidance guard
+			// owns, which is why runtime-live merges run under it.)
+			switch {
+			case r.Rev > s.Rev:
+				ns := *s
+				ns.Disabled = r.Disabled
+				ns.Rev = r.Rev
+				h.swapLocked(&ns)
+				changed++
+			case r.Rev == s.Rev && r.Disabled && !s.Disabled:
+				ns := *s
+				ns.Disabled = true
+				h.swapLocked(&ns)
+				changed++
+			}
+			continue
+		}
+		if r.Rev == 0 {
+			r.Rev = 1
+		}
+		h.sigs = append(h.sigs, r)
+		h.byID[r.ID] = r
+		changed++
+	}
+
+	if changed > 0 {
+		h.compactTombsLocked()
+		h.version.Add(1)
+		h.rebuildDangerLocked()
+	}
+	return changed
+}
+
+// swapLocked replaces the live entry for ns.ID with ns; h.mu must be
+// held by a writer.
+func (h *History) swapLocked(ns *Signature) {
+	h.byID[ns.ID] = ns
+	for i, e := range h.sigs {
+		if e.ID == ns.ID {
+			h.sigs[i] = ns
+			return
+		}
+	}
+}
+
+// ReplaceAll atomically swaps the signature set (and tombstones) with the
+// one from other — the §8 "reload the history without restarting" path.
 func (h *History) ReplaceAll(other *History) {
 	snap := other.Snapshot()
+	tombs := other.Tombstones()
+	fp := other.Fingerprint()
 	h.mu.Lock()
 	h.sigs = make([]*Signature, len(snap))
 	copy(h.sigs, snap)
 	h.byID = make(map[string]*Signature, len(snap))
 	for _, s := range h.sigs {
 		h.byID[s.ID] = s
+	}
+	h.tombs = make(map[string]Tombstone, len(tombs))
+	for _, t := range tombs {
+		h.tombs[t.ID] = t
+	}
+	if fp != "" {
+		h.fingerprint = fp
 	}
 	h.version.Add(1)
 	h.rebuildDangerLocked()
@@ -251,6 +548,7 @@ type persistedSig struct {
 	Kind        string      `json:"kind"`
 	Stacks      []string    `json:"stacks"`
 	Depth       int         `json:"depth"`
+	Rev         uint64      `json:"rev,omitempty"`
 	Disabled    bool        `json:"disabled,omitempty"`
 	CreatedUnix int64       `json:"created_unix,omitempty"`
 	AvoidCount  uint64      `json:"avoid_count,omitempty"`
@@ -260,21 +558,33 @@ type persistedSig struct {
 	Calib       calib.State `json:"calib,omitempty"`
 }
 
-type persistedHistory struct {
-	Format     int            `json:"format"`
-	Signatures []persistedSig `json:"signatures"`
+type persistedTomb struct {
+	ID          string `json:"id"`
+	Rev         uint64 `json:"rev"`
+	DeletedUnix int64  `json:"deleted_unix,omitempty"`
 }
 
-// MarshalJSON serializes the history.
-func (h *History) MarshalJSON() ([]byte, error) {
-	h.mu.RLock()
-	defer h.mu.RUnlock()
-	p := persistedHistory{Format: 1}
+// FormatVersion is the current on-disk format. v2 adds per-entry
+// revisions, removal tombstones, and the build fingerprint; v1 files
+// (no revisions, no tombstones) load transparently with every entry at
+// revision 1 and save back as v2.
+const FormatVersion = 2
+
+type persistedHistory struct {
+	Format      int             `json:"format"`
+	Fingerprint string          `json:"fingerprint,omitempty"`
+	Signatures  []persistedSig  `json:"signatures"`
+	Tombstones  []persistedTomb `json:"tombstones,omitempty"`
+}
+
+func (h *History) persistedLocked() persistedHistory {
+	p := persistedHistory{Format: FormatVersion, Fingerprint: h.fingerprint}
 	for _, s := range h.sigs {
 		ps := persistedSig{
 			ID:          s.ID,
 			Kind:        s.Kind.String(),
 			Depth:       s.Depth,
+			Rev:         s.Rev,
 			Disabled:    s.Disabled,
 			CreatedUnix: s.CreatedUnix,
 			AvoidCount:  s.AvoidCount,
@@ -288,19 +598,57 @@ func (h *History) MarshalJSON() ([]byte, error) {
 		}
 		p.Signatures = append(p.Signatures, ps)
 	}
-	return json.MarshalIndent(p, "", "  ")
+	ids := make([]string, 0, len(h.tombs))
+	for id := range h.tombs {
+		ids = append(ids, id)
+	}
+	sort.Strings(ids)
+	for _, id := range ids {
+		t := h.tombs[id]
+		p.Tombstones = append(p.Tombstones, persistedTomb{ID: t.ID, Rev: t.Rev, DeletedUnix: t.DeletedUnix})
+	}
+	return p
+}
+
+// MarshalJSON serializes the history (format v2, indented).
+func (h *History) MarshalJSON() ([]byte, error) {
+	h.mu.RLock()
+	defer h.mu.RUnlock()
+	return json.MarshalIndent(h.persistedLocked(), "", "  ")
+}
+
+// MarshalJSONCompact serializes the history as a single line (format v2),
+// the record form used by DirStore journals.
+func (h *History) MarshalJSONCompact() ([]byte, error) {
+	h.mu.RLock()
+	defer h.mu.RUnlock()
+	return json.Marshal(h.persistedLocked())
 }
 
 // UnmarshalJSON replaces the in-memory set with the serialized one.
+// Formats v1 (and the pre-format files with format 0) load transparently:
+// entries get revision 1 and there are no tombstones.
 func (h *History) UnmarshalJSON(data []byte) error {
 	var p persistedHistory
 	if err := json.Unmarshal(data, &p); err != nil {
 		return fmt.Errorf("history: parse: %w", err)
 	}
+	if p.Format > FormatVersion {
+		return fmt.Errorf("history: format %d is newer than this build supports (%d)", p.Format, FormatVersion)
+	}
 	h.mu.Lock()
 	defer h.mu.Unlock()
 	h.sigs = nil
 	h.byID = make(map[string]*Signature)
+	h.tombs = make(map[string]Tombstone)
+	h.fingerprint = p.Fingerprint
+	for _, pt := range p.Tombstones {
+		rev := pt.Rev
+		if rev == 0 {
+			rev = 1
+		}
+		h.tombs[pt.ID] = Tombstone{ID: pt.ID, Rev: rev, DeletedUnix: pt.DeletedUnix}
+	}
 	for _, ps := range p.Signatures {
 		kind := Deadlock
 		if ps.Kind == "starvation" {
@@ -316,6 +664,10 @@ func (h *History) UnmarshalJSON(data []byte) error {
 		}
 		s := New(kind, stacks, ps.Depth)
 		s.Disabled = ps.Disabled
+		s.Rev = ps.Rev
+		if s.Rev == 0 {
+			s.Rev = 1 // v1 migration: every entry starts at revision 1
+		}
 		if ps.CreatedUnix != 0 {
 			s.CreatedUnix = ps.CreatedUnix
 		}
@@ -327,9 +679,19 @@ func (h *History) UnmarshalJSON(data []byte) error {
 		if _, dup := h.byID[s.ID]; dup {
 			continue
 		}
+		// A malformed snapshot carrying both a live entry and a tombstone
+		// for one ID resolves by the merge rule: higher revision wins,
+		// ties go to the tombstone.
+		if t, ok := h.tombs[s.ID]; ok {
+			if s.Rev <= t.Rev {
+				continue
+			}
+			delete(h.tombs, s.ID)
+		}
 		h.sigs = append(h.sigs, s)
 		h.byID[s.ID] = s
 	}
+	h.compactTombsLocked()
 	h.version.Add(1)
 	h.rebuildDangerLocked()
 	return nil

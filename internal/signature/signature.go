@@ -56,6 +56,13 @@ type Signature struct {
 	// (§5.7: users may disable signatures whose avoidance suppresses
 	// functionality).
 	Disabled bool
+	// Rev is the entry's monotonic revision, bumped on every persisted
+	// state transition (disable/enable flips, resurrection after a
+	// removal). Merging histories is a deterministic join on revisions:
+	// the higher revision wins, so removals and disabled-flips propagate
+	// between processes instead of being resurrected by stale snapshots.
+	// A zero Rev means "fresh"; History.Add normalizes it to at least 1.
+	Rev uint64
 	// CreatedUnix is the archive time (seconds since epoch).
 	CreatedUnix int64
 

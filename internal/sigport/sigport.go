@@ -121,6 +121,7 @@ func Port(h *signature.History, rules []Rule) (*signature.History, Stats) {
 		}
 		ported := signature.New(sig.Kind, newStacks, sig.Depth)
 		ported.Disabled = sig.Disabled
+		ported.Rev = sig.Rev
 		ported.AvoidCount = sig.AvoidCount
 		ported.AbortCount = sig.AbortCount
 		ported.CreatedUnix = sig.CreatedUnix
@@ -132,6 +133,14 @@ func Port(h *signature.History, rules []Rule) (*signature.History, Stats) {
 			st.Ported++
 		}
 	}
+	// Tombstones carry over verbatim: their IDs name old-revision entries,
+	// so they keep suppressing the same entries in other un-ported
+	// snapshots they may later be merged with (porting a removal's stacks
+	// is impossible — the content is gone).
+	for _, t := range h.Tombstones() {
+		out.RestoreTombstone(t)
+	}
+	out.SetFingerprint(h.Fingerprint())
 	return out, st
 }
 

@@ -1,0 +1,103 @@
+package simapp
+
+import (
+	"fmt"
+	"time"
+
+	"dimmunix/internal/core"
+	"dimmunix/internal/histstore"
+)
+
+// FleetResult reports one fleet-immunity trial (RunFleetTrial).
+type FleetResult struct {
+	// AErrs/BErrs are the two instances' worker outcomes.
+	AErrs, BErrs []error
+	// ADeadlocked reports that instance A hit (and recovered from) the
+	// deadlock — the one manifestation the fleet pays.
+	ADeadlocked bool
+	// BConverged reports that B's runtime learned A's signatures through
+	// the store before running.
+	BConverged bool
+	// BEpochBumped reports that B's danger index republished under a new
+	// epoch when the remote signatures arrived — the PR 2 fast-path
+	// invalidation observable.
+	BEpochBumped bool
+	// BClean reports that every worker of B completed without
+	// deadlocking: immunity on first encounter.
+	BClean bool
+	// BYields is how many avoidance yields B spent.
+	BYields uint64
+}
+
+// RunFleetTrial asserts the §8 fleet-immunity property end to end over a
+// shared store: runtime A (on storeA) triggers the bug's deadlock once —
+// recovered, archived, pushed — and runtime B (on storeB, a distinct
+// handle over the same shared state, as a second process would hold)
+// converges through its sync loop and then survives the same exploit on
+// first encounter. hold is the exploit's timing window; wait bounds B's
+// convergence.
+func RunFleetTrial(storeA, storeB histstore.Store, bug Bug, hold, wait time.Duration) (*FleetResult, error) {
+	mk := func(st histstore.Store) (*core.Runtime, error) {
+		return core.New(core.Config{
+			HistoryStore:  st,
+			SyncInterval:  10 * time.Millisecond,
+			Tau:           2 * time.Millisecond,
+			MatchDepth:    2,
+			MaxYield:      2 * time.Second,
+			RecoverAborts: true,
+		})
+	}
+	rtA, err := mk(storeA)
+	if err != nil {
+		return nil, err
+	}
+	defer rtA.Stop()
+	rtB, err := mk(storeB)
+	if err != nil {
+		return nil, err
+	}
+	defer rtB.Stop()
+
+	res := &FleetResult{}
+	epoch0 := rtB.History().Danger().Epoch()
+
+	// Phase 1: A pays the one manifestation. The exploits are
+	// deterministic for a sufficient hold window, but allow a few
+	// attempts for scheduling jitter.
+	instA := bug.New(rtA)
+	for attempt := 0; attempt < 5 && !res.ADeadlocked; attempt++ {
+		res.AErrs = instA.Exploit(hold)
+		res.ADeadlocked = Deadlocked(res.AErrs)
+	}
+	if !res.ADeadlocked {
+		return res, fmt.Errorf("fleet: instance A never deadlocked (%v)", res.AErrs)
+	}
+	want := rtA.History().Len()
+
+	// Phase 2: B converges through its own sync loop (no manual nudging
+	// — the acceptance criterion is "within one sync interval" of the
+	// push landing).
+	deadline := time.Now().Add(wait)
+	for rtB.History().Len() < want {
+		if time.Now().After(deadline) {
+			return res, fmt.Errorf("fleet: B converged to %d/%d signatures within %v",
+				rtB.History().Len(), want, wait)
+		}
+		time.Sleep(time.Millisecond)
+	}
+	res.BConverged = true
+	res.BEpochBumped = rtB.History().Danger().Epoch() > epoch0
+
+	// Phase 3: B runs the same exploit and must not deadlock.
+	instB := bug.New(rtB)
+	res.BErrs = instB.Exploit(hold)
+	res.BClean = Clean(res.BErrs)
+	res.BYields = rtB.Stats().Yields
+	if Deadlocked(res.BErrs) {
+		return res, fmt.Errorf("fleet: instance B deadlocked despite the shared history")
+	}
+	if !res.BClean {
+		return res, fmt.Errorf("fleet: instance B workers failed: %v", res.BErrs)
+	}
+	return res, nil
+}

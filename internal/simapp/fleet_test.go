@@ -1,0 +1,89 @@
+// The fleet-immunity scenario (§8): two runtimes share one immunity
+// store; the deadlock manifests once in runtime A and runtime B is
+// immune on first encounter — for each store backend (file, directory
+// journals, HTTP daemon).
+package simapp
+
+import (
+	"net/http/httptest"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"dimmunix/internal/histstore"
+)
+
+// fleetBug picks a deterministic two-lock Table 1 exploit for the fleet
+// trials (HawkNL: nlShutdown vs nlClose, loop-driven, reliably
+// reproduces in one attempt).
+func fleetBug(t *testing.T) Bug {
+	for _, b := range Bugs() {
+		if b.System == "HawkNL 1.6b3" {
+			return b
+		}
+	}
+	t.Fatal("HawkNL bug missing from registry")
+	return Bug{}
+}
+
+const (
+	fleetHold = 30 * time.Millisecond
+	fleetWait = 5 * time.Second
+)
+
+func checkFleet(t *testing.T, res *FleetResult, err error) {
+	t.Helper()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.ADeadlocked {
+		t.Error("A must deadlock once")
+	}
+	if !res.BConverged {
+		t.Error("B must converge through the store")
+	}
+	if !res.BEpochBumped {
+		t.Error("B's danger-index epoch must bump when remote signatures arrive")
+	}
+	if !res.BClean {
+		t.Errorf("B must complete cleanly, errs=%v", res.BErrs)
+	}
+	if res.BYields == 0 {
+		t.Error("B avoided without yielding — the exploit did not exercise avoidance")
+	}
+}
+
+func TestFleetImmunityFileStore(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "fleet.json")
+	res, err := RunFleetTrial(
+		histstore.NewFileStore(path), histstore.NewFileStore(path),
+		fleetBug(t), fleetHold, fleetWait)
+	checkFleet(t, res, err)
+}
+
+func TestFleetImmunityDirStore(t *testing.T) {
+	dir := t.TempDir()
+	a, err := histstore.NewDirStore(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := histstore.NewDirStore(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, rerr := RunFleetTrial(a, b, fleetBug(t), fleetHold, fleetWait)
+	checkFleet(t, res, rerr)
+}
+
+func TestFleetImmunityHTTPStore(t *testing.T) {
+	srv, err := histstore.NewServer(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+	res, rerr := RunFleetTrial(
+		histstore.NewHTTPStore(ts.URL), histstore.NewHTTPStore(ts.URL),
+		fleetBug(t), fleetHold, fleetWait)
+	checkFleet(t, res, rerr)
+}

@@ -34,8 +34,35 @@ func WithConfig(cfg Config) Option {
 }
 
 // WithHistory sets the persistent history file ("" = in-memory only).
+// The file is served by a FileStore underneath; unlike WithHistoryStore
+// it does not enable the periodic sync loop by default.
 func WithHistory(path string) Option {
 	return func(c *Config) { c.HistoryPath = path }
+}
+
+// WithHistoryStore plugs in a shared immunity store (§8 distribution):
+// the runtime loads its history from the store, pushes newly archived
+// signatures through it, and runs a periodic pull→merge→push sync loop
+// so signatures, removals, and disabled-flips learned anywhere in the
+// fleet take effect here within one sync interval. Obtain a store with
+// OpenHistoryStore or construct one from a histstore backend.
+func WithHistoryStore(s HistoryStore) Option {
+	return func(c *Config) { c.HistoryStore = s }
+}
+
+// WithHistorySync configures the shared store from a specification
+// string (a file path, a directory of per-process journals, or the
+// http:// URL of a dimmunix-hist serve daemon) — the option form of
+// DIMMUNIX_HISTORY_SYNC.
+func WithHistorySync(spec string) Option {
+	return func(c *Config) { c.HistorySync = spec }
+}
+
+// WithSyncInterval sets the store sync cadence (default 2 s when a
+// shared store is configured; negative disables the loop, leaving
+// archive-time pushes and manual Runtime.SyncNow pulls).
+func WithSyncInterval(d time.Duration) Option {
+	return func(c *Config) { c.SyncInterval = d }
 }
 
 // WithTau sets the monitor wakeup period (§3; default 100 ms).

@@ -1,0 +1,93 @@
+package dimmunix_test
+
+import (
+	"path/filepath"
+	"testing"
+	"time"
+
+	"dimmunix"
+	"dimmunix/internal/signature"
+	"dimmunix/internal/stack"
+)
+
+func makeTestSignature() *dimmunix.Signature {
+	return signature.New(signature.Deadlock,
+		[]stack.Stack{stack.Synthetic(42, 4), stack.Synthetic(43, 4)}, 4)
+}
+
+// TestHistorySyncEnvPlumbing: DIMMUNIX_HISTORY_SYNC and
+// DIMMUNIX_SYNC_INTERVAL configure the default runtime's shared store,
+// and WithHistoryStore / WithSyncInterval override them.
+func TestHistorySyncEnvPlumbing(t *testing.T) {
+	dir := t.TempDir()
+	t.Setenv("DIMMUNIX_HISTORY_SYNC", filepath.Join(dir, "env.json"))
+	t.Setenv("DIMMUNIX_SYNC_INTERVAL", "750ms")
+
+	if err := dimmunix.Shutdown(); err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { dimmunix.Shutdown() })
+	if err := dimmunix.Init(); err != nil {
+		t.Fatal(err)
+	}
+	cfg := dimmunix.Default().Config()
+	if cfg.HistorySync != filepath.Join(dir, "env.json") {
+		t.Fatalf("HistorySync = %q", cfg.HistorySync)
+	}
+	if cfg.SyncInterval != 750*time.Millisecond {
+		t.Fatalf("SyncInterval = %v", cfg.SyncInterval)
+	}
+	if dimmunix.Default().HistoryStore() == nil {
+		t.Fatal("env spec did not resolve to a store")
+	}
+
+	// Options win over the environment.
+	if err := dimmunix.Shutdown(); err != nil {
+		t.Fatal(err)
+	}
+	store, err := dimmunix.OpenHistoryStore(filepath.Join(dir, "opt.json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := dimmunix.Init(
+		dimmunix.WithHistoryStore(store),
+		dimmunix.WithSyncInterval(-1),
+	); err != nil {
+		t.Fatal(err)
+	}
+	if got := dimmunix.Default().HistoryStore(); got != store {
+		t.Fatalf("WithHistoryStore did not override env: %T", got)
+	}
+	if dimmunix.Default().Config().SyncInterval != -1 {
+		t.Fatal("WithSyncInterval did not override env")
+	}
+}
+
+// TestSharedStoreAcrossDefaultRuntimes: the drop-in surface acquires
+// immunity from a store populated by an earlier runtime generation —
+// Shutdown publishes, the next Init inherits.
+func TestSharedStoreAcrossDefaultRuntimes(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "gen.json")
+	if err := dimmunix.Shutdown(); err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { dimmunix.Shutdown() })
+
+	if err := dimmunix.Init(dimmunix.WithHistorySync(path), dimmunix.WithTau(2*time.Millisecond)); err != nil {
+		t.Fatal(err)
+	}
+	// Plant a signature through the first generation's history and let
+	// Shutdown publish it.
+	sig := makeTestSignature()
+	dimmunix.Default().History().Add(sig)
+	if err := dimmunix.Shutdown(); err != nil {
+		t.Fatal(err)
+	}
+
+	if err := dimmunix.Init(dimmunix.WithHistorySync(path), dimmunix.WithTau(2*time.Millisecond)); err != nil {
+		t.Fatal(err)
+	}
+	if dimmunix.Default().History().Get(sig.ID) == nil {
+		t.Fatal("next generation did not inherit the published signature")
+	}
+}
