@@ -4,18 +4,24 @@
 // role "b" waits for the signature to arrive through the store's sync
 // loop, then runs the exact same locking pattern and must complete
 // cleanly — deadlock immunity acquired without ever deadlocking itself,
-// the paper's §8 fleet scenario.
+// the paper's §8 fleet scenario. Role "c" is the outage drill: it runs
+// the same exploit against an unreachable store and must still recover
+// locally AND stop within the shutdown budget — distributing immunity
+// may never make the protected application worse.
 //
 // Usage:
 //
 //	dimmunix-fleet -store http://127.0.0.1:7676 -role a
 //	dimmunix-fleet -store http://127.0.0.1:7676 -role b [-wait 15s]
+//	dimmunix-fleet -store http://127.0.0.1:7676 -role c   # daemon dead
 //
-// Both roles exit 0 on success and 1 on a property violation, so the CI
-// smoke step can assert the fleet-immunity property end to end.
+// All roles exit 0 on success and 1 on a property violation, so the CI
+// smoke steps can assert the fleet-immunity and bounded-shutdown
+// properties end to end.
 package main
 
 import (
+	"context"
 	"fmt"
 	"os"
 	"time"
@@ -27,15 +33,16 @@ import (
 
 var (
 	storeSpec = flag.String("store", "", "shared history store (file, dir, or http:// daemon)")
-	role      = flag.String("role", "", "a = hit the deadlock once; b = converge and avoid it")
+	role      = flag.String("role", "", "a = hit the deadlock once; b = converge and avoid it; c = outage drill")
 	wait      = flag.Duration("wait", 15*time.Second, "role b: how long to wait for convergence")
 	hold      = flag.Duration("hold", 150*time.Millisecond, "timing window between the nested acquisitions")
+	budget    = flag.Duration("budget", time.Second, "role c: configured shutdown timeout (Stop must return within 2x)")
 )
 
 func main() {
 	flag.Parse()
-	if *storeSpec == "" || (*role != "a" && *role != "b") {
-		fmt.Fprintln(os.Stderr, "usage: dimmunix-fleet -store <spec> -role a|b")
+	if *storeSpec == "" || (*role != "a" && *role != "b" && *role != "c") {
+		fmt.Fprintln(os.Stderr, "usage: dimmunix-fleet -store <spec> -role a|b|c")
 		os.Exit(2)
 	}
 
@@ -43,13 +50,18 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
-	rt, err := dimmunix.New(dimmunix.Config{
+	cfg := dimmunix.Config{
 		HistoryStore:  store,
 		SyncInterval:  100 * time.Millisecond,
 		Tau:           5 * time.Millisecond,
 		MatchDepth:    2,
 		RecoverAborts: true,
-	})
+	}
+	if *role == "c" {
+		cfg.ShutdownTimeout = *budget
+		cfg.SyncRoundTimeout = *budget
+	}
+	rt, err := dimmunix.New(cfg)
 	if err != nil {
 		fatal(err)
 	}
@@ -61,7 +73,7 @@ func main() {
 		if !deadlocked(errs) {
 			fatal(fmt.Errorf("role a: expected the exploit to deadlock, got %v", errs))
 		}
-		if err := rt.SyncNow(); err != nil {
+		if err := rt.SyncNow(context.Background()); err != nil {
 			fatal(err)
 		}
 		fmt.Printf("role a: deadlocked once, archived and pushed %d signature(s)\n",
@@ -87,6 +99,28 @@ func main() {
 		}
 		fmt.Printf("role b: clean run, %d yields — immunity acquired without deadlocking\n",
 			rt.Stats().Yields)
+	case "c":
+		// The store is expected to be dead (the CI step killed the
+		// daemon). Local immunity must be unimpaired: the deadlock is
+		// still detected and recovered, its signature archived locally.
+		errs := exercise(rt, *hold)
+		if !deadlocked(errs) {
+			fatal(fmt.Errorf("role c: expected the exploit to deadlock locally, got %v", errs))
+		}
+		if rt.History().Len() == 0 {
+			fatal(fmt.Errorf("role c: signature not archived locally during the outage"))
+		}
+		// And shutdown must be bounded: the exit publish is abandoned
+		// within the budget instead of stalling the process. 2x covers
+		// the publish plus scheduling slack, mirroring the in-tree test.
+		start := time.Now()
+		err := rt.Stop()
+		elapsed := time.Since(start)
+		if elapsed > 2*(*budget) {
+			fatal(fmt.Errorf("role c: Stop took %v, budget 2x%v", elapsed, *budget))
+		}
+		fmt.Printf("role c: outage survived — recovered locally, Stop returned in %v (publish err: %v)\n",
+			elapsed.Round(time.Millisecond), err)
 	}
 }
 

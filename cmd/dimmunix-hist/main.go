@@ -23,13 +23,21 @@
 //
 // A <store> is a file path, a directory of per-process journals (or
 // dir:PATH), or the http:// URL of a serve daemon.
+//
+// -token (or DIMMUNIX_SYNC_TOKEN) arms a shared-secret push token: serve
+// rejects pushes without it (401), push sends it. The daemon shuts down
+// gracefully on SIGINT/SIGTERM, and every store operation aborts on those
+// signals instead of waiting out a hung daemon.
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"net/http"
 	"os"
+	"os/signal"
+	"syscall"
 	"time"
 
 	"dimmunix/internal/histstore"
@@ -39,8 +47,10 @@ import (
 
 func main() {
 	var (
-		file = flag.String("f", "dimmunix-history.json", "history file")
-		out  = flag.String("o", "", "output file (port); defaults to -f")
+		file  = flag.String("f", "dimmunix-history.json", "history file")
+		out   = flag.String("o", "", "output file (port); defaults to -f")
+		token = flag.String("token", os.Getenv("DIMMUNIX_SYNC_TOKEN"),
+			"shared-secret push token (serve: require it; push: send it)")
 	)
 	flag.Parse()
 	args := flag.Args()
@@ -48,6 +58,12 @@ func main() {
 		fmt.Fprintln(os.Stderr, "missing command: list | show | disable | enable | remove | merge | port | serve | push | pull | diff")
 		os.Exit(2)
 	}
+
+	// Every store operation runs under a signal-aware context: Ctrl-C or
+	// SIGTERM cancels in-flight store I/O instead of waiting out a hung
+	// daemon or a wedged advisory lock.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
 
 	h, err := signature.Load(*file)
 	if err != nil {
@@ -132,21 +148,24 @@ func main() {
 		if err != nil {
 			fatal(err)
 		}
-		fmt.Printf("dimmunix-hist: serving %s on %s (%d signatures)\n",
-			*file, addr, srv.History().Len())
-		fatal(http.ListenAndServe(addr, srv.Handler()))
+		if *token != "" {
+			srv.SetToken(*token)
+		}
+		fmt.Printf("dimmunix-hist: serving %s on %s (%d signatures%s)\n",
+			*file, addr, srv.History().Len(), authNote(*token))
+		serve(ctx, addr, srv)
 	case "push":
-		st := openStore(arg(args, 1))
+		st := openStore(arg(args, 1), *token)
 		defer st.Close()
-		if _, err := st.Push(h); err != nil {
+		if _, err := st.Push(ctx, h); err != nil {
 			fatal(err)
 		}
 		fmt.Printf("pushed %d signatures, %d tombstones -> %s\n",
 			h.Len(), len(h.Tombstones()), arg(args, 1))
 	case "pull":
-		st := openStore(arg(args, 1))
+		st := openStore(arg(args, 1), *token)
 		defer st.Close()
-		remote, _, err := st.Load()
+		remote, _, err := st.Load(ctx)
 		if err != nil {
 			fatal(err)
 		}
@@ -155,9 +174,9 @@ func main() {
 		fmt.Printf("pulled %d changes from %s (total %d signatures, %d tombstones)\n",
 			n, arg(args, 1), h.Len(), len(h.Tombstones()))
 	case "diff":
-		st := openStore(arg(args, 1))
+		st := openStore(arg(args, 1), *token)
 		defer st.Close()
-		remote, _, err := st.Load()
+		remote, _, err := st.Load(ctx)
 		if err != nil {
 			fatal(err)
 		}
@@ -167,13 +186,44 @@ func main() {
 	}
 }
 
+// serve runs the sync daemon until the signal context cancels, then
+// shuts the listener down gracefully with a bounded drain so in-flight
+// pushes finish but a wedged client cannot hold the exit hostage.
+func serve(ctx context.Context, addr string, srv *histstore.Server) {
+	hs := &http.Server{Addr: addr, Handler: srv.Handler()}
+	errCh := make(chan error, 1)
+	go func() { errCh <- hs.ListenAndServe() }()
+	select {
+	case err := <-errCh:
+		fatal(err)
+	case <-ctx.Done():
+		drain, cancel := context.WithTimeout(context.Background(), 3*time.Second)
+		defer cancel()
+		if err := hs.Shutdown(drain); err != nil {
+			_ = hs.Close()
+		}
+		fmt.Println("dimmunix-hist: daemon stopped")
+	}
+}
+
+func authNote(token string) string {
+	if token == "" {
+		return ""
+	}
+	return ", push token required"
+}
+
 // openStore resolves a store argument; a plain path to a (possibly
 // missing) history file resolves to a FileStore, so `push other.json`
-// keeps working like `merge` in reverse.
-func openStore(spec string) histstore.Store {
+// keeps working like `merge` in reverse. token (when set) authenticates
+// pushes to token-guarded daemons.
+func openStore(spec, token string) histstore.Store {
 	st, err := histstore.Open(spec)
 	if err != nil {
 		fatal(err)
+	}
+	if hs, ok := st.(*histstore.HTTPStore); ok && token != "" {
+		hs.SetToken(token)
 	}
 	return st
 }

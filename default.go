@@ -128,6 +128,10 @@ func Shutdown() error {
 //	                           cross-process sync loop
 //	DIMMUNIX_SYNC_INTERVAL     sync cadence, Go duration (default 2s with
 //	                           a shared store; negative disables the loop)
+//	DIMMUNIX_SYNC_TOKEN        shared-secret push token for http:// stores
+//	                           (must match the daemon's --token)
+//	DIMMUNIX_SHUTDOWN_TIMEOUT  bound on Stop's final store publish, Go
+//	                           duration (default 1s; negative = unbounded)
 //	DIMMUNIX_TAU               monitor period, Go duration ("100ms")
 //	DIMMUNIX_MODE              off | instrument | datastructs | full
 //	DIMMUNIX_IMMUNITY          weak | strong
@@ -149,6 +153,9 @@ func configFromEnv() (Config, error) {
 	cfg.HistorySync = os.Getenv("DIMMUNIX_HISTORY_SYNC")
 
 	if err := envDuration("DIMMUNIX_SYNC_INTERVAL", &cfg.SyncInterval); err != nil {
+		return cfg, err
+	}
+	if err := envDuration("DIMMUNIX_SHUTDOWN_TIMEOUT", &cfg.ShutdownTimeout); err != nil {
 		return cfg, err
 	}
 	if err := envDuration("DIMMUNIX_TAU", &cfg.Tau); err != nil {

@@ -102,7 +102,9 @@ type (
 	Tombstone = signature.Tombstone
 	// HistoryStore is a pluggable shared immunity backend: one file
 	// (advisory-locked), a directory of per-process journals, or a
-	// dimmunix-hist serve daemon. See OpenHistoryStore.
+	// dimmunix-hist serve daemon. All store I/O is context-aware — an
+	// unreachable backend degrades to counted, retried errors bounded
+	// by the caller's deadline, never a hang. See OpenHistoryStore.
 	HistoryStore = histstore.Store
 	// Stats is a snapshot of the avoidance counters.
 	Stats = avoidance.Snapshot

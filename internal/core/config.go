@@ -70,6 +70,12 @@ const DefaultThreadTTL = time.Minute
 // left zero.
 const DefaultSyncInterval = 2 * time.Second
 
+// DefaultShutdownTimeout bounds Runtime.Stop's final history publish
+// through the store. Shutdown is the one moment the store is allowed to
+// cost the host process wall-clock time — one second buys durability
+// from a healthy store without letting an outage stall process exit.
+const DefaultShutdownTimeout = time.Second
+
 // Config configures a Runtime. The zero value is usable: full Dimmunix,
 // weak immunity, τ = 100 ms, matching depth 4, no history file.
 type Config struct {
@@ -92,6 +98,18 @@ type Config struct {
 	// HistoryStore/HistorySync (and disables the loop for plain
 	// HistoryPath); negative disables the loop entirely.
 	SyncInterval time.Duration
+	// SyncRoundTimeout bounds one sync round's store I/O (probe + pull +
+	// push); an overrunning round is abandoned and retried with backoff.
+	// Zero selects monitor.DefaultSyncRoundTimeout, negative disables
+	// the bound.
+	SyncRoundTimeout time.Duration
+	// ShutdownTimeout bounds the final history publish Runtime.Stop
+	// performs through the store: when the store is unreachable, Stop
+	// abandons the publish after this long instead of stalling process
+	// exit (the local journal/file state and every earlier push keep the
+	// immunity). Zero selects DefaultShutdownTimeout, negative removes
+	// the bound.
+	ShutdownTimeout time.Duration
 	// SyncPortRules are sigport rules applied to pulled snapshots whose
 	// build fingerprint differs from BuildFingerprint (§8 porting).
 	SyncPortRules []sigport.Rule
@@ -185,6 +203,9 @@ func (c *Config) fill() {
 	}
 	if c.MaxYield == 0 {
 		c.MaxYield = DefaultMaxYield
+	}
+	if c.ShutdownTimeout == 0 {
+		c.ShutdownTimeout = DefaultShutdownTimeout
 	}
 	if c.MaxThreads <= 0 {
 		c.MaxThreads = 1024

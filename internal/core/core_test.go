@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"errors"
 	"path/filepath"
 	"sync"
@@ -686,7 +687,7 @@ func TestReloadHistoryLivePatch(t *testing.T) {
 	if rt.History().Len() != 0 {
 		t.Fatal("precondition failed")
 	}
-	if err := rt.ReloadHistory(); err != nil {
+	if err := rt.ReloadHistory(context.Background()); err != nil {
 		t.Fatal(err)
 	}
 	if rt.History().Len() != 1 {

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"runtime"
@@ -109,7 +110,10 @@ func New(cfg Config) (*Runtime, error) {
 
 	hist := signature.NewHistory()
 	if store != nil {
-		hist, _, err = store.Load()
+		// The startup load runs under a background context: the HTTP
+		// backend applies its own fallback deadline, so even a dead
+		// daemon cannot block process start beyond it.
+		hist, _, err = store.Load(context.Background())
 		if err != nil {
 			if _, netStore := store.(*histstore.HTTPStore); netStore {
 				// An unreachable sync daemon must not keep the application
@@ -207,20 +211,21 @@ func New(cfg Config) (*Runtime, error) {
 	}
 
 	rt.mon = monitor.New(monitor.Config{
-		Tau:           cfg.Tau,
-		Strong:        cfg.Immunity == StrongImmunity,
-		MatchDepth:    cfg.MatchDepth,
-		Calibrate:     cfg.Calibrate,
-		CalibMaxDepth: cfg.CalibMaxDepth,
-		CalibNA:       cfg.CalibNA,
-		CalibNT:       cfg.CalibNT,
-		Store:         store,
-		SyncInterval:  syncInterval,
-		PortRules:     cfg.SyncPortRules,
-		Fingerprint:   cfg.BuildFingerprint,
-		SyncSlot:      syncSlot,
-		OnDeadlock:    onDeadlock,
-		OnStarvation:  cfg.OnStarvation,
+		Tau:              cfg.Tau,
+		Strong:           cfg.Immunity == StrongImmunity,
+		MatchDepth:       cfg.MatchDepth,
+		Calibrate:        cfg.Calibrate,
+		CalibMaxDepth:    cfg.CalibMaxDepth,
+		CalibNA:          cfg.CalibNA,
+		CalibNT:          cfg.CalibNT,
+		Store:            store,
+		SyncInterval:     syncInterval,
+		SyncRoundTimeout: cfg.SyncRoundTimeout,
+		PortRules:        cfg.SyncPortRules,
+		Fingerprint:      cfg.BuildFingerprint,
+		SyncSlot:         syncSlot,
+		OnDeadlock:       onDeadlock,
+		OnStarvation:     cfg.OnStarvation,
 	}, rt.q, hist, rt.cache, rt.resolveThreadState)
 
 	if cfg.Mode != ModeOff {
@@ -247,8 +252,13 @@ func MustNew(cfg Config) *Runtime {
 	return rt
 }
 
-// Stop shuts the monitor down (after a final pass and a final sync
-// round) and publishes the history through the store.
+// Stop shuts the monitor down (after a final pass, cancelling any sync
+// round still blocked in store I/O) and publishes the history through
+// the store under the shutdown budget: when the store is unreachable,
+// the publish is abandoned after Config.ShutdownTimeout instead of
+// stalling the host process — earlier pushes and the local store state
+// keep the immunity, and Stop returns the publish error so callers can
+// observe the abandoned durability.
 func (rt *Runtime) Stop() error {
 	if !rt.stopped.CompareAndSwap(false, true) {
 		return nil
@@ -262,7 +272,13 @@ func (rt *Runtime) Stop() error {
 	}
 	var err error
 	if rt.store != nil {
-		err = rt.mon.PublishToStore()
+		ctx := context.Background()
+		if rt.cfg.ShutdownTimeout > 0 {
+			var cancel context.CancelFunc
+			ctx, cancel = context.WithTimeout(ctx, rt.cfg.ShutdownTimeout)
+			defer cancel()
+		}
+		err = rt.mon.PublishToStore(ctx)
 		if rt.ownStore {
 			if cerr := rt.store.Close(); err == nil {
 				err = cerr
@@ -295,17 +311,19 @@ func (rt *Runtime) Config() Config { return rt.cfg }
 // history store — the §8 "patch without restarting" path, now a
 // deterministic revision join: remote additions, removals (tombstones),
 // and disabled-flips all take effect on the next lock request, and local
-// changes are published back. Returns an error when the runtime has no
-// store.
-func (rt *Runtime) SyncNow() error {
+// changes are published back. The round runs under the caller's context:
+// cancel it (or let its deadline pass) and the store I/O aborts with the
+// context's error. Returns an error when the runtime has no store.
+func (rt *Runtime) SyncNow(ctx context.Context) error {
 	if rt.store == nil {
 		return errors.New("dimmunix: runtime has no history store")
 	}
-	return rt.mon.SyncNow()
+	return rt.mon.SyncNow(ctx)
 }
 
 // ReloadHistory is the historical name for SyncNow: re-read the backing
-// store and fold its state into the live signature set.
+// store and fold its state into the live signature set, cancellable
+// through ctx like any other sync round.
 //
 // Semantics changed with format v2: the fold is a merge (revision join),
 // not the old file-wins replacement. Deleting a signature by hand-editing
@@ -313,7 +331,7 @@ func (rt *Runtime) SyncNow() error {
 // the next push writes it back — remove signatures through
 // History.Remove or `dimmunix-hist remove` instead, which record a
 // tombstone that propagates.
-func (rt *Runtime) ReloadHistory() error { return rt.SyncNow() }
+func (rt *Runtime) ReloadHistory(ctx context.Context) error { return rt.SyncNow(ctx) }
 
 // RegisterThread creates an explicit thread handle — the fast-path
 // identity API. name is for diagnostics only and may be empty. Explicit

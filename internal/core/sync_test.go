@@ -6,6 +6,7 @@
 package core
 
 import (
+	"context"
 	"os"
 	"path/filepath"
 	"testing"
@@ -83,10 +84,10 @@ func TestTwoRuntimesConvergeOverFileStore(t *testing.T) {
 		t.Fatal("remove failed")
 	}
 	waitFor(t, "removal to reach B", func() bool { return rtB.History().Get(sigID) == nil })
-	if err := rtB.SyncNow(); err != nil { // B pushes its (tombstoned) state
+	if err := rtB.SyncNow(context.Background()); err != nil { // B pushes its (tombstoned) state
 		t.Fatal(err)
 	}
-	if err := rtA.SyncNow(); err != nil {
+	if err := rtA.SyncNow(context.Background()); err != nil {
 		t.Fatal(err)
 	}
 	if rtA.History().Get(sigID) != nil || rtB.History().Get(sigID) != nil {
@@ -187,7 +188,7 @@ func TestRuntimeStoreResolution(t *testing.T) {
 	if rt.HistoryStore() != nil {
 		t.Error("in-memory runtime must have no store")
 	}
-	if err := rt.SyncNow(); err == nil {
+	if err := rt.SyncNow(context.Background()); err == nil {
 		t.Error("SyncNow without a store must fail")
 	}
 	rt.Stop()
@@ -233,7 +234,7 @@ func TestUnreachableDaemonDoesNotBlockStartup(t *testing.T) {
 	if rt.History().Len() != 0 {
 		t.Fatal("expected an empty starting history")
 	}
-	if err := rt.SyncNow(); err == nil {
+	if err := rt.SyncNow(context.Background()); err == nil {
 		t.Fatal("SyncNow against a dead daemon should report the error")
 	}
 	_ = rt.Stop() // the final publish fails; Stop must still return
@@ -281,10 +282,10 @@ func TestLegacyHistoryPathSemantics(t *testing.T) {
 	extra := signature.NewHistory()
 	extra.Add(signature.New(signature.Deadlock,
 		[]stack.Stack{stack.Synthetic(1, 4), stack.Synthetic(2, 4)}, 4))
-	if _, err := histstore.NewFileStore(path).Push(extra); err != nil {
+	if _, err := histstore.NewFileStore(path).Push(context.Background(), extra); err != nil {
 		t.Fatal(err)
 	}
-	if err := rt2.ReloadHistory(); err != nil {
+	if err := rt2.ReloadHistory(context.Background()); err != nil {
 		t.Fatal(err)
 	}
 	if rt2.History().Len() != 2 {

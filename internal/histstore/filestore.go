@@ -1,6 +1,7 @@
 package histstore
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"io/fs"
@@ -33,8 +34,8 @@ func (s *FileStore) Path() string { return s.path }
 // read, so a concurrent writer at worst makes the next Probe report a
 // change that was already observed — re-pulling is safe, missing an
 // update is not.
-func (s *FileStore) Load() (*signature.History, Version, error) {
-	v, err := s.Probe()
+func (s *FileStore) Load(ctx context.Context) (*signature.History, Version, error) {
+	v, err := s.Probe(ctx)
 	if err != nil {
 		return nil, "", err
 	}
@@ -47,18 +48,26 @@ func (s *FileStore) Load() (*signature.History, Version, error) {
 
 // Push merges h into the file under the advisory lock: read the current
 // content, join h in, write back atomically. The file ends up stamped
-// with h's build fingerprint.
-func (s *FileStore) Push(h *signature.History) (Version, error) {
+// with h's build fingerprint. The lock wait is interruptible — a caller
+// whose context expires while another process holds the lock abandons
+// the push (retried by a later round) instead of blocking shutdown.
+func (s *FileStore) Push(ctx context.Context, h *signature.History) (Version, error) {
+	if err := ctxErr(ctx); err != nil {
+		return "", err
+	}
 	if dir := filepath.Dir(s.path); dir != "" {
 		if err := os.MkdirAll(dir, 0o755); err != nil {
 			return "", fmt.Errorf("histstore: %w", err)
 		}
 	}
-	unlock, err := lockFile(s.path + ".lock")
+	unlock, err := lockFile(ctx, s.path+".lock")
 	if err != nil {
 		return "", fmt.Errorf("histstore: lock %s: %w", s.path, err)
 	}
 	defer unlock()
+	if err := ctxErr(ctx); err != nil {
+		return "", err
+	}
 
 	cur, err := signature.Load(s.path)
 	if err != nil {
@@ -71,12 +80,15 @@ func (s *FileStore) Push(h *signature.History) (Version, error) {
 	if err := cur.SaveTo(s.path); err != nil {
 		return "", err
 	}
-	return s.Probe()
+	return s.Probe(ctx)
 }
 
 // Probe stats the file: size plus mtime (nanosecond granularity on
 // modern filesystems) changes on every atomic-rename publish.
-func (s *FileStore) Probe() (Version, error) {
+func (s *FileStore) Probe(ctx context.Context) (Version, error) {
+	if err := ctxErr(ctx); err != nil {
+		return "", err
+	}
 	fi, err := os.Stat(s.path)
 	if errors.Is(err, fs.ErrNotExist) {
 		return "absent", nil

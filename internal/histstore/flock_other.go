@@ -2,11 +2,23 @@
 
 package histstore
 
+import "context"
+
 // lockFile on platforms without flock degrades to no locking: pushes
 // remain individually atomic (rename-based), but two simultaneous
 // read-merge-write cycles may each miss the other's entries until the
 // next sync round re-joins them — the revision join makes that safe,
 // just slower to converge.
-func lockFile(path string) (func(), error) {
+func lockFile(ctx context.Context, path string) (func(), error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	return func() {}, nil
+}
+
+// tryLockFile degrades the same way: maintenance proceeds unlocked;
+// concurrent compactions are idempotent joins, so the worst case is
+// redundant work, not loss.
+func tryLockFile(path string) (func(), error) {
 	return func() {}, nil
 }

@@ -3,8 +3,11 @@
 package histstore
 
 import (
+	"context"
+	"errors"
 	"os"
 	"syscall"
+	"time"
 )
 
 // lockFile takes an exclusive advisory flock on path (creating it if
@@ -12,13 +15,56 @@ import (
 // cooperating dimmunix processes' read-merge-write cycles; they do not
 // protect against non-cooperating writers, which is the same contract
 // the paper's persistent history file has.
-func lockFile(path string) (func(), error) {
+//
+// The wait is interruptible: flock(2) itself cannot be cancelled, so the
+// lock is polled non-blocking (LOCK_NB) with a short growing backoff and
+// the context checked between attempts — a holder that died with the
+// lock (or a store outage behind it) can no longer pin the caller past
+// its deadline.
+func lockFile(ctx context.Context, path string) (func(), error) {
 	f, err := os.OpenFile(path, os.O_CREATE|os.O_RDWR, 0o644)
 	if err != nil {
 		return nil, err
 	}
-	if err := syscall.Flock(int(f.Fd()), syscall.LOCK_EX); err != nil {
+	delay := time.Millisecond
+	for {
+		err := syscall.Flock(int(f.Fd()), syscall.LOCK_EX|syscall.LOCK_NB)
+		if err == nil {
+			return func() {
+				_ = syscall.Flock(int(f.Fd()), syscall.LOCK_UN)
+				_ = f.Close()
+			}, nil
+		}
+		if !errors.Is(err, syscall.EWOULDBLOCK) && !errors.Is(err, syscall.EINTR) {
+			f.Close()
+			return nil, err
+		}
+		select {
+		case <-ctx.Done():
+			f.Close()
+			return nil, ctx.Err()
+		case <-time.After(delay):
+		}
+		if delay < 20*time.Millisecond {
+			delay *= 2
+		}
+	}
+}
+
+// tryLockFile is lockFile's non-blocking form: it returns (nil, nil)
+// when the lock is currently held elsewhere, reserving the blocking wait
+// for callers that need it (opportunistic maintenance like DirStore's
+// departed-journal compaction just skips its turn).
+func tryLockFile(path string) (func(), error) {
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_RDWR, 0o644)
+	if err != nil {
+		return nil, err
+	}
+	if err := syscall.Flock(int(f.Fd()), syscall.LOCK_EX|syscall.LOCK_NB); err != nil {
 		f.Close()
+		if errors.Is(err, syscall.EWOULDBLOCK) || errors.Is(err, syscall.EINTR) {
+			return nil, nil
+		}
 		return nil, err
 	}
 	return func() {

@@ -2,12 +2,15 @@ package histstore
 
 import (
 	"bytes"
+	"context"
+	"crypto/subtle"
 	"encoding/json"
 	"fmt"
 	"io"
 	"net/http"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"dimmunix/internal/signature"
@@ -16,10 +19,20 @@ import (
 // versionHeader carries the store version on history responses.
 const versionHeader = "X-Dimmunix-History-Version"
 
+// tokenHeader carries the shared-secret push token (`dimmunix-hist serve
+// --token` / DIMMUNIX_SYNC_TOKEN) on client requests.
+const tokenHeader = "X-Dimmunix-Sync-Token"
+
 // maxSnapshotBytes bounds one pushed snapshot (a format-v2 history is a
 // few hundred bytes per signature; 64 MiB is far beyond any real
 // history, §5.3 bounds its growth).
 const maxSnapshotBytes = 64 << 20
+
+// DefaultHTTPTimeout bounds one daemon request when the caller's context
+// carries no deadline of its own. Sync rounds pass per-round deadlines;
+// this is the safety net for bare-context callers (tools, tests), so no
+// request can hang forever on a dead daemon.
+const DefaultHTTPTimeout = 10 * time.Second
 
 // Server is the `dimmunix-hist serve` daemon state: the authoritative
 // merged history for a fleet of machines that do not share a filesystem.
@@ -34,6 +47,7 @@ type Server struct {
 	epoch   int64 // startup stamp: distinguishes daemon incarnations
 	seq     uint64
 	backing Store
+	token   string // shared secret required on pushes ("" = open)
 	// backingDirty marks in-memory state the backing store has not
 	// accepted yet (a failed persist); the next push retries even when
 	// it merges nothing new, so durability is eventually restored.
@@ -45,7 +59,7 @@ type Server struct {
 func NewServer(backing Store) (*Server, error) {
 	hist := signature.NewHistory()
 	if backing != nil {
-		loaded, _, err := backing.Load()
+		loaded, _, err := backing.Load(context.Background())
 		if err != nil {
 			return nil, err
 		}
@@ -57,11 +71,36 @@ func NewServer(backing Store) (*Server, error) {
 // History exposes the server's merged history (diagnostics, tests).
 func (s *Server) History() *signature.History { return s.hist }
 
+// SetToken requires the shared secret on every push: requests whose
+// token header does not match (constant-time compare) are rejected with
+// 401 instead of being joined into the fleet history. Reads stay open —
+// the daemon trusts its network for pulls but no longer accepts state
+// from anyone who can reach the port. "" removes the requirement.
+func (s *Server) SetToken(token string) {
+	s.mu.Lock()
+	s.token = token
+	s.mu.Unlock()
+}
+
+// authorized reports whether r may push. Constant-time compare keeps the
+// shared secret safe from timing probes.
+func (s *Server) authorized(r *http.Request) bool {
+	s.mu.Lock()
+	token := s.token
+	s.mu.Unlock()
+	if token == "" {
+		return true
+	}
+	got := r.Header.Get(tokenHeader)
+	return subtle.ConstantTimeCompare([]byte(got), []byte(token)) == 1
+}
+
 // Handler returns the HTTP API:
 //
 //	GET  /v1/version  → {"version":"<seq>"} — the cheap probe
 //	GET  /v1/history  → format-v2 snapshot, version in X-Dimmunix-History-Version
 //	POST /v1/history  → join the posted snapshot; returns {"version","changed"}
+//	                    (401 when a push token is configured and absent/wrong)
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/v1/version", func(w http.ResponseWriter, r *http.Request) {
@@ -90,6 +129,10 @@ func (s *Server) Handler() http.Handler {
 			w.Header().Set(versionHeader, string(v))
 			w.Write(data)
 		case http.MethodPost:
+			if !s.authorized(r) {
+				http.Error(w, "push token missing or wrong", http.StatusUnauthorized)
+				return
+			}
 			body, err := io.ReadAll(io.LimitReader(r.Body, maxSnapshotBytes))
 			if err != nil {
 				http.Error(w, err.Error(), http.StatusBadRequest)
@@ -109,7 +152,14 @@ func (s *Server) Handler() http.Handler {
 				}
 			}
 			if s.backing != nil && (changed > 0 || s.backingDirty) {
-				if _, err := s.backing.Push(s.hist); err != nil {
+				// The persist runs while s.mu is held, so it must be
+				// bounded server-side: a deadline-less client (curl) plus
+				// a wedged backing lock would otherwise block every
+				// endpoint for the whole fleet.
+				pctx, cancel := context.WithTimeout(r.Context(), DefaultHTTPTimeout)
+				_, err := s.backing.Push(pctx, s.hist)
+				cancel()
+				if err != nil {
 					// The merge already applied in memory; remember that
 					// the backing store is behind so a later push (even a
 					// no-change one) retries the persist.
@@ -139,10 +189,16 @@ func (s *Server) versionLocked() Version {
 	return Version(fmt.Sprintf("%d-%d", s.epoch, s.seq))
 }
 
-// HTTPStore is the client backend speaking to a Server.
+// HTTPStore is the client backend speaking to a Server. Every request
+// runs under the caller's context (with DefaultHTTPTimeout as the
+// fallback deadline), so sync rounds and shutdown publishes are bounded
+// by their callers, not by a transport-level constant.
 type HTTPStore struct {
 	base string
 	c    *http.Client
+	// token is atomic so SetToken on a live store (e.g. rotating the
+	// secret while the sync loop runs) never races in-flight requests.
+	token atomic.Value // string
 }
 
 // NewHTTPStore returns a store talking to the daemon at base
@@ -150,18 +206,74 @@ type HTTPStore struct {
 func NewHTTPStore(base string) *HTTPStore {
 	return &HTTPStore{
 		base: strings.TrimSuffix(base, "/"),
-		c:    &http.Client{Timeout: 10 * time.Second},
+		c:    &http.Client{},
 	}
 }
 
 // Base returns the daemon base URL.
 func (s *HTTPStore) Base() string { return s.base }
 
-// Load pulls the daemon's merged snapshot.
-func (s *HTTPStore) Load() (*signature.History, Version, error) {
-	resp, err := s.c.Get(s.base + "/v1/history")
+// SetToken attaches the daemon's shared-secret push token to every
+// request (see Server.SetToken). Open reads it from DIMMUNIX_SYNC_TOKEN.
+// Safe to call concurrently with in-flight requests.
+func (s *HTTPStore) SetToken(token string) { s.token.Store(token) }
+
+// do runs one request under ctx, adding the fallback deadline when the
+// caller supplied none.
+func (s *HTTPStore) do(ctx context.Context, method, url string, body io.Reader) (*http.Response, error) {
+	if _, ok := ctx.Deadline(); !ok {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, DefaultHTTPTimeout)
+		// The response body must stay readable after do returns; tie the
+		// timeout's release to the body via the response closer below.
+		resp, err := s.doReq(ctx, method, url, body)
+		if err != nil {
+			cancel()
+			return nil, err
+		}
+		resp.Body = &cancelBody{ReadCloser: resp.Body, cancel: cancel}
+		return resp, nil
+	}
+	return s.doReq(ctx, method, url, body)
+}
+
+func (s *HTTPStore) doReq(ctx context.Context, method, url string, body io.Reader) (*http.Response, error) {
+	req, err := http.NewRequestWithContext(ctx, method, url, body)
 	if err != nil {
-		return nil, "", fmt.Errorf("histstore: %w", err)
+		return nil, fmt.Errorf("histstore: %w", err)
+	}
+	if body != nil {
+		req.Header.Set("Content-Type", "application/json")
+	}
+	if tok, _ := s.token.Load().(string); tok != "" {
+		req.Header.Set(tokenHeader, tok)
+	}
+	resp, err := s.c.Do(req)
+	if err != nil {
+		return nil, fmt.Errorf("histstore: %w", err)
+	}
+	return resp, nil
+}
+
+// cancelBody releases the fallback timeout when the response body is
+// closed, keeping the context alive for exactly as long as the caller
+// reads.
+type cancelBody struct {
+	io.ReadCloser
+	cancel context.CancelFunc
+}
+
+func (b *cancelBody) Close() error {
+	err := b.ReadCloser.Close()
+	b.cancel()
+	return err
+}
+
+// Load pulls the daemon's merged snapshot.
+func (s *HTTPStore) Load(ctx context.Context) (*signature.History, Version, error) {
+	resp, err := s.do(ctx, http.MethodGet, s.base+"/v1/history", nil)
+	if err != nil {
+		return nil, "", err
 	}
 	defer resp.Body.Close()
 	if resp.StatusCode != http.StatusOK {
@@ -179,14 +291,14 @@ func (s *HTTPStore) Load() (*signature.History, Version, error) {
 }
 
 // Push posts h to the daemon, which joins it into the fleet history.
-func (s *HTTPStore) Push(h *signature.History) (Version, error) {
+func (s *HTTPStore) Push(ctx context.Context, h *signature.History) (Version, error) {
 	data, err := h.MarshalJSONCompact()
 	if err != nil {
 		return "", err
 	}
-	resp, err := s.c.Post(s.base+"/v1/history", "application/json", bytes.NewReader(data))
+	resp, err := s.do(ctx, http.MethodPost, s.base+"/v1/history", bytes.NewReader(data))
 	if err != nil {
-		return "", fmt.Errorf("histstore: %w", err)
+		return "", err
 	}
 	defer resp.Body.Close()
 	if resp.StatusCode != http.StatusOK {
@@ -202,10 +314,10 @@ func (s *HTTPStore) Push(h *signature.History) (Version, error) {
 }
 
 // Probe asks the daemon for its version sequence.
-func (s *HTTPStore) Probe() (Version, error) {
-	resp, err := s.c.Get(s.base + "/v1/version")
+func (s *HTTPStore) Probe(ctx context.Context) (Version, error) {
+	resp, err := s.do(ctx, http.MethodGet, s.base+"/v1/version", nil)
 	if err != nil {
-		return "", fmt.Errorf("histstore: %w", err)
+		return "", err
 	}
 	defer resp.Body.Close()
 	if resp.StatusCode != http.StatusOK {

@@ -27,7 +27,9 @@
 package histstore
 
 import (
+	"context"
 	"fmt"
+	"os"
 	"strings"
 
 	"dimmunix/internal/signature"
@@ -44,25 +46,44 @@ type Version string
 // Implementations must be safe for concurrent use by multiple goroutines
 // and — for the file-system backends — by multiple processes sharing the
 // same underlying path.
+//
+// Every I/O operation takes a context and honors its cancellation and
+// deadline: the store must never block the caller past ctx — the defense
+// mechanism may not itself become the blocking resource. A cancelled
+// operation returns an error wrapping ctx.Err() and leaves the persisted
+// state no worse than before (pushes are atomic; an abandoned push is
+// simply retried by a later sync round).
 type Store interface {
 	// Load reads the store's current merged snapshot and the version
 	// token it corresponds to. The returned history is private to the
 	// caller.
-	Load() (*signature.History, Version, error)
+	Load(ctx context.Context) (*signature.History, Version, error)
 
 	// Push publishes h's entries and tombstones into the store by the
 	// deterministic revision join; remote-only entries already in the
 	// store are preserved. It returns the store version after the push.
-	Push(h *signature.History) (Version, error)
+	Push(ctx context.Context, h *signature.History) (Version, error)
 
 	// Probe cheaply returns the current version token without reading a
 	// full snapshot.
-	Probe() (Version, error)
+	Probe(ctx context.Context) (Version, error)
 
 	// Close releases resources held by the store handle. The persisted
 	// state survives (journals and files are the immunity — they must
 	// outlive the process).
 	Close() error
+}
+
+// ctxErr returns ctx's error when it is already done, nil otherwise —
+// the cheap cancellation check the filesystem backends run between
+// blocking-free I/O steps.
+func ctxErr(ctx context.Context) error {
+	select {
+	case <-ctx.Done():
+		return fmt.Errorf("histstore: %w", ctx.Err())
+	default:
+		return nil
+	}
 }
 
 // Open resolves a store specification string to a backend:
@@ -72,13 +93,18 @@ type Store interface {
 //	anything else                   → FileStore (one shared file)
 //
 // This is the form DIMMUNIX_HISTORY_SYNC and the dimmunix-hist
-// subcommands accept.
+// subcommands accept. HTTP stores pick up the daemon's shared-secret
+// push token from DIMMUNIX_SYNC_TOKEN when set.
 func Open(spec string) (Store, error) {
 	switch {
 	case spec == "":
 		return nil, fmt.Errorf("histstore: empty store spec")
 	case strings.HasPrefix(spec, "http://") || strings.HasPrefix(spec, "https://"):
-		return NewHTTPStore(spec), nil
+		s := NewHTTPStore(spec)
+		if tok := os.Getenv("DIMMUNIX_SYNC_TOKEN"); tok != "" {
+			s.SetToken(tok)
+		}
+		return s, nil
 	case strings.HasPrefix(spec, "dir:"):
 		return NewDirStore(strings.TrimPrefix(spec, "dir:"))
 	case strings.HasSuffix(spec, "/") || isDir(spec):

@@ -1,16 +1,24 @@
 package histstore
 
 import (
+	"context"
+	"errors"
+	"io/fs"
 	"net/http/httptest"
 	"os"
 	"path/filepath"
 	"strings"
 	"sync"
 	"testing"
+	"time"
 
 	"dimmunix/internal/signature"
 	"dimmunix/internal/stack"
 )
+
+// bg is the bare context used where cancellation is not the behavior
+// under test (the ctx contract cases live in TestStoreContextCancelled).
+var bg = context.Background()
 
 func sig(seed uint64) *signature.Signature {
 	return signature.New(signature.Deadlock, []stack.Stack{
@@ -71,11 +79,11 @@ func TestStoreConvergence(t *testing.T) {
 
 			s := sig(1)
 			ha := histWith(s)
-			if _, err := a.Push(ha); err != nil {
+			if _, err := a.Push(bg, ha); err != nil {
 				t.Fatal(err)
 			}
 
-			hb, v1, err := b.Load()
+			hb, v1, err := b.Load(bg)
 			if err != nil {
 				t.Fatal(err)
 			}
@@ -84,7 +92,7 @@ func TestStoreConvergence(t *testing.T) {
 			}
 
 			// Probe stability: no change → same token.
-			pv, err := b.Probe()
+			pv, err := b.Probe(bg)
 			if err != nil {
 				t.Fatal(err)
 			}
@@ -94,17 +102,17 @@ func TestStoreConvergence(t *testing.T) {
 
 			// Disable at b, push; a sees it.
 			hb.SetDisabled(s.ID, true)
-			if _, err := b.Push(hb); err != nil {
+			if _, err := b.Push(bg, hb); err != nil {
 				t.Fatal(err)
 			}
-			pv2, err := a.Probe()
+			pv2, err := a.Probe(bg)
 			if err != nil {
 				t.Fatal(err)
 			}
 			if pv2 == pv {
 				t.Fatal("probe did not change after a content push")
 			}
-			haSeen, _, err := a.Load()
+			haSeen, _, err := a.Load(bg)
 			if err != nil {
 				t.Fatal(err)
 			}
@@ -116,14 +124,14 @@ func TestStoreConvergence(t *testing.T) {
 			// signature enabled at rev 1) re-pushes from b — the tombstone
 			// must win.
 			haSeen.Remove(s.ID)
-			if _, err := a.Push(haSeen); err != nil {
+			if _, err := a.Push(bg, haSeen); err != nil {
 				t.Fatal(err)
 			}
 			stale := histWith(sig(1))
-			if _, err := b.Push(stale); err != nil {
+			if _, err := b.Push(bg, stale); err != nil {
 				t.Fatal(err)
 			}
-			final, _, err := b.Load()
+			final, _, err := b.Load(bg)
 			if err != nil {
 				t.Fatal(err)
 			}
@@ -157,7 +165,7 @@ func TestStoreConcurrentPushes(t *testing.T) {
 					st := stores[w%2]
 					for i := 0; i < perWriter; i++ {
 						h := histWith(sig(uint64(w*1000 + i)))
-						if _, err := st.Push(h); err != nil {
+						if _, err := st.Push(bg, h); err != nil {
 							t.Errorf("writer %d: %v", w, err)
 							return
 						}
@@ -166,7 +174,7 @@ func TestStoreConcurrentPushes(t *testing.T) {
 			}
 			wg.Wait()
 
-			final, _, err := a.Load()
+			final, _, err := a.Load(bg)
 			if err != nil {
 				t.Fatal(err)
 			}
@@ -188,21 +196,21 @@ func TestFileStoreV1Compat(t *testing.T) {
 		t.Fatal(err)
 	}
 	st := NewFileStore(path)
-	h, _, err := st.Load()
+	h, _, err := st.Load(bg)
 	if err != nil {
 		t.Fatal(err)
 	}
 	if h.Get(s.ID) == nil {
 		t.Fatal("v1 file unreadable through the store")
 	}
-	if _, err := st.Push(signature.NewHistory()); err != nil {
+	if _, err := st.Push(bg, signature.NewHistory()); err != nil {
 		t.Fatal(err)
 	}
 	raw, _ := os.ReadFile(path)
 	if !strings.Contains(string(raw), `"format": 2`) {
 		t.Fatal("push did not upgrade the file to v2")
 	}
-	h2, _, err := st.Load()
+	h2, _, err := st.Load(bg)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -225,7 +233,7 @@ func TestDirStoreJournalCompaction(t *testing.T) {
 	h := signature.NewHistory()
 	for i := 0; i < 10; i++ {
 		h.Add(sig(uint64(i)))
-		if _, err := st.Push(h); err != nil {
+		if _, err := st.Push(bg, h); err != nil {
 			t.Fatal(err)
 		}
 	}
@@ -236,7 +244,7 @@ func TestDirStoreJournalCompaction(t *testing.T) {
 	if lines := strings.Count(string(data), "\n"); lines > 3 {
 		t.Fatalf("journal holds %d records, want <= 3", lines)
 	}
-	final, _, err := st.Load()
+	final, _, err := st.Load(bg)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -255,7 +263,7 @@ func TestDirStoreSkipsTornRecord(t *testing.T) {
 	}
 	defer st.Close()
 	s := sig(3)
-	if _, err := st.Push(histWith(s)); err != nil {
+	if _, err := st.Push(bg, histWith(s)); err != nil {
 		t.Fatal(err)
 	}
 	// Simulate another process dying mid-append.
@@ -263,7 +271,7 @@ func TestDirStoreSkipsTornRecord(t *testing.T) {
 	if err := os.WriteFile(torn, []byte(`{"format":2,"signa`), 0o644); err != nil {
 		t.Fatal(err)
 	}
-	h, _, err := st.Load()
+	h, _, err := st.Load(bg)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -283,7 +291,7 @@ func TestServerPersistsThroughBacking(t *testing.T) {
 	ts := httptest.NewServer(srv.Handler())
 	client := NewHTTPStore(ts.URL)
 	s := sig(11)
-	if _, err := client.Push(histWith(s)); err != nil {
+	if _, err := client.Push(bg, histWith(s)); err != nil {
 		t.Fatal(err)
 	}
 	ts.Close()
@@ -294,7 +302,7 @@ func TestServerPersistsThroughBacking(t *testing.T) {
 	}
 	ts2 := httptest.NewServer(srv2.Handler())
 	defer ts2.Close()
-	h, _, err := NewHTTPStore(ts2.URL).Load()
+	h, _, err := NewHTTPStore(ts2.URL).Load(bg)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -342,5 +350,212 @@ func typeName(v any) string {
 		return "*histstore.FileStore"
 	default:
 		return "?"
+	}
+}
+
+// TestDirStoreDepartedJournalCompaction is the PR 4 regression for
+// unbounded directory growth: journals of departed processes used to
+// accumulate until someone hand-deleted the directory. A reader now
+// folds journals idle past the expiry into the baseline file and
+// removes them — losslessly.
+func TestDirStoreDepartedJournalCompaction(t *testing.T) {
+	dir := t.TempDir()
+	departed, err := NewDirStore(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := departed.Push(bg, histWith(sig(1))); err != nil {
+		t.Fatal(err)
+	}
+	departed.Close() // the process is gone; its journal lingers
+
+	live, err := NewDirStore(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer live.Close()
+	if _, err := live.Push(bg, histWith(sig(2))); err != nil {
+		t.Fatal(err)
+	}
+
+	// Age the departed journal past the expiry and read.
+	old := time.Now().Add(-2 * DefaultJournalExpiry)
+	if err := os.Chtimes(departed.JournalPath(), old, old); err != nil {
+		t.Fatal(err)
+	}
+	h, _, err := live.Load(bg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h.Len() != 2 {
+		t.Fatalf("compacting read lost signatures: %d/2", h.Len())
+	}
+	if _, err := os.Stat(departed.JournalPath()); !errors.Is(err, fs.ErrNotExist) {
+		t.Fatalf("departed journal still present (stat err %v)", err)
+	}
+	if _, err := os.Stat(filepath.Join(dir, baselineName)); err != nil {
+		t.Fatalf("baseline not written: %v", err)
+	}
+
+	// The directory stays bounded: baseline + the live handle's journal.
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	journals := 0
+	for _, e := range entries {
+		if strings.HasSuffix(e.Name(), journalExt) {
+			journals++
+		}
+	}
+	if journals != 2 {
+		t.Fatalf("directory holds %d journals, want 2 (baseline + live)", journals)
+	}
+
+	// A fresh reader converges to the same state from the baseline.
+	fresh, err := NewDirStore(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer fresh.Close()
+	h2, _, err := fresh.Load(bg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h2.Len() != 2 || h2.Get(sig(1).ID) == nil {
+		t.Fatalf("baseline read incomplete: len=%d", h2.Len())
+	}
+}
+
+// TestDirStoreCompactedOwnerRecovers: a live handle whose journal was
+// folded away (it only looked departed) rewrites it from its
+// accumulated state on the next push — nothing is lost.
+func TestDirStoreCompactedOwnerRecovers(t *testing.T) {
+	dir := t.TempDir()
+	st, err := NewDirStore(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st.Close()
+	if _, err := st.Push(bg, histWith(sig(1))); err != nil {
+		t.Fatal(err)
+	}
+	// Simulate another reader's compaction deleting the journal out from
+	// under the open descriptor.
+	if err := os.Remove(st.JournalPath()); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := st.Push(bg, histWith(sig(2))); err != nil {
+		t.Fatal(err)
+	}
+	h, _, err := st.Load(bg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h.Len() != 2 {
+		t.Fatalf("recovered journal lost state: %d/2 (the push wrote to an unlinked inode?)", h.Len())
+	}
+}
+
+// TestServerPushToken: a daemon armed with a shared secret rejects
+// unauthenticated (or wrongly authenticated) pushes with 401 while
+// leaving reads open; a client carrying the token pushes normally.
+func TestServerPushToken(t *testing.T) {
+	srv, err := NewServer(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv.SetToken("fleet-secret")
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	anon := NewHTTPStore(ts.URL)
+	if _, err := anon.Push(bg, histWith(sig(1))); err == nil {
+		t.Fatal("unauthenticated push must be rejected")
+	} else if !strings.Contains(err.Error(), "401") {
+		t.Fatalf("want a 401 rejection, got %v", err)
+	}
+	if _, err := anon.Probe(bg); err != nil {
+		t.Fatalf("probe must stay open: %v", err)
+	}
+	if _, _, err := anon.Load(bg); err != nil {
+		t.Fatalf("pull must stay open: %v", err)
+	}
+
+	wrong := NewHTTPStore(ts.URL)
+	wrong.SetToken("not-the-secret")
+	if _, err := wrong.Push(bg, histWith(sig(1))); err == nil {
+		t.Fatal("wrong-token push must be rejected")
+	}
+
+	auth := NewHTTPStore(ts.URL)
+	auth.SetToken("fleet-secret")
+	if _, err := auth.Push(bg, histWith(sig(1))); err != nil {
+		t.Fatalf("authenticated push failed: %v", err)
+	}
+	if srv.History().Len() != 1 {
+		t.Fatalf("daemon history = %d, want 1", srv.History().Len())
+	}
+}
+
+// TestStoreContextCancelled is the ctx contract for every backend: an
+// already-cancelled context aborts Load, Push, and Probe with an error
+// wrapping context.Canceled, without touching the persisted state.
+func TestStoreContextCancelled(t *testing.T) {
+	for name, mk := range storeFactories(t) {
+		t.Run(name, func(t *testing.T) {
+			a, b := mk(t)
+			defer a.Close()
+			defer b.Close()
+			if _, err := a.Push(bg, histWith(sig(1))); err != nil {
+				t.Fatal(err)
+			}
+
+			ctx, cancel := context.WithCancel(context.Background())
+			cancel()
+			if _, _, err := a.Load(ctx); !errors.Is(err, context.Canceled) {
+				t.Errorf("Load(cancelled) = %v, want context.Canceled", err)
+			}
+			if _, err := a.Push(ctx, histWith(sig(2))); !errors.Is(err, context.Canceled) {
+				t.Errorf("Push(cancelled) = %v, want context.Canceled", err)
+			}
+			if _, err := a.Probe(ctx); !errors.Is(err, context.Canceled) {
+				t.Errorf("Probe(cancelled) = %v, want context.Canceled", err)
+			}
+
+			// The abandoned push left no trace; the live state is intact.
+			h, _, err := b.Load(bg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if h.Len() != 1 || h.Get(sig(1).ID) == nil {
+				t.Fatalf("cancelled operations disturbed the store: len=%d", h.Len())
+			}
+		})
+	}
+}
+
+// TestFileStorePushInterruptibleLock: a push queued behind another
+// process's advisory lock gives up when its context expires instead of
+// blocking indefinitely — the shutdown path's requirement.
+func TestFileStorePushInterruptibleLock(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "hist.json")
+	unlock, err := lockFile(context.Background(), path+".lock")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer unlock()
+
+	st := NewFileStore(path)
+	ctx, cancel := context.WithTimeout(context.Background(), 100*time.Millisecond)
+	defer cancel()
+	start := time.Now()
+	_, err = st.Push(ctx, histWith(sig(1)))
+	elapsed := time.Since(start)
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("Push under a held lock = %v, want DeadlineExceeded", err)
+	}
+	if elapsed > 2*time.Second {
+		t.Fatalf("Push took %v to honor a 100ms deadline", elapsed)
 	}
 }

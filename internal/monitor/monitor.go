@@ -75,6 +75,10 @@ type Config struct {
 	// SyncInterval is the pull→merge→push cadence (0 disables the loop;
 	// Store pushes then happen synchronously on archive and on SyncNow).
 	SyncInterval time.Duration
+	// SyncRoundTimeout bounds one sync round's store I/O; a round that
+	// cannot finish within it is abandoned and retried with backoff
+	// (0 selects DefaultSyncRoundTimeout, negative disables the bound).
+	SyncRoundTimeout time.Duration
 	// PortRules, when set, are applied to pulled snapshots whose build
 	// fingerprint differs from Fingerprint (§8 porting across
 	// revisions).
@@ -110,6 +114,12 @@ func (c *Config) fill() {
 	if c.SuppressTicks <= 0 {
 		c.SuppressTicks = 50
 	}
+	if c.SyncRoundTimeout == 0 {
+		c.SyncRoundTimeout = DefaultSyncRoundTimeout
+	}
+	if c.SyncRoundTimeout < 0 {
+		c.SyncRoundTimeout = 0 // unbounded
+	}
 }
 
 // Counters aggregates monitor-side statistics.
@@ -124,10 +134,11 @@ type Counters struct {
 	FalsePositives      atomic.Uint64
 	TruePositives       atomic.Uint64
 	// Sync loop statistics (history store distribution).
-	SyncPulls  atomic.Uint64 // rounds that merged remote changes in
-	SyncPushes atomic.Uint64 // rounds that published local changes
-	SyncPorted atomic.Uint64 // pulled snapshots run through sigport
-	SyncErrors atomic.Uint64 // store errors (retried next round)
+	SyncPulls    atomic.Uint64 // rounds that merged remote changes in
+	SyncPushes   atomic.Uint64 // rounds that published local changes
+	SyncPorted   atomic.Uint64 // pulled snapshots run through sigport
+	SyncErrors   atomic.Uint64 // store errors (retried next round)
+	SyncBackoffs atomic.Uint64 // loop delays stretched by failure backoff
 }
 
 // episode pairs an fpdetect episode with the instance needed to replay the
@@ -158,9 +169,11 @@ type Monitor struct {
 	Counters Counters
 
 	// sync is the store distribution state (nil without a store); syncMu
-	// serializes sync rounds between the loop, SyncNow, and
-	// persistArchive. syncRunning is read from the monitor goroutine and
-	// arbitrary KickSync callers while Start/Stop flip it — atomic.
+	// guards only the syncer's lastSeen/lastPushed bookkeeping — it is
+	// never held across store I/O, so an unresponsive store cannot block
+	// anything queued on it (rounds overlap safely: they are joins).
+	// syncRunning is read from the monitor goroutine and arbitrary
+	// KickSync callers while Start/Stop flip it — atomic.
 	sync        *syncer
 	syncMu      sync.Mutex
 	syncRunning atomic.Bool
@@ -211,8 +224,11 @@ func (m *Monitor) Start() {
 }
 
 // Stop terminates the loop after a final pass (so late events are still
-// processed) and waits for it to exit. The sync loop stops last, after a
-// final round that publishes anything the final pass archived.
+// processed) and waits for it to exit, then stops the sync loop,
+// cancelling any round still blocked in store I/O — Stop never waits out
+// a store outage. Publishing what the final pass archived is the owner's
+// job (Runtime.Stop calls PublishToStore under its bounded shutdown
+// context).
 func (m *Monitor) Stop() {
 	if !m.started {
 		return
@@ -220,6 +236,7 @@ func (m *Monitor) Stop() {
 	close(m.stopCh)
 	<-m.doneCh
 	if m.syncRunning.Load() {
+		m.sync.cancelRounds()
 		close(m.sync.stopCh)
 		<-m.sync.doneCh
 		m.syncRunning.Store(false)

@@ -1,0 +1,62 @@
+package monitor
+
+import (
+	"testing"
+	"time"
+)
+
+// TestSyncBackoffSchedule verifies the failure-backoff contract: no
+// failures keeps the configured interval; each consecutive failure
+// doubles the base delay up to the cap (never below the interval); and
+// jitter stays within ±25% of the base so a fleet neither stampedes a
+// recovering daemon nor drifts past the cap.
+func TestSyncBackoffSchedule(t *testing.T) {
+	const interval = 100 * time.Millisecond
+
+	if got := SyncBackoff(interval, 0); got != interval {
+		t.Fatalf("SyncBackoff(interval, 0) = %v, want %v", got, interval)
+	}
+	if got := SyncBackoff(interval, -1); got != interval {
+		t.Fatalf("SyncBackoff(interval, -1) = %v, want %v", got, interval)
+	}
+
+	base := func(fails int) time.Duration {
+		b := interval << uint(fails)
+		if b > DefaultSyncMaxBackoff {
+			b = DefaultSyncMaxBackoff
+		}
+		return b
+	}
+	for fails := 1; fails <= 12; fails++ {
+		want := base(fails)
+		lo := time.Duration(float64(want) * 0.75)
+		hi := time.Duration(float64(want) * 1.25)
+		if hi > DefaultSyncMaxBackoff {
+			hi = DefaultSyncMaxBackoff // the cap is post-jitter: a hard bound
+		}
+		for i := 0; i < 64; i++ {
+			got := SyncBackoff(interval, fails)
+			if got < lo || got > hi {
+				t.Fatalf("SyncBackoff(%v, %d) = %v, want within [%v, %v]",
+					interval, fails, got, lo, hi)
+			}
+		}
+	}
+
+	// Deep failure counts must neither overflow nor exceed the cap.
+	for _, fails := range []int{16, 17, 40, 1 << 20} {
+		got := SyncBackoff(interval, fails)
+		if got <= 0 || got > DefaultSyncMaxBackoff {
+			t.Fatalf("SyncBackoff(%v, %d) = %v, outside (0, cap]", interval, fails, got)
+		}
+	}
+
+	// An interval above the cap is respected: backoff never goes below
+	// the configured cadence.
+	big := 5 * time.Minute
+	for i := 0; i < 16; i++ {
+		if got := SyncBackoff(big, 3); got < time.Duration(float64(big)*0.75) {
+			t.Fatalf("SyncBackoff(%v, 3) = %v dropped below the interval", big, got)
+		}
+	}
+}

@@ -35,9 +35,13 @@ type History struct {
 	// tombs records removed signatures (format v2): each removal leaves a
 	// tombstone carrying the revision that superseded the live entry, so
 	// merging an older snapshot that still contains the signature cannot
-	// resurrect it. Bounded by maxTombs (oldest dropped first).
-	tombs    map[string]Tombstone
-	maxTombs int
+	// resurrect it. Compaction drops a tombstone only when the history
+	// holds more than maxTombs of them AND the tombstone is older than
+	// minTombAge — count alone (the pre-PR-4 rule) let a single burst of
+	// removals evict a fresh tombstone that a stale peer then overrode.
+	tombs      map[string]Tombstone
+	maxTombs   int
+	minTombAge time.Duration
 
 	// fingerprint identifies the build that produced this snapshot (set
 	// by the runtime at startup, persisted in format v2). Sync pulls use
@@ -67,6 +71,14 @@ type Tombstone struct {
 // resurrect a removal that old, which keeps the store size bounded
 // (§5.3's history-growth argument applied to removals).
 const DefaultMaxTombstones = 4096
+
+// DefaultMinTombstoneAge is how long a tombstone is retained regardless
+// of the count bound: eviction requires being over DefaultMaxTombstones
+// AND older than this. A week covers any realistic peer staleness (a
+// machine down over a long weekend still cannot resurrect a removal),
+// while still letting truly ancient tombstones drain once the count
+// bound is hit.
+const DefaultMinTombstoneAge = 7 * 24 * time.Hour
 
 // DangerIndex is an immutable over-approximation of the call stacks that
 // can participate in any enabled signature, keyed by innermost frame.
@@ -107,9 +119,10 @@ func (d *DangerIndex) Len() int { return len(d.frames) }
 // SetPath/SaveTo).
 func NewHistory() *History {
 	h := &History{
-		byID:     make(map[string]*Signature),
-		tombs:    make(map[string]Tombstone),
-		maxTombs: DefaultMaxTombstones,
+		byID:       make(map[string]*Signature),
+		tombs:      make(map[string]Tombstone),
+		maxTombs:   DefaultMaxTombstones,
+		minTombAge: DefaultMinTombstoneAge,
 	}
 	h.version.Store(1)
 	h.danger.Store(&DangerIndex{epoch: 1})
@@ -325,8 +338,37 @@ func (h *History) SetTombstoneLimit(n int) {
 	h.compactTombsLocked()
 }
 
-// compactTombsLocked drops the oldest tombstones beyond maxTombs; h.mu
-// must be held by a writer.
+// SetTombstoneMinAge sets how long a tombstone is retained regardless of
+// the count bound (0 restores the default; negative disables the age
+// floor, reverting to the purely count-based compaction that let a
+// removal burst evict fresh tombstones). Applies immediately.
+func (h *History) SetTombstoneMinAge(d time.Duration) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if d == 0 {
+		d = DefaultMinTombstoneAge
+	}
+	if d < 0 {
+		d = -1
+	}
+	h.minTombAge = d
+	h.compactTombsLocked()
+}
+
+// tombHardCapFactor bounds how far the age floor may stretch the
+// tombstone set past maxTombs: beyond factor×maxTombs even young
+// tombstones are dropped (oldest first), so a removal storm — which
+// propagates to every fleet member — cannot grow snapshots without
+// limit (§5.3's growth argument must survive adversarial bursts too).
+const tombHardCapFactor = 4
+
+// compactTombsLocked drops the oldest tombstones beyond maxTombs,
+// keeping any younger than minTombAge: eviction requires exceeding the
+// count bound AND the age floor, so the set may transiently exceed
+// maxTombs after a removal burst rather than shed tombstones a merely
+// days-stale peer would override (resurrecting the removed signature).
+// The overshoot is itself hard-capped at tombHardCapFactor×maxTombs.
+// h.mu must be held by a writer.
 func (h *History) compactTombsLocked() {
 	if h.maxTombs <= 0 {
 		h.maxTombs = DefaultMaxTombstones
@@ -348,7 +390,18 @@ func (h *History) compactTombsLocked() {
 		}
 		return all[i].ID < all[j].ID
 	})
+	ageFloor := h.minTombAge > 0
+	var cutoff int64
+	if ageFloor {
+		cutoff = time.Now().Add(-h.minTombAge).Unix()
+	}
+	hardCap := tombHardCapFactor * h.maxTombs
+	kept := h.maxTombs // all[:maxTombs] always survive
 	for _, t := range all[h.maxTombs:] {
+		if ageFloor && t.DeletedUnix >= cutoff && kept < hardCap {
+			kept++
+			continue // young enough that a stale peer could still re-push it
+		}
 		delete(h.tombs, t.ID)
 	}
 }
@@ -367,6 +420,7 @@ func (h *History) CloneForStore() *History {
 	out.path = h.path
 	out.fingerprint = h.fingerprint
 	out.maxTombs = h.maxTombs
+	out.minTombAge = h.minTombAge
 	for _, s := range h.sigs {
 		cp := *s
 		cp.Stacks = make([]stack.Stack, len(s.Stacks))

@@ -8,6 +8,7 @@ import (
 	"os"
 	"path/filepath"
 	"testing"
+	"time"
 
 	"dimmunix/internal/stack"
 )
@@ -291,10 +292,13 @@ func TestUnmarshalRejectsNewerFormat(t *testing.T) {
 }
 
 // TestTombstoneCompactionBound: the tombstone set stays within its
-// limit, dropping the oldest removals first.
+// limit, dropping the oldest removals first. The age floor is disabled
+// here to test the count bound in isolation — retention of over-bound
+// young tombstones is TestStaleResurrectionPastTombstoneBound's subject.
 func TestTombstoneCompactionBound(t *testing.T) {
 	h := NewHistory()
 	h.SetTombstoneLimit(4)
+	h.SetTombstoneMinAge(-1)
 	var ids []string
 	for i := 0; i < 10; i++ {
 		s := New(Deadlock, []Stack{syn(uint64(100 + i)), syn(uint64(200 + i))}, 4)
@@ -337,5 +341,100 @@ func TestTombstoneCompactionBound(t *testing.T) {
 	}
 	if got := len(h2.Tombstones()); got != 4 {
 		t.Fatalf("persisted tombstones = %d, want 4", got)
+	}
+}
+
+// removalBurst archives and immediately removes n unrelated signatures,
+// bumping each entry's revision first so the burst's tombstones outrank
+// rev-2 tombstones in the compaction order even within one wall-clock
+// second (DeletedUnix ties break by revision).
+func removalBurst(h *History, n int) {
+	for i := 0; i < n; i++ {
+		s := New(Deadlock, []Stack{syn(uint64(1000 + i)), syn(uint64(2000 + i))}, 4)
+		h.Add(s)
+		h.SetDisabled(s.ID, true)
+		h.SetDisabled(s.ID, false) // rev 3: the removal tombstone lands at rev 4
+		h.Remove(s.ID)
+	}
+}
+
+// TestStaleResurrectionPastTombstoneBound is the PR 4 regression for
+// purely count-based tombstone compaction: a burst of removals evicted
+// the oldest tombstone even when it was seconds old, so a very stale
+// peer still carrying the removed signature resurrected it on merge.
+// The age floor (eviction requires over-bound AND older than the min
+// age) closes the window.
+func TestStaleResurrectionPastTombstoneBound(t *testing.T) {
+	setup := func() (local, stale *History, victimID string) {
+		local = NewHistory()
+		local.SetTombstoneLimit(2)
+		victim := New(Deadlock, []Stack{syn(1), syn(2)}, 4)
+		local.Add(victim)
+		// The stale peer snapshotted while the victim was still live.
+		stale = NewHistory()
+		stale.Merge(local)
+		local.Remove(victim.ID) // tombstone at rev 2 — the oldest candidate
+		return local, stale, victim.ID
+	}
+
+	// Legacy behavior (age floor disabled) reproduces the bug: the burst
+	// evicts the victim's fresh tombstone and the stale merge resurrects
+	// the long-removed signature.
+	local, stale, victimID := setup()
+	local.SetTombstoneMinAge(-1)
+	removalBurst(local, 4)
+	local.Merge(stale)
+	if local.Get(victimID) == nil {
+		t.Fatal("count-only compaction no longer reproduces the resurrection; update this regression")
+	}
+
+	// With the age floor (the default), the fresh tombstone survives the
+	// burst — transiently exceeding the count bound — and the stale peer
+	// cannot resurrect the removal.
+	local, stale, victimID = setup()
+	removalBurst(local, 4)
+	if got := len(local.Tombstones()); got <= 2 {
+		t.Fatalf("expected a transient over-bound tombstone set, got %d", got)
+	}
+	if n := local.Merge(stale); n != 0 {
+		t.Errorf("stale merge changed %d entries, want 0", n)
+	}
+	if local.Get(victimID) != nil {
+		t.Fatal("stale peer resurrected a removal past the tombstone bound")
+	}
+}
+
+// TestTombstoneAgedCompaction: tombstones older than the min age do
+// drain once the count bound is exceeded — the age floor defers
+// compaction, it does not defeat it.
+func TestTombstoneAgedCompaction(t *testing.T) {
+	h := NewHistory()
+	h.SetTombstoneLimit(2)
+	old := time.Now().Add(-30 * 24 * time.Hour).Unix()
+	for i := 0; i < 6; i++ {
+		h.RestoreTombstone(Tombstone{
+			ID:          New(Deadlock, []Stack{syn(uint64(50 + i)), syn(uint64(60 + i))}, 4).ID,
+			Rev:         uint64(i + 2),
+			DeletedUnix: old,
+		})
+	}
+	if got := len(h.Tombstones()); got != 2 {
+		t.Fatalf("aged tombstones = %d, want compaction down to the limit 2", got)
+	}
+}
+
+// TestTombstoneHardCap: the age floor may stretch the tombstone set past
+// the count limit, but never past tombHardCapFactor times it — a removal
+// storm cannot grow snapshots without bound.
+func TestTombstoneHardCap(t *testing.T) {
+	h := NewHistory()
+	h.SetTombstoneLimit(2)
+	for i := 0; i < 12; i++ {
+		s := New(Deadlock, []Stack{syn(uint64(300 + i)), syn(uint64(400 + i))}, 4)
+		h.Add(s)
+		h.Remove(s.ID)
+	}
+	if got, cap := len(h.Tombstones()), 2*tombHardCapFactor; got != cap {
+		t.Fatalf("young tombstones = %d, want hard cap %d", got, cap)
 	}
 }

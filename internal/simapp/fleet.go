@@ -88,11 +88,20 @@ func RunFleetTrial(storeA, storeB histstore.Store, bug Bug, hold, wait time.Dura
 	res.BConverged = true
 	res.BEpochBumped = rtB.History().Danger().Epoch() > epoch0
 
-	// Phase 3: B runs the same exploit and must not deadlock.
+	// Phase 3: B runs the same exploit and must not deadlock. Like
+	// phase 1, allow a few attempts for scheduling jitter: under heavy
+	// load the two workers' timing windows may not overlap, exercising
+	// no avoidance at all (clean run, zero yields) — retry until the
+	// exploit actually engages the shared signature.
 	instB := bug.New(rtB)
-	res.BErrs = instB.Exploit(hold)
-	res.BClean = Clean(res.BErrs)
-	res.BYields = rtB.Stats().Yields
+	for attempt := 0; attempt < 5; attempt++ {
+		res.BErrs = instB.Exploit(hold)
+		res.BClean = Clean(res.BErrs)
+		res.BYields = rtB.Stats().Yields
+		if Deadlocked(res.BErrs) || !res.BClean || res.BYields > 0 {
+			break
+		}
+	}
 	if Deadlocked(res.BErrs) {
 		return res, fmt.Errorf("fleet: instance B deadlocked despite the shared history")
 	}

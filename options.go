@@ -60,9 +60,29 @@ func WithHistorySync(spec string) Option {
 
 // WithSyncInterval sets the store sync cadence (default 2 s when a
 // shared store is configured; negative disables the loop, leaving
-// archive-time pushes and manual Runtime.SyncNow pulls).
+// archive-time pushes and manual Runtime.SyncNow pulls). After
+// consecutive failed rounds the loop backs off exponentially (with
+// jitter, capped at one minute) instead of hammering a dead daemon
+// every interval.
 func WithSyncInterval(d time.Duration) Option {
 	return func(c *Config) { c.SyncInterval = d }
+}
+
+// WithShutdownTimeout bounds the final history publish Shutdown /
+// Runtime.Stop performs through the shared store: if the store is
+// unreachable, Stop abandons the publish after d instead of stalling
+// process exit (earlier pushes and the store's local state keep the
+// immunity). Default one second; negative removes the bound. The env
+// form is DIMMUNIX_SHUTDOWN_TIMEOUT.
+func WithShutdownTimeout(d time.Duration) Option {
+	return func(c *Config) { c.ShutdownTimeout = d }
+}
+
+// WithSyncRoundTimeout bounds one sync round's store I/O (probe + pull
+// + push); an overrunning round against a hung store is abandoned and
+// retried with backoff. Default 10 s; negative removes the bound.
+func WithSyncRoundTimeout(d time.Duration) Option {
+	return func(c *Config) { c.SyncRoundTimeout = d }
 }
 
 // WithTau sets the monitor wakeup period (§3; default 100 ms).
