@@ -22,7 +22,10 @@ package main
 
 import (
 	"context"
+	"encoding/json"
 	"fmt"
+	"net"
+	"net/http"
 	"os"
 	"time"
 
@@ -37,6 +40,8 @@ var (
 	wait      = flag.Duration("wait", 15*time.Second, "role b: how long to wait for convergence")
 	hold      = flag.Duration("hold", 150*time.Millisecond, "timing window between the nested acquisitions")
 	budget    = flag.Duration("budget", time.Second, "role c: configured shutdown timeout (Stop must return within 2x)")
+	statsOut  = flag.String("stats-out", "", "write the final runtime stats snapshot as JSON to this file (CI artifact)")
+	debugAddr = flag.String("debug", "", "serve dimmunix.DebugHandler on this address for the run (e.g. 127.0.0.1:7700)")
 )
 
 func main() {
@@ -66,6 +71,23 @@ func main() {
 		fatal(err)
 	}
 	defer rt.Stop()
+
+	if *debugAddr != "" {
+		// The worker's own observability endpoint: the same DebugHandler
+		// a production service would mount on its operations port.
+		ln, err := net.Listen("tcp", *debugAddr)
+		if err != nil {
+			fatal(err)
+		}
+		defer ln.Close()
+		mux := http.NewServeMux()
+		mux.Handle("/statusz", dimmunix.DebugHandler(rt))
+		go http.Serve(ln, mux)
+		fmt.Printf("role %s: /statusz on %s\n", *role, ln.Addr())
+	}
+	if *statsOut != "" {
+		defer writeStats(rt, *statsOut)
+	}
 
 	switch *role {
 	case "a":
@@ -97,8 +119,16 @@ func main() {
 				fatal(fmt.Errorf("role b: worker failed: %v", e))
 			}
 		}
-		fmt.Printf("role b: clean run, %d yields — immunity acquired without deadlocking\n",
-			rt.Stats().Yields)
+		// The signature usually arrives via the startup store load (role
+		// b starts after role a pushed); the sync loop must still be
+		// demonstrably healthy — rounds advancing without errors is the
+		// liveness signal /statusz exposes to operators.
+		stats := rt.Stats()
+		if stats.SyncRounds == 0 {
+			fatal(fmt.Errorf("role b: no sync rounds ran despite convergence"))
+		}
+		fmt.Printf("role b: clean run, %d yields over %d sync rounds (%d pulls, %d pushes) — immunity acquired without deadlocking\n",
+			stats.Yields, stats.SyncRounds, stats.SyncPulls, stats.SyncPushes)
 	case "c":
 		// The store is expected to be dead (the CI step killed the
 		// daemon). Local immunity must be unimpaired: the deadlock is
@@ -166,6 +196,21 @@ func deadlocked(errs []error) bool {
 		}
 	}
 	return false
+}
+
+// writeStats dumps the runtime's counter snapshot as JSON — the CI
+// fleet e2e uploads it as an artifact.
+func writeStats(rt *dimmunix.Runtime, path string) {
+	data, err := json.MarshalIndent(map[string]any{
+		"role":  *role,
+		"stats": rt.Stats(),
+	}, "", "  ")
+	if err == nil {
+		err = os.WriteFile(path, data, 0o644)
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "dimmunix-fleet: stats-out:", err)
+	}
 }
 
 func fatal(err error) {

@@ -20,9 +20,12 @@
 //	dimmunix-hist -f hist.json push <store>      # publish -f into a store
 //	dimmunix-hist -f hist.json pull <store>      # fold a store into -f
 //	dimmunix-hist -f hist.json diff <store>      # compare -f with a store
+//	dimmunix-hist stats <url>                    # pretty-print a daemon's /statusz
 //
 // A <store> is a file path, a directory of per-process journals (or
-// dir:PATH), or the http:// URL of a serve daemon.
+// dir:PATH), or the http:// URL of a serve daemon. The serve daemon
+// exposes GET /statusz (version, per-signature summary, served-request
+// counters); `stats` fetches and pretty-prints it.
 //
 // -token (or DIMMUNIX_SYNC_TOKEN) arms a shared-secret push token: serve
 // rejects pushes without it (401), push sends it. The daemon shuts down
@@ -32,11 +35,14 @@ package main
 
 import (
 	"context"
+	"encoding/json"
 	"flag"
 	"fmt"
 	"net/http"
 	"os"
 	"os/signal"
+	"sort"
+	"strings"
 	"syscall"
 	"time"
 
@@ -55,7 +61,7 @@ func main() {
 	flag.Parse()
 	args := flag.Args()
 	if len(args) == 0 {
-		fmt.Fprintln(os.Stderr, "missing command: list | show | disable | enable | remove | merge | port | serve | push | pull | diff")
+		fmt.Fprintln(os.Stderr, "missing command: list | show | disable | enable | remove | merge | port | serve | push | pull | diff | stats")
 		os.Exit(2)
 	}
 
@@ -181,6 +187,10 @@ func main() {
 			fatal(err)
 		}
 		diff(h, remote, *file, arg(args, 1))
+	case "stats":
+		if err := printDaemonStats(ctx, arg(args, 1)); err != nil {
+			fatal(err)
+		}
 	default:
 		fatal(fmt.Errorf("unknown command %q", args[0]))
 	}
@@ -288,6 +298,69 @@ func diff(local, remote *signature.History, lname, rname string) {
 	if same {
 		fmt.Println("  histories are identical")
 	}
+}
+
+// printDaemonStats fetches <url>/statusz and pretty-prints the daemon's
+// state: version, uptime, counters, and the per-signature summary.
+func printDaemonStats(ctx context.Context, url string) error {
+	base := strings.TrimSuffix(url, "/")
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, base+"/statusz", nil)
+	if err != nil {
+		return err
+	}
+	c := &http.Client{Timeout: 10 * time.Second}
+	resp, err := c.Do(req)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("statusz: %s", resp.Status)
+	}
+	var st struct {
+		Version       string `json:"version"`
+		UptimeSeconds int64  `json:"uptime_seconds"`
+		Fingerprint   string `json:"fingerprint"`
+		Tombstones    int    `json:"tombstones"`
+		Signatures    []struct {
+			ID         string `json:"id"`
+			Kind       string `json:"kind"`
+			Depth      int    `json:"depth"`
+			Stacks     int    `json:"stacks"`
+			Rev        uint64 `json:"rev"`
+			Disabled   bool   `json:"disabled"`
+			AvoidCount uint64 `json:"avoid_count"`
+			AbortCount uint64 `json:"abort_count"`
+		} `json:"signatures"`
+		Counters map[string]uint64 `json:"counters"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+		return fmt.Errorf("statusz: %w", err)
+	}
+	fmt.Printf("daemon %s\n", base)
+	fmt.Printf("  version     %s\n", st.Version)
+	fmt.Printf("  uptime      %s\n", (time.Duration(st.UptimeSeconds) * time.Second).String())
+	if st.Fingerprint != "" {
+		fmt.Printf("  fingerprint %s\n", st.Fingerprint)
+	}
+	fmt.Printf("  signatures  %d (+%d tombstones)\n", len(st.Signatures), st.Tombstones)
+	keys := make([]string, 0, len(st.Counters))
+	for k := range st.Counters {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		fmt.Printf("  %-16s %d\n", k, st.Counters[k])
+	}
+	for _, s := range st.Signatures {
+		state := ""
+		if s.Disabled {
+			state = " [disabled]"
+		}
+		fmt.Printf("    %s  %-10s depth=%d stacks=%d rev=%d avoided=%d aborts=%d%s\n",
+			s.ID, s.Kind, s.Depth, s.Stacks, s.Rev, s.AvoidCount, s.AbortCount, state)
+	}
+	return nil
 }
 
 func arg(args []string, i int) string {

@@ -147,6 +147,8 @@ func Shutdown() error {
 //	DIMMUNIX_THREAD_TTL        Go duration (idle implicit-thread pruning;
 //	                           negative disables)
 //	DIMMUNIX_FASTPATH          on | off (safe-stack lock-free bypass)
+//	DIMMUNIX_EVENT_BUFFER      int (observability ring / subscriber
+//	                           channel capacity; default 256)
 func configFromEnv() (Config, error) {
 	var cfg Config
 	cfg.HistoryPath = os.Getenv("DIMMUNIX_HISTORY")
@@ -183,6 +185,9 @@ func configFromEnv() (Config, error) {
 		return cfg, err
 	}
 	if err := envDuration("DIMMUNIX_THREAD_TTL", &cfg.ThreadTTL); err != nil {
+		return cfg, err
+	}
+	if err := envInt("DIMMUNIX_EVENT_BUFFER", &cfg.EventBuffer); err != nil {
 		return cfg, err
 	}
 	if v := os.Getenv("DIMMUNIX_FASTPATH"); v != "" {

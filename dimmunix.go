@@ -59,7 +59,6 @@
 package dimmunix
 
 import (
-	"dimmunix/internal/avoidance"
 	"dimmunix/internal/core"
 	"dimmunix/internal/histstore"
 	"dimmunix/internal/monitor"
@@ -106,10 +105,16 @@ type (
 	// unreachable backend degrades to counted, retried errors bounded
 	// by the caller's deadline, never a hang. See OpenHistoryStore.
 	HistoryStore = histstore.Store
-	// Stats is a snapshot of the avoidance counters.
-	Stats = avoidance.Snapshot
-	// Cond is a condition variable bound to a CoreMutex.
-	Cond = core.Cond
+	// Stats is a point-in-time snapshot of every runtime counter:
+	// lock-path activity split by tier (fast vs guarded), yields total
+	// and per signature, monitor detection counts, recoveries, store
+	// sync rounds/failures/backoffs, thread prunes, the history epoch,
+	// and dropped observability events. See Runtime.Stats, DebugHandler,
+	// and ExpvarPublish.
+	Stats = core.StatsSnapshot
+	// CoreCond is the explicit-runtime condition variable bound to a
+	// CoreMutex (Runtime.NewCond), underneath the drop-in Cond.
+	CoreCond = core.Cond
 )
 
 // Mutex kinds.

@@ -1,13 +1,18 @@
 // Message broker: the ActiveMQ-style dispatch/subscribe inversion from
-// Table 1 (bugs 336/575) under sustained load.
+// Table 1 (bugs 336/575) under sustained load, driven by a condition
+// variable — and observed through the typed event API.
 //
-// A dispatcher loop locks the session monitor then each consumer; clients
-// (un)subscribe by locking the consumer then the session. Both locks are
-// zero-value dimmunix.Mutex fields — drop-in, no Runtime plumbing. The
-// first collision deadlocks and is archived; after that the dispatcher
-// keeps meeting — and avoiding — the pattern on every conflicting
+// Producers enqueue messages under the session lock and signal a
+// dimmunix.Cond; the dispatcher waits on the cond (its release and
+// re-acquisition of the session lock flow through the §5.4 avoidance
+// protocol, the paper's §6 condvar instrumentation), then delivers by
+// locking each consumer while still holding the session. Clients
+// (un)subscribe by locking the consumer then the session. The first
+// collision deadlocks and is archived; after that the dispatcher keeps
+// meeting — and avoiding — the pattern on every conflicting
 // interleaving, exactly the "many yields per trial" behaviour the paper
-// reports for ActiveMQ.
+// reports for ActiveMQ. A WithObserver callback narrates the runtime's
+// decisions live, and the final stats split the traffic by tier.
 //
 //	go run ./examples/messagebroker
 package main
@@ -24,10 +29,26 @@ import (
 )
 
 type broker struct {
-	session   dimmunix.Mutex
-	consumer  dimmunix.Mutex
+	session  dimmunix.Mutex
+	consumer dimmunix.Mutex
+
+	// queue is guarded by session; notEmpty signals arrivals.
+	queue    []int
+	notEmpty *dimmunix.Cond
+
 	delivered atomic.Uint64
 	resubs    atomic.Uint64
+}
+
+//go:noinline
+func (b *broker) publish(msg int) error {
+	if err := b.session.LockCtx(context.Background()); err != nil {
+		return err
+	}
+	b.queue = append(b.queue, msg)
+	b.notEmpty.Signal()
+	b.session.Unlock()
+	return nil
 }
 
 //go:noinline
@@ -35,11 +56,21 @@ func (b *broker) dispatch() error {
 	if err := b.session.LockCtx(context.Background()); err != nil {
 		return err
 	}
+	for len(b.queue) == 0 {
+		// The cond wait releases the session lock and re-acquires it
+		// through the full avoidance protocol; recovery surfaces here
+		// as an error (mutex not held), like LockCtx.
+		if err := b.notEmpty.WaitCtx(context.Background()); err != nil {
+			return err
+		}
+	}
 	time.Sleep(500 * time.Microsecond) // select messages for delivery
 	if err := b.consumer.LockCtx(context.Background()); err != nil {
+		// The message stays queued: a recovered dispatch retries it.
 		b.session.Unlock()
 		return err
 	}
+	b.queue = b.queue[1:]
 	b.delivered.Add(1)
 	b.consumer.Unlock()
 	b.session.Unlock()
@@ -63,12 +94,26 @@ func (b *broker) resubscribe() error {
 }
 
 func main() {
+	var narrated atomic.Uint64
 	if err := dimmunix.Init(
 		dimmunix.WithTau(5*time.Millisecond),
 		dimmunix.WithMatchDepth(2),
 		dimmunix.WithAbortRecovery(),
-		dimmunix.WithRecovery(func(dimmunix.DeadlockInfo) {
-			fmt.Println("broker deadlocked (dispatch vs resubscribe); recovering + immunizing")
+		dimmunix.WithObserver(func(ev dimmunix.Event) {
+			// Narrate the interesting moments (bounded: yields arrive in
+			// the thousands under load, so only the first few print).
+			switch e := ev.(type) {
+			case dimmunix.DeadlockDetected:
+				fmt.Printf("[event] deadlock detected: sig=%s new=%v threads=%v\n", e.SigID, e.New, e.ThreadIDs)
+			case dimmunix.SignatureArchived:
+				fmt.Printf("[event] signature archived: %s (%s, %d stacks)\n", e.SigID, e.Kind, e.Stacks)
+			case dimmunix.RecoveryAborted:
+				fmt.Printf("[event] recovery unwound threads %v\n", e.ThreadIDs)
+			case dimmunix.AvoidanceYield:
+				if narrated.Add(1) <= 3 {
+					fmt.Printf("[event] yield: thread %d steered away from sig %s\n", e.TID, e.SigID)
+				}
+			}
 		}),
 	); err != nil {
 		panic(err)
@@ -76,11 +121,29 @@ func main() {
 	defer dimmunix.Shutdown()
 
 	b := &broker{}
+	b.notEmpty = dimmunix.NewCond(&b.session)
+
 	const rounds = 400
 	var wg sync.WaitGroup
-	wg.Add(2)
+	wg.Add(3)
 	start := time.Now()
-	go func() {
+	go func() { // producer feeds the dispatcher's cond-guarded queue
+		defer wg.Done()
+		for i := 0; i < rounds; i++ {
+			for {
+				err := b.publish(i)
+				if err == nil {
+					break
+				}
+				if errors.Is(err, dimmunix.ErrDeadlockRecovered) {
+					continue
+				}
+				fmt.Println("producer:", err)
+				return
+			}
+		}
+	}()
+	go func() { // dispatcher: cond wait, then session→consumer delivery
 		defer wg.Done()
 		for i := 0; i < rounds; i++ {
 			for {
@@ -96,7 +159,7 @@ func main() {
 			}
 		}
 	}()
-	go func() {
+	go func() { // client: consumer→session inversion
 		defer wg.Done()
 		for i := 0; i < rounds; i++ {
 			for {
@@ -118,6 +181,8 @@ func main() {
 	stats := rt.Stats()
 	fmt.Printf("delivered %d messages, %d resubscriptions in %s\n",
 		b.delivered.Load(), b.resubs.Load(), time.Since(start).Round(time.Millisecond))
-	fmt.Printf("patterns learned: %d, yields (avoided collisions): %d\n",
-		rt.History().Len(), stats.Yields)
+	fmt.Printf("patterns learned: %d, yields (avoided collisions): %d, recoveries: %d\n",
+		stats.HistorySignatures, stats.Yields, stats.Recoveries)
+	fmt.Printf("acquisitions: %d fast-tier + %d guarded = %d total; events dropped: %d\n",
+		stats.FastAcquired, stats.GuardedAcquired, stats.Acquired, stats.EventsDropped)
 }

@@ -31,6 +31,7 @@ import (
 	"sync/atomic"
 
 	"dimmunix/internal/event"
+	"dimmunix/internal/obs"
 	"dimmunix/internal/peterson"
 	"dimmunix/internal/signature"
 	"dimmunix/internal/stack"
@@ -180,6 +181,11 @@ type Config struct {
 	DiscardObsolete bool
 	// MaxThreads sizes the preallocated thread slot table.
 	MaxThreads int
+	// Bus, when non-nil, receives AvoidanceYield observability events.
+	// Publishes are gated on Bus.Active, so an unobserved runtime pays a
+	// single atomic load on the (already cold) yield path and nothing
+	// anywhere else.
+	Bus *obs.Bus
 }
 
 // Cache is the avoidance-side state of one Dimmunix runtime.
@@ -465,6 +471,7 @@ func (c *Cache) FastAcquired(t *ThreadState, l *LockState, in *stack.Interned, s
 
 func (c *Cache) fastAcquired(t *ThreadState, l *LockState, in *stack.Interned, shared bool) {
 	c.stats.Acquired.Add(1)
+	c.stats.FastAcquired.Add(1)
 	if shared {
 		c.stats.SharedAcquired.Add(1)
 	}
@@ -548,12 +555,17 @@ func (c *Cache) Request(t *ThreadState, l *LockState, in *stack.Interned) Decisi
 		}
 		c.unlockScope(full, l.shard, ts, t.Slot)
 		c.lastAvoided.Store(dec.Sig)
-		c.stats.Yields.Add(1)
+		c.stats.noteYield(dec.Sig.ID)
 		c.emit(event.Event{
 			Kind: event.Yield, TID: t.ID, LID: l.ID, Stack: in,
 			Causes: causes, SigID: dec.Sig.ID,
 			YielderIdx: dec.YielderIdx, Depth: dec.Depth,
 		})
+		if c.cfg.Bus.Active() {
+			c.cfg.Bus.Publish(obs.AvoidanceYield{
+				SigID: dec.Sig.ID, TID: t.ID, LID: l.ID, Depth: dec.Depth,
+			})
+		}
 		return dec
 	}
 
@@ -593,6 +605,7 @@ func (c *Cache) unlockScope(full bool, lshard, tshard, slot int) {
 // Acquired converts t's outstanding allow edge on l into a hold edge.
 func (c *Cache) Acquired(t *ThreadState, l *LockState) {
 	c.stats.Acquired.Add(1)
+	c.stats.GuardedAcquired.Add(1)
 	t.liveHolds.Add(1)
 	if c.cfg.Mode == ModeInstrument {
 		c.emit(event.Event{Kind: event.Acquired, TID: t.ID, LID: l.ID})
@@ -620,6 +633,7 @@ func (c *Cache) Acquired(t *ThreadState, l *LockState) {
 // hold l shared simultaneously. Used by the RWMutex reader path.
 func (c *Cache) AcquiredShared(t *ThreadState, l *LockState) {
 	c.stats.Acquired.Add(1)
+	c.stats.GuardedAcquired.Add(1)
 	c.stats.SharedAcquired.Add(1)
 	t.liveHolds.Add(1)
 	if c.cfg.Mode == ModeInstrument {

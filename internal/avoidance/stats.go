@@ -1,6 +1,9 @@
 package avoidance
 
-import "sync/atomic"
+import (
+	"sync"
+	"sync/atomic"
+)
 
 // Stats counts avoidance-side activity. All fields are updated atomically
 // and may be read at any time.
@@ -20,6 +23,41 @@ type Stats struct {
 	SharedAcquired atomic.Uint64 // shared (reader) acquisitions, also counted in Acquired
 
 	FastGos atomic.Uint64 // GO decisions served by the lock-free fast tier
+
+	// FastAcquired / GuardedAcquired partition Acquired by tier: every
+	// non-reentrant acquisition is counted in exactly one of them, so
+	// FastAcquired + GuardedAcquired == Acquired holds at any quiescent
+	// point — the differential invariant the observability tests assert.
+	FastAcquired    atomic.Uint64
+	GuardedAcquired atomic.Uint64
+
+	// sigYields counts YIELD decisions per signature ID, lock-free
+	// (sync.Map of *atomic.Uint64); the yield path is already off the
+	// fast tier, so the map touch costs nothing where it matters.
+	sigYields sync.Map
+}
+
+// noteYield counts one YIELD decision against its signature.
+func (s *Stats) noteYield(sigID string) {
+	s.Yields.Add(1)
+	if c, ok := s.sigYields.Load(sigID); ok {
+		c.(*atomic.Uint64).Add(1)
+		return
+	}
+	c, _ := s.sigYields.LoadOrStore(sigID, new(atomic.Uint64))
+	c.(*atomic.Uint64).Add(1)
+}
+
+// YieldsBySignature returns a fresh map of per-signature yield counts.
+func (s *Stats) YieldsBySignature() map[string]uint64 {
+	out := make(map[string]uint64)
+	s.sigYields.Range(func(k, v any) bool {
+		if n := v.(*atomic.Uint64).Load(); n > 0 {
+			out[k.(string)] = n
+		}
+		return true
+	})
+	return out
 }
 
 // Snapshot is a plain-value copy of Stats.
@@ -27,7 +65,7 @@ type Snapshot struct {
 	Requests, Gos, Yields, Acquired, Releases, Cancels uint64
 	ForcedGos, Aborts, Ignored, ProbeFPs, Reentries    uint64
 	SharedAcquired                                     uint64
-	FastGos                                            uint64
+	FastGos, FastAcquired, GuardedAcquired             uint64
 }
 
 // Snapshot returns a consistent-enough point-in-time copy.
@@ -47,6 +85,8 @@ func (s *Stats) Snapshot() Snapshot {
 
 		SharedAcquired: s.SharedAcquired.Load(),
 
-		FastGos: s.FastGos.Load(),
+		FastGos:         s.FastGos.Load(),
+		FastAcquired:    s.FastAcquired.Load(),
+		GuardedAcquired: s.GuardedAcquired.Load(),
 	}
 }

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"errors"
 	"sync"
 	"time"
@@ -30,11 +31,15 @@ func (rt *Runtime) NewCond(l *Mutex) *Cond {
 	return &Cond{L: l}
 }
 
+// NewCond creates a condition variable bound to l (equivalent to
+// Runtime.NewCond: the runtime is implied by the mutex).
+func NewCond(l *Mutex) *Cond { return &Cond{L: l} }
+
 // WaitT atomically releases the mutex, waits for Signal/Broadcast (or an
 // abort from deadlock recovery), and re-acquires the mutex through the
 // full avoidance protocol before returning.
 func (c *Cond) WaitT(t *Thread) error {
-	return c.waitT(t, 0)
+	return c.waitT(t, 0, nil)
 }
 
 // WaitTimeoutT is WaitT with a bound on the wait for the signal. The
@@ -42,10 +47,34 @@ func (c *Cond) WaitT(t *Thread) error {
 // the signal did not arrive (the mutex is still re-acquired and held when
 // WaitTimeoutT returns ErrTimeout, matching pthread_cond_timedwait).
 func (c *Cond) WaitTimeoutT(t *Thread, d time.Duration) error {
-	return c.waitT(t, d)
+	return c.waitT(t, d, nil)
 }
 
-func (c *Cond) waitT(t *Thread, timeout time.Duration) error {
+// WaitCtxT is WaitT bounded by ctx during the wait for the signal: when
+// ctx fires first, the mutex is still re-acquired (so the caller's
+// unlock discipline holds, like the timeout path) and ctx.Err() is
+// returned. The re-acquisition itself runs the full avoidance protocol
+// and is interrupted only by deadlock recovery, whose error is returned
+// with the mutex NOT held.
+func (c *Cond) WaitCtxT(t *Thread, ctx context.Context) error {
+	if err := ctx.Err(); err != nil {
+		return err
+	}
+	err := c.waitT(t, 0, ctx.Done())
+	if errors.Is(err, errCtxDone) {
+		return ctx.Err()
+	}
+	return err
+}
+
+// WaitCtx is WaitCtxT for the calling goroutine.
+func (c *Cond) WaitCtx(ctx context.Context) error {
+	t := c.L.rt.currentPinned()
+	defer t.unpin()
+	return c.WaitCtxT(t, ctx)
+}
+
+func (c *Cond) waitT(t *Thread, timeout time.Duration, done <-chan struct{}) error {
 	t.pin() // the pruner must not retire t between the release and re-acquire
 	defer t.unpin()
 	if c.L.owner.Load() != t {
@@ -61,7 +90,7 @@ func (c *Cond) waitT(t *Thread, timeout time.Duration) error {
 		return err
 	}
 
-	var timedOut bool
+	var timedOut, ctxDone bool
 	var deadline <-chan time.Time
 	if timeout > 0 {
 		timer := time.NewTimer(timeout)
@@ -72,10 +101,13 @@ func (c *Cond) waitT(t *Thread, timeout time.Duration) error {
 	case <-ch:
 	case <-deadline:
 		timedOut = true
-		c.removeWaiter(ch)
+		c.abandonWait(ch)
+	case <-done:
+		ctxDone = true
+		c.abandonWait(ch)
 	case <-t.abortChan():
 		t.consumeAbort()
-		c.removeWaiter(ch)
+		c.abandonWait(ch)
 		// Re-acquire so the caller's unlock discipline stays intact,
 		// then surface the recovery.
 		if err := c.L.LockT(t); err != nil {
@@ -89,6 +121,9 @@ func (c *Cond) waitT(t *Thread, timeout time.Duration) error {
 	}
 	if timedOut {
 		return ErrTimeout
+	}
+	if ctxDone {
+		return errCtxDone
 	}
 	return nil
 }
@@ -110,6 +145,21 @@ func (c *Cond) removeWaiter(ch chan struct{}) {
 		}
 	}
 	c.mu.Unlock()
+}
+
+// abandonWait retires ch after a timeout, cancellation, or abort won
+// the race against a wakeup. A Signal may have already popped ch from
+// the wait list and delivered its token (Signal sends under c.mu, so
+// after removeWaiter returns any such send has completed); consuming
+// that token here would strand a sibling waiter whose queue item this
+// one never processes — forward it instead.
+func (c *Cond) abandonWait(ch chan struct{}) {
+	c.removeWaiter(ch)
+	select {
+	case <-ch:
+		c.Signal()
+	default:
+	}
 }
 
 // Signal wakes one waiter, if any. The caller usually holds the mutex but

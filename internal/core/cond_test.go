@@ -226,3 +226,50 @@ func TestThreadPriority(t *testing.T) {
 		t.Error("SetPriority lost")
 	}
 }
+
+// TestCondAbandonedWaitForwardsSignal is the lost-wakeup regression: a
+// waiter whose timeout/cancellation raced an already-delivered Signal
+// must forward the token instead of swallowing it, or a sibling waiter
+// sleeps forever on work that was signaled exactly once.
+func TestCondAbandonedWaitForwardsSignal(t *testing.T) {
+	rt := MustNew(testConfig())
+	defer rt.Stop()
+	m := rt.NewMutex()
+	c := rt.NewCond(m)
+
+	// W2: a genuine waiter, parked.
+	var woken atomic.Bool
+	parked := make(chan struct{})
+	go func() {
+		th := rt.RegisterThread("w2")
+		defer th.Close()
+		_ = m.LockT(th)
+		close(parked)
+		if err := c.WaitT(th); err != nil {
+			t.Errorf("w2 wait: %v", err)
+		}
+		woken.Store(true)
+		_ = m.UnlockT(th)
+	}()
+	<-parked
+	waitCond(t, func() bool {
+		c.mu.Lock()
+		defer c.mu.Unlock()
+		return len(c.waiters) == 1
+	})
+
+	// Simulate W1 exactly at the race point: Signal popped its channel
+	// and delivered the token, but W1's deadline/cancellation won the
+	// select. Put W1's channel at the head so Signal targets it.
+	ch := make(chan struct{}, 1)
+	c.mu.Lock()
+	c.waiters = append([]chan struct{}{ch}, c.waiters...)
+	c.mu.Unlock()
+	c.Signal() // pops W1, token lands in ch — W2 still parked
+	c.abandonWait(ch)
+
+	waitCond(t, func() bool { return woken.Load() })
+	if !woken.Load() {
+		t.Fatal("forwarded signal never woke the sibling waiter")
+	}
+}

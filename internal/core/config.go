@@ -11,6 +11,7 @@ import (
 	"dimmunix/internal/avoidance"
 	"dimmunix/internal/histstore"
 	"dimmunix/internal/monitor"
+	"dimmunix/internal/obs"
 	"dimmunix/internal/signature"
 	"dimmunix/internal/sigport"
 )
@@ -192,6 +193,15 @@ type Config struct {
 	// OnStarvation is called when a yield cycle is handled; with strong
 	// immunity this is the restart hook. Runs on the monitor goroutine.
 	OnStarvation func(monitor.StarvationInfo)
+	// Observers are observability callbacks registered at construction
+	// (the WithObserver option): each receives every typed event the
+	// runtime publishes, on the bus dispatcher goroutine. A stalled
+	// observer stalls only delivery (events drop oldest-first), never
+	// lock traffic, the monitor, or Stop.
+	Observers []func(obs.Event)
+	// EventBuffer sizes the observability ring and each subscriber
+	// channel (0 selects obs.DefaultBufferSize).
+	EventBuffer int
 }
 
 func (c *Config) fill() {

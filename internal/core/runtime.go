@@ -14,6 +14,7 @@ import (
 	"dimmunix/internal/gid"
 	"dimmunix/internal/histstore"
 	"dimmunix/internal/monitor"
+	"dimmunix/internal/obs"
 	"dimmunix/internal/peterson"
 	"dimmunix/internal/queue"
 	"dimmunix/internal/signature"
@@ -51,6 +52,21 @@ type Runtime struct {
 	cache    *avoidance.Cache
 	mon      *monitor.Monitor
 	stats    *avoidance.Stats
+
+	// bus is the observability dispatcher (typed events, bounded,
+	// non-blocking); see Subscribe and Config.Observers.
+	bus *obs.Bus
+
+	// Runtime-level observability counters (see StatsSnapshot).
+	threadPrunes atomic.Uint64
+	recoveries   atomic.Uint64
+	disables     atomic.Uint64
+
+	// adminMu serializes admin-path users of adminSlot (the reserved
+	// avoidance-guard slot for diagnostics like HistorySummary), keeping
+	// the filter guard sound with at most one admin participant.
+	adminMu   sync.Mutex
+	adminSlot int
 
 	gidTab   [threadShards]gidShard
 	idTab    [threadShards]idShard
@@ -150,15 +166,39 @@ func New(cfg Config) (*Runtime, error) {
 	}
 
 	rt := &Runtime{
-		cfg:      cfg,
-		interner: stack.NewInterner(),
-		hist:     hist,
-		store:    store,
-		ownStore: ownStore,
-		q:        queue.New[event.Event](),
-		stats:    &avoidance.Stats{},
-		nextSlot: 1, // slot 0 is reserved for the monitor/admin paths
+		cfg:       cfg,
+		interner:  stack.NewInterner(),
+		hist:      hist,
+		store:     store,
+		ownStore:  ownStore,
+		q:         queue.New[event.Event](),
+		stats:     &avoidance.Stats{},
+		bus:       obs.New(cfg.EventBuffer, cfg.Observers),
+		nextSlot:  1, // slot 0 is reserved for the monitor/admin paths
+		adminSlot: cfg.MaxThreads + 2,
 	}
+	// Every history mutation — archive, disable/enable, removal, sync
+	// merge, reload — feeds the observability stream (and the disable
+	// counter), wired before any traffic can mutate the history. The
+	// hook runs under the history lock; bus publishes never block.
+	hist.SetNotify(func(ch signature.Change) {
+		switch ch.Op {
+		case "disable":
+			rt.disables.Add(1)
+			if rt.bus.Active() {
+				rt.bus.Publish(obs.SignatureDisabled{SigID: ch.SigID, Disabled: true})
+			}
+		case "enable":
+			if rt.bus.Active() {
+				rt.bus.Publish(obs.SignatureDisabled{SigID: ch.SigID, Disabled: false})
+			}
+		}
+		if rt.bus.Active() {
+			rt.bus.Publish(obs.HistoryChanged{
+				Op: ch.Op, SigID: ch.SigID, Epoch: ch.Epoch, Signatures: ch.Signatures,
+			})
+		}
+	})
 	if !cfg.DisableFastPath {
 		// The raw-PC capture cache is part of the fast tier; the disabled
 		// configuration keeps the full pre-refactor capture pipeline as a
@@ -174,14 +214,16 @@ func New(cfg Config) (*Runtime, error) {
 
 	// Slot 0 is the monitor's; MaxThreads+1 is the sync domain's (sync
 	// loop / SyncNow / Stop publish, serialized among themselves by the
-	// monitor's syncMu). The filter guard needs a seat for both.
+	// monitor's syncMu); MaxThreads+2 is the admin domain's (diagnostic
+	// reads like HistorySummary, serialized by adminMu). The filter
+	// guard needs a seat for each.
 	syncSlot := cfg.MaxThreads + 1
 	newGuard := func() peterson.Guard {
 		switch cfg.Guard {
 		case GuardSpin:
 			return peterson.NewSpin()
 		case GuardFilter:
-			return peterson.NewFilter(cfg.MaxThreads + 2)
+			return peterson.NewFilter(cfg.MaxThreads + 3)
 		default:
 			return peterson.NewMutex()
 		}
@@ -197,6 +239,7 @@ func New(cfg Config) (*Runtime, error) {
 		ProbeDepth:      cfg.ProbeDepth,
 		MaxThreads:      cfg.MaxThreads,
 		DiscardObsolete: cfg.DiscardObsolete,
+		Bus:             rt.bus,
 	}, rt.interner, hist, rt.stats, rt.q.Push)
 
 	onDeadlock := cfg.OnDeadlock
@@ -204,6 +247,14 @@ func New(cfg Config) (*Runtime, error) {
 		user := cfg.OnDeadlock
 		onDeadlock = func(info monitor.DeadlockInfo) {
 			rt.AbortThreads(info.ThreadIDs...)
+			rt.recoveries.Add(1)
+			if rt.bus.Active() {
+				ev := obs.RecoveryAborted{ThreadIDs: info.ThreadIDs}
+				if info.Sig != nil {
+					ev.SigID = info.Sig.ID
+				}
+				rt.bus.Publish(ev)
+			}
 			if user != nil {
 				user(info)
 			}
@@ -226,6 +277,7 @@ func New(cfg Config) (*Runtime, error) {
 		SyncSlot:         syncSlot,
 		OnDeadlock:       onDeadlock,
 		OnStarvation:     cfg.OnStarvation,
+		Bus:              rt.bus,
 	}, rt.q, hist, rt.cache, rt.resolveThreadState)
 
 	if cfg.Mode != ModeOff {
@@ -285,6 +337,10 @@ func (rt *Runtime) Stop() error {
 			}
 		}
 	}
+	// Last: the bus delivers the shutdown-path events (final sync round,
+	// stop-time archives) best-effort, then closes every subscriber
+	// channel. Stop never waits on observer code.
+	rt.bus.Stop()
 	return err
 }
 
@@ -297,9 +353,6 @@ func (rt *Runtime) HistoryStore() histstore.Store { return rt.store }
 
 // Monitor exposes the monitor (Kick for tests/tools).
 func (rt *Runtime) Monitor() *monitor.Monitor { return rt.mon }
-
-// Stats returns a snapshot of the avoidance counters.
-func (rt *Runtime) Stats() avoidance.Snapshot { return rt.stats.Snapshot() }
 
 // MonitorCounters returns the monitor-side counters.
 func (rt *Runtime) MonitorCounters() *monitor.Counters { return &rt.mon.Counters }
@@ -557,6 +610,7 @@ func (rt *Runtime) PruneIdleThreads() int {
 			}
 		}
 	}
+	rt.threadPrunes.Add(uint64(pruned))
 	return pruned
 }
 

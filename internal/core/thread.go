@@ -143,14 +143,14 @@ func (t *Thread) captureStack(extraSkip int) *stack.Interned {
 func isRuntimeFrame(f stack.Frame) bool {
 	if strings.HasPrefix(f.Func, "dimmunix/internal/core.") {
 		switch f.File {
-		case "mutex.go", "rwmutex.go", "thread.go", "runtime.go", "config.go", "alias.go":
+		case "mutex.go", "rwmutex.go", "cond.go", "thread.go", "runtime.go", "config.go", "alias.go":
 			return true
 		}
 		return false
 	}
 	if strings.HasPrefix(f.Func, "dimmunix.") && !strings.Contains(f.Func, "/") {
 		switch f.File {
-		case "mutex.go", "rwmutex.go", "default.go", "options.go", "dimmunix.go":
+		case "mutex.go", "rwmutex.go", "cond.go", "default.go", "options.go", "dimmunix.go":
 			return true
 		}
 	}

@@ -52,6 +52,64 @@ type Server struct {
 	// accepted yet (a failed persist); the next push retries even when
 	// it merges nothing new, so durability is eventually restored.
 	backingDirty bool
+
+	started time.Time
+	stats   ServerStats
+}
+
+// ServerStats are the daemon's served-request counters, exposed on
+// /statusz so fleet operators can see sync traffic advancing without
+// reading logs. All fields are atomics; read them via StatsSnapshot.
+type ServerStats struct {
+	ProbesServed   atomic.Uint64 // GET /v1/version
+	PullsServed    atomic.Uint64 // GET /v1/history
+	PushesServed   atomic.Uint64 // POST /v1/history accepted (incl. no-ops)
+	PushesChanged  atomic.Uint64 // pushes that changed the fleet history
+	PushesRejected atomic.Uint64 // 401s (token missing/wrong)
+	EntriesMerged  atomic.Uint64 // total entries changed by pushes
+}
+
+// ServerStatsSnapshot is the plain-value JSON form of ServerStats.
+type ServerStatsSnapshot struct {
+	ProbesServed   uint64 `json:"probes_served"`
+	PullsServed    uint64 `json:"pulls_served"`
+	PushesServed   uint64 `json:"pushes_served"`
+	PushesChanged  uint64 `json:"pushes_changed"`
+	PushesRejected uint64 `json:"pushes_rejected"`
+	EntriesMerged  uint64 `json:"entries_merged"`
+}
+
+// StatsSnapshot returns the daemon's request counters.
+func (s *Server) StatsSnapshot() ServerStatsSnapshot {
+	return ServerStatsSnapshot{
+		ProbesServed:   s.stats.ProbesServed.Load(),
+		PullsServed:    s.stats.PullsServed.Load(),
+		PushesServed:   s.stats.PushesServed.Load(),
+		PushesChanged:  s.stats.PushesChanged.Load(),
+		PushesRejected: s.stats.PushesRejected.Load(),
+		EntriesMerged:  s.stats.EntriesMerged.Load(),
+	}
+}
+
+// serverStatus is the /statusz document.
+type serverStatus struct {
+	Version       string              `json:"version"`
+	UptimeSeconds int64               `json:"uptime_seconds"`
+	Fingerprint   string              `json:"fingerprint,omitempty"`
+	Signatures    []serverSigSummary  `json:"signatures"`
+	Tombstones    int                 `json:"tombstones"`
+	Counters      ServerStatsSnapshot `json:"counters"`
+}
+
+type serverSigSummary struct {
+	ID         string `json:"id"`
+	Kind       string `json:"kind"`
+	Depth      int    `json:"depth"`
+	Stacks     int    `json:"stacks"`
+	Rev        uint64 `json:"rev"`
+	Disabled   bool   `json:"disabled,omitempty"`
+	AvoidCount uint64 `json:"avoid_count"`
+	AbortCount uint64 `json:"abort_count"`
 }
 
 // NewServer builds a server, seeding from backing when non-nil (so a
@@ -65,7 +123,7 @@ func NewServer(backing Store) (*Server, error) {
 		}
 		hist = loaded
 	}
-	return &Server{hist: hist, epoch: time.Now().UnixNano(), seq: 1, backing: backing}, nil
+	return &Server{hist: hist, epoch: time.Now().UnixNano(), seq: 1, backing: backing, started: time.Now()}, nil
 }
 
 // History exposes the server's merged history (diagnostics, tests).
@@ -101,6 +159,9 @@ func (s *Server) authorized(r *http.Request) bool {
 //	GET  /v1/history  → format-v2 snapshot, version in X-Dimmunix-History-Version
 //	POST /v1/history  → join the posted snapshot; returns {"version","changed"}
 //	                    (401 when a push token is configured and absent/wrong)
+//	GET  /statusz     → daemon status JSON: version, per-signature summary,
+//	                    served-request counters (the fleet observability
+//	                    endpoint; `dimmunix-hist stats <url>` pretty-prints it)
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/v1/version", func(w http.ResponseWriter, r *http.Request) {
@@ -108,15 +169,44 @@ func (s *Server) Handler() http.Handler {
 			http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
 			return
 		}
+		s.stats.ProbesServed.Add(1)
 		s.mu.Lock()
 		v := s.versionLocked()
 		s.mu.Unlock()
 		w.Header().Set("Content-Type", "application/json")
 		json.NewEncoder(w).Encode(map[string]string{"version": string(v)})
 	})
+	mux.HandleFunc("/statusz", func(w http.ResponseWriter, r *http.Request) {
+		if r.Method != http.MethodGet && r.Method != http.MethodHead {
+			http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
+			return
+		}
+		s.mu.Lock()
+		st := serverStatus{
+			Version:       string(s.versionLocked()),
+			UptimeSeconds: int64(time.Since(s.started).Seconds()),
+			Fingerprint:   s.hist.Fingerprint(),
+			Signatures:    []serverSigSummary{},
+			Tombstones:    len(s.hist.Tombstones()),
+			Counters:      s.StatsSnapshot(),
+		}
+		for _, sig := range s.hist.Snapshot() {
+			st.Signatures = append(st.Signatures, serverSigSummary{
+				ID: sig.ID, Kind: sig.Kind.String(), Depth: sig.Depth,
+				Stacks: sig.Size(), Rev: sig.Rev, Disabled: sig.Disabled,
+				AvoidCount: sig.AvoidCount, AbortCount: sig.AbortCount,
+			})
+		}
+		s.mu.Unlock()
+		w.Header().Set("Content-Type", "application/json")
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		enc.Encode(st)
+	})
 	mux.HandleFunc("/v1/history", func(w http.ResponseWriter, r *http.Request) {
 		switch r.Method {
 		case http.MethodGet:
+			s.stats.PullsServed.Add(1)
 			s.mu.Lock()
 			data, err := s.hist.MarshalJSONCompact()
 			v := s.versionLocked()
@@ -130,9 +220,11 @@ func (s *Server) Handler() http.Handler {
 			w.Write(data)
 		case http.MethodPost:
 			if !s.authorized(r) {
+				s.stats.PushesRejected.Add(1)
 				http.Error(w, "push token missing or wrong", http.StatusUnauthorized)
 				return
 			}
+			s.stats.PushesServed.Add(1)
 			body, err := io.ReadAll(io.LimitReader(r.Body, maxSnapshotBytes))
 			if err != nil {
 				http.Error(w, err.Error(), http.StatusBadRequest)
@@ -146,6 +238,8 @@ func (s *Server) Handler() http.Handler {
 			s.mu.Lock()
 			changed := s.hist.Merge(in)
 			if changed > 0 {
+				s.stats.PushesChanged.Add(1)
+				s.stats.EntriesMerged.Add(uint64(changed))
 				s.seq++
 				if fp := in.Fingerprint(); fp != "" && s.hist.Fingerprint() == "" {
 					s.hist.SetFingerprint(fp)

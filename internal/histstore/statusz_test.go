@@ -1,0 +1,108 @@
+package histstore
+
+import (
+	"context"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+
+	"dimmunix/internal/signature"
+	"dimmunix/internal/stack"
+)
+
+func statuszDoc(t *testing.T, url string) (doc struct {
+	Version    string `json:"version"`
+	Signatures []struct {
+		ID   string `json:"id"`
+		Kind string `json:"kind"`
+	} `json:"signatures"`
+	Tombstones int                 `json:"tombstones"`
+	Counters   ServerStatsSnapshot `json:"counters"`
+}) {
+	t.Helper()
+	resp, err := http.Get(url + "/statusz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("statusz status = %d", resp.StatusCode)
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&doc); err != nil {
+		t.Fatalf("decode statusz: %v", err)
+	}
+	return doc
+}
+
+// TestServerStatusz covers the daemon observability endpoint: counters
+// advance with served traffic and the signature summary tracks pushes.
+func TestServerStatusz(t *testing.T) {
+	srv, err := NewServer(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	before := statuszDoc(t, ts.URL)
+	if len(before.Signatures) != 0 || before.Counters.PushesServed != 0 {
+		t.Fatalf("fresh daemon not empty: %+v", before)
+	}
+
+	// One client sync round: probe, pull, push.
+	client := NewHTTPStore(ts.URL)
+	defer client.Close()
+	ctx := context.Background()
+	if _, err := client.Probe(ctx); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := client.Load(ctx); err != nil {
+		t.Fatal(err)
+	}
+	h := signature.NewHistory()
+	h.Add(signature.New(signature.Deadlock, []stack.Stack{
+		{{Func: "p", File: "a.go", Line: 1}},
+		{{Func: "q", File: "b.go", Line: 2}},
+	}, 2))
+	if _, err := client.Push(ctx, h); err != nil {
+		t.Fatal(err)
+	}
+
+	after := statuszDoc(t, ts.URL)
+	c := after.Counters
+	if c.ProbesServed == 0 || c.PullsServed == 0 || c.PushesServed != 1 {
+		t.Errorf("counters did not advance: %+v", c)
+	}
+	if c.PushesChanged != 1 || c.EntriesMerged != 1 {
+		t.Errorf("merge accounting wrong: %+v", c)
+	}
+	if len(after.Signatures) != 1 || after.Signatures[0].Kind != "deadlock" {
+		t.Errorf("signature summary wrong: %+v", after.Signatures)
+	}
+	if after.Version == before.Version {
+		t.Error("version did not advance after a changing push")
+	}
+}
+
+// TestServerStatuszCountsRejects: 401s show up as PushesRejected.
+func TestServerStatuszCountsRejects(t *testing.T) {
+	srv, err := NewServer(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv.SetToken("sekrit")
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	client := NewHTTPStore(ts.URL) // no token
+	defer client.Close()
+	h := signature.NewHistory()
+	if _, err := client.Push(context.Background(), h); err == nil {
+		t.Fatal("tokenless push must fail")
+	}
+	doc := statuszDoc(t, ts.URL)
+	if doc.Counters.PushesRejected != 1 || doc.Counters.PushesServed != 0 {
+		t.Errorf("reject accounting wrong: %+v", doc.Counters)
+	}
+}

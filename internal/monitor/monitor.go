@@ -16,6 +16,7 @@ import (
 	"dimmunix/internal/event"
 	"dimmunix/internal/fpdetect"
 	"dimmunix/internal/histstore"
+	"dimmunix/internal/obs"
 	"dimmunix/internal/queue"
 	"dimmunix/internal/rag"
 	"dimmunix/internal/signature"
@@ -96,6 +97,13 @@ type Config struct {
 	// OnStarvation is informational in weak mode; in strong mode it is
 	// the restart hook.
 	OnStarvation func(StarvationInfo)
+
+	// Bus, when non-nil, receives the monitor's observability events
+	// (DeadlockDetected, SignatureArchived, StarvationAverted,
+	// SyncRoundDone). The hooks above stay synchronous direct calls —
+	// recovery is control flow and must never be dropped by a bounded
+	// ring — while the bus carries the same information as telemetry.
+	Bus *obs.Bus
 }
 
 func (c *Config) fill() {
@@ -134,6 +142,7 @@ type Counters struct {
 	FalsePositives      atomic.Uint64
 	TruePositives       atomic.Uint64
 	// Sync loop statistics (history store distribution).
+	SyncRounds   atomic.Uint64 // completed rounds (loop, kicks, SyncNow)
 	SyncPulls    atomic.Uint64 // rounds that merged remote changes in
 	SyncPushes   atomic.Uint64 // rounds that published local changes
 	SyncPorted   atomic.Uint64 // pulled snapshots run through sigport
@@ -394,6 +403,11 @@ func (m *Monitor) handleCycle(c *rag.Cycle) {
 	isNew := m.hist.Add(sig)
 	if isNew {
 		m.Counters.SignaturesSaved.Add(1)
+		if m.cfg.Bus.Active() {
+			m.cfg.Bus.Publish(obs.SignatureArchived{
+				SigID: sig.ID, Kind: sig.Kind.String(), Depth: sig.Depth, Stacks: sig.Size(),
+			})
+		}
 		m.persistArchive()
 	} else {
 		sig = m.hist.Get(sig.ID)
@@ -402,6 +416,11 @@ func (m *Monitor) handleCycle(c *rag.Cycle) {
 	if c.Starvation {
 		m.Counters.StarvationsDetected.Add(1)
 		victim := m.breakStarvation(c)
+		if m.cfg.Bus.Active() {
+			m.cfg.Bus.Publish(obs.StarvationAverted{
+				SigID: sig.ID, New: isNew, ThreadIDs: c.Threads, VictimTID: victim,
+			})
+		}
 		if m.cfg.OnStarvation != nil {
 			m.cfg.OnStarvation(StarvationInfo{
 				Sig: sig, New: isNew, ThreadIDs: c.Threads, VictimTID: victim,
@@ -411,6 +430,11 @@ func (m *Monitor) handleCycle(c *rag.Cycle) {
 	}
 
 	m.Counters.DeadlocksDetected.Add(1)
+	if m.cfg.Bus.Active() {
+		m.cfg.Bus.Publish(obs.DeadlockDetected{
+			SigID: sig.ID, New: isNew, ThreadIDs: c.Threads, LockIDs: c.Locks,
+		})
+	}
 	if m.cfg.OnDeadlock != nil {
 		m.cfg.OnDeadlock(DeadlockInfo{
 			Sig: sig, New: isNew, ThreadIDs: c.Threads, LockIDs: c.Locks,

@@ -8,6 +8,7 @@ import (
 	"time"
 
 	"dimmunix/internal/histstore"
+	"dimmunix/internal/obs"
 	"dimmunix/internal/signature"
 	"dimmunix/internal/sigport"
 )
@@ -146,6 +147,7 @@ func SyncBackoff(interval time.Duration, fails int) time.Duration {
 // syncMu (most importantly the shutdown path).
 func (m *Monitor) syncOnce(ctx context.Context) error {
 	s := m.sync
+	start := time.Now()
 	if t := m.cfg.SyncRoundTimeout; t > 0 {
 		// The round deadline is a default, not a cap: a caller that set
 		// its own deadline (SyncNow with a deliberate budget) is
@@ -169,6 +171,8 @@ func (m *Monitor) syncOnce(ctx context.Context) error {
 			firstErr = err
 		}
 	}
+	pulled := 0
+	pushed := false
 
 	v, err := s.store.Probe(ctx)
 	if err != nil {
@@ -188,11 +192,10 @@ func (m *Monitor) syncOnce(ctx context.Context) error {
 			}
 			// The join may adopt disabled/revision state onto live
 			// signatures the avoidance matchers read — guard scope.
-			changed := 0
 			m.cache.WithGuard(m.cfg.SyncSlot, func() {
-				changed = m.hist.Merge(remote)
+				pulled = m.hist.Merge(remote)
 			})
-			if changed > 0 {
+			if pulled > 0 {
 				m.Counters.SyncPulls.Add(1)
 			}
 			m.syncMu.Lock()
@@ -215,6 +218,7 @@ func (m *Monitor) syncOnce(ctx context.Context) error {
 			}
 			m.syncMu.Unlock()
 			m.Counters.SyncPushes.Add(1)
+			pushed = true
 		}
 	}
 
@@ -226,6 +230,19 @@ func (m *Monitor) syncOnce(ctx context.Context) error {
 		// deadline or cancellation says nothing about store health and
 		// must not stretch the backoff.
 		s.consecFails.Store(0)
+	}
+	m.Counters.SyncRounds.Add(1)
+	if m.cfg.Bus.Active() {
+		ev := obs.SyncRoundDone{
+			Pulled:      pulled,
+			Pushed:      pushed,
+			Duration:    time.Since(start),
+			ConsecFails: int(s.consecFails.Load()),
+		}
+		if firstErr != nil {
+			ev.Err = firstErr.Error()
+		}
+		m.cfg.Bus.Publish(ev)
 	}
 	return firstErr
 }

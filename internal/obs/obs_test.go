@@ -1,0 +1,227 @@
+package obs
+
+import (
+	"context"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+func waitFor(t *testing.T, what string, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(10 * time.Second)
+	for time.Now().Before(deadline) {
+		if cond() {
+			return
+		}
+		time.Sleep(time.Millisecond)
+	}
+	t.Fatalf("timed out waiting for %s", what)
+}
+
+func TestInactiveBusPublishIsNoop(t *testing.T) {
+	b := New(4, nil)
+	if b.Active() {
+		t.Fatal("bus with no observers must be inactive")
+	}
+	b.Publish(AvoidanceYield{SigID: "x"})
+	if b.Dropped() != 0 {
+		t.Fatal("inactive publish must not count drops")
+	}
+	var nilBus *Bus
+	if nilBus.Active() || nilBus.Dropped() != 0 {
+		t.Fatal("nil bus accessors must be safe")
+	}
+}
+
+func TestObserverReceivesInOrder(t *testing.T) {
+	var mu sync.Mutex
+	var got []Event
+	b := New(16, []func(Event){func(e Event) {
+		mu.Lock()
+		got = append(got, e)
+		mu.Unlock()
+	}})
+	defer b.Stop()
+	for i := 0; i < 5; i++ {
+		b.Publish(AvoidanceYield{TID: int32(i)})
+	}
+	waitFor(t, "delivery", func() bool {
+		mu.Lock()
+		defer mu.Unlock()
+		return len(got) == 5
+	})
+	mu.Lock()
+	defer mu.Unlock()
+	for i, e := range got {
+		if e.(AvoidanceYield).TID != int32(i) {
+			t.Fatalf("event %d out of order: %+v", i, e)
+		}
+	}
+}
+
+func TestRingDropsOldest(t *testing.T) {
+	release := make(chan struct{})
+	var got []Event
+	var mu sync.Mutex
+	b := New(2, []func(Event){func(e Event) {
+		<-release
+		mu.Lock()
+		got = append(got, e)
+		mu.Unlock()
+	}})
+	defer b.Stop()
+
+	// The observer is stalled; flood past the ring bound. The first
+	// event may already be in the observer's hands, the rest overwrite
+	// each other pairwise.
+	for i := 0; i < 10; i++ {
+		b.Publish(AvoidanceYield{TID: int32(i)})
+	}
+	waitFor(t, "drops", func() bool { return b.Dropped() > 0 })
+	close(release)
+	waitFor(t, "tail delivery", func() bool {
+		mu.Lock()
+		defer mu.Unlock()
+		if len(got) == 0 {
+			return false
+		}
+		return got[len(got)-1].(AvoidanceYield).TID == 9
+	})
+	// Drop-oldest: the newest event always survives.
+}
+
+func TestStalledObserverNeverBlocksPublish(t *testing.T) {
+	block := make(chan struct{})
+	defer close(block)
+	b := New(4, []func(Event){func(Event) { <-block }})
+	defer b.Stop()
+	done := make(chan struct{})
+	go func() {
+		for i := 0; i < 1000; i++ {
+			b.Publish(HistoryChanged{Epoch: uint64(i)})
+		}
+		close(done)
+	}()
+	select {
+	case <-done:
+	case <-time.After(5 * time.Second):
+		t.Fatal("Publish blocked behind a stalled observer")
+	}
+	if b.Dropped() == 0 {
+		t.Fatal("flooding a stalled observer must drop")
+	}
+}
+
+func TestSubscribeReceivesAndCtxCancelCloses(t *testing.T) {
+	b := New(8, nil)
+	defer b.Stop()
+	ctx, cancel := context.WithCancel(context.Background())
+	ch := b.Subscribe(ctx)
+	if !b.Active() {
+		t.Fatal("subscriber must activate the bus")
+	}
+	b.Publish(SignatureArchived{SigID: "s1"})
+	select {
+	case e := <-ch:
+		if e.(SignatureArchived).SigID != "s1" {
+			t.Fatalf("got %+v", e)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("subscriber never received")
+	}
+	cancel()
+	waitFor(t, "channel close", func() bool {
+		select {
+		case _, ok := <-ch:
+			return !ok
+		default:
+			return false
+		}
+	})
+	waitFor(t, "deactivation", func() bool { return !b.Active() })
+}
+
+func TestStopClosesSubscribers(t *testing.T) {
+	b := New(8, nil)
+	ch := b.Subscribe(context.Background())
+	b.Publish(SyncRoundDone{Pushed: true})
+	b.Stop()
+	b.Stop() // idempotent
+	deadline := time.After(5 * time.Second)
+	for {
+		select {
+		case _, ok := <-ch:
+			if !ok {
+				if b.Active() {
+					t.Fatal("stopped bus still active")
+				}
+				b.Publish(SyncRoundDone{}) // must not panic
+				if ch2 := b.Subscribe(context.Background()); ch2 != nil {
+					if _, ok := <-ch2; ok {
+						t.Fatal("subscribe after stop must return a closed channel")
+					}
+				}
+				return
+			}
+		case <-deadline:
+			t.Fatal("channel never closed after Stop")
+		}
+	}
+}
+
+func TestSlowSubscriberDropsWithoutBlocking(t *testing.T) {
+	b := New(2, nil)
+	defer b.Stop()
+	_ = b.Subscribe(context.Background()) // never read
+	var published atomic.Int64
+	done := make(chan struct{})
+	go func() {
+		for i := 0; i < 500; i++ {
+			b.Publish(AvoidanceYield{TID: int32(i)})
+			published.Add(1)
+		}
+		close(done)
+	}()
+	select {
+	case <-done:
+	case <-time.After(5 * time.Second):
+		t.Fatalf("publisher blocked after %d publishes behind a slow subscriber", published.Load())
+	}
+	waitFor(t, "drops", func() bool { return b.Dropped() > 0 })
+}
+
+// TestSubscribeCancelChurnNoPanic hammers subscribe/cancel concurrently
+// with publishes: closes are serialized with the dispatcher's sends, so
+// no send-on-closed-channel panic can escape (run with -race).
+func TestSubscribeCancelChurnNoPanic(t *testing.T) {
+	b := New(4, nil)
+	defer b.Stop()
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; ; i++ {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			b.Publish(AvoidanceYield{TID: int32(i)})
+		}
+	}()
+	for i := 0; i < 200; i++ {
+		ctx, cancel := context.WithCancel(context.Background())
+		ch := b.Subscribe(ctx)
+		// Consume a little, then cancel while events are in flight.
+		select {
+		case <-ch:
+		case <-time.After(time.Millisecond):
+		}
+		cancel()
+	}
+	close(stop)
+	wg.Wait()
+}

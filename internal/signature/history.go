@@ -53,6 +53,42 @@ type History struct {
 	// the avoidance fast path. It is republished (immutable snapshot)
 	// inside every mutation's critical section; see DangerIndex.
 	danger atomic.Pointer[DangerIndex]
+
+	// notify, when set, is invoked after every semantic mutation (add,
+	// disable/enable, remove, merge, replace) — the runtime's
+	// observability hook. It runs with h.mu held, so it must be
+	// non-blocking and must never call back into the History; the
+	// runtime wires it to the bounded event bus, which satisfies both.
+	notify func(Change)
+}
+
+// Change describes one history mutation for the notify hook.
+type Change struct {
+	// Op is "add", "disable", "enable", "remove", "merge" or "replace".
+	Op string
+	// SigID is the affected signature for single-entry ops ("" for
+	// bulk merges/replaces).
+	SigID string
+	// Epoch is the history version (= danger-index epoch) after the
+	// mutation; Signatures the live entry count.
+	Epoch      uint64
+	Signatures int
+}
+
+// SetNotify installs the mutation hook (nil clears it). See the notify
+// field for the contract.
+func (h *History) SetNotify(fn func(Change)) {
+	h.mu.Lock()
+	h.notify = fn
+	h.mu.Unlock()
+}
+
+// notifyLocked fires the hook for one mutation; h.mu must be held by a
+// writer, after the version bump.
+func (h *History) notifyLocked(op, sigID string) {
+	if h.notify != nil {
+		h.notify(Change{Op: op, SigID: sigID, Epoch: h.version.Load(), Signatures: len(h.sigs)})
+	}
 }
 
 // Tombstone marks a removed signature. Rev is strictly greater than the
@@ -215,6 +251,7 @@ func (h *History) Add(sig *Signature) bool {
 	h.byID[sig.ID] = sig
 	h.version.Add(1)
 	h.rebuildDangerLocked()
+	h.notifyLocked("add", sig.ID)
 	return true
 }
 
@@ -253,12 +290,20 @@ func (h *History) SetDisabled(id string, disabled bool) bool {
 	if s == nil {
 		return false
 	}
-	if s.Disabled != disabled {
+	changed := s.Disabled != disabled
+	if changed {
 		s.Disabled = disabled
 		s.Rev++
 	}
 	h.version.Add(1)
 	h.rebuildDangerLocked()
+	if changed {
+		op := "disable"
+		if !disabled {
+			op = "enable"
+		}
+		h.notifyLocked(op, id)
+	}
 	return true
 }
 
@@ -284,6 +329,7 @@ func (h *History) Remove(id string) bool {
 	h.compactTombsLocked()
 	h.version.Add(1)
 	h.rebuildDangerLocked()
+	h.notifyLocked("remove", id)
 	return true
 }
 
@@ -483,6 +529,10 @@ func (h *History) Merge(other *History) int {
 	h.mu.Lock()
 	defer h.mu.Unlock()
 	changed := 0
+	// Disabled-state adoptions notify per entry (after the version
+	// bump): a §5.7 disable arriving over sync must reach the
+	// observability stream exactly like a local SetDisabled.
+	var disableFlips, enableFlips []string
 
 	for _, rt := range rtombs {
 		if s, ok := h.byID[rt.ID]; ok {
@@ -535,11 +585,19 @@ func (h *History) Merge(other *History) int {
 				ns.Rev = r.Rev
 				h.swapLocked(&ns)
 				changed++
+				if ns.Disabled != s.Disabled {
+					if ns.Disabled {
+						disableFlips = append(disableFlips, ns.ID)
+					} else {
+						enableFlips = append(enableFlips, ns.ID)
+					}
+				}
 			case r.Rev == s.Rev && r.Disabled && !s.Disabled:
 				ns := *s
 				ns.Disabled = true
 				h.swapLocked(&ns)
 				changed++
+				disableFlips = append(disableFlips, ns.ID)
 			}
 			continue
 		}
@@ -555,6 +613,13 @@ func (h *History) Merge(other *History) int {
 		h.compactTombsLocked()
 		h.version.Add(1)
 		h.rebuildDangerLocked()
+		for _, id := range disableFlips {
+			h.notifyLocked("disable", id)
+		}
+		for _, id := range enableFlips {
+			h.notifyLocked("enable", id)
+		}
+		h.notifyLocked("merge", "")
 	}
 	return changed
 }
@@ -593,6 +658,7 @@ func (h *History) ReplaceAll(other *History) {
 	}
 	h.version.Add(1)
 	h.rebuildDangerLocked()
+	h.notifyLocked("replace", "")
 	h.mu.Unlock()
 }
 

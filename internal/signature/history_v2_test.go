@@ -438,3 +438,64 @@ func TestTombstoneHardCap(t *testing.T) {
 		t.Fatalf("young tombstones = %d, want hard cap %d", got, cap)
 	}
 }
+
+// TestMergeNotifiesAdoptedDisableFlips: a disabled-flag flip adopted
+// from a sync merge must fire the same per-entry notify as a local
+// SetDisabled — the observability stream's cross-process §5.7 case.
+func TestMergeNotifiesAdoptedDisableFlips(t *testing.T) {
+	local := NewHistory()
+	sig := New(Deadlock, []stack.Stack{
+		{{Func: "a", File: "x.go", Line: 1}},
+		{{Func: "b", File: "y.go", Line: 2}},
+	}, 2)
+	local.Add(sig)
+
+	remote := NewHistory()
+	rsig := *sig
+	rsig.Disabled = true
+	rsig.Rev = sig.Rev + 1
+	remote.Add(&rsig)
+
+	var ops []string
+	var ids []string
+	local.SetNotify(func(ch Change) {
+		ops = append(ops, ch.Op)
+		ids = append(ids, ch.SigID)
+	})
+	if n := local.Merge(remote); n != 1 {
+		t.Fatalf("merge changed %d entries, want 1", n)
+	}
+	foundDisable := false
+	for i, op := range ops {
+		if op == "disable" && ids[i] == sig.ID {
+			foundDisable = true
+		}
+	}
+	if !foundDisable {
+		t.Fatalf("merge-adopted disable did not notify: ops=%v ids=%v", ops, ids)
+	}
+	if ops[len(ops)-1] != "merge" {
+		t.Fatalf("bulk merge notify missing: %v", ops)
+	}
+
+	// And the flip back (higher-rev enable) notifies as enable.
+	remote2 := NewHistory()
+	esig := rsig
+	esig.Disabled = false
+	esig.Rev = rsig.Rev + 1
+	remote2.Add(&esig)
+	ops = nil
+	ids = nil
+	if n := local.Merge(remote2); n != 1 {
+		t.Fatalf("enable merge changed %d, want 1", n)
+	}
+	foundEnable := false
+	for i, op := range ops {
+		if op == "enable" && ids[i] == sig.ID {
+			foundEnable = true
+		}
+	}
+	if !foundEnable {
+		t.Fatalf("merge-adopted enable did not notify: ops=%v", ops)
+	}
+}

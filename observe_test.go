@@ -1,0 +1,176 @@
+package dimmunix_test
+
+import (
+	"context"
+	"encoding/json"
+	"expvar"
+	"net/http/httptest"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"dimmunix"
+)
+
+func TestWithObserverReceivesEvents(t *testing.T) {
+	var yields, archived atomic.Uint64
+	initDefault(t,
+		dimmunix.WithAbortRecovery(),
+		dimmunix.WithObserver(func(ev dimmunix.Event) {
+			switch ev.(type) {
+			case dimmunix.AvoidanceYield:
+				yields.Add(1)
+			case dimmunix.SignatureArchived:
+				archived.Add(1)
+			}
+		}),
+	)
+
+	var mu1, mu2 dimmunix.Mutex
+	seedInversion(t, &mu1, &mu2)
+	waitUntil(t, "archive event", func() bool { return archived.Load() >= 1 })
+	runInversion(t, &mu1, &mu2, 5*time.Millisecond)
+	waitUntil(t, "yield events", func() bool { return yields.Load() >= 1 })
+}
+
+func TestSubscribeFacade(t *testing.T) {
+	initDefault(t, dimmunix.WithAbortRecovery())
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	events := dimmunix.Default().Subscribe(ctx)
+	var sawDeadlock atomic.Bool
+	go func() {
+		for ev := range events {
+			if _, ok := ev.(dimmunix.DeadlockDetected); ok {
+				sawDeadlock.Store(true)
+			}
+		}
+	}()
+	var mu1, mu2 dimmunix.Mutex
+	seedInversion(t, &mu1, &mu2)
+	waitUntil(t, "deadlock event", func() bool { return sawDeadlock.Load() })
+}
+
+func TestDebugHandlerServesStatus(t *testing.T) {
+	initDefault(t, dimmunix.WithAbortRecovery())
+	var mu1, mu2 dimmunix.Mutex
+	seedInversion(t, &mu1, &mu2)
+	runInversion(t, &mu1, &mu2, 5*time.Millisecond)
+
+	srv := httptest.NewServer(dimmunix.DebugHandler(nil))
+	defer srv.Close()
+	resp, err := srv.Client().Get(srv.URL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != 200 {
+		t.Fatalf("status = %d", resp.StatusCode)
+	}
+	var status dimmunix.DebugStatus
+	if err := json.NewDecoder(resp.Body).Decode(&status); err != nil {
+		t.Fatalf("decode: %v", err)
+	}
+	if status.Stats.Acquired == 0 || status.Stats.Yields == 0 {
+		t.Errorf("stats not populated: %+v", status.Stats)
+	}
+	if status.Stats.FastAcquired+status.Stats.GuardedAcquired != status.Stats.Acquired {
+		t.Errorf("tier split broken in served stats: %+v", status.Stats)
+	}
+	if len(status.History.Signatures) != 1 {
+		t.Fatalf("history summary has %d signatures, want 1", len(status.History.Signatures))
+	}
+	if status.History.Signatures[0].Yields == 0 {
+		t.Error("per-signature yields missing from summary")
+	}
+	if got := status.Stats.YieldsBySignature[status.History.Signatures[0].ID]; got == 0 {
+		t.Error("YieldsBySignature missing the archived signature")
+	}
+}
+
+func TestDebugHandlerWithoutRuntime(t *testing.T) {
+	if err := dimmunix.Shutdown(); err != nil {
+		t.Fatal(err)
+	}
+	rec := httptest.NewRecorder()
+	req := httptest.NewRequest("GET", "/statusz", nil)
+	dimmunix.DebugHandler(nil).ServeHTTP(rec, req)
+	if rec.Code != 503 {
+		t.Fatalf("without a default runtime: status = %d, want 503 (and no forced init)", rec.Code)
+	}
+}
+
+func TestExpvarPublish(t *testing.T) {
+	initDefault(t)
+	dimmunix.ExpvarPublish()
+	dimmunix.ExpvarPublish() // idempotent
+	v := expvar.Get("dimmunix")
+	if v == nil {
+		t.Fatal("expvar key not published")
+	}
+	var mu dimmunix.Mutex
+	mu.Lock()
+	mu.Unlock()
+	var decoded dimmunix.Stats
+	if err := json.Unmarshal([]byte(v.String()), &decoded); err != nil {
+		t.Fatalf("expvar value not valid stats JSON: %v", err)
+	}
+	if decoded.Acquired == 0 {
+		t.Error("expvar stats not live")
+	}
+}
+
+// seedInversion contracts the mu1/mu2 lock-order inversion once under
+// abort recovery so its signature is archived.
+func seedInversion(t *testing.T, mu1, mu2 *dimmunix.Mutex) {
+	t.Helper()
+	runInversion(t, mu1, mu2, 60*time.Millisecond)
+	waitUntil(t, "signature archived", func() bool {
+		return dimmunix.Default().History().Len() >= 1
+	})
+}
+
+// runInversion drives the canonical AB/BA pattern through stable call
+// sites, retrying recovered sides.
+func runInversion(t *testing.T, mu1, mu2 *dimmunix.Mutex, hold time.Duration) {
+	t.Helper()
+	done := make(chan struct{}, 2)
+	go func() {
+		defer func() { done <- struct{}{} }()
+		obsNestAB(mu1, mu2, hold)
+	}()
+	go func() {
+		defer func() { done <- struct{}{} }()
+		obsNestBA(mu1, mu2, hold)
+	}()
+	<-done
+	<-done
+}
+
+//go:noinline
+func obsNestAB(mu1, mu2 *dimmunix.Mutex, hold time.Duration) {
+	if err := mu1.LockCtx(context.Background()); err != nil {
+		return
+	}
+	time.Sleep(hold)
+	if err := mu2.LockCtx(context.Background()); err != nil {
+		mu1.Unlock()
+		return
+	}
+	mu2.Unlock()
+	mu1.Unlock()
+}
+
+//go:noinline
+func obsNestBA(mu1, mu2 *dimmunix.Mutex, hold time.Duration) {
+	if err := mu2.LockCtx(context.Background()); err != nil {
+		return
+	}
+	time.Sleep(hold)
+	if err := mu1.LockCtx(context.Background()); err != nil {
+		mu2.Unlock()
+		return
+	}
+	mu1.Unlock()
+	mu2.Unlock()
+}

@@ -186,6 +186,26 @@ func WithStarvationHook(fn func(StarvationInfo)) Option {
 	return func(c *Config) { c.OnStarvation = fn }
 }
 
+// WithObserver registers an observability callback: fn receives every
+// typed Event the runtime publishes (deadlocks, archives, disables,
+// yields, recoveries, sync rounds, history changes), on a dedicated
+// dispatcher goroutine. Delivery is bounded and non-blocking — a
+// stalled fn makes events drop oldest-first (Stats().EventsDropped),
+// and can never stall a locker, the monitor, or Stop. May be repeated;
+// observers run in registration order. For dynamic consumers prefer
+// Runtime.Subscribe.
+func WithObserver(fn func(Event)) Option {
+	return func(c *Config) { c.Observers = append(c.Observers, fn) }
+}
+
+// WithEventBuffer sizes the observability event ring and each
+// subscriber channel (default DefaultEventBuffer = 256). Larger buffers
+// absorb bigger bursts before dropping; the memory cost is one slot per
+// entry per subscriber. The env form is DIMMUNIX_EVENT_BUFFER.
+func WithEventBuffer(n int) Option {
+	return func(c *Config) { c.EventBuffer = n }
+}
+
 // WithIgnoreDecisions computes avoidance decisions but never yields
 // (the Table 1 control configuration).
 func WithIgnoreDecisions() Option {

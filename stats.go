@@ -1,0 +1,75 @@
+package dimmunix
+
+import (
+	"encoding/json"
+	"expvar"
+	"net/http"
+	"sync"
+
+	"dimmunix/internal/core"
+)
+
+// HistorySummary is the operator view of a runtime's live signature
+// history, served by DebugHandler; SignatureSummary is one entry.
+type (
+	HistorySummary   = core.HistorySummary
+	SignatureSummary = core.SignatureSummary
+)
+
+// DebugStatus is the JSON document DebugHandler serves: the full
+// counter snapshot plus the history summary.
+type DebugStatus struct {
+	Stats   Stats          `json:"stats"`
+	History HistorySummary `json:"history"`
+}
+
+// DebugHandler returns an http.Handler serving rt's status — counters
+// and history summary — as JSON, for a /statusz (or /debug/dimmunix)
+// route on an operations port:
+//
+//	mux.Handle("/statusz", dimmunix.DebugHandler(nil))
+//
+// A nil rt serves the process-wide default Runtime, resolved per
+// request (503 until one exists — the handler never forces lazy
+// initialization). The handler takes no locks on the hot path; the
+// history summary runs one guarded read per request, so keep it off
+// high-frequency scrape loops (seconds are fine, per-request is not).
+func DebugHandler(rt *Runtime) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if r.Method != http.MethodGet && r.Method != http.MethodHead {
+			http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
+			return
+		}
+		target := rt
+		if target == nil {
+			target = defaultRT.Load()
+			if target == nil {
+				http.Error(w, "dimmunix: no default runtime yet", http.StatusServiceUnavailable)
+				return
+			}
+		}
+		status := DebugStatus{Stats: target.Stats(), History: target.HistorySummary()}
+		w.Header().Set("Content-Type", "application/json")
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		_ = enc.Encode(status)
+	})
+}
+
+var expvarOnce sync.Once
+
+// ExpvarPublish publishes the default runtime's counter snapshot under
+// the expvar key "dimmunix", so the standard /debug/vars endpoint
+// includes it. Idempotent; safe to call before Init (the variable
+// reports nil until a default runtime exists, without forcing one).
+func ExpvarPublish() {
+	expvarOnce.Do(func() {
+		expvar.Publish("dimmunix", expvar.Func(func() any {
+			rt := defaultRT.Load()
+			if rt == nil {
+				return nil
+			}
+			return rt.Stats()
+		}))
+	})
+}
