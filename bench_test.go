@@ -6,6 +6,7 @@ package dimmunix_test
 
 import (
 	"fmt"
+	"path/filepath"
 	"sync"
 	"sync/atomic"
 	"testing"
@@ -456,6 +457,23 @@ func BenchmarkLockUncontendedParallelPopulated(b *testing.B) {
 // global guard).
 func BenchmarkLockUncontendedParallelGuardedPopulated(b *testing.B) {
 	runParallelLadder(b, dimmunix.Config{Mode: dimmunix.ModeFull, DisableFastPath: true}, 32)
+}
+
+// BenchmarkLockUncontendedParallelTraced: fast tier on with trace mode
+// journaling every acquisition for the offline predictor. The recorder
+// hangs off the monitor's drain loop, so the caller-visible cost must
+// stay at fast-tier level; the acceptance cap is the guarded baseline —
+// if tracing ever costs more than the pre-refactor protocol, it is not
+// an always-on-capable canary mode.
+func BenchmarkLockUncontendedParallelTraced(b *testing.B) {
+	for _, g := range parallelLadder {
+		b.Run(fmt.Sprintf("g%d", g), func(b *testing.B) {
+			benchLockParallel(b, dimmunix.Config{
+				Mode:      dimmunix.ModeFull,
+				TracePath: filepath.Join(b.TempDir(), "bench.trace"),
+			}, 0, g)
+		})
+	}
 }
 
 // BenchmarkLockDataStructsShards measures the sharded guard where it is

@@ -9,11 +9,21 @@
 // locally AND stop within the shutdown budget — distributing immunity
 // may never make the protected application worse.
 //
+// Roles "canary" and "avoid" are the predictive-immunity drill: the
+// canary runs the SAME inversion code serialized — no contention, no
+// deadlock — with trace mode on (DIMMUNIX_TRACE), leaving a journal for
+// dimmunix-predict to analyze and push; the avoid worker then converges
+// on the predicted signature and must survive the real interleaving on
+// its first encounter with zero deadlocks detected — immunity acquired
+// before any process in the fleet ever hung.
+//
 // Usage:
 //
 //	dimmunix-fleet -store http://127.0.0.1:7676 -role a
 //	dimmunix-fleet -store http://127.0.0.1:7676 -role b [-wait 15s]
-//	dimmunix-fleet -store http://127.0.0.1:7676 -role c   # daemon dead
+//	dimmunix-fleet -store http://127.0.0.1:7676 -role c        # daemon dead
+//	DIMMUNIX_TRACE=/tmp/canary.trace dimmunix-fleet -store ... -role canary
+//	dimmunix-fleet -store http://127.0.0.1:7676 -role avoid    # after predict push
 //
 // All roles exit 0 on success and 1 on a property violation, so the CI
 // smoke steps can assert the fleet-immunity and bounded-shutdown
@@ -36,8 +46,8 @@ import (
 
 var (
 	storeSpec = flag.String("store", "", "shared history store (file, dir, or http:// daemon)")
-	role      = flag.String("role", "", "a = hit the deadlock once; b = converge and avoid it; c = outage drill")
-	wait      = flag.Duration("wait", 15*time.Second, "role b: how long to wait for convergence")
+	role      = flag.String("role", "", "a = hit the deadlock once; b = converge and avoid it; c = outage drill; canary = record trace, no deadlock; avoid = converge on predicted signature and dodge first encounter")
+	wait      = flag.Duration("wait", 15*time.Second, "roles b/avoid: how long to wait for convergence")
 	hold      = flag.Duration("hold", 150*time.Millisecond, "timing window between the nested acquisitions")
 	budget    = flag.Duration("budget", time.Second, "role c: configured shutdown timeout (Stop must return within 2x)")
 	statsOut  = flag.String("stats-out", "", "write the final runtime stats snapshot as JSON to this file (CI artifact)")
@@ -46,8 +56,13 @@ var (
 
 func main() {
 	flag.Parse()
-	if *storeSpec == "" || (*role != "a" && *role != "b" && *role != "c") {
-		fmt.Fprintln(os.Stderr, "usage: dimmunix-fleet -store <spec> -role a|b|c")
+	switch *role {
+	case "a", "b", "c", "canary", "avoid":
+	default:
+		*storeSpec = ""
+	}
+	if *storeSpec == "" {
+		fmt.Fprintln(os.Stderr, "usage: dimmunix-fleet -store <spec> -role a|b|c|canary|avoid")
 		os.Exit(2)
 	}
 
@@ -65,6 +80,15 @@ func main() {
 	if *role == "c" {
 		cfg.ShutdownTimeout = *budget
 		cfg.SyncRoundTimeout = *budget
+	}
+	if *role == "canary" {
+		// The canary's whole point is the journal: trace mode is not
+		// optional for it, so read the env knob explicitly and refuse to
+		// run blind.
+		cfg.TracePath = os.Getenv("DIMMUNIX_TRACE")
+		if cfg.TracePath == "" {
+			fatal(fmt.Errorf("role canary: set DIMMUNIX_TRACE to the journal path"))
+		}
 	}
 	rt, err := dimmunix.New(cfg)
 	if err != nil {
@@ -91,7 +115,7 @@ func main() {
 
 	switch *role {
 	case "a":
-		errs := exercise(rt, *hold)
+		errs := exercise(rt, *hold, false)
 		if !deadlocked(errs) {
 			fatal(fmt.Errorf("role a: expected the exploit to deadlock, got %v", errs))
 		}
@@ -110,7 +134,7 @@ func main() {
 		}
 		fmt.Printf("role b: converged to %d signature(s), danger epoch %d\n",
 			rt.History().Len(), rt.History().Danger().Epoch())
-		errs := exercise(rt, *hold)
+		errs := exercise(rt, *hold, false)
 		if deadlocked(errs) {
 			fatal(fmt.Errorf("role b: deadlocked despite the shared signature"))
 		}
@@ -133,7 +157,7 @@ func main() {
 		// The store is expected to be dead (the CI step killed the
 		// daemon). Local immunity must be unimpaired: the deadlock is
 		// still detected and recovered, its signature archived locally.
-		errs := exercise(rt, *hold)
+		errs := exercise(rt, *hold, false)
 		if !deadlocked(errs) {
 			fatal(fmt.Errorf("role c: expected the exploit to deadlock locally, got %v", errs))
 		}
@@ -151,14 +175,76 @@ func main() {
 		}
 		fmt.Printf("role c: outage survived — recovered locally, Stop returned in %v (publish err: %v)\n",
 			elapsed.Round(time.Millisecond), err)
+	case "canary":
+		// Serialized schedule through the exact same call sites as the
+		// exploit: no contention, no deadlock — only a trace journal that
+		// proves the inversion for the offline predictor.
+		errs := exercise(rt, *hold, true)
+		for _, e := range errs {
+			if e != nil {
+				fatal(fmt.Errorf("role canary: worker failed: %v", e))
+			}
+		}
+		if n := rt.MonitorCounters().DeadlocksDetected.Load(); n != 0 {
+			fatal(fmt.Errorf("role canary: detected %d deadlocks; the schedule must be disjoint", n))
+		}
+		if err := rt.Stop(); err != nil {
+			fatal(fmt.Errorf("role canary: stop: %v", err))
+		}
+		stats := rt.Stats()
+		if stats.TraceRecords == 0 {
+			fatal(fmt.Errorf("role canary: trace mode recorded nothing"))
+		}
+		fmt.Printf("role canary: clean serialized run, %d trace records (%d dropped) in %s\n",
+			stats.TraceRecords, stats.TraceDropped, cfg.TracePath)
+	case "avoid":
+		// Converge on the predicted signature (pushed by dimmunix-predict,
+		// not by any deadlocked process), then survive the real
+		// interleaving on the very first encounter.
+		deadline := time.Now().Add(*wait)
+		for rt.History().Len() == 0 {
+			if time.Now().After(deadline) {
+				fatal(fmt.Errorf("role avoid: no predicted signature arrived within %v", *wait))
+			}
+			time.Sleep(10 * time.Millisecond)
+		}
+		predicted := 0
+		for _, s := range rt.HistorySummary().Signatures {
+			if s.Source == "predicted" {
+				predicted++
+			}
+		}
+		if predicted == 0 {
+			fatal(fmt.Errorf("role avoid: converged, but no entry is prediction-originated"))
+		}
+		fmt.Printf("role avoid: converged to %d signature(s) (%d predicted), danger epoch %d\n",
+			rt.History().Len(), predicted, rt.History().Danger().Epoch())
+		errs := exercise(rt, *hold, false)
+		for _, e := range errs {
+			if e != nil {
+				fatal(fmt.Errorf("role avoid: worker failed: %v", e))
+			}
+		}
+		stats := rt.Stats()
+		if stats.DeadlocksDetected != 0 {
+			fatal(fmt.Errorf("role avoid: %d deadlocks detected — prediction did not inoculate", stats.DeadlocksDetected))
+		}
+		if stats.Yields == 0 {
+			fatal(fmt.Errorf("role avoid: clean run but no avoidance yields — the pattern was not exercised"))
+		}
+		fmt.Printf("role avoid: first encounter avoided — %d yields, 0 deadlocks, immunity acquired before any process ever hung\n",
+			stats.Yields)
 	}
 }
 
 // exercise runs the canonical AB/BA inversion: two workers each nest a
 // pair of locks in opposite order, holding the first for the timing
-// window. Identical code in both roles means identical call stacks, so
-// role a's archived signature matches role b's requests.
-func exercise(rt *dimmunix.Runtime, hold time.Duration) []error {
+// window. Identical code in every role means identical call stacks, so
+// a signature archived by role a — or predicted from role canary's
+// trace — matches the requests of roles b and avoid. With serialize
+// set, the first worker finishes before the second starts: same code,
+// same stacks, zero contention — the canary schedule.
+func exercise(rt *dimmunix.Runtime, hold time.Duration, serialize bool) []error {
 	a, b := rt.NewMutex(), rt.NewMutex()
 	errs := make([]error, 2)
 	done := make(chan struct{}, 2)
@@ -169,9 +255,14 @@ func exercise(rt *dimmunix.Runtime, hold time.Duration) []error {
 		errs[i] = nest(th, first, second, hold)
 	}
 	go run(0, a, b)
+	if serialize {
+		<-done
+	}
 	go run(1, b, a)
 	<-done
-	<-done
+	if !serialize {
+		<-done
+	}
 	return errs
 }
 

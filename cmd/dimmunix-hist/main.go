@@ -84,9 +84,9 @@ func main() {
 		}
 		fmt.Println()
 		for _, sig := range h.Snapshot() {
-			state := ""
+			state := sourceTag(sig.Source)
 			if sig.Disabled {
-				state = " [disabled]"
+				state += " [disabled]"
 			}
 			fmt.Printf("  %s  %-10s depth=%d stacks=%d avoided=%d aborts=%d%s\n",
 				sig.ID, sig.Kind, sig.Depth, sig.Size(), sig.AvoidCount, sig.AbortCount, state)
@@ -96,8 +96,8 @@ func main() {
 		if sig == nil {
 			fatal(fmt.Errorf("no signature %q", arg(args, 1)))
 		}
-		fmt.Printf("%s (%s, depth %d, created %s)\n", sig.ID, sig.Kind, sig.Depth,
-			time.Unix(sig.CreatedUnix, 0).Format(time.RFC3339))
+		fmt.Printf("%s (%s, depth %d, created %s)%s\n", sig.ID, sig.Kind, sig.Depth,
+			time.Unix(sig.CreatedUnix, 0).Format(time.RFC3339), sourceTag(sig.Source))
 		fmt.Printf("avoided=%d aborts=%d fp=%d tp=%d disabled=%v\n",
 			sig.AvoidCount, sig.AbortCount, sig.FPCount, sig.TPCount, sig.Disabled)
 		for i, s := range sig.Stacks {
@@ -267,7 +267,7 @@ func diff(local, remote *signature.History, lname, rname string) {
 				s.ID, rTombs[s.ID].Rev, s.Rev)
 			same = false
 		default:
-			fmt.Printf("  + %s  only local (rev=%d)\n", s.ID, s.Rev)
+			fmt.Printf("  + %s  only local (rev=%d)%s\n", s.ID, s.Rev, sourceTag(s.Source))
 			same = false
 		}
 	}
@@ -279,7 +279,7 @@ func diff(local, remote *signature.History, lname, rname string) {
 			fmt.Printf("  - %s  removed locally (tombstone rev=%d >= remote rev=%d)\n",
 				r.ID, lTombs[r.ID].Rev, r.Rev)
 		} else {
-			fmt.Printf("  + %s  only remote (rev=%d)\n", r.ID, r.Rev)
+			fmt.Printf("  + %s  only remote (rev=%d)%s\n", r.ID, r.Rev, sourceTag(r.Source))
 		}
 		same = false
 	}
@@ -329,6 +329,7 @@ func printDaemonStats(ctx context.Context, url string) error {
 			Stacks     int    `json:"stacks"`
 			Rev        uint64 `json:"rev"`
 			Disabled   bool   `json:"disabled"`
+			Source     string `json:"source"`
 			AvoidCount uint64 `json:"avoid_count"`
 			AbortCount uint64 `json:"abort_count"`
 		} `json:"signatures"`
@@ -353,14 +354,24 @@ func printDaemonStats(ctx context.Context, url string) error {
 		fmt.Printf("  %-16s %d\n", k, st.Counters[k])
 	}
 	for _, s := range st.Signatures {
-		state := ""
+		state := sourceTag(s.Source)
 		if s.Disabled {
-			state = " [disabled]"
+			state += " [disabled]"
 		}
 		fmt.Printf("    %s  %-10s depth=%d stacks=%d rev=%d avoided=%d aborts=%d%s\n",
 			s.ID, s.Kind, s.Depth, s.Stacks, s.Rev, s.AvoidCount, s.AbortCount, state)
 	}
 	return nil
+}
+
+// sourceTag renders an entry's provenance — " [predicted]" for entries a
+// canary's trace analysis pushed (they were never experienced as real
+// deadlocks by anyone), "" for live archives.
+func sourceTag(source string) string {
+	if source == "" {
+		return ""
+	}
+	return " [" + source + "]"
 }
 
 func arg(args []string, i int) string {

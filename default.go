@@ -149,6 +149,11 @@ func Shutdown() error {
 //	DIMMUNIX_FASTPATH          on | off (safe-stack lock-free bypass)
 //	DIMMUNIX_EVENT_BUFFER      int (observability ring / subscriber
 //	                           channel capacity; default 256)
+//	DIMMUNIX_TRACE             trace-mode journal path ("" = no tracing);
+//	                           records every acquisition event for
+//	                           offline prediction (dimmunix-predict)
+//	DIMMUNIX_TRACE_MAX_BYTES   int; journal size bound before rotation
+//	                           (default 64 MiB; negative = unbounded)
 func configFromEnv() (Config, error) {
 	var cfg Config
 	cfg.HistoryPath = os.Getenv("DIMMUNIX_HISTORY")
@@ -188,6 +193,10 @@ func configFromEnv() (Config, error) {
 		return cfg, err
 	}
 	if err := envInt("DIMMUNIX_EVENT_BUFFER", &cfg.EventBuffer); err != nil {
+		return cfg, err
+	}
+	cfg.TracePath = os.Getenv("DIMMUNIX_TRACE")
+	if err := envInt64("DIMMUNIX_TRACE_MAX_BYTES", &cfg.TraceMaxBytes); err != nil {
 		return cfg, err
 	}
 	if v := os.Getenv("DIMMUNIX_FASTPATH"); v != "" {
@@ -269,6 +278,19 @@ func envInt(name string, dst *int) error {
 		return nil
 	}
 	n, err := strconv.Atoi(v)
+	if err != nil {
+		return fmt.Errorf("dimmunix: %s=%q: %v", name, v, err)
+	}
+	*dst = n
+	return nil
+}
+
+func envInt64(name string, dst *int64) error {
+	v := os.Getenv(name)
+	if v == "" {
+		return nil
+	}
+	n, err := strconv.ParseInt(v, 10, 64)
 	if err != nil {
 		return fmt.Errorf("dimmunix: %s=%q: %v", name, v, err)
 	}

@@ -117,6 +117,19 @@ type Config struct {
 	// BuildFingerprint identifies this build in pushed snapshots (""
 	// selects signature.BuildFingerprint()).
 	BuildFingerprint string
+	// TracePath arms trace mode: every acquisition event the monitor
+	// drains — including fast-tier operations, so the journal captures
+	// the complete lock-order behavior — is appended to this binary
+	// journal (internal/trace format) for offline deadlock prediction
+	// (dimmunix-predict). Recording happens on the monitor goroutine,
+	// off the lock path; "" (the default) records nothing. The
+	// DIMMUNIX_TRACE env var is the no-code-change plumbing.
+	TracePath string
+	// TraceMaxBytes bounds the trace journal: at the bound the journal
+	// rotates to TracePath+".1" and starts fresh, so a long-lived
+	// process keeps a sliding window instead of filling the disk. Zero
+	// selects trace.DefaultMaxBytes; negative disables the bound.
+	TraceMaxBytes int64
 	// Tau is the monitor wakeup period (default 100 ms).
 	Tau time.Duration
 	// MatchDepth is the fixed matching depth recorded in new signatures

@@ -20,6 +20,7 @@ import (
 	"dimmunix/internal/signature"
 	"dimmunix/internal/sigport"
 	"dimmunix/internal/stack"
+	"dimmunix/internal/trace"
 )
 
 // threadShards is the fixed shard count of the runtime's goroutine-ID and
@@ -52,6 +53,7 @@ type Runtime struct {
 	cache    *avoidance.Cache
 	mon      *monitor.Monitor
 	stats    *avoidance.Stats
+	trace    *trace.Recorder // nil unless Config.TracePath armed trace mode
 
 	// bus is the observability dispatcher (typed events, bounded,
 	// non-blocking); see Subscribe and Config.Observers.
@@ -154,6 +156,21 @@ func New(cfg Config) (*Runtime, error) {
 	}
 	hist.SetFingerprint(cfg.BuildFingerprint)
 
+	// Trace mode: the recorder journals every drained acquisition event
+	// for offline prediction. Opened before the monitor exists so the
+	// very first pass can record; a path that cannot be opened is a
+	// configuration error, fail-fast like history-file corruption.
+	var rec *trace.Recorder
+	if cfg.TracePath != "" {
+		rec, err = trace.NewRecorder(cfg.TracePath, cfg.BuildFingerprint, cfg.TraceMaxBytes)
+		if err != nil {
+			if ownStore {
+				store.Close()
+			}
+			return nil, err
+		}
+	}
+
 	// The sync loop defaults on only for explicitly shared stores; a
 	// plain HistoryPath keeps the single-process cadence (archive-time
 	// and Stop-time pushes, manual ReloadHistory pulls).
@@ -173,6 +190,7 @@ func New(cfg Config) (*Runtime, error) {
 		ownStore:  ownStore,
 		q:         queue.New[event.Event](),
 		stats:     &avoidance.Stats{},
+		trace:     rec,
 		bus:       obs.New(cfg.EventBuffer, cfg.Observers),
 		nextSlot:  1, // slot 0 is reserved for the monitor/admin paths
 		adminSlot: cfg.MaxThreads + 2,
@@ -275,6 +293,7 @@ func New(cfg Config) (*Runtime, error) {
 		PortRules:        cfg.SyncPortRules,
 		Fingerprint:      cfg.BuildFingerprint,
 		SyncSlot:         syncSlot,
+		Trace:            rec,
 		OnDeadlock:       onDeadlock,
 		OnStarvation:     cfg.OnStarvation,
 		Bus:              rt.bus,
@@ -323,6 +342,11 @@ func (rt *Runtime) Stop() error {
 		rt.mon.Stop()
 	}
 	var err error
+	// After the monitor's final pass: every drained event has been
+	// recorded, so the journal is complete when it closes.
+	if rt.trace != nil {
+		err = rt.trace.Close()
+	}
 	if rt.store != nil {
 		ctx := context.Background()
 		if rt.cfg.ShutdownTimeout > 0 {
@@ -330,7 +354,9 @@ func (rt *Runtime) Stop() error {
 			ctx, cancel = context.WithTimeout(ctx, rt.cfg.ShutdownTimeout)
 			defer cancel()
 		}
-		err = rt.mon.PublishToStore(ctx)
+		if perr := rt.mon.PublishToStore(ctx); err == nil {
+			err = perr
+		}
 		if rt.ownStore {
 			if cerr := rt.store.Close(); err == nil {
 				err = cerr

@@ -83,6 +83,18 @@ type StatsSnapshot struct {
 	// channels). Zero in a healthy deployment; growth means an observer
 	// cannot keep up — never that the runtime slowed down.
 	EventsDropped uint64 `json:"events_dropped"`
+	// EventsDroppedBySubscriber attributes subscriber-channel drops to
+	// the subscriber that could not keep up (construction-time observers
+	// and departed subscribers included), so a lossy consumer can be
+	// named instead of inferred.
+	EventsDroppedBySubscriber map[string]uint64 `json:"events_dropped_by_subscriber,omitempty"`
+
+	// TraceRecords / TraceDropped report trace mode (Config.TracePath):
+	// acquisition events journaled for offline prediction, and events
+	// lost to journal write errors or post-Close records. Both zero when
+	// trace mode is off.
+	TraceRecords uint64 `json:"trace_records,omitempty"`
+	TraceDropped uint64 `json:"trace_dropped,omitempty"`
 }
 
 // Stats returns a snapshot of every runtime counter. Cheap (atomic
@@ -139,7 +151,11 @@ func (rt *Runtime) Stats() StatsSnapshot {
 		HistoryEpoch:      danger.Epoch(),
 		HistorySignatures: rt.hist.Len(),
 
-		EventsDropped: rt.bus.Dropped(),
+		EventsDropped:             rt.bus.Dropped(),
+		EventsDroppedBySubscriber: rt.bus.DroppedBySubscriber(),
+
+		TraceRecords: rt.trace.Records(),
+		TraceDropped: rt.trace.Dropped(),
 	}
 }
 
@@ -153,6 +169,14 @@ func (rt *Runtime) Stats() StatsSnapshot {
 // runtime's lifetime.
 func (rt *Runtime) Subscribe(ctx context.Context) <-chan obs.Event {
 	return rt.bus.Subscribe(ctx)
+}
+
+// SubscribeNamed is Subscribe with a name for drop attribution: events a
+// too-slow subscriber misses are counted against that name in
+// Stats().EventsDroppedBySubscriber (anonymous subscriptions appear as
+// "sub-<id>").
+func (rt *Runtime) SubscribeNamed(ctx context.Context, name string) <-chan obs.Event {
+	return rt.bus.SubscribeNamed(ctx, name)
 }
 
 // SignatureSummary is one history entry's operator view, served by
@@ -173,6 +197,9 @@ type SignatureSummary struct {
 	FPCount     uint64 `json:"fp_count"`
 	TPCount     uint64 `json:"tp_count"`
 	CreatedUnix int64  `json:"created_unix,omitempty"`
+	// Source is the entry's provenance: "" for live detections,
+	// "predicted" for dimmunix-predict emissions.
+	Source string `json:"source,omitempty"`
 }
 
 // HistorySummary is the operator view of the live signature history.
@@ -208,6 +235,7 @@ func (rt *Runtime) HistorySummary() HistorySummary {
 				FPCount:     s.FPCount,
 				TPCount:     s.TPCount,
 				CreatedUnix: s.CreatedUnix,
+				Source:      s.Source,
 			})
 		}
 		out.Tombstones = len(rt.hist.Tombstones())

@@ -108,6 +108,7 @@ type serverSigSummary struct {
 	Stacks     int    `json:"stacks"`
 	Rev        uint64 `json:"rev"`
 	Disabled   bool   `json:"disabled,omitempty"`
+	Source     string `json:"source,omitempty"`
 	AvoidCount uint64 `json:"avoid_count"`
 	AbortCount uint64 `json:"abort_count"`
 }
@@ -194,6 +195,7 @@ func (s *Server) Handler() http.Handler {
 			st.Signatures = append(st.Signatures, serverSigSummary{
 				ID: sig.ID, Kind: sig.Kind.String(), Depth: sig.Depth,
 				Stacks: sig.Size(), Rev: sig.Rev, Disabled: sig.Disabled,
+				Source:     sig.Source,
 				AvoidCount: sig.AvoidCount, AbortCount: sig.AbortCount,
 			})
 		}

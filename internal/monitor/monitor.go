@@ -22,6 +22,7 @@ import (
 	"dimmunix/internal/signature"
 	"dimmunix/internal/sigport"
 	"dimmunix/internal/stack"
+	"dimmunix/internal/trace"
 )
 
 // DefaultTau is the monitor wakeup period; §7 uses 100 ms.
@@ -97,6 +98,13 @@ type Config struct {
 	// OnStarvation is informational in weak mode; in strong mode it is
 	// the restart hook.
 	OnStarvation func(StarvationInfo)
+
+	// Trace, when non-nil, receives every drained acquisition event —
+	// including fast-tier operations, which bypass avoidance but still
+	// enqueue — so offline analysis (dimmunix-predict) sees the complete
+	// lock-order behavior. Recording happens here, on the monitor
+	// goroutine, precisely so the lock path pays nothing for it.
+	Trace *trace.Recorder
 
 	// Bus, when non-nil, receives the monitor's observability events
 	// (DeadlockDetected, SignatureArchived, StarvationAverted,
@@ -291,6 +299,9 @@ func (m *Monitor) Pass() {
 		m.feedEpisodes(ev)
 		if ev.Kind == event.Yield {
 			m.startEpisode(ev)
+		}
+		if m.cfg.Trace != nil {
+			m.cfg.Trace.Record(ev)
 		}
 	})
 	m.Counters.EventsProcessed.Add(uint64(n))

@@ -17,6 +17,7 @@ package obs
 
 import (
 	"context"
+	"fmt"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -159,8 +160,11 @@ type Bus struct {
 	ring      []Event
 	head, n   int
 	observers []func(Event)
-	subs      map[uint64]chan Event
+	subs      map[uint64]*subscriber
 	nextSub   uint64
+	// deadDrops retains the drop counts of departed subscribers (folded
+	// in on unsubscribe/Stop), so attribution survives churn.
+	deadDrops map[string]uint64
 	started   bool
 	stopped   bool
 
@@ -178,7 +182,7 @@ func New(size int, observers []func(Event)) *Bus {
 	b := &Bus{
 		size:      size,
 		observers: observers,
-		subs:      make(map[uint64]chan Event),
+		subs:      make(map[uint64]*subscriber),
 		wake:      make(chan struct{}, 1),
 		stopCh:    make(chan struct{}),
 		doneCh:    make(chan struct{}),
@@ -205,6 +209,59 @@ func (b *Bus) Dropped() uint64 {
 		return 0
 	}
 	return b.dropped.Load()
+}
+
+// subscriber is one channel consumer: its delivery channel, the name
+// drop attribution reports it under, and its own drop count.
+type subscriber struct {
+	ch      chan Event
+	name    string
+	dropped atomic.Uint64
+}
+
+// DroppedBySubscriber attributes subscriber-channel drops to the
+// subscriber that could not keep up, keyed by subscription name
+// (SubscribeNamed; anonymous Subscribe calls appear as "sub-<id>").
+// Departed subscribers' counts are retained, so totals are monotonic.
+// Returns nil when no subscriber ever dropped. Ring overwrites — the
+// dispatcher itself falling behind — are in Dropped() only: they cannot
+// be blamed on any one consumer.
+func (b *Bus) DroppedBySubscriber() map[string]uint64 {
+	if b == nil {
+		return nil
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	var out map[string]uint64
+	add := func(name string, n uint64) {
+		if n == 0 {
+			return
+		}
+		if out == nil {
+			out = make(map[string]uint64)
+		}
+		out[name] += n
+	}
+	for name, n := range b.deadDrops {
+		add(name, n)
+	}
+	for _, s := range b.subs {
+		add(s.name, s.dropped.Load())
+	}
+	return out
+}
+
+// retireLocked folds a departing subscriber's drop count into deadDrops;
+// b.mu held.
+func (b *Bus) retireLocked(s *subscriber) {
+	n := s.dropped.Load()
+	if n == 0 {
+		return
+	}
+	if b.deadDrops == nil {
+		b.deadDrops = make(map[string]uint64)
+	}
+	b.deadDrops[s.name] += n
 }
 
 // Publish enqueues e for asynchronous delivery. It never blocks: when
@@ -245,6 +302,12 @@ func (b *Bus) Publish(e Event) {
 // subscription ends — and the channel is closed — when ctx is done or
 // the bus stops. A nil ctx subscribes for the life of the bus.
 func (b *Bus) Subscribe(ctx context.Context) <-chan Event {
+	return b.SubscribeNamed(ctx, "")
+}
+
+// SubscribeNamed is Subscribe with a name for drop attribution
+// (DroppedBySubscriber). An empty name gets the generated "sub-<id>".
+func (b *Bus) SubscribeNamed(ctx context.Context, name string) <-chan Event {
 	ch := make(chan Event, b.size)
 	b.mu.Lock()
 	if b.stopped {
@@ -254,7 +317,10 @@ func (b *Bus) Subscribe(ctx context.Context) <-chan Event {
 	}
 	b.nextSub++
 	id := b.nextSub
-	b.subs[id] = ch
+	if name == "" {
+		name = fmt.Sprintf("sub-%d", id)
+	}
+	b.subs[id] = &subscriber{ch: ch, name: name}
 	b.active.Store(true)
 	b.ensureStartedLocked()
 	b.mu.Unlock()
@@ -274,14 +340,15 @@ func (b *Bus) Subscribe(ctx context.Context) <-chan Event {
 
 func (b *Bus) unsubscribe(id uint64) {
 	b.mu.Lock()
-	ch, ok := b.subs[id]
+	s, ok := b.subs[id]
 	if ok {
 		delete(b.subs, id)
+		b.retireLocked(s)
 		// Close under b.mu: the dispatcher's channel sends also run
 		// under b.mu, so a send can never race this close (a
 		// send-on-closed panic on the dispatcher would take the host
 		// process down).
-		close(ch)
+		close(s.ch)
 	}
 	if len(b.subs) == 0 && len(b.observers) == 0 {
 		b.active.Store(false)
@@ -326,9 +393,10 @@ func (b *Bus) Stop() {
 // unsubscribe.
 func (b *Bus) finish() {
 	b.mu.Lock()
-	for id, ch := range b.subs {
+	for id, s := range b.subs {
 		delete(b.subs, id)
-		close(ch)
+		b.retireLocked(s)
+		close(s.ch)
 	}
 	b.mu.Unlock()
 	close(b.doneCh)
@@ -378,11 +446,12 @@ func (b *Bus) deliver(batch []Event) []Event {
 	}
 	b.mu.Lock()
 	for _, e := range batch {
-		for _, ch := range b.subs {
+		for _, s := range b.subs {
 			select {
-			case ch <- e:
+			case s.ch <- e:
 			default:
 				b.dropped.Add(1)
+				s.dropped.Add(1)
 			}
 		}
 	}

@@ -225,3 +225,71 @@ func TestSubscribeCancelChurnNoPanic(t *testing.T) {
 	close(stop)
 	wg.Wait()
 }
+
+// TestDroppedBySubscriberAttribution names the consumer that cannot keep
+// up: a stalled named subscriber accumulates drops under its name, an
+// attentive one stays clean, and a departed subscriber's count is
+// retained after unsubscribe.
+func TestDroppedBySubscriberAttribution(t *testing.T) {
+	b := New(2, nil)
+	defer b.Stop()
+	ctx, cancel := context.WithCancel(context.Background())
+	_ = b.SubscribeNamed(ctx, "stalled") // never read
+	fast := b.SubscribeNamed(context.Background(), "fast")
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for range fast {
+		}
+	}()
+	// Publish with pauses so the dispatcher drains the ring into the
+	// stalled subscriber's (bounded) channel: once that fills, further
+	// deliveries drop and are attributed. A tight burst would be
+	// absorbed by ring overwrites instead, which are unattributable.
+	publishUntil(t, b, "attributed drops", func() bool {
+		return b.DroppedBySubscriber()["stalled"] > 0
+	})
+	byName := b.DroppedBySubscriber()
+	if byName["fast"] != 0 {
+		t.Fatalf("attentive subscriber blamed for %d drops", byName["fast"])
+	}
+	if total := b.Dropped(); total < byName["stalled"] {
+		t.Fatalf("total %d < attributed %d", total, byName["stalled"])
+	}
+
+	// Departed subscribers keep their counts (deadDrops retention).
+	before := byName["stalled"]
+	cancel()
+	waitFor(t, "unsubscribe retention", func() bool {
+		return b.DroppedBySubscriber()["stalled"] >= before
+	})
+	b.Stop()
+	<-done
+	if got := b.DroppedBySubscriber()["stalled"]; got < before {
+		t.Fatalf("retained count %d < %d after stop", got, before)
+	}
+}
+
+// TestAnonymousSubscriberName checks the generated sub-<id> naming.
+func TestAnonymousSubscriberName(t *testing.T) {
+	b := New(1, nil)
+	defer b.Stop()
+	_ = b.Subscribe(context.Background()) // never read
+	publishUntil(t, b, "anonymous drops", func() bool {
+		return b.DroppedBySubscriber()["sub-1"] > 0
+	})
+}
+
+// publishUntil publishes paced events until cond holds.
+func publishUntil(t *testing.T, b *Bus, what string, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(10 * time.Second)
+	for i := 0; time.Now().Before(deadline); i++ {
+		if cond() {
+			return
+		}
+		b.Publish(AvoidanceYield{TID: int32(i)})
+		time.Sleep(100 * time.Microsecond)
+	}
+	t.Fatalf("timed out waiting for %s", what)
+}

@@ -1,0 +1,346 @@
+// Package predict is the offline deadlock predictor: it replays an
+// acquisition trace (internal/trace) and emits Dimmunix signatures for
+// lock-order cycles that could deadlock in another schedule — even
+// though the recorded run never hung. Pushing the emitted history
+// through the shared immunity store (PR 3/4) inoculates a whole fleet
+// before any process pays the one deadlock Dimmunix normally needs to
+// learn a pattern (§5 of the paper learns only from actual hangs).
+//
+// The predictor is sound by construction, in the sense of the dynamic
+// prediction literature (Tunç et al., "Sound Dynamic Deadlock Prediction
+// in Linear Time"; Kalhauge & Palsberg): a cycle of dependencies is
+// reported only when no recorded evidence contradicts its feasibility:
+//
+//   - thread disjointness: every dependency in the cycle comes from a
+//     different thread (after handoff aliasing, below) — one thread
+//     cannot deadlock with itself on the patterns we emit;
+//   - no common guard lock: the lock sets of the cycle's dependencies
+//     are pairwise disjoint. A lock held across two of the critical
+//     sections serializes them, so the cycle's interleaving cannot
+//     occur.
+//
+// Multi-goroutine critical sections (Sulzmann, "Beyond Per-Thread Lock
+// Sets") are handled where the trace shows a handoff — a lock released
+// by a goroutine other than its acquirer: the goroutines are aliased
+// into one logical thread for the disjointness check, and acquisitions
+// the releasing goroutine performed inside the handed-off critical
+// section inherit the lock into their lock sets. Both extensions only
+// suppress predictions, preserving soundness.
+//
+// Emitted signatures carry, for each thread in the cycle, the call
+// stack at which it acquired the lock it holds into the cycle — the
+// same stacks the live monitor archives from a fired deadlock's
+// resource-allocation-graph cycle — so History.Merge accepts them like
+// any experienced signature, avoidance matches them at the configured
+// depth, and the fast-path danger index epoch-bumps as usual. Source is
+// stamped SourcePredicted for operator attribution.
+package predict
+
+import (
+	"sort"
+
+	"dimmunix/internal/event"
+	"dimmunix/internal/signature"
+	"dimmunix/internal/stack"
+	"dimmunix/internal/trace"
+)
+
+// DefaultMaxCycleLen bounds the dependency-cycle search depth. Real
+// deadlocks wider than a handful of threads are vanishingly rare (the
+// paper's Table 1 patterns are all width 2) and the search is
+// exponential in this bound.
+const DefaultMaxCycleLen = 8
+
+// Options parametrizes Analyze.
+type Options struct {
+	// Depth is the matching depth stamped into emitted signatures
+	// (<= 0 selects signature.DefaultDepth). Match it to the consuming
+	// runtimes' MatchDepth.
+	Depth int
+	// MaxCycleLen bounds the cycle search (<= 0 selects
+	// DefaultMaxCycleLen).
+	MaxCycleLen int
+}
+
+// Dependency is one "thread t acquired lock l while holding H" fact, the
+// unit the cycle search runs over.
+type Dependency struct {
+	TID int32
+	LID uint64
+	Seq uint64
+	// Holds maps each held lock to the stack at which this thread
+	// acquired it — the stack a signature carries when that hold closes
+	// a cycle edge (handoff-inherited locks carry their original
+	// acquirer's stack).
+	Holds map[uint64]stack.Stack
+	// Stack is the acquisition stack of LID itself.
+	Stack stack.Stack
+}
+
+// RejectStats counts candidate cycles the soundness guards discarded —
+// the would-be false positives.
+type RejectStats struct {
+	// SameThread counts cycles with two dependencies from one (possibly
+	// handoff-aliased) thread.
+	SameThread int
+	// CommonLock counts cycles where two dependencies shared a held
+	// guard lock.
+	CommonLock int
+	// NoStack counts cycles dropped because a dependency's acquisition
+	// carried no call stack (nothing to match at avoidance time).
+	NoStack int
+}
+
+// Result is one analysis run's outcome.
+type Result struct {
+	// Signatures are the predicted deadlock patterns, deduplicated by
+	// signature ID, in deterministic (ID) order.
+	Signatures []*signature.Signature
+	// Dependencies is the number of nested-acquisition facts extracted.
+	Dependencies int
+	// Handoffs is the number of cross-goroutine critical sections the
+	// trace showed (locks released by a non-acquirer).
+	Handoffs int
+	// Cycles is the number of dependency cycles found before the
+	// soundness guards ran (instances, not unique patterns).
+	Cycles int
+	// Rejected breaks down the guarded-away candidates.
+	Rejected RejectStats
+}
+
+// History packages the predicted signatures as a format-v2 history
+// stamped with the trace's build fingerprint, ready for History.Merge or
+// a histstore push.
+func (r *Result) History(fingerprint string) *signature.History {
+	h := signature.NewHistory()
+	h.SetFingerprint(fingerprint)
+	for _, sig := range r.Signatures {
+		h.Add(sig)
+	}
+	return h
+}
+
+// handoff is one cross-goroutine critical section: lock lid was acquired
+// by the owner (at ownerStack) at seq from, and released by releaser at
+// seq to.
+type handoff struct {
+	lid        uint64
+	releaser   int32
+	from, to   uint64
+	ownerStack stack.Stack
+}
+
+// Analyze replays tr and returns the predicted deadlock patterns.
+func Analyze(tr *trace.Trace, opt Options) *Result {
+	if opt.Depth <= 0 {
+		opt.Depth = signature.DefaultDepth
+	}
+	if opt.MaxCycleLen <= 0 {
+		opt.MaxCycleLen = DefaultMaxCycleLen
+	}
+	res := &Result{}
+
+	type held struct {
+		since uint64 // seq of the acquisition
+		stack stack.Stack
+	}
+	type owner struct {
+		tid   int32
+		since uint64
+		stack stack.Stack
+	}
+	heldBy := make(map[int32]map[uint64]held) // tid -> held lock set
+	owners := make(map[uint64]owner)          // lid -> current owner
+	alias := newUnionFind()
+	var deps []*Dependency
+	var handoffs []handoff
+
+	for _, rec := range tr.Records {
+		switch rec.Op {
+		case event.Acquired:
+			hs := heldBy[rec.TID]
+			if hs == nil {
+				hs = make(map[uint64]held)
+				heldBy[rec.TID] = hs
+			}
+			if _, re := hs[rec.LID]; re {
+				continue // reentrant re-acquisition: no state change
+			}
+			if len(hs) > 0 {
+				holds := make(map[uint64]stack.Stack, len(hs))
+				for l, h := range hs {
+					holds[l] = h.stack
+				}
+				deps = append(deps, &Dependency{
+					TID:   rec.TID,
+					LID:   rec.LID,
+					Seq:   rec.Seq,
+					Holds: holds,
+					Stack: rec.Stack,
+				})
+			}
+			hs[rec.LID] = held{since: rec.Seq, stack: rec.Stack}
+			owners[rec.LID] = owner{tid: rec.TID, since: rec.Seq, stack: rec.Stack}
+		case event.Release:
+			ow, known := owners[rec.LID]
+			delete(owners, rec.LID)
+			if known && ow.tid != rec.TID {
+				// Handoff: the critical section of rec.LID spanned from
+				// its acquirer to this releaser (channel/cond-mediated
+				// ownership transfer). Alias the goroutines and note the
+				// span so the releaser's nested acquisitions inside it
+				// inherit the lock (second pass below).
+				res.Handoffs++
+				alias.union(ow.tid, rec.TID)
+				handoffs = append(handoffs, handoff{
+					lid: rec.LID, releaser: rec.TID,
+					from: ow.since, to: rec.Seq, ownerStack: ow.stack,
+				})
+				delete(heldBy[ow.tid], rec.LID)
+				continue
+			}
+			delete(heldBy[rec.TID], rec.LID)
+		}
+	}
+	res.Dependencies = len(deps)
+
+	// Sulzmann lock-set extension: an acquisition the releaser performed
+	// inside a handed-off critical section was guarded by the handed-off
+	// lock, even though its per-thread lock set never showed it.
+	for _, ho := range handoffs {
+		for _, d := range deps {
+			if d.TID == ho.releaser && d.Seq > ho.from && d.Seq < ho.to {
+				if _, own := d.Holds[ho.lid]; !own {
+					d.Holds[ho.lid] = ho.ownerStack
+				}
+			}
+		}
+	}
+
+	res.Signatures = findCycles(deps, alias, opt, res)
+	sort.Slice(res.Signatures, func(i, j int) bool {
+		return res.Signatures[i].ID < res.Signatures[j].ID
+	})
+	return res
+}
+
+// findCycles searches the dependency graph (edge D -> D' iff D's
+// acquired lock is in D''s lock set) for elementary cycles up to
+// opt.MaxCycleLen, applies the soundness guards, and builds signatures.
+func findCycles(deps []*Dependency, alias *unionFind, opt Options, res *Result) []*signature.Signature {
+	// Index dependencies by held lock for edge traversal.
+	byHeld := make(map[uint64][]int)
+	for i, d := range deps {
+		for l := range d.Holds {
+			byHeld[l] = append(byHeld[l], i)
+		}
+	}
+
+	sigs := make(map[string]*signature.Signature)
+	path := make([]int, 0, opt.MaxCycleLen)
+	onPath := make(map[int]bool)
+
+	var dfs func(start, cur int)
+	dfs = func(start, cur int) {
+		for _, next := range byHeld[deps[cur].LID] {
+			if next == start {
+				emitCycle(deps, path, alias, opt, res, sigs)
+				continue
+			}
+			// Canonical form: the cycle's minimum index is its start, so
+			// each cycle is found exactly once.
+			if next < start || onPath[next] || len(path) >= opt.MaxCycleLen {
+				continue
+			}
+			path = append(path, next)
+			onPath[next] = true
+			dfs(start, next)
+			onPath[next] = false
+			path = path[:len(path)-1]
+		}
+	}
+	for i := range deps {
+		path = append(path[:0], i)
+		onPath[i] = true
+		dfs(i, i)
+		onPath[i] = false
+	}
+
+	out := make([]*signature.Signature, 0, len(sigs))
+	for _, s := range sigs {
+		out = append(out, s)
+	}
+	return out
+}
+
+// emitCycle applies the soundness guards to one candidate cycle and, if
+// it survives, records its signature.
+func emitCycle(deps []*Dependency, cycle []int, alias *unionFind, opt Options, res *Result, sigs map[string]*signature.Signature) {
+	res.Cycles++
+	// Thread disjointness, with handoff-aliased goroutines counting as
+	// one logical thread.
+	roots := make(map[int32]bool, len(cycle))
+	for _, i := range cycle {
+		r := alias.find(deps[i].TID)
+		if roots[r] {
+			res.Rejected.SameThread++
+			return
+		}
+		roots[r] = true
+	}
+	// No common guard: the lock sets must be pairwise disjoint. The
+	// cycle's own edge locks never trip this — a thread acquiring l
+	// cannot simultaneously hold it (reentries were dropped earlier).
+	for a := 0; a < len(cycle); a++ {
+		for b := a + 1; b < len(cycle); b++ {
+			for l := range deps[cycle[a]].Holds {
+				if _, both := deps[cycle[b]].Holds[l]; both {
+					res.Rejected.CommonLock++
+					return
+				}
+			}
+		}
+	}
+	// The signature carries, per cycle edge D -> D' (D's acquired lock is
+	// held by D'), the stack at which D''s thread acquired that held lock
+	// — the same stacks the live monitor archives from a fired cycle.
+	stacks := make([]stack.Stack, 0, len(cycle))
+	for k, i := range cycle {
+		holder := deps[cycle[(k+1)%len(cycle)]]
+		s := holder.Holds[deps[i].LID]
+		if s == nil {
+			res.Rejected.NoStack++
+			return
+		}
+		stacks = append(stacks, s)
+	}
+	sig := signature.New(signature.Deadlock, stacks, opt.Depth)
+	sig.Source = signature.SourcePredicted
+	if _, dup := sigs[sig.ID]; !dup {
+		sigs[sig.ID] = sig
+	}
+}
+
+// unionFind aliases goroutine IDs connected by handoffs.
+type unionFind struct {
+	parent map[int32]int32
+}
+
+func newUnionFind() *unionFind { return &unionFind{parent: make(map[int32]int32)} }
+
+func (u *unionFind) find(x int32) int32 {
+	p, ok := u.parent[x]
+	if !ok || p == x {
+		return x
+	}
+	r := u.find(p)
+	u.parent[x] = r
+	return r
+}
+
+func (u *unionFind) union(a, b int32) {
+	ra, rb := u.find(a), u.find(b)
+	if ra != rb {
+		u.parent[ra] = rb
+	}
+}

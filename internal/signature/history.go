@@ -671,6 +671,7 @@ type persistedSig struct {
 	Rev         uint64      `json:"rev,omitempty"`
 	Disabled    bool        `json:"disabled,omitempty"`
 	CreatedUnix int64       `json:"created_unix,omitempty"`
+	Source      string      `json:"source,omitempty"`
 	AvoidCount  uint64      `json:"avoid_count,omitempty"`
 	AbortCount  uint64      `json:"abort_count,omitempty"`
 	FPCount     uint64      `json:"fp_count,omitempty"`
@@ -707,6 +708,7 @@ func (h *History) persistedLocked() persistedHistory {
 			Rev:         s.Rev,
 			Disabled:    s.Disabled,
 			CreatedUnix: s.CreatedUnix,
+			Source:      s.Source,
 			AvoidCount:  s.AvoidCount,
 			AbortCount:  s.AbortCount,
 			FPCount:     s.FPCount,
@@ -791,6 +793,7 @@ func (h *History) UnmarshalJSON(data []byte) error {
 		if ps.CreatedUnix != 0 {
 			s.CreatedUnix = ps.CreatedUnix
 		}
+		s.Source = ps.Source
 		s.AvoidCount = ps.AvoidCount
 		s.AbortCount = ps.AbortCount
 		s.FPCount = ps.FPCount

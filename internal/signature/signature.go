@@ -40,6 +40,10 @@ func (k Kind) String() string {
 // calibration is off (§5.5: "4 by default").
 const DefaultDepth = 4
 
+// SourcePredicted marks signatures emitted by the offline trace analyzer
+// rather than archived from a live deadlock (Signature.Source).
+const SourcePredicted = "predicted"
+
 // Signature is one archived deadlock or starvation pattern.
 type Signature struct {
 	// ID is the canonical content hash of the stack multiset; two
@@ -65,6 +69,15 @@ type Signature struct {
 	Rev uint64
 	// CreatedUnix is the archive time (seconds since epoch).
 	CreatedUnix int64
+	// Source records where the entry came from: "" for signatures
+	// archived from a live detection, SourcePredicted for entries the
+	// offline trace analyzer emitted (dimmunix-predict) before the
+	// deadlock ever fired. Informational metadata — matching, merging,
+	// and identity ignore it — persisted in format v2 so operators can
+	// tell predicted from experienced entries. When a predicted pattern
+	// later manifests for real, the live archive is a duplicate ID and
+	// the entry keeps its predicted provenance.
+	Source string
 
 	// AvoidCount counts avoidance actions (yields) attributed to this
 	// signature; the avoidance action log of §5.7.

@@ -1,0 +1,108 @@
+package simapp
+
+import (
+	"time"
+
+	"dimmunix/internal/core"
+)
+
+// InversionLab is the predictive-immunity proving ground: lock-order
+// inversions that are real deadlocks-in-waiting but never fire in the
+// recorded (canary) schedule, plus the two classic sound-negative
+// controls the offline predictor must reject.
+//
+// The trap the lab is built around: the canary schedule and the exploit
+// schedule route through the SAME helper call sites (runAB/runBA), so a
+// signature predicted from the serialized canary trace carries exactly
+// the acquisition stacks the concurrent exploit presents — the avoidance
+// matcher cannot tell a predicted entry from an experienced one. Each
+// scenario uses its own lock set so the trace analysis of one cannot
+// contaminate another.
+type InversionLab struct {
+	rt *core.Runtime
+	// The predictable pair: AB / BA on disjoint schedules.
+	a, b *core.Mutex
+	// The guarded control: same inversion, both orders under guard g.
+	ga, gb, g *core.Mutex
+	// The same-thread control: one thread takes both orders in sequence.
+	sa, sb *core.Mutex
+}
+
+// NewInversionLab builds the lab's lock sets on rt.
+func NewInversionLab(rt *core.Runtime) *InversionLab {
+	return &InversionLab{
+		rt: rt,
+		a:  rt.NewMutex(), b: rt.NewMutex(),
+		ga: rt.NewMutex(), gb: rt.NewMutex(), g: rt.NewMutex(),
+		sa: rt.NewMutex(), sb: rt.NewMutex(),
+	}
+}
+
+// runAB / runBA are the shared call sites: every schedule — canary or
+// exploit — acquires through these two lines, so call stacks line up
+// across runs and across processes of the same binary.
+func (l *InversionLab) runAB(t *core.Thread, hold time.Duration) error {
+	return nest(t, l.a, l.b, hold, nil)
+}
+
+func (l *InversionLab) runBA(t *core.Thread, hold time.Duration) error {
+	return nest(t, l.b, l.a, hold, nil)
+}
+
+// Canary runs the inversion on disjoint schedules: AB completes before
+// BA starts. The run can never block — there is no lock contention at
+// all — yet the trace it leaves proves the A→B / B→A inversion, which
+// is exactly what the offline predictor must surface.
+func (l *InversionLab) Canary(hold time.Duration) []error {
+	errs := make([]error, 2)
+	t1 := l.rt.RegisterThread("canary-ab")
+	errs[0] = l.runAB(t1, hold)
+	t1.Close()
+	t2 := l.rt.RegisterThread("canary-ba")
+	errs[1] = l.runBA(t2, hold)
+	t2.Close()
+	return errs
+}
+
+// Exploit runs the real interleaving: AB and BA concurrently, each
+// holding its outer lock across the window. Without immunity this
+// deadlocks; with the predicted signature loaded, one side yields.
+func (l *InversionLab) Exploit(hold time.Duration) []error {
+	return cross(l.rt,
+		func(t *core.Thread) error { return l.runAB(t, hold) },
+		func(t *core.Thread) error { return l.runBA(t, hold) },
+	)
+}
+
+// GuardedCanary records the sound-negative control: the same shape of
+// inversion (GA→GB then GB→GA, serialized), but both orders run under
+// the common guard g, so the deadlocking interleaving cannot occur and
+// the predictor must reject the cycle (common-lock guard).
+func (l *InversionLab) GuardedCanary(hold time.Duration) []error {
+	under := func(name string, outer, inner *core.Mutex) error {
+		t := l.rt.RegisterThread(name)
+		defer t.Close()
+		if err := l.g.LockT(t); err != nil {
+			return err
+		}
+		err := nest(t, outer, inner, hold, nil)
+		_ = l.g.UnlockT(t)
+		return err
+	}
+	return []error{
+		under("guarded-ab", l.ga, l.gb),
+		under("guarded-ba", l.gb, l.ga),
+	}
+}
+
+// SameThreadCanary records the second control: one thread takes SA→SB
+// and then SB→SA. A single thread cannot deadlock with itself here, so
+// the predictor must reject the cycle (thread-disjointness guard).
+func (l *InversionLab) SameThreadCanary(hold time.Duration) []error {
+	t := l.rt.RegisterThread("same-thread")
+	defer t.Close()
+	return []error{
+		nest(t, l.sa, l.sb, hold, nil),
+		nest(t, l.sb, l.sa, hold, nil),
+	}
+}

@@ -1,0 +1,199 @@
+package simapp
+
+import (
+	"context"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"dimmunix/internal/core"
+	"dimmunix/internal/histstore"
+	"dimmunix/internal/obs"
+	"dimmunix/internal/predict"
+	"dimmunix/internal/signature"
+	"dimmunix/internal/trace"
+)
+
+// TestPredictiveCanaryInoculation is the whole predictive-immunity loop
+// in one process: a canary run records a trace of serialized schedules
+// that never contend (plus two sound-negative controls), the offline
+// predictor extracts exactly the one real inversion, the prediction is
+// pushed through an immunity store, and a second runtime — which has
+// never seen the deadlock — avoids the real interleaving on its first
+// encounter, observably (AvoidanceYield events, per-signature yield
+// stats), with zero deadlocks detected anywhere.
+func TestPredictiveCanaryInoculation(t *testing.T) {
+	dir := t.TempDir()
+	tracePath := filepath.Join(dir, "canary.trace")
+	storePath := filepath.Join(dir, "immunity.json")
+
+	// Phase 1 — canary: trace mode on, disjoint schedules, no contention.
+	canary := core.MustNew(core.Config{
+		TracePath:  tracePath,
+		MatchDepth: 2,
+		Tau:        2 * time.Millisecond,
+	})
+	if errs := NewInversionLab(canary).Canary(time.Millisecond); !Clean(errs) {
+		t.Fatalf("canary run not clean: %v", errs)
+	}
+	lab := NewInversionLab(canary) // fresh lock sets for the controls
+	if errs := lab.GuardedCanary(time.Millisecond); !Clean(errs) {
+		t.Fatalf("guarded control not clean: %v", errs)
+	}
+	if errs := lab.SameThreadCanary(time.Millisecond); !Clean(errs) {
+		t.Fatalf("same-thread control not clean: %v", errs)
+	}
+	if n := canary.MonitorCounters().DeadlocksDetected.Load(); n != 0 {
+		t.Fatalf("canary run detected %d deadlocks; schedules must be disjoint", n)
+	}
+	if err := canary.Stop(); err != nil {
+		t.Fatalf("canary stop: %v", err)
+	}
+	st := canary.Stats()
+	if st.TraceRecords == 0 {
+		t.Fatal("trace mode recorded nothing")
+	}
+	if st.TraceDropped != 0 {
+		t.Fatalf("trace dropped %d records", st.TraceDropped)
+	}
+
+	// Phase 2 — offline prediction. The inversion must be found; both
+	// controls must be rejected by their respective soundness guards.
+	tr, err := trace.ReadAll(tracePath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := predict.Analyze(tr, predict.Options{Depth: 2})
+	if len(res.Signatures) != 1 {
+		t.Fatalf("predicted %d signatures, want exactly 1 (cycles=%d rejected=%+v)",
+			len(res.Signatures), res.Cycles, res.Rejected)
+	}
+	if res.Rejected.CommonLock == 0 {
+		t.Fatalf("guarded control was not exercised/rejected: %+v", res.Rejected)
+	}
+	if res.Rejected.SameThread == 0 {
+		t.Fatalf("same-thread control was not exercised/rejected: %+v", res.Rejected)
+	}
+	sig := res.Signatures[0]
+	if sig.Source != signature.SourcePredicted {
+		t.Fatalf("source = %q", sig.Source)
+	}
+
+	// Phase 3 — canary loop: push the prediction through the store.
+	fs := histstore.NewFileStore(storePath)
+	if _, err := fs.Push(context.Background(), res.History(tr.Fingerprint)); err != nil {
+		t.Fatal(err)
+	}
+	fs.Close()
+
+	// Phase 4 — inoculated process: loads the store at startup, then runs
+	// the real interleaving. First encounter must be avoided, not merely
+	// recovered.
+	avoid := core.MustNew(core.Config{
+		HistoryPath: storePath,
+		MatchDepth:  2,
+		Tau:         2 * time.Millisecond,
+		MaxYield:    10 * time.Second,
+	})
+	defer avoid.Stop()
+	if got := avoid.History().Get(sig.ID); got == nil || got.Source != signature.SourcePredicted {
+		t.Fatalf("inoculated runtime did not load the predicted entry: %+v", got)
+	}
+	events := avoid.SubscribeNamed(context.Background(), "e2e")
+	if errs := NewInversionLab(avoid).Exploit(50 * time.Millisecond); !Clean(errs) {
+		t.Fatalf("inoculated exploit not clean: %v", errs)
+	}
+	stats := avoid.Stats()
+	if stats.DeadlocksDetected != 0 {
+		t.Fatalf("inoculated run detected %d deadlocks", stats.DeadlocksDetected)
+	}
+	if stats.Yields == 0 {
+		t.Fatal("inoculated run recorded no avoidance yields")
+	}
+	if stats.YieldsBySignature[sig.ID] == 0 {
+		t.Fatalf("yields not attributed to the predicted signature: %v", stats.YieldsBySignature)
+	}
+	sawYield := false
+	for !sawYield {
+		select {
+		case ev := <-events:
+			if y, ok := ev.(obs.AvoidanceYield); ok && y.SigID == sig.ID {
+				sawYield = true
+			}
+		case <-time.After(5 * time.Second):
+			t.Fatal("no AvoidanceYield event for the predicted signature")
+		}
+	}
+}
+
+// TestPredictedPushBumpsDangerEpoch is the canary-loop differential: a
+// running runtime's fast-path danger index must epoch-bump when a
+// predicted snapshot lands in its store and is synced in — exactly as
+// for a live archive — so cached safe-stack markers revalidate.
+func TestPredictedPushBumpsDangerEpoch(t *testing.T) {
+	dir := t.TempDir()
+	storePath := filepath.Join(dir, "store.json")
+
+	rt := core.MustNew(core.Config{
+		HistoryStore: histstore.NewFileStore(storePath),
+		SyncInterval: -1, // manual SyncNow only: the test controls timing
+		MatchDepth:   2,
+		Tau:          2 * time.Millisecond,
+	})
+	defer rt.Stop()
+	before := rt.Stats()
+
+	// A canary elsewhere records, predicts, and pushes.
+	canaryDir := t.TempDir()
+	tracePath := filepath.Join(canaryDir, "c.trace")
+	canary := core.MustNew(core.Config{
+		TracePath:  tracePath,
+		MatchDepth: 2,
+		Tau:        2 * time.Millisecond,
+	})
+	if errs := NewInversionLab(canary).Canary(time.Millisecond); !Clean(errs) {
+		t.Fatalf("canary: %v", errs)
+	}
+	if err := canary.Stop(); err != nil {
+		t.Fatal(err)
+	}
+	tr, err := trace.ReadAll(tracePath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := predict.Analyze(tr, predict.Options{Depth: 2})
+	if len(res.Signatures) != 1 {
+		t.Fatalf("predicted %d signatures", len(res.Signatures))
+	}
+	push := histstore.NewFileStore(storePath)
+	if _, err := push.Push(context.Background(), res.History(tr.Fingerprint)); err != nil {
+		t.Fatal(err)
+	}
+	push.Close()
+
+	// The running runtime syncs and must observe the epoch bump — the
+	// fast path's invalidation clock — plus the new entry with its
+	// provenance intact.
+	if err := rt.SyncNow(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	after := rt.Stats()
+	if after.HistoryEpoch <= before.HistoryEpoch {
+		t.Fatalf("danger epoch did not bump: %d -> %d", before.HistoryEpoch, after.HistoryEpoch)
+	}
+	if after.HistorySignatures != before.HistorySignatures+1 {
+		t.Fatalf("signatures %d -> %d, want +1", before.HistorySignatures, after.HistorySignatures)
+	}
+	found := false
+	for _, s := range rt.HistorySummary().Signatures {
+		if s.ID == res.Signatures[0].ID {
+			found = true
+			if s.Source != signature.SourcePredicted {
+				t.Fatalf("summary source = %q, want predicted", s.Source)
+			}
+		}
+	}
+	if !found {
+		t.Fatal("predicted entry missing from history summary")
+	}
+}

@@ -1,0 +1,191 @@
+package trace
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"dimmunix/internal/event"
+	"dimmunix/internal/stack"
+)
+
+func intern(in *stack.Interner, seed uint64) *stack.Interned {
+	return in.Intern(stack.Synthetic(seed, 4))
+}
+
+func TestRoundTrip(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "t.trace")
+	r, err := NewRecorder(path, "fp-test", -1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	in := stack.NewInterner()
+	s1, s2 := intern(in, 1), intern(in, 2)
+	evs := []event.Event{
+		{Kind: event.Acquired, TID: 1, LID: 10, Stack: s1},
+		{Kind: event.Acquired, TID: 1, LID: 11, Stack: s2},
+		{Kind: event.Release, TID: 1, LID: 11},
+		{Kind: event.Acquired, TID: 2, LID: 11, Stack: s1}, // stack reuse: ref table hit
+		{Kind: event.Request, TID: 2, LID: 12, Stack: s2},  // filtered out
+		{Kind: event.Release, TID: 2, LID: 11},
+	}
+	for _, ev := range evs {
+		r.Record(ev)
+	}
+	if got := r.Records(); got != 5 {
+		t.Fatalf("Records() = %d, want 5 (Request filtered)", got)
+	}
+	if err := r.Close(); err != nil {
+		t.Fatal(err)
+	}
+	r.Record(evs[0])
+	if r.Dropped() != 1 {
+		t.Fatalf("record after Close must count dropped, got %d", r.Dropped())
+	}
+
+	tr, err := ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tr.Fingerprint != "fp-test" {
+		t.Fatalf("fingerprint = %q", tr.Fingerprint)
+	}
+	if tr.Truncated {
+		t.Fatal("clean file reported truncated")
+	}
+	if len(tr.Records) != 5 {
+		t.Fatalf("got %d records, want 5", len(tr.Records))
+	}
+	want := []struct {
+		op  event.Kind
+		tid int32
+		lid uint64
+		st  stack.Stack
+	}{
+		{event.Acquired, 1, 10, s1.S},
+		{event.Acquired, 1, 11, s2.S},
+		{event.Release, 1, 11, nil},
+		{event.Acquired, 2, 11, s1.S},
+		{event.Release, 2, 11, nil},
+	}
+	for i, w := range want {
+		g := tr.Records[i]
+		if g.Op != w.op || g.TID != w.tid || g.LID != w.lid {
+			t.Fatalf("record %d = %+v, want %+v", i, g, w)
+		}
+		if w.st == nil && g.Stack != nil || w.st != nil && !g.Stack.Equal(w.st) {
+			t.Fatalf("record %d stack = %v, want %v", i, g.Stack, w.st)
+		}
+		if g.Seq != uint64(i) {
+			t.Fatalf("record %d seq = %d", i, g.Seq)
+		}
+	}
+}
+
+func TestTornFinalRecord(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "t.trace")
+	r, err := NewRecorder(path, "fp", -1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	in := stack.NewInterner()
+	s := intern(in, 7)
+	for i := 0; i < 10; i++ {
+		r.Record(event.Event{Kind: event.Acquired, TID: 1, LID: uint64(i), Stack: s})
+	}
+	if err := r.Close(); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for cut := 1; cut < eventSize; cut++ {
+		torn := filepath.Join(t.TempDir(), "torn.trace")
+		if err := os.WriteFile(torn, data[:len(data)-cut], 0o644); err != nil {
+			t.Fatal(err)
+		}
+		tr, err := ReadFile(torn)
+		if err != nil {
+			t.Fatalf("cut %d: %v", cut, err)
+		}
+		if !tr.Truncated {
+			t.Fatalf("cut %d: torn file not reported truncated", cut)
+		}
+		if len(tr.Records) != 9 {
+			t.Fatalf("cut %d: got %d records, want 9 intact", cut, len(tr.Records))
+		}
+	}
+}
+
+func TestEmptyAndHeaderOnly(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "t.trace")
+	r, err := NewRecorder(path, "fp", 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := r.Close(); err != nil {
+		t.Fatal(err)
+	}
+	tr, err := ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tr.Records) != 0 || tr.Truncated {
+		t.Fatalf("empty journal: %+v", tr)
+	}
+	if err := os.WriteFile(path, []byte("not a trace"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ReadFile(path); err == nil {
+		t.Fatal("bad magic must error")
+	}
+}
+
+func TestRotationBoundary(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "t.trace")
+	// Tiny bound: rotation after a handful of records.
+	r, err := NewRecorder(path, "fp-rot", 256)
+	if err != nil {
+		t.Fatal(err)
+	}
+	in := stack.NewInterner()
+	s := intern(in, 3)
+	const n = 64
+	for i := 0; i < n; i++ {
+		r.Record(event.Event{Kind: event.Acquired, TID: 1, LID: uint64(i), Stack: s})
+	}
+	if err := r.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := os.Stat(path + ".1"); err != nil {
+		t.Fatalf("rotation did not produce %s.1: %v", path, err)
+	}
+	tr, err := ReadAll(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// ReadAll only spans the last rotation and the live file; earlier
+	// rotations are replaced. Records must be ordered, contiguous at the
+	// boundary, and every one must carry its (re-interned) stack.
+	if len(tr.Records) < 2 {
+		t.Fatalf("got %d records", len(tr.Records))
+	}
+	for i := 1; i < len(tr.Records); i++ {
+		if tr.Records[i].Seq != tr.Records[i-1].Seq+1 {
+			t.Fatalf("seq gap at %d: %d -> %d", i, tr.Records[i-1].Seq, tr.Records[i].Seq)
+		}
+	}
+	for i, rec := range tr.Records {
+		if rec.Stack == nil {
+			t.Fatalf("record %d lost its stack across rotation", i)
+		}
+		if !rec.Stack.Equal(s.S) {
+			t.Fatalf("record %d stack mismatch", i)
+		}
+	}
+	if tr.Records[len(tr.Records)-1].LID != n-1 {
+		t.Fatalf("last record lid = %d", tr.Records[len(tr.Records)-1].LID)
+	}
+}

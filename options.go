@@ -206,6 +206,23 @@ func WithEventBuffer(n int) Option {
 	return func(c *Config) { c.EventBuffer = n }
 }
 
+// WithTraceRecorder arms trace mode: every acquisition event the
+// monitor drains — fast-tier operations included — is appended to the
+// binary journal at path, for offline deadlock prediction with
+// dimmunix-predict. Recording rides the monitor goroutine, so the lock
+// path pays nothing for it. The journal rotates to path+".1" at the
+// size bound (WithTraceMaxBytes). The env form is DIMMUNIX_TRACE.
+func WithTraceRecorder(path string) Option {
+	return func(c *Config) { c.TracePath = path }
+}
+
+// WithTraceMaxBytes bounds the trace journal before rotation (default
+// 64 MiB; negative removes the bound). The env form is
+// DIMMUNIX_TRACE_MAX_BYTES.
+func WithTraceMaxBytes(n int64) Option {
+	return func(c *Config) { c.TraceMaxBytes = n }
+}
+
 // WithIgnoreDecisions computes avoidance decisions but never yields
 // (the Table 1 control configuration).
 func WithIgnoreDecisions() Option {
