@@ -1,0 +1,111 @@
+// alloc_test.go pins the allocation budget of the lock paths. The
+// uncontended fast tier is the product's hot path and must stay at zero
+// allocations per operation (amortized: the per-thread event buffer
+// publishes one pooled carrier to the monitor queue every EventBatch
+// operations, so the per-op average stays well under one). The guarded
+// tier symbolizes stacks per operation when the fast path is disabled;
+// its budget is bounded, not zero.
+//
+// testing.AllocsPerRun counts process-wide mallocs, so the runtimes here
+// are configured with an effectively-idle monitor (huge Tau) and pruning
+// off, leaving the lock path as the only allocator.
+package dimmunix_test
+
+import (
+	"testing"
+	"time"
+
+	"dimmunix"
+)
+
+func allocRT(t *testing.T, cfg dimmunix.Config) *dimmunix.Runtime {
+	t.Helper()
+	cfg.Tau = time.Hour // no monitor passes during measurement
+	cfg.ThreadTTL = -1  // no pruner sweeps
+	rt := dimmunix.MustNew(cfg)
+	t.Cleanup(func() { rt.Stop() })
+	return rt
+}
+
+// TestFastPathLockUnlockZeroAllocs: uncontended fast-tier Mutex
+// Lock/Unlock allocates nothing per operation.
+func TestFastPathLockUnlockZeroAllocs(t *testing.T) {
+	rt := allocRT(t, dimmunix.Config{Mode: dimmunix.ModeFull})
+	th := rt.RegisterThread("alloc")
+	defer th.Close()
+	m := rt.NewMutex()
+	// Warm the per-goroutine classification table, the PC cache, the
+	// interner, and the thread's first event-buffer slab.
+	for i := 0; i < 200; i++ {
+		if err := m.LockT(th); err != nil {
+			t.Fatal(err)
+		}
+		_ = m.UnlockT(th)
+	}
+	avg := testing.AllocsPerRun(2000, func() {
+		if err := m.LockT(th); err != nil {
+			t.Fatal(err)
+		}
+		_ = m.UnlockT(th)
+	})
+	if avg >= 1 {
+		t.Fatalf("fast-tier Lock/Unlock allocates: %.3f allocs/op (want < 1, i.e. 0 at -benchmem resolution)", avg)
+	}
+	if rt.Stats().FastGos == 0 {
+		t.Fatal("measurement never took the fast tier")
+	}
+}
+
+// TestFastPathRWMutexReadZeroAllocs: uncontended fast-tier RWMutex
+// RLock/RUnlock allocates nothing per operation.
+func TestFastPathRWMutexReadZeroAllocs(t *testing.T) {
+	rt := allocRT(t, dimmunix.Config{Mode: dimmunix.ModeFull})
+	th := rt.RegisterThread("alloc-rw")
+	defer th.Close()
+	rw := rt.NewRWMutex()
+	for i := 0; i < 200; i++ {
+		if err := rw.RLockT(th); err != nil {
+			t.Fatal(err)
+		}
+		_ = rw.RUnlockT(th)
+	}
+	avg := testing.AllocsPerRun(2000, func() {
+		if err := rw.RLockT(th); err != nil {
+			t.Fatal(err)
+		}
+		_ = rw.RUnlockT(th)
+	})
+	if avg >= 1 {
+		t.Fatalf("fast-tier RLock/RUnlock allocates: %.3f allocs/op (want < 1)", avg)
+	}
+	if rt.Stats().FastGos == 0 {
+		t.Fatal("measurement never took the fast tier")
+	}
+}
+
+// TestGuardedPathAllocBudget bounds the guarded tier: with the fast path
+// disabled every operation runs the full §5.4 protocol and — without the
+// PC cache — symbolizes its stack. That costs allocations by design; this
+// test only pins the budget so regressions surface.
+func TestGuardedPathAllocBudget(t *testing.T) {
+	rt := allocRT(t, dimmunix.Config{Mode: dimmunix.ModeFull, DisableFastPath: true})
+	th := rt.RegisterThread("alloc-guarded")
+	defer th.Close()
+	m := rt.NewMutex()
+	for i := 0; i < 200; i++ {
+		if err := m.LockT(th); err != nil {
+			t.Fatal(err)
+		}
+		_ = m.UnlockT(th)
+	}
+	avg := testing.AllocsPerRun(1000, func() {
+		if err := m.LockT(th); err != nil {
+			t.Fatal(err)
+		}
+		_ = m.UnlockT(th)
+	})
+	const budget = 12
+	if avg > budget {
+		t.Fatalf("guarded Lock/Unlock allocates %.1f allocs/op (budget %d)", avg, budget)
+	}
+}

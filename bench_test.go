@@ -476,6 +476,39 @@ func BenchmarkLockUncontendedParallelTraced(b *testing.B) {
 	}
 }
 
+// BenchmarkLockBareMutexParallel is the uninstrumented floor: the same
+// goroutine/mutex ladder as BenchmarkLockUncontendedParallel over bare
+// sync.Mutex. The gap between this and the fast tier is the total cost
+// of immunity on the uncontended path (stack walk, classification,
+// buffered bookkeeping).
+func BenchmarkLockBareMutexParallel(b *testing.B) {
+	for _, g := range parallelLadder {
+		b.Run(fmt.Sprintf("g%d", g), func(b *testing.B) {
+			ms := make([]*sync.Mutex, g)
+			for i := range ms {
+				ms[i] = new(sync.Mutex)
+			}
+			per := b.N / g
+			if per == 0 {
+				per = 1
+			}
+			var wg sync.WaitGroup
+			b.ResetTimer()
+			for i := 0; i < g; i++ {
+				wg.Add(1)
+				go func(m *sync.Mutex) {
+					defer wg.Done()
+					for j := 0; j < per; j++ {
+						m.Lock()
+						m.Unlock() //nolint:staticcheck // empty critical section is the point
+					}
+				}(ms[i])
+			}
+			wg.Wait()
+		})
+	}
+}
+
 // BenchmarkLockDataStructsShards measures the sharded guard where it is
 // designed to help: the data-structs ablation, whose bookkeeping takes
 // only the lock-shard/thread-shard pair instead of one global section.

@@ -1,0 +1,186 @@
+// Command dimmunix-benchdiff compares a `go test -bench` run against the
+// committed medians in BENCH_fastpath.json and gates fast-path allocation
+// regressions in CI. It is a dependency-free stand-in for benchstat
+// (which the CI image does not carry): it parses the standard benchmark
+// output format, reduces repeated runs (-count=N) to per-benchmark
+// medians, prints an old-vs-new delta table, and — with -gate-allocs —
+// exits nonzero if any fast-tier benchmark's median allocs/op is above
+// zero, the regression the zero-allocation fast path must never reintroduce.
+//
+// Usage:
+//
+//	dimmunix-benchdiff -bench bench-ci.txt [-baseline BENCH_fastpath.json] [-gate-allocs]
+//
+// -bench may be "-" to read the benchmark output from stdin.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"regexp"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// fastTierPattern selects the benchmarks the allocation gate applies to:
+// the uncontended fast tier, empty or populated history. The guarded
+// baselines (DisableFastPath) symbolize stacks per operation by design
+// and are exempt.
+var fastTierPattern = regexp.MustCompile(`^BenchmarkLockUncontendedParallel(Populated)?/`)
+
+// benchLine matches one benchmark result line, e.g.
+//
+//	BenchmarkLockUncontendedParallel/g8-4   1879161   587.2 ns/op   22 B/op   0 allocs/op
+//
+// The trailing -P GOMAXPROCS suffix is optional (absent at GOMAXPROCS=1).
+var benchLine = regexp.MustCompile(`^(Benchmark\S+?)(?:-\d+)?\s+\d+\s+([0-9.]+) ns/op(?:\s+([0-9.]+) B/op)?(?:\s+([0-9.]+) allocs/op)?`)
+
+type runs struct {
+	ns     []float64
+	bytes  []float64
+	allocs []float64
+}
+
+type baselineFile struct {
+	Benchmarks []struct {
+		Name           string  `json:"name"`
+		NsPerOpMedian  float64 `json:"ns_per_op_median"`
+		AllocsPerOpMed float64 `json:"allocs_per_op_median"`
+	} `json:"benchmarks"`
+}
+
+func median(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	s := append([]float64(nil), xs...)
+	sort.Float64s(s)
+	n := len(s)
+	if n%2 == 1 {
+		return s[n/2]
+	}
+	return (s[n/2-1] + s[n/2]) / 2
+}
+
+func parse(r io.Reader) (map[string]*runs, []string, error) {
+	byName := make(map[string]*runs)
+	var order []string
+	sc := bufio.NewScanner(r)
+	for sc.Scan() {
+		m := benchLine.FindStringSubmatch(strings.TrimSpace(sc.Text()))
+		if m == nil {
+			continue
+		}
+		name := m[1]
+		rs := byName[name]
+		if rs == nil {
+			rs = &runs{}
+			byName[name] = rs
+			order = append(order, name)
+		}
+		ns, err := strconv.ParseFloat(m[2], 64)
+		if err != nil {
+			return nil, nil, fmt.Errorf("bad ns/op in %q: %w", sc.Text(), err)
+		}
+		rs.ns = append(rs.ns, ns)
+		if m[3] != "" {
+			b, _ := strconv.ParseFloat(m[3], 64)
+			rs.bytes = append(rs.bytes, b)
+		}
+		if m[4] != "" {
+			a, _ := strconv.ParseFloat(m[4], 64)
+			rs.allocs = append(rs.allocs, a)
+		}
+	}
+	return byName, order, sc.Err()
+}
+
+func main() {
+	benchPath := flag.String("bench", "-", "benchmark output file (- = stdin)")
+	basePath := flag.String("baseline", "", "BENCH_fastpath.json to diff medians against")
+	gate := flag.Bool("gate-allocs", false, "exit 1 if a fast-tier benchmark's median allocs/op > 0")
+	flag.Parse()
+
+	in := io.Reader(os.Stdin)
+	if *benchPath != "-" {
+		f, err := os.Open(*benchPath)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "benchdiff:", err)
+			os.Exit(2)
+		}
+		defer f.Close()
+		in = f
+	}
+	byName, order, err := parse(in)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchdiff:", err)
+		os.Exit(2)
+	}
+	if len(byName) == 0 {
+		fmt.Fprintln(os.Stderr, "benchdiff: no benchmark lines found")
+		os.Exit(2)
+	}
+
+	old := map[string]float64{}
+	oldAllocs := map[string]float64{}
+	if *basePath != "" {
+		data, err := os.ReadFile(*basePath)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "benchdiff:", err)
+			os.Exit(2)
+		}
+		var base baselineFile
+		if err := json.Unmarshal(data, &base); err != nil {
+			fmt.Fprintln(os.Stderr, "benchdiff: parse baseline:", err)
+			os.Exit(2)
+		}
+		for _, b := range base.Benchmarks {
+			old[b.Name] = b.NsPerOpMedian
+			oldAllocs[b.Name] = b.AllocsPerOpMed
+		}
+	}
+
+	w := bufio.NewWriter(os.Stdout)
+	fmt.Fprintf(w, "%-55s %12s %12s %9s %9s\n", "benchmark (medians)", "old ns/op", "new ns/op", "delta", "allocs")
+	for _, name := range order {
+		rs := byName[name]
+		newNs := median(rs.ns)
+		newAllocs := median(rs.allocs)
+		oldNs, hasOld := old[name]
+		delta := "n/a"
+		oldCol := "n/a"
+		if hasOld && oldNs > 0 {
+			oldCol = fmt.Sprintf("%.1f", oldNs)
+			delta = fmt.Sprintf("%+.1f%%", (newNs-oldNs)/oldNs*100)
+		}
+		fmt.Fprintf(w, "%-55s %12s %12.1f %9s %9.0f\n", name, oldCol, newNs, delta, newAllocs)
+	}
+	w.Flush()
+
+	if *gate {
+		failed := false
+		for name, rs := range byName {
+			if !fastTierPattern.MatchString(name) {
+				continue
+			}
+			if len(rs.allocs) == 0 {
+				fmt.Fprintf(os.Stderr, "benchdiff: %s has no allocs/op column (run with -benchmem)\n", name)
+				failed = true
+				continue
+			}
+			if a := median(rs.allocs); a > 0 {
+				fmt.Fprintf(os.Stderr, "benchdiff: ALLOC REGRESSION: %s median %.0f allocs/op (fast tier must be 0)\n", name, a)
+				failed = true
+			}
+		}
+		if failed {
+			os.Exit(1)
+		}
+		fmt.Println("alloc gate: fast-tier benchmarks at 0 allocs/op")
+	}
+}

@@ -149,6 +149,8 @@ func Shutdown() error {
 //	DIMMUNIX_FASTPATH          on | off (safe-stack lock-free bypass)
 //	DIMMUNIX_EVENT_BUFFER      int (observability ring / subscriber
 //	                           channel capacity; default 256)
+//	DIMMUNIX_EVENT_BATCH       int (per-thread monitor-publication batch
+//	                           size; default 64, <= 1 disables batching)
 //	DIMMUNIX_TRACE             trace-mode journal path ("" = no tracing);
 //	                           records every acquisition event for
 //	                           offline prediction (dimmunix-predict)
@@ -193,6 +195,9 @@ func configFromEnv() (Config, error) {
 		return cfg, err
 	}
 	if err := envInt("DIMMUNIX_EVENT_BUFFER", &cfg.EventBuffer); err != nil {
+		return cfg, err
+	}
+	if err := envInt("DIMMUNIX_EVENT_BATCH", &cfg.EventBatch); err != nil {
 		return cfg, err
 	}
 	cfg.TracePath = os.Getenv("DIMMUNIX_TRACE")

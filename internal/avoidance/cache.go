@@ -21,9 +21,21 @@
 // safe under the current history epoch: such stacks appear in no matcher,
 // so their edges could never change any decision, and the tier touches no
 // guarded state at all — one atomic marker check plus the event pushes.
-// Event emission to the monitor is lock-free (MPSC queue) and happens
-// outside or inside the guard without ordering hazards: per-producer FIFO
-// plus the mutex-token happens-before edge give the §5.2 partial order.
+//
+// Event emission to the monitor is lock-free (MPSC queue). Bookkeeping
+// events (acquired, release) are batched per thread (Config.EventBatch)
+// and flushed either when a batch fills, when the same thread emits an
+// ordering event (request/go/yield/cancel/thread-exit — those always
+// flush first, so per-thread FIFO order is preserved end to end), or when
+// the monitor steals all buffers at the top of each pass. The §5.2 order
+// the detector needs survives batching: a thread publishes its complete
+// history before every event that creates a wait edge, so every blocked
+// thread — in particular every participant of a deadlock or yield cycle —
+// has exact RAG state at detection time, and the monitor's
+// steal-before-drain keeps detection latency within one τ. Stale state is
+// confined to running threads, which have no wait edges and therefore
+// cannot extend a cycle; out-of-order acquired/release between *different*
+// threads is absorbed by the RAG's multi-holder bookkeeping.
 package avoidance
 
 import (
@@ -72,6 +84,23 @@ type ThreadState struct {
 	// this thread may have broken.
 	Wake chan struct{}
 
+	// buf batches this thread's bookkeeping events (see the package doc).
+	buf event.Buffer
+
+	// fhMu protects fastHolds, the log of this thread's outstanding
+	// fast-tier holds. It is a leaf lock (never held while taking the
+	// guard or any mutex-side lock): the release path consults it first
+	// (ReleaseAny) and the epoch reconciler (adoptFastHolds, under the
+	// full guard scope) adopts dangerous entries out of it, so the two
+	// sides linearize on fhMu — whichever wins, the hold is accounted
+	// exactly once.
+	fhMu      sync.Mutex
+	fastHolds []fastHold
+
+	// entryFree recycles entry nodes for this thread. Protected by the
+	// thread's home guard shard (every alloc/free site holds it).
+	entryFree []*entry
+
 	// Everything below is protected by the cache guard (the thread's home
 	// shard, plus all shards for decision operations).
 	forcedGo     bool
@@ -79,6 +108,14 @@ type ThreadState struct {
 	holds        []*entry     // hold entries in acquisition order
 	yieldRegs    []*LockState // locks whose waiter sets contain this thread
 	yieldSig     *signature.Signature
+}
+
+// fastHold is one outstanding fast-tier hold: thread t holds l, classified
+// safe under the epoch it was acquired in, with call stack st.
+type fastHold struct {
+	l      *LockState
+	st     *stack.Interned
+	shared bool
 }
 
 // LiveHolds returns the number of locks the thread currently holds
@@ -181,6 +218,12 @@ type Config struct {
 	DiscardObsolete bool
 	// MaxThreads sizes the preallocated thread slot table.
 	MaxThreads int
+	// EventBatch is the per-thread bookkeeping-event batch size: acquired
+	// and release events accumulate in a per-thread buffer published to
+	// the monitor queue one Batch event per EventBatch records (ordering
+	// events and the monitor's per-pass steal flush earlier). <= 1
+	// publishes every event immediately.
+	EventBatch int
 	// Bus, when non-nil, receives AvoidanceYield observability events.
 	// Publishes are gated on Bus.Active, so an unobserved runtime pays a
 	// single atomic load on the (already cold) yield path and nothing
@@ -206,6 +249,11 @@ type Cache struct {
 	stackStates atomic.Pointer[[]*stackState]
 	ssMu        sync.Mutex
 
+	// threads is the registry of live thread nodes, for the monitor's
+	// steal-all-buffers flush and for epoch reconciliation of fast holds.
+	threadsMu sync.Mutex
+	threads   map[int32]*ThreadState
+
 	// Protected by the full decision scope (all shards).
 	matchers    []*sigMatcher
 	byStack     map[uint32][]matchRef // reverse index: stack -> signature positions
@@ -213,6 +261,13 @@ type Cache struct {
 	linkedUpTo  int  // interned stacks below this ID are linked into matchers
 	calibrating bool // some signature's depth ladder is running
 	indexDirty  bool // reverse index needs a rebuild
+	// reconciledEpoch is the danger-index epoch outstanding fast holds
+	// were last reconciled against (adoptFastHolds).
+	reconciledEpoch uint64
+	// coverUsedT/coverUsedL are cover()'s recursion scratch, reused
+	// across requests — cover only ever runs under the full scope.
+	coverUsedT map[*ThreadState]bool
+	coverUsedL map[*LockState]bool
 
 	nextLockID atomic.Uint64
 
@@ -242,16 +297,23 @@ func NewCache(cfg Config, interner *stack.Interner, hist *signature.History, sta
 			guards[i] = peterson.NewMutex()
 		}
 	}
-	return &Cache{
-		cfg:      cfg,
-		guards:   guards,
-		fastOK:   cfg.Mode == ModeFull && !cfg.IgnoreDecisions && !cfg.DisableFastPath,
-		interner: interner,
-		hist:     hist,
-		emit:     emit,
-		stats:    stats,
-		byStack:  make(map[uint32][]matchRef),
+	c := &Cache{
+		cfg:        cfg,
+		guards:     guards,
+		fastOK:     cfg.Mode == ModeFull && !cfg.IgnoreDecisions && !cfg.DisableFastPath,
+		interner:   interner,
+		hist:       hist,
+		emit:       emit,
+		stats:      stats,
+		byStack:    make(map[uint32][]matchRef),
+		threads:    make(map[int32]*ThreadState),
+		coverUsedT: make(map[*ThreadState]bool),
+		coverUsedL: make(map[*LockState]bool),
 	}
+	if hist != nil {
+		c.reconciledEpoch = hist.Danger().Epoch()
+	}
+	return c
 }
 
 // tShard returns the home guard shard of a thread.
@@ -301,12 +363,16 @@ func (c *Cache) Stats() *Stats { return c.stats }
 
 // NewThread creates the cache node for a registered thread.
 func (c *Cache) NewThread(id int32, slot int, name string) *ThreadState {
-	return &ThreadState{
+	t := &ThreadState{
 		ID:   id,
 		Name: name,
 		Slot: slot,
 		Wake: make(chan struct{}, 1),
 	}
+	c.threadsMu.Lock()
+	c.threads[id] = t
+	c.threadsMu.Unlock()
+	return t
 }
 
 // NewLock creates a lock node with a fresh ID.
@@ -359,7 +425,15 @@ func (c *Cache) stackState(in *stack.Interned) *stackState {
 func (c *Cache) addEntry(t *ThreadState, l *LockState, in *stack.Interned, held bool) *entry {
 	ss := c.stackState(in)
 	sh := l.shard
-	e := &entry{t: t, l: l, st: in, held: held, ssIdx: len(ss.entries[sh])}
+	var e *entry
+	if n := len(t.entryFree); n > 0 {
+		e = t.entryFree[n-1]
+		t.entryFree = t.entryFree[:n-1]
+		*e = entry{}
+	} else {
+		e = &entry{}
+	}
+	e.t, e.l, e.st, e.held, e.ssIdx = t, l, in, held, len(ss.entries[sh])
 	ss.entries[sh] = append(ss.entries[sh], e)
 	return e
 }
@@ -372,6 +446,11 @@ func (c *Cache) removeEntry(e *entry) {
 	part[e.ssIdx].ssIdx = e.ssIdx
 	ss.entries[e.l.shard] = part[:last]
 	e.ssIdx = -1
+	// Recycle through the owning thread's free list; the caller holds that
+	// thread's home shard on every removal path.
+	if t := e.t; len(t.entryFree) < 64 {
+		t.entryFree = append(t.entryFree, e)
+	}
 }
 
 // clearYieldRegs removes t from every waiter set it registered in.
@@ -397,6 +476,56 @@ func (c *Cache) classifySafe(in *stack.Interned) bool {
 	dangerous := idx.Dangerous(in.S)
 	in.SetMarker(idx.Epoch(), dangerous)
 	return !dangerous
+}
+
+// ClassifySafe exposes the marker-cached safe/dangerous verdict, for the
+// per-thread classification table kept by the core layer.
+func (c *Cache) ClassifySafe(in *stack.Interned) bool { return c.classifySafe(in) }
+
+// FastOK reports whether this cache admits the lock-free fast tier at all
+// (full mode, decisions honored, fast path not disabled).
+func (c *Cache) FastOK() bool { return c.fastOK }
+
+// DangerEpoch returns the live danger-index epoch.
+func (c *Cache) DangerEpoch() uint64 { return c.hist.Danger().Epoch() }
+
+// bufEmit routes a per-thread event (request/go/acquired/release) through
+// the thread's batch buffer, or straight to the queue when batching is off.
+func (c *Cache) bufEmit(t *ThreadState, k event.Kind, lid uint64, in *stack.Interned) {
+	if c.cfg.EventBatch <= 1 {
+		c.emit(event.Event{Kind: k, TID: t.ID, LID: lid, Stack: in})
+		return
+	}
+	t.buf.Add(t.ID, event.Record{Kind: k, LID: lid, Stack: in}, c.cfg.EventBatch, c.emitBatch)
+}
+
+// flushBuf publishes t's buffered events. Every directly-emitted event
+// (yield/cancel/fast-blocking/thread-exit — the rare paths, and the ones
+// whose payload doesn't fit the Record format) calls this first, so a
+// thread's events still reach the queue in program order.
+func (c *Cache) flushBuf(t *ThreadState) {
+	if c.cfg.EventBatch > 1 {
+		t.buf.Flush(t.ID, c.emitBatch)
+	}
+}
+
+func (c *Cache) emitBatch(ev event.Event) {
+	c.stats.EventBatches.Add(1)
+	c.emit(ev)
+}
+
+// FlushBuffers publishes every thread's buffered bookkeeping events. The
+// monitor calls this at the top of each pass, so batching never delays
+// detection beyond one τ.
+func (c *Cache) FlushBuffers() {
+	if c.cfg.EventBatch <= 1 {
+		return
+	}
+	c.threadsMu.Lock()
+	for _, t := range c.threads {
+		t.buf.Flush(t.ID, c.emitBatch)
+	}
+	c.threadsMu.Unlock()
 }
 
 // FastEligible is the gate of the lock-free first tier of the §5.4
@@ -426,21 +555,119 @@ func (c *Cache) FastEligible(in *stack.Interned) bool {
 // and the cache's per-lock owner view is not updated; the monitor's RAG
 // remains exact via the event stream.
 //
-// Known avoidance gap, by design: a fast hold outlives the epoch it was
-// classified under. If a signature naming this stack is archived while
-// the hold is outstanding, the hold stays invisible to covers until it
-// is released (re-acquisition then classifies dangerous and takes the
-// guarded tier), so avoidance of the new signature phases in as
-// pre-existing fast holds retire. Detection is unaffected throughout —
-// the event stream keeps the RAG exact — so a re-formed pattern in that
-// window is still caught and recovered like a first occurrence. Indexing
-// live fast holds per stack would reintroduce shared-cache-line traffic
-// on hot call sites, which is exactly what this tier removes.
+// A fast hold can outlive the epoch it was classified under. The caller
+// records it in the thread's fast-hold log (NoteFastHold), and when the
+// danger index moves — a local archive, a store sync pull, or a predicted
+// push — the first guarded request under the new epoch reconciles every
+// outstanding fast hold whose stack became dangerous into a real
+// Allowed-set entry (adoptFastHolds), so a fresh signature takes effect on
+// the very next acquisition that could instantiate it instead of waiting
+// for fast holds to retire. Detection is exact throughout via the event
+// stream regardless.
 func (c *Cache) FastAcquiredImmediate(t *ThreadState, l *LockState, in *stack.Interned, shared bool) {
 	c.stats.Requests.Add(1)
 	c.stats.Gos.Add(1)
 	c.stats.FastGos.Add(1)
 	c.fastAcquired(t, l, in, shared)
+}
+
+// NoteFastHold appends one outstanding fast-tier hold to t's log, making
+// it visible to epoch reconciliation. Callers must guarantee the hold is
+// still live when they call (the mutex owner contract, or the RWMutex
+// reader table checked under rw.mu), so a logged entry always denotes a
+// real hold.
+func (c *Cache) NoteFastHold(t *ThreadState, l *LockState, in *stack.Interned, shared bool) {
+	t.fhMu.Lock()
+	t.fastHolds = append(t.fastHolds, fastHold{l: l, st: in, shared: shared})
+	t.fhMu.Unlock()
+	if !c.classifySafe(in) {
+		// The danger index moved between classification and the log
+		// append, and this stack is dangerous under the new epoch — the
+		// epoch's adoption pass may already have run, so reconcile this
+		// hold ourselves instead of waiting for the next bump. (Hold
+		// entries of one lock are fungible: if takeFastHold grabs a
+		// sibling entry, the books still balance and matching only gets
+		// more conservative.)
+		if takeFastHold(t, l) {
+			ts := c.tShard(t)
+			c.lockPair(l.shard, ts, t.Slot)
+			e := c.addEntry(t, l, in, true)
+			t.holds = append(t.holds, e)
+			if !shared {
+				l.owner = t
+			}
+			c.unlockPair(l.shard, ts, t.Slot)
+		}
+	}
+}
+
+// takeFastHold removes and returns one logged fast hold of t on l (LIFO),
+// reporting whether one existed. A miss means the hold is guarded — either
+// it always was, or reconciliation adopted it.
+func takeFastHold(t *ThreadState, l *LockState) bool {
+	t.fhMu.Lock()
+	for i := len(t.fastHolds) - 1; i >= 0; i-- {
+		if t.fastHolds[i].l == l {
+			t.fastHolds = append(t.fastHolds[:i], t.fastHolds[i+1:]...)
+			t.fhMu.Unlock()
+			return true
+		}
+	}
+	t.fhMu.Unlock()
+	return false
+}
+
+// ReleaseAny releases one of t's holds on l through whichever tier it
+// lives on right now: fast holds (still in the log) retire lock-free via
+// the release event alone; everything else — guarded holds and fast holds
+// adopted by reconciliation — goes through the guarded Release. fhMu
+// linearizes the race against adoptFastHolds: exactly one side consumes
+// each hold.
+func (c *Cache) ReleaseAny(t *ThreadState, l *LockState) {
+	if c.fastOK && takeFastHold(t, l) {
+		c.FastRelease(t, l)
+		return
+	}
+	c.Release(t, l)
+}
+
+// FastRelease retires a fast-path hold. A fast hold was never an
+// Allowed-set entry, so it cannot be a yield-cause binding of any yielding
+// thread — no wakeups are owed and no guard is needed; only the release
+// event is emitted. Callers that logged the hold via NoteFastHold must go
+// through ReleaseAny instead, which consumes the log entry first.
+func (c *Cache) FastRelease(t *ThreadState, l *LockState) {
+	c.stats.Releases.Add(1)
+	t.liveHolds.Add(-1)
+	c.bufEmit(t, event.Release, l.ID, nil)
+}
+
+// adoptFastHolds converts every outstanding fast hold whose stack is
+// dangerous under the current danger index into a guarded Allowed-set
+// entry, so signature matching sees it immediately. Holds whose stacks
+// remain safe stay in the log. Runs under the full decision scope; the
+// per-thread fhMu closes the race against concurrent releases.
+func (c *Cache) adoptFastHolds() {
+	idx := c.hist.Danger()
+	c.threadsMu.Lock()
+	for _, t := range c.threads {
+		t.fhMu.Lock()
+		kept := t.fastHolds[:0]
+		for _, fh := range t.fastHolds {
+			if !idx.Dangerous(fh.st.S) {
+				kept = append(kept, fh)
+				continue
+			}
+			e := c.addEntry(t, fh.l, fh.st, true)
+			t.holds = append(t.holds, e)
+			if !fh.shared {
+				fh.l.owner = t
+			}
+		}
+		t.fastHolds = kept
+		t.fhMu.Unlock()
+	}
+	c.threadsMu.Unlock()
 }
 
 // FastBlocking announces that a fast-tier request is about to block on
@@ -452,6 +679,7 @@ func (c *Cache) FastBlocking(t *ThreadState, l *LockState, in *stack.Interned) {
 	c.stats.Requests.Add(1)
 	c.stats.Gos.Add(1)
 	c.stats.FastGos.Add(1)
+	c.flushBuf(t)
 	c.emit(event.Event{Kind: event.Go, TID: t.ID, LID: l.ID, Stack: in})
 }
 
@@ -476,25 +704,15 @@ func (c *Cache) fastAcquired(t *ThreadState, l *LockState, in *stack.Interned, s
 		c.stats.SharedAcquired.Add(1)
 	}
 	t.liveHolds.Add(1)
-	c.emit(event.Event{Kind: event.Acquired, TID: t.ID, LID: l.ID, Stack: in})
-}
-
-// FastRelease retires a fast-path hold. A fast hold was never an
-// Allowed-set entry, so it cannot be a yield-cause binding of any
-// yielding thread — no wakeups are owed and no guard is needed; only the
-// release event is emitted (the caller must return the raw lock strictly
-// after, preserving the §5.2 order).
-func (c *Cache) FastRelease(t *ThreadState, l *LockState) {
-	c.stats.Releases.Add(1)
-	t.liveHolds.Add(-1)
-	c.emit(event.Event{Kind: event.Release, TID: t.ID, LID: l.ID})
+	c.bufEmit(t, event.Acquired, l.ID, in)
 }
 
 // FastCancel rolls back a FastBlocking'd acquisition whose raw block
-// failed (timeout, context, recovery abort). As with FastRelease, no
-// shared state was touched, so only the event is owed.
+// failed (timeout, context, recovery abort). No shared state was touched,
+// so only the event is owed.
 func (c *Cache) FastCancel(t *ThreadState, l *LockState) {
 	c.stats.Cancels.Add(1)
+	c.flushBuf(t)
 	c.emit(event.Event{Kind: event.Cancel, TID: t.ID, LID: l.ID})
 }
 
@@ -503,11 +721,15 @@ func (c *Cache) FastCancel(t *ThreadState, l *LockState) {
 // the matched signature instance otherwise.
 func (c *Cache) Request(t *ThreadState, l *LockState, in *stack.Interned) Decision {
 	c.stats.Requests.Add(1)
-	c.emit(event.Event{Kind: event.Request, TID: t.ID, LID: l.ID, Stack: in})
+	// Request rides the batch buffer like the bookkeeping events: the
+	// buffer is per-thread FIFO, so program order is preserved, and the
+	// monitor flushes every buffer at the top of each pass — a blocked
+	// thread's wait edge is never invisible for more than one τ.
+	c.bufEmit(t, event.Request, l.ID, in)
 
 	if c.cfg.Mode == ModeInstrument {
 		c.stats.Gos.Add(1)
-		c.emit(event.Event{Kind: event.Go, TID: t.ID, LID: l.ID, Stack: in})
+		c.bufEmit(t, event.Go, l.ID, in)
 		return Decision{Go: true}
 	}
 
@@ -521,6 +743,14 @@ func (c *Cache) Request(t *ThreadState, l *LockState, in *stack.Interned) Decisi
 	var dec Decision
 	if full {
 		c.refreshIndex()
+		if ep := c.hist.Danger().Epoch(); ep != c.reconciledEpoch {
+			// The danger index moved (archive, sync pull, predicted push,
+			// disable flip, …): fold outstanding fast holds that became
+			// dangerous into the Allowed sets before matching, so the new
+			// signature binds against them right now.
+			c.adoptFastHolds()
+			c.reconciledEpoch = ep
+		}
 		if t.forcedGo {
 			t.forcedGo = false
 			c.stats.ForcedGos.Add(1)
@@ -556,6 +786,10 @@ func (c *Cache) Request(t *ThreadState, l *LockState, in *stack.Interned) Decisi
 		c.unlockScope(full, l.shard, ts, t.Slot)
 		c.lastAvoided.Store(dec.Sig)
 		c.stats.noteYield(dec.Sig.ID)
+		// Yield is emitted directly (it carries causes the Record format
+		// doesn't); flush first so it lands after this thread's buffered
+		// Request.
+		c.flushBuf(t)
 		c.emit(event.Event{
 			Kind: event.Yield, TID: t.ID, LID: l.ID, Stack: in,
 			Causes: causes, SigID: dec.Sig.ID,
@@ -580,7 +814,7 @@ func (c *Cache) Request(t *ThreadState, l *LockState, in *stack.Interned) Decisi
 	t.pendingAllow = c.addEntry(t, l, in, false)
 	c.unlockScope(full, l.shard, ts, t.Slot)
 	c.stats.Gos.Add(1)
-	c.emit(event.Event{Kind: event.Go, TID: t.ID, LID: l.ID, Stack: in})
+	c.bufEmit(t, event.Go, l.ID, in)
 	return dec
 }
 
@@ -623,7 +857,7 @@ func (c *Cache) Acquired(t *ThreadState, l *LockState) {
 	}
 	l.owner = t
 	c.unlockPair(l.shard, ts, t.Slot)
-	c.emit(event.Event{Kind: event.Acquired, TID: t.ID, LID: l.ID, Stack: in})
+	c.bufEmit(t, event.Acquired, l.ID, in)
 }
 
 // AcquiredShared converts t's outstanding allow edge on l into a shared
@@ -651,20 +885,21 @@ func (c *Cache) AcquiredShared(t *ThreadState, l *LockState) {
 		in = e.st
 	}
 	c.unlockPair(l.shard, ts, t.Slot)
-	c.emit(event.Event{Kind: event.Acquired, TID: t.ID, LID: l.ID, Stack: in})
+	c.bufEmit(t, event.Acquired, l.ID, in)
 }
 
 // ReentrantAcquired records a reentrant acquisition (no decision needed:
 // the thread already owns the lock, so it cannot block). It reports
 // whether the hold took the lock-free fast tier — a provably safe stack
-// needs no Allowed-set entry — in which case the caller must route the
-// matching release through FastRelease.
+// needs no Allowed-set entry — in which case the caller must log the hold
+// via NoteFastHold (under whatever state proves the hold is still live)
+// and release it through ReleaseAny.
 func (c *Cache) ReentrantAcquired(t *ThreadState, l *LockState, in *stack.Interned) bool {
 	c.stats.Reentries.Add(1)
 	t.liveHolds.Add(1)
 	if c.fastOK && c.classifySafe(in) {
 		c.stats.FastGos.Add(1)
-		c.emit(event.Event{Kind: event.Acquired, TID: t.ID, LID: l.ID, Stack: in})
+		c.bufEmit(t, event.Acquired, l.ID, in)
 		return true
 	}
 	if c.cfg.Mode != ModeInstrument {
@@ -674,7 +909,7 @@ func (c *Cache) ReentrantAcquired(t *ThreadState, l *LockState, in *stack.Intern
 		t.holds = append(t.holds, e)
 		c.unlockPair(l.shard, ts, t.Slot)
 	}
-	c.emit(event.Event{Kind: event.Acquired, TID: t.ID, LID: l.ID, Stack: in})
+	c.bufEmit(t, event.Acquired, l.ID, in)
 	return false
 }
 
@@ -715,7 +950,7 @@ func (c *Cache) Release(t *ThreadState, l *LockState) {
 		}
 	}
 	c.unlockPair(l.shard, ts, t.Slot)
-	c.emit(event.Event{Kind: event.Release, TID: t.ID, LID: l.ID})
+	c.bufEmit(t, event.Release, l.ID, nil)
 	for _, w := range toWake {
 		wake(w)
 	}
@@ -726,6 +961,7 @@ func (c *Cache) Release(t *ThreadState, l *LockState) {
 // of §6.
 func (c *Cache) Cancel(t *ThreadState, l *LockState) {
 	c.stats.Cancels.Add(1)
+	c.flushBuf(t)
 	if c.cfg.Mode == ModeInstrument {
 		c.emit(event.Event{Kind: event.Cancel, TID: t.ID, LID: l.ID})
 		return
@@ -770,7 +1006,18 @@ func (c *Cache) ThreadExit(t *ThreadState) {
 		t.holds = nil
 		c.unlockAll(t.Slot)
 	}
+	t.fhMu.Lock()
+	t.fastHolds = nil
+	t.fhMu.Unlock()
+	c.threadsMu.Lock()
+	if c.threads[t.ID] == t {
+		delete(c.threads, t.ID)
+	}
+	c.threadsMu.Unlock()
 	t.liveHolds.Store(0)
+	// Flush before the exit event: the monitor prunes this thread's RAG
+	// node on ThreadExit, so its bookkeeping must all land first.
+	c.flushBuf(t)
 	c.emit(event.Event{Kind: event.ThreadExit, TID: t.ID})
 }
 

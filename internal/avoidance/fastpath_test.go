@@ -10,15 +10,20 @@ import (
 	"sync"
 	"testing"
 
+	"dimmunix/internal/calib"
 	"dimmunix/internal/event"
 	"dimmunix/internal/signature"
 	"dimmunix/internal/stack"
 )
 
 // assertNeverBypasses fails if some interned stack the fast tier deems
-// safe matches any enabled signature stack at any depth 1..maxDepth or at
-// the signature's effective depth — the exact property that makes
-// skipping the guarded protocol sound.
+// safe matches any enabled signature stack at a depth that signature can
+// actually assume — the exact property that makes skipping the guarded
+// protocol sound. A fixed-depth signature only ever matches at its
+// effective depth (the per-depth danger index exploits exactly that); a
+// calibration-capable signature's depth can move without a history
+// mutation (rung advances, NT re-arms), so for those every depth
+// 1..maxDepth must be covered.
 func assertNeverBypasses(t *testing.T, c *Cache, hist *signature.History, probes []*stack.Interned, maxDepth int) {
 	t.Helper()
 	for _, in := range probes {
@@ -30,14 +35,16 @@ func assertNeverBypasses(t *testing.T, c *Cache, hist *signature.History, probes
 				continue
 			}
 			depths := []int{sig.EffectiveDepth()}
-			for d := 1; d <= maxDepth; d++ {
-				depths = append(depths, d)
+			if sig.Calib.On || sig.Calib.MaxDepth > 0 {
+				for d := 1; d <= maxDepth; d++ {
+					depths = append(depths, d)
+				}
 			}
 			for j, ss := range sig.Stacks {
 				for _, d := range depths {
 					if in.S.MatchesAtDepth(ss, d) {
-						t.Fatalf("fast tier bypassed stack %q which matches enabled sig %s position %d at depth %d",
-							in.S, sig.ID, j, d)
+						t.Fatalf("fast tier bypassed stack %q which matches enabled sig %s position %d at depth %d (calib=%v)",
+							in.S, sig.ID, j, d, sig.Calib.On)
 					}
 				}
 			}
@@ -73,6 +80,11 @@ func TestFastPathDifferentialRandom(t *testing.T) {
 			}
 			sig := signature.New(signature.Deadlock, raw, 1+rng.Intn(5))
 			sig.Disabled = rng.Intn(4) == 0
+			if rng.Intn(3) == 0 {
+				// Calibration-capable: the danger index must fall back to
+				// the depth-independent innermost-frame bucket for these.
+				sig.Calib = calib.NewState(1+rng.Intn(5), 2, 4)
+			}
 			e.hist.Add(sig)
 		}
 		var probes []*stack.Interned
@@ -121,12 +133,13 @@ func TestFastPathYieldsAgreeOnPaperExample(t *testing.T) {
 	if e.c.FastEligible(s13) {
 		t.Fatal("fast tier accepted a stack that instantiates a signature")
 	}
-	// A stack sharing the signature's innermost frame is conservatively
-	// dangerous even though it matches no signature at depth 3 — the
-	// price of the depth-1 over-approximation.
+	// A stack sharing the signature's innermost frame but diverging
+	// within its depth-3 matching window can never instantiate it, and
+	// the per-depth danger index proves that: it keeps the fast tier.
+	// (The old depth-1 over-approximation sent it to the guarded path.)
 	nearMiss := e.stk("lock", "elsewhere", "main:other")
-	if e.c.FastEligible(nearMiss) {
-		t.Fatal("stack sharing a dangerous innermost frame must stay on the guarded path")
+	if !e.c.FastEligible(nearMiss) {
+		t.Fatal("stack diverging inside the matching window must keep the fast tier")
 	}
 	safe := e.stk("lockC", "elsewhere", "main:other")
 	if !e.c.FastEligible(safe) {
@@ -363,4 +376,109 @@ func TestGuardShardsBehavior(t *testing.T) {
 			t.Fatalf("shards=%d: LiveHolds = %d", shards, got)
 		}
 	}
+}
+
+// reconcileScenario drives the soundness remainder of the fast-hold log:
+// T1 takes a fast-tier hold on lock A (history empty, everything safe);
+// then mutate bumps the danger-index epoch with a signature {sA, sB};
+// then T2 requests lock B via sB. Reconciliation must have folded T1's
+// outstanding fast hold into the Allowed sets by decision time, so the
+// request yields — avoidance engages on the very next acquisition after
+// the epoch bump, not after T1's release.
+func reconcileScenario(t *testing.T, shared bool, mutate func(e *env, sA, sB *stack.Interned)) {
+	t.Helper()
+	e := newEnv(Config{Mode: ModeFull})
+	t1 := e.c.NewThread(1, 1, "T1")
+	t2 := e.c.NewThread(2, 2, "T2")
+	a, b := e.c.NewLock(), e.c.NewLock()
+	sA := e.stk("lockA", "holder", "main")
+	sB := e.stk("lockB", "requester", "main")
+
+	if !e.c.FastEligible(sA) {
+		t.Fatal("empty history: sA must be fast-eligible")
+	}
+	e.c.FastAcquiredImmediate(t1, a, sA, shared)
+	e.c.NoteFastHold(t1, a, sA, shared)
+
+	mutate(e, sA, sB) // epoch bump carrying {sA, sB}
+
+	dec := e.c.Request(t2, b, sB)
+	if dec.Go || dec.Sig == nil {
+		t.Fatal("epoch bump must reconcile the outstanding fast hold: the very next dangerous acquisition has to yield against it")
+	}
+
+	// The hold must have moved from the fast-hold log into the guarded
+	// Allowed sets, so its release routes through the guarded protocol.
+	if takeFastHold(t1, a) {
+		t.Fatal("adopted hold still sits in the fast-hold log")
+	}
+	e.c.Release(t1, a)
+	if got := t1.LiveHolds(); got != 0 {
+		t.Fatalf("LiveHolds after release = %d", got)
+	}
+}
+
+// TestEpochBumpReconcilesOutstandingFastHolds covers every epoch source
+// the runtime exercises: a local archive (Add), a fleet sync pull
+// (Merge), and a predicted-signature push (ReplaceAll, the §8 hot-patch
+// path), plus a shared (reader) hold through the merge path.
+func TestEpochBumpReconcilesOutstandingFastHolds(t *testing.T) {
+	remoteWith := func(sA, sB *stack.Interned, source string) *signature.History {
+		remote := signature.NewHistory()
+		sig := signature.New(signature.Deadlock, []stack.Stack{sA.S, sB.S}, 2)
+		sig.Rev = 1
+		sig.Source = source
+		remote.Add(sig)
+		return remote
+	}
+	t.Run("local-archive", func(t *testing.T) {
+		reconcileScenario(t, false, func(e *env, sA, sB *stack.Interned) {
+			e.addSig(2, sA, sB)
+		})
+	})
+	t.Run("sync-pull-merge", func(t *testing.T) {
+		reconcileScenario(t, false, func(e *env, sA, sB *stack.Interned) {
+			e.hist.Merge(remoteWith(sA, sB, ""))
+		})
+	})
+	t.Run("predicted-push-replaceall", func(t *testing.T) {
+		reconcileScenario(t, false, func(e *env, sA, sB *stack.Interned) {
+			e.hist.ReplaceAll(remoteWith(sA, sB, signature.SourcePredicted))
+		})
+	})
+	t.Run("shared-hold", func(t *testing.T) {
+		reconcileScenario(t, true, func(e *env, sA, sB *stack.Interned) {
+			e.hist.Merge(remoteWith(sA, sB, ""))
+		})
+	})
+}
+
+// TestNoteFastHoldSelfAdoptsAfterEpochBump pins the classify->log race:
+// a hold classified safe before an epoch bump but logged after it would
+// miss the bump's adoption pass, so NoteFastHold re-classifies and adopts
+// the hold itself.
+func TestNoteFastHoldSelfAdoptsAfterEpochBump(t *testing.T) {
+	e := newEnv(Config{Mode: ModeFull})
+	t1 := e.c.NewThread(1, 1, "T1")
+	t2 := e.c.NewThread(2, 2, "T2")
+	a, b := e.c.NewLock(), e.c.NewLock()
+	sA := e.stk("lockA", "holder", "main")
+	sB := e.stk("lockB", "requester", "main")
+
+	// The grant happened while sA was still safe...
+	if !e.c.FastEligible(sA) {
+		t.Fatal("empty history: sA must be fast-eligible")
+	}
+	e.c.FastAcquiredImmediate(t1, a, sA, false)
+	// ...but the epoch moves before the hold reaches the log.
+	e.addSig(2, sA, sB)
+	e.c.NoteFastHold(t1, a, sA, false)
+
+	if takeFastHold(t1, a) {
+		t.Fatal("NoteFastHold must self-adopt a hold that is dangerous under the live index")
+	}
+	if dec := e.c.Request(t2, b, sB); dec.Go || dec.Sig == nil {
+		t.Fatal("self-adopted hold invisible to matching")
+	}
+	e.c.Release(t1, a)
 }

@@ -174,8 +174,15 @@ func (c *Cache) findInstance(t *ThreadState, l *LockState, in *stack.Interned) D
 // (thread, lock) pair from the Allowed sets.
 func (c *Cache) cover(m *sigMatcher, yIdx int, t *ThreadState, l *LockState) ([]Binding, bool) {
 	n := len(m.sig.Stacks)
-	usedT := map[*ThreadState]bool{t: true}
-	usedL := map[*LockState]bool{l: true}
+	// Recursion scratch is per-cache: cover only runs under the full
+	// decision scope, so reuse beats reallocating two maps per probe. The
+	// bindings slice is still allocated fresh — on success it escapes into
+	// the Decision.
+	usedT, usedL := c.coverUsedT, c.coverUsedL
+	clear(usedT)
+	clear(usedL)
+	usedT[t] = true
+	usedL[l] = true
 	bindings := make([]Binding, 0, n-1)
 
 	var rec func(j int) bool

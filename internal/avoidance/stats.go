@@ -31,6 +31,10 @@ type Stats struct {
 	FastAcquired    atomic.Uint64
 	GuardedAcquired atomic.Uint64
 
+	// EventBatches counts Batch carrier events published to the monitor
+	// queue (each packs up to Config.EventBatch bookkeeping events).
+	EventBatches atomic.Uint64
+
 	// sigYields counts YIELD decisions per signature ID, lock-free
 	// (sync.Map of *atomic.Uint64); the yield path is already off the
 	// fast tier, so the map touch costs nothing where it matters.
@@ -66,6 +70,7 @@ type Snapshot struct {
 	ForcedGos, Aborts, Ignored, ProbeFPs, Reentries    uint64
 	SharedAcquired                                     uint64
 	FastGos, FastAcquired, GuardedAcquired             uint64
+	EventBatches                                       uint64
 }
 
 // Snapshot returns a consistent-enough point-in-time copy.
@@ -88,5 +93,6 @@ func (s *Stats) Snapshot() Snapshot {
 		FastGos:         s.FastGos.Load(),
 		FastAcquired:    s.FastAcquired.Load(),
 		GuardedAcquired: s.GuardedAcquired.Load(),
+		EventBatches:    s.EventBatches.Load(),
 	}
 }

@@ -215,7 +215,18 @@ type Config struct {
 	// EventBuffer sizes the observability ring and each subscriber
 	// channel (0 selects obs.DefaultBufferSize).
 	EventBuffer int
+	// EventBatch is the per-thread monitor-publication batch size:
+	// bookkeeping events (acquired/release) accumulate in a per-thread
+	// buffer published to the monitor queue as one carrier event when
+	// full, when the thread is about to block or exit, and at the start
+	// of every monitor pass — so detection still sees every operation
+	// within one τ. 0 selects DefaultEventBatch; values <= 1 disable
+	// batching (every event publishes immediately).
+	EventBatch int
 }
+
+// DefaultEventBatch is the default per-thread event batch size.
+const DefaultEventBatch = 64
 
 func (c *Config) fill() {
 	if c.Tau <= 0 {
@@ -241,6 +252,9 @@ func (c *Config) fill() {
 	}
 	if c.StackDepth <= 0 {
 		c.StackDepth = 16
+	}
+	if c.EventBatch == 0 {
+		c.EventBatch = DefaultEventBatch
 	}
 	if c.BuildFingerprint == "" {
 		c.BuildFingerprint = signature.BuildFingerprint()

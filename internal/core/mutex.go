@@ -57,10 +57,6 @@ type Mutex struct {
 	token chan struct{}
 	owner atomic.Pointer[Thread]
 	rec   int32 // owner-only
-	// fastHolds counts how many of the current recursion levels were
-	// acquired on the lock-free fast tier (no Allowed-set entry); their
-	// releases route through FastRelease. Owner-only, like rec.
-	fastHolds int32
 	// retired marks a superseded instance (see Retire). Checked under
 	// token ownership, so retire-vs-acquire is race-free.
 	retired atomic.Bool
@@ -204,8 +200,11 @@ func (m *Mutex) lockT(t *Thread, timeout time.Duration, try bool, done <-chan st
 		case Recursive:
 			m.rec++
 			if m.rt.cfg.Mode != ModeOff {
-				if m.rt.cache.ReentrantAcquired(t.ts, m.ls, t.captureStack(1)) {
-					m.fastHolds++
+				in := t.captureStack(1)
+				if m.rt.cache.ReentrantAcquired(t.ts, m.ls, in) {
+					// Owner-only: the hold cannot be released before this
+					// call returns, so logging after the fact is safe.
+					m.rt.cache.NoteFastHold(t.ts, m.ls, in, false)
 				}
 			}
 			return nil
@@ -226,21 +225,22 @@ func (m *Mutex) lockT(t *Thread, timeout time.Duration, try bool, done <-chan st
 		return err
 	}
 
-	in := t.captureStack(1)
+	in, safe := t.captureClassified(1)
 
 	// Fast tier: a stack provably safe under the live history epoch skips
-	// the guarded §5.4 protocol entirely — one atomic marker check, then
-	// straight to the raw lock. An uncontended acquisition costs a single
-	// event push; only a blocking one publishes the Go wait edge first
-	// (so a brand-new deadlock through this call site is still detected).
-	if m.rt.cache.FastEligible(in) {
+	// the guarded §5.4 protocol entirely — in steady state one atomic
+	// epoch load plus a per-thread table hit, then straight to the raw
+	// lock. An uncontended acquisition costs one batched event record;
+	// only a blocking one publishes the Go wait edge first (so a
+	// brand-new deadlock through this call site is still detected).
+	if safe {
 		ok, err := m.tokenTry(t)
 		if err != nil {
 			return err
 		}
 		if ok {
-			m.fastHolds++
 			m.rt.cache.FastAcquiredImmediate(t.ts, m.ls, in, false)
+			m.rt.cache.NoteFastHold(t.ts, m.ls, in, false)
 			return nil
 		}
 		if try {
@@ -252,8 +252,8 @@ func (m *Mutex) lockT(t *Thread, timeout time.Duration, try bool, done <-chan st
 			m.rt.cache.FastCancel(t.ts, m.ls)
 			return err
 		}
-		m.fastHolds++
 		m.rt.cache.FastAcquired(t.ts, m.ls, in, false)
+		m.rt.cache.NoteFastHold(t.ts, m.ls, in, false)
 		return nil
 	}
 
@@ -400,9 +400,11 @@ func (m *Mutex) acquireToken(t *Thread, timeout time.Duration, try bool, deadlin
 	return nil
 }
 
-// UnlockT releases the mutex on behalf of t. The release event reaches
-// the monitor queue strictly before the token is returned, establishing
-// the §5.2 event order.
+// UnlockT releases the mutex on behalf of t. The release event is
+// recorded (buffered or queued) strictly before the token is returned;
+// because any subsequent wait-edge event of any thread flushes its buffer
+// first, the monitor still observes the §5.2 release-before-reacquire
+// order wherever it matters for detection.
 func (m *Mutex) UnlockT(t *Thread) error {
 	if m.owner.Load() != t {
 		return ErrNotOwner
@@ -427,18 +429,15 @@ func (m *Mutex) UnlockT(t *Thread) error {
 	return nil
 }
 
-// releaseOne retires one recursion level's avoidance hold, routing
-// fast-tier holds (which left no Allowed-set entry) through FastRelease.
-// Hold entries of one lock are interchangeable for removal, so pairing
-// levels out of order is immaterial; only the fast/guarded counts must
-// balance. Owner-only, called before the token is returned.
+// releaseOne retires one recursion level's avoidance hold. ReleaseAny
+// routes it through whichever tier the hold lives on now: still-logged
+// fast holds retire lock-free, guarded holds — including fast holds that
+// epoch reconciliation adopted into the Allowed sets — take the guarded
+// release. Hold entries of one lock are interchangeable for removal, so
+// pairing levels out of order is immaterial. Owner-only, called before
+// the token is returned.
 func (m *Mutex) releaseOne(t *Thread) {
-	if m.fastHolds > 0 {
-		m.fastHolds--
-		m.rt.cache.FastRelease(t.ts, m.ls)
-		return
-	}
-	m.rt.cache.Release(t.ts, m.ls)
+	m.rt.cache.ReleaseAny(t.ts, m.ls)
 }
 
 // UnlockHandoff releases the mutex on behalf of whichever thread owns it,

@@ -27,7 +27,11 @@ func safeLock(t *Thread, m *Mutex) error { return m.LockT(t) }
 // exactly one tier, so FastAcquired + GuardedAcquired == Acquired.
 func TestTierSplitInvariantUnderChurn(t *testing.T) {
 	cfg := testConfig()
-	cfg.MatchDepth = 2
+	// Depth 1: the signature indexes by innermost frame, so every lockA
+	// caller classifies dangerous. (At depth >= 2 the per-depth danger
+	// index would keep this test's lockA traffic — a different caller
+	// than the seeded stack — on the fast tier.)
+	cfg.MatchDepth = 1
 	rt := MustNew(cfg)
 	defer rt.Stop()
 

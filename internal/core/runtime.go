@@ -257,6 +257,7 @@ func New(cfg Config) (*Runtime, error) {
 		ProbeDepth:      cfg.ProbeDepth,
 		MaxThreads:      cfg.MaxThreads,
 		DiscardObsolete: cfg.DiscardObsolete,
+		EventBatch:      cfg.EventBatch,
 		Bus:             rt.bus,
 	}, rt.interner, hist, rt.stats, rt.q.Push)
 

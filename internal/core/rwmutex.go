@@ -34,8 +34,8 @@ type RWMutex struct {
 	mu      sync.Mutex
 	gate    chan struct{}         // lazily made; closed+cleared to broadcast
 	writer  *Thread               // exclusive holder, nil when not write-locked
-	wFast   bool                  // writer hold came from the lock-free fast tier
 	readers map[int32]*readerHold // reader thread ID -> hold record
+	hFree   []*readerHold         // recycled hold records (alloc-free read path)
 	wwait   int                   // writers blocked in acquire
 	retired bool                  // superseded instance (see Retire); grants bounce
 }
@@ -56,11 +56,13 @@ func (rw *RWMutex) Retire() bool {
 	return true
 }
 
-// readerHold records one thread's outstanding read holds.
+// readerHold records one thread's outstanding read holds. Which of them
+// came from the lock-free fast tier lives in the thread's fast-hold log
+// (avoidance.Cache.NoteFastHold), not here, so epoch reconciliation can
+// find every outstanding fast hold without walking mutex instances.
 type readerHold struct {
-	t     *Thread
-	n     int // recursive hold count
-	fastN int // how many of those came from the lock-free fast tier
+	t *Thread
+	n int // recursive hold count
 }
 
 // NewRWMutex creates an instrumented reader/writer mutex.
@@ -226,8 +228,9 @@ func (rw *RWMutex) lockRW(t *Thread, timeout time.Duration, try bool, done <-cha
 			h.n++
 			rw.mu.Unlock()
 			if rw.rt.cfg.Mode != ModeOff {
-				if rw.rt.cache.ReentrantAcquired(t.ts, rw.ls, t.captureStack(1)) {
-					rw.noteFast(t, true)
+				in := t.captureStack(1)
+				if rw.rt.cache.ReentrantAcquired(t.ts, rw.ls, in) {
+					rw.noteFastHold(t, in, true)
 				}
 			}
 			return nil
@@ -251,17 +254,18 @@ func (rw *RWMutex) lockRW(t *Thread, timeout time.Duration, try bool, done <-cha
 		return err
 	}
 
-	in := t.captureStack(1)
+	in, safe := t.captureClassified(1)
 
 	// Fast tier: a provably safe stack skips the guarded protocol (see
-	// Mutex.lockT); the hold is tracked so its release pairs with
-	// FastRelease. An immediate grant costs one event; a blocking one
+	// Mutex.lockT); the hold enters the thread's fast-hold log so its
+	// release pairs with FastRelease and epoch reconciliation can adopt
+	// it. An immediate grant costs one buffered event; a blocking one
 	// publishes its Go wait edge first.
-	if rw.rt.cache.FastEligible(in) {
+	if safe {
 		switch err := rw.acquire(t, true, nil, nil, read); {
 		case err == nil:
-			rw.noteFast(t, read)
 			rw.rt.cache.FastAcquiredImmediate(t.ts, rw.ls, in, read)
+			rw.noteFastHold(t, in, read)
 			return nil
 		case !errors.Is(err, errWouldBlock):
 			// ErrMutexRetired: propagate so the caller re-resolves.
@@ -276,8 +280,8 @@ func (rw *RWMutex) lockRW(t *Thread, timeout time.Duration, try bool, done <-cha
 			rw.rt.cache.FastCancel(t.ts, rw.ls)
 			return err
 		}
-		rw.noteFast(t, read)
 		rw.rt.cache.FastAcquired(t.ts, rw.ls, in, read)
+		rw.noteFastHold(t, in, read)
 		return nil
 	}
 
@@ -298,19 +302,23 @@ func (rw *RWMutex) lockRW(t *Thread, timeout time.Duration, try bool, done <-cha
 	return nil
 }
 
-// noteFast marks a freshly granted fast-tier hold so its release routes
-// through FastRelease. For reads: if the hold was already handed off and
-// fully released (sync.RWMutex's cross-goroutine discipline), the extra
-// guarded Release that retired it was a tolerated no-op and nothing needs
-// recording.
-func (rw *RWMutex) noteFast(t *Thread, read bool) {
+// noteFastHold records a freshly granted fast-tier hold in the thread's
+// fast-hold log so its release routes through FastRelease and epoch
+// reconciliation can adopt it. For reads the reader-table entry is
+// re-checked under rw.mu: if the hold was already handed off and fully
+// released (sync.RWMutex's cross-goroutine discipline), the guarded
+// Release that retired it was a tolerated no-op and logging the hold now
+// would strand a phantom entry — so nothing is recorded. The write path
+// is owner-only (only UnlockT/UnlockHandoff by the holder releases it),
+// so the hold is provably still live and needs no re-check.
+func (rw *RWMutex) noteFastHold(t *Thread, in *stackInterned, read bool) {
+	if !read {
+		rw.rt.cache.NoteFastHold(t.ts, rw.ls, in, false)
+		return
+	}
 	rw.mu.Lock()
-	if read {
-		if h := rw.readers[t.ts.ID]; h != nil {
-			h.fastN++
-		}
-	} else {
-		rw.wFast = true
+	if rw.readers[t.ts.ID] != nil {
+		rw.rt.cache.NoteFastHold(t.ts, rw.ls, in, true)
 	}
 	rw.mu.Unlock()
 }
@@ -376,7 +384,15 @@ func (rw *RWMutex) acquire(t *Thread, try bool, deadline <-chan time.Time, done 
 func (rw *RWMutex) grantLocked(t *Thread, read bool) bool {
 	if read {
 		if rw.writer == nil && rw.wwait == 0 {
-			rw.readers[t.ts.ID] = &readerHold{t: t, n: 1}
+			var h *readerHold
+			if n := len(rw.hFree); n > 0 {
+				h = rw.hFree[n-1]
+				rw.hFree = rw.hFree[:n-1]
+			} else {
+				h = new(readerHold)
+			}
+			h.t, h.n = t, 1
+			rw.readers[t.ts.ID] = h
 			return true
 		}
 		return false
@@ -402,9 +418,12 @@ func (rw *RWMutex) broadcastLocked() {
 	}
 }
 
-// UnlockT write-unlocks on behalf of t. As with Mutex, the release event
-// reaches the monitor queue strictly before the lock becomes available
-// (§5.2 event order — both happen under rw.mu).
+// UnlockT write-unlocks on behalf of t. As with Mutex, the release is
+// recorded (buffered into t's event buffer, or published directly)
+// strictly before the lock becomes available — both happen under rw.mu —
+// and the buffer is flushed before any wait edge t later publishes, so
+// the monitor can never observe t blocked while an unflushed release
+// would have broken the cycle (§5.2 event order).
 func (rw *RWMutex) UnlockT(t *Thread) error {
 	t.pin() // keep t live until the release event is emitted
 	defer t.unpin()
@@ -414,15 +433,10 @@ func (rw *RWMutex) UnlockT(t *Thread) error {
 		return ErrNotOwner
 	}
 	if rw.rt.cfg.Mode != ModeOff {
-		if rw.wFast {
-			rw.rt.cache.FastRelease(t.ts, rw.ls)
-		} else {
-			rw.rt.cache.Release(t.ts, rw.ls)
-		}
+		rw.rt.cache.ReleaseAny(t.ts, rw.ls)
 	} else {
 		t.ts.NoteRelease()
 	}
-	rw.wFast = false
 	rw.writer = nil
 	rw.broadcastLocked()
 	rw.mu.Unlock()
@@ -476,12 +490,7 @@ func (rw *RWMutex) RUnlockHandoff(t *Thread) error {
 // preserving the §5.2 order.
 func (rw *RWMutex) runlockLocked(h *readerHold) {
 	if rw.rt.cfg.Mode != ModeOff {
-		if h.fastN > 0 {
-			h.fastN--
-			rw.rt.cache.FastRelease(h.t.ts, rw.ls)
-		} else {
-			rw.rt.cache.Release(h.t.ts, rw.ls)
-		}
+		rw.rt.cache.ReleaseAny(h.t.ts, rw.ls)
 	} else if h.n == 1 {
 		// ModeOff counts one hold per reader (reentrant reads return
 		// before the counter); retire it with the final release.
@@ -492,6 +501,10 @@ func (rw *RWMutex) runlockLocked(h *readerHold) {
 		return
 	}
 	delete(rw.readers, h.t.ts.ID)
+	if len(rw.hFree) < 64 {
+		h.t = nil
+		rw.hFree = append(rw.hFree, h)
+	}
 	if len(rw.readers) == 0 {
 		rw.broadcastLocked()
 	}

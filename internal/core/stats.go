@@ -39,6 +39,11 @@ type StatsSnapshot struct {
 	FastAcquired    uint64 `json:"fast_acquired"`
 	GuardedAcquired uint64 `json:"guarded_acquired"`
 
+	// EventBatches counts Batch carrier events published to the monitor
+	// queue (Config.EventBatch); EventsProcessed below counts the
+	// unpacked operations, so the ratio is the realized batch occupancy.
+	EventBatches uint64 `json:"event_batches"`
+
 	// YieldsBySignature maps signature ID to how many YIELD decisions
 	// it caused — which archived patterns actually fire in production.
 	YieldsBySignature map[string]uint64 `json:"yields_by_signature,omitempty"`
@@ -122,6 +127,8 @@ func (rt *Runtime) Stats() StatsSnapshot {
 		FastGos:         a.FastGos,
 		FastAcquired:    a.FastAcquired,
 		GuardedAcquired: a.GuardedAcquired,
+
+		EventBatches: a.EventBatches,
 
 		YieldsBySignature: rt.stats.YieldsBySignature(),
 

@@ -27,6 +27,28 @@ type Thread struct {
 
 	abortMu sync.Mutex
 	abort   chan struct{}
+
+	// cls is the per-goroutine classification table: a tiny direct-mapped
+	// cache from raw PC stack to (interned stack, safe/dangerous verdict),
+	// validated against the danger-index epoch. A Thread is used by one
+	// goroutine at a time, so the table needs no synchronization; the
+	// steady-state hot path costs one runtime.Callers walk, one hash, one
+	// epoch load — and zero allocations. See captureClassified.
+	cls [classSlots]classEntry
+}
+
+const (
+	classSlots = 4  // direct-mapped slots per thread
+	classPCs   = 16 // max raw-PC depth a slot can hold
+)
+
+// classEntry caches one call path's capture + classification.
+type classEntry struct {
+	in        *stack.Interned // nil marks an empty slot
+	epoch     uint64          // danger-index epoch the verdict was computed at
+	n         uint8           // raw PC count
+	dangerous bool            // verdict at epoch
+	pcs       [classPCs]uintptr
 }
 
 // pin marks an operation in flight on this handle: the idle pruner never
@@ -109,7 +131,13 @@ func (t *Thread) captureStack(extraSkip int) *stack.Interned {
 	// +2 skips runtime.Callers and captureStack itself, matching the old
 	// stack.Capture(extraSkip+1, ...) skip accounting.
 	n := runtime.Callers(extraSkip+2, pcbuf[:max])
-	pcs := pcbuf[:n]
+	return t.internPCs(pcbuf[:n], max)
+}
+
+// internPCs maps a raw PC stack to its interned frame stack: pcCache hit,
+// or the full symbolize/strip/truncate/intern pipeline (memoized into the
+// pcCache when the fast tier is on).
+func (t *Thread) internPCs(pcs []uintptr, max int) *stack.Interned {
 	if t.rt.pcCache != nil {
 		if in, ok := t.rt.pcCache.Get(pcs); ok {
 			return in
@@ -132,6 +160,67 @@ func (t *Thread) captureStack(extraSkip int) *stack.Interned {
 		t.rt.pcCache.Put(pcs, in)
 	}
 	return in
+}
+
+// captureClassified is captureStack fused with the fast-tier gate: it
+// returns the caller's interned stack and whether the stack is provably
+// safe (so the caller may take the lock-free fast tier).
+//
+// The hot path consults the per-goroutine classification table first: on
+// a raw-PC hit whose cached verdict is current (danger-index epoch
+// matches), no map shard, no interner, and no allocation is touched at
+// all. A stale verdict revalidates against the live index via the
+// interned stack's marker (one atomic load when the marker is current).
+// The epoch is read before classifying, so a concurrent index publish at
+// worst leaves the entry stamped with the older epoch — forcing a
+// revalidation on the next hit, never masking a newer index.
+//
+// When the fast tier is off (mode, IgnoreDecisions, DisableFastPath) the
+// verdict is always "not safe" and this devolves to captureStack.
+func (t *Thread) captureClassified(extraSkip int) (*stack.Interned, bool) {
+	cache := t.rt.cache
+	if t.rt.pcCache == nil || !cache.FastOK() {
+		return t.captureStack(extraSkip + 1), false
+	}
+	max := t.rt.cfg.StackDepth + 4
+	if max > stack.MaxCaptureDepth {
+		max = stack.MaxCaptureDepth
+	}
+	var pcbuf [stack.MaxCaptureDepth + 2]uintptr
+	n := runtime.Callers(extraSkip+2, pcbuf[:max])
+	pcs := pcbuf[:n]
+	if n > classPCs {
+		// Too deep for a slot: classify through the marker cache only.
+		in := t.internPCs(pcs, max)
+		return in, cache.ClassifySafe(in)
+	}
+	h := stack.HashPCs(pcs)
+	e := &t.cls[h%classSlots]
+	if e.in != nil && int(e.n) == n {
+		same := true
+		for i := 0; i < n; i++ {
+			if e.pcs[i] != pcs[i] {
+				same = false
+				break
+			}
+		}
+		if same {
+			if ep := cache.DangerEpoch(); e.epoch != ep {
+				e.dangerous = !cache.ClassifySafe(e.in)
+				e.epoch = ep
+			}
+			return e.in, !e.dangerous
+		}
+	}
+	ep := cache.DangerEpoch()
+	in := t.internPCs(pcs, max)
+	safe := cache.ClassifySafe(in)
+	e.in = in
+	e.epoch = ep
+	e.n = uint8(n)
+	e.dangerous = !safe
+	copy(e.pcs[:], pcs)
+	return in, safe
 }
 
 // isRuntimeFrame identifies Dimmunix's own lock-path frames (and only

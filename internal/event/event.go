@@ -1,9 +1,22 @@
 // Package event defines the events exchanged between the avoidance
 // instrumentation and the monitor thread (§3: request, go, yield, acquired,
 // release; §6 adds cancel for pthreads trylock/timedlock rollback).
+//
+// Per-thread events (request/go/acquired/release) may travel batched: a
+// thread accumulates them as compact Records in a Buffer and publishes one
+// Batch event per slab instead of one queue push per operation. Events
+// whose payload doesn't fit the Record format — yield (causes), cancel,
+// thread-exit — are emitted directly; the avoidance layer flushes the
+// thread's buffer before emitting them, so per-thread FIFO order through
+// the queue is preserved. The monitor flushes every thread's buffer at the
+// top of each pass, so batching delays detection by at most one τ.
 package event
 
-import "dimmunix/internal/stack"
+import (
+	"sync"
+
+	"dimmunix/internal/stack"
+)
 
 // Kind enumerates event types.
 type Kind uint8
@@ -27,9 +40,13 @@ const (
 	Cancel
 	// ThreadExit: the thread is gone; the monitor prunes its RAG node.
 	ThreadExit
+	// Batch: a carrier event holding buffered bookkeeping Records for one
+	// thread (Recs). The monitor unpacks it in order; Batch itself never
+	// reaches the RAG.
+	Batch
 )
 
-var kindNames = [...]string{"request", "go", "yield", "acquired", "release", "cancel", "thread-exit"}
+var kindNames = [...]string{"request", "go", "yield", "acquired", "release", "cancel", "thread-exit", "batch"}
 
 func (k Kind) String() string {
 	if int(k) < len(kindNames) {
@@ -58,8 +75,74 @@ type Event struct {
 	TID        int32
 	LID        uint64
 	Stack      *stack.Interned
-	Causes     []Cause // Yield only
-	SigID      string  // Yield only
-	YielderIdx int     // Yield only: signature stack index covered by TID
-	Depth      int     // Yield only: matching depth in force
+	Causes     []Cause   // Yield only
+	SigID      string    // Yield only
+	YielderIdx int       // Yield only: signature stack index covered by TID
+	Depth      int       // Yield only: matching depth in force
+	Recs       *[]Record // Batch only: pooled record slab (PutRecs when done)
+}
+
+// Record is one buffered bookkeeping operation inside a Batch event. The
+// thread identity travels once on the carrier Event, not per record.
+type Record struct {
+	Kind  Kind
+	LID   uint64
+	Stack *stack.Interned
+}
+
+// recsPool recycles record slabs between producers (lock paths) and the
+// consumer (monitor drain). Slabs round-trip as *[]Record so neither side
+// boxes a slice header per batch.
+var recsPool = sync.Pool{New: func() any {
+	rs := make([]Record, 0, 64)
+	return &rs
+}}
+
+// GetRecs returns an empty pooled record slab.
+func GetRecs() *[]Record { return recsPool.Get().(*[]Record) }
+
+// PutRecs clears a slab (dropping its stack pointers) and returns it to the
+// pool. Call after unpacking a Batch event.
+func PutRecs(rs *[]Record) {
+	clear(*rs)
+	*rs = (*rs)[:0]
+	recsPool.Put(rs)
+}
+
+// Buffer accumulates one thread's bookkeeping records and publishes them as
+// Batch events. The mutex makes Add/Flush safe against the monitor's
+// steal-at-pass flush; publication happens while the mutex is held, so a
+// thread's batches enter the MPSC queue in the order its records were
+// added, even when the monitor flushes concurrently.
+type Buffer struct {
+	mu   sync.Mutex
+	recs *[]Record
+}
+
+// Add appends one record and publishes a Batch event once max records have
+// accumulated.
+func (b *Buffer) Add(tid int32, r Record, max int, emit func(Event)) {
+	b.mu.Lock()
+	if b.recs == nil {
+		b.recs = GetRecs()
+	}
+	*b.recs = append(*b.recs, r)
+	if len(*b.recs) >= max {
+		recs := b.recs
+		b.recs = nil
+		emit(Event{Kind: Batch, TID: tid, Recs: recs})
+	}
+	b.mu.Unlock()
+}
+
+// Flush publishes any buffered records immediately. Safe to call from any
+// goroutine (the monitor steals buffers this way at every pass).
+func (b *Buffer) Flush(tid int32, emit func(Event)) {
+	b.mu.Lock()
+	if b.recs != nil && len(*b.recs) > 0 {
+		recs := b.recs
+		b.recs = nil
+		emit(Event{Kind: Batch, TID: tid, Recs: recs})
+	}
+	b.mu.Unlock()
 }

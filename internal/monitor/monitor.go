@@ -294,17 +294,25 @@ func (m *Monitor) Pass() {
 	m.tick++
 	m.Counters.Passes.Add(1)
 
+	// Steal every thread's batched bookkeeping events before draining, so
+	// batching never hides an operation from this pass's detection.
+	if m.cache != nil {
+		m.cache.FlushBuffers()
+	}
+	extra := 0
 	n := m.q.Drain(func(ev event.Event) {
-		m.g.Apply(ev)
-		m.feedEpisodes(ev)
-		if ev.Kind == event.Yield {
-			m.startEpisode(ev)
+		if ev.Kind == event.Batch {
+			// Unpack in order; each record inherits the carrier's thread.
+			for _, r := range *ev.Recs {
+				m.applyOne(event.Event{Kind: r.Kind, TID: ev.TID, LID: r.LID, Stack: r.Stack})
+			}
+			extra += len(*ev.Recs) - 1
+			event.PutRecs(ev.Recs)
+			return
 		}
-		if m.cfg.Trace != nil {
-			m.cfg.Trace.Record(ev)
-		}
+		m.applyOne(ev)
 	})
-	m.Counters.EventsProcessed.Add(uint64(n))
+	m.Counters.EventsProcessed.Add(uint64(n + extra))
 
 	m.ageEpisodes()
 
@@ -313,6 +321,19 @@ func (m *Monitor) Pass() {
 		m.handleCycle(c)
 	}
 	m.pruneSuppressed()
+}
+
+// applyOne feeds one (possibly batch-unpacked) event through the RAG,
+// episode tracking, and the trace recorder.
+func (m *Monitor) applyOne(ev event.Event) {
+	m.g.Apply(ev)
+	m.feedEpisodes(ev)
+	if ev.Kind == event.Yield {
+		m.startEpisode(ev)
+	}
+	if m.cfg.Trace != nil {
+		m.cfg.Trace.Record(ev)
+	}
 }
 
 // startEpisode begins retrospective FP tracking for one avoidance.

@@ -9,6 +9,15 @@
 // §5.2 requires: a release event on L in Ti appears before any later
 // acquired event on L in Tj because the producer-side happens-before edge
 // (unlock in Ti ≺ lock completes in Tj) orders the two exchanges.
+//
+// With batched publication (core Config.EventBatch) a producer's
+// per-thread events travel inside Batch carrier events. Per-thread order
+// is preserved because a thread's buffer publishes while holding the
+// buffer's mutex — a monitor-side flush (Cache.FlushBuffers) that steals
+// the buffer serializes with the owner's in-progress append/publish, so
+// two batches from the same thread can never reach the Push exchange out
+// of order, and a directly-emitted event (Yield/Cancel/exit) always
+// flushes the buffer first, keeping the §5.2 edge above intact.
 package queue
 
 import (

@@ -117,18 +117,40 @@ const DefaultMaxTombstones = 4096
 const DefaultMinTombstoneAge = 7 * 24 * time.Hour
 
 // DangerIndex is an immutable over-approximation of the call stacks that
-// can participate in any enabled signature, keyed by innermost frame.
-// Matching at depth d >= 1 implies the innermost frames agree (and the
-// depth <= 0 / short-stack fallbacks compare full stacks, which also
-// implies it), so a stack whose innermost frame is absent from the index
-// can never match an enabled signature stack at any effective depth —
-// including every rung a calibration ladder may move through. That is the
-// soundness argument for the lock-free fast path: "safe" verdicts stay
-// valid until the signature set itself changes, at which point a new index
-// with a fresh epoch is published and all cached markers self-invalidate.
+// can participate in any enabled signature. Signature stacks are indexed
+// per effective matching depth:
+//
+//   - A signature whose depth could change without a history-version bump
+//     — calibration is armed (Calib.On) or was ever configured
+//     (Calib.MaxDepth > 0), so rung advances and NT re-arms move the
+//     effective depth silently — is indexed by innermost frame alone.
+//     Matching at any depth d >= 1 implies the innermost frames agree,
+//     and the depth <= 0 / short-stack fallbacks compare full stacks
+//     (which also implies it), so the frame bucket over-approximates
+//     every rung the ladder may move through.
+//
+//   - A fixed-depth signature stack is indexed by the hash of its
+//     innermost EffectiveDepth frames (stack.HashAtDepth, which falls
+//     back to the full-stack hash when the stack is shorter than the
+//     depth or the depth is <= 0). Probing a request stack with the same
+//     HashAtDepth expression is conservative for every length case of
+//     MatchesAtDepth: when both stacks reach the depth, the prefix
+//     hashes are equal whenever the prefixes match; the length-mismatch
+//     fallbacks require full equality, which implies equal full hashes;
+//     hash collisions only yield false "dangerous" verdicts. This keeps
+//     stacks that merely share an innermost frame with a deep signature
+//     — but diverge within its matching window — on the lock-free fast
+//     path.
+//
+// A stack absent from every bucket can never match an enabled signature
+// stack at its effective depth. That is the soundness argument for the
+// lock-free fast path: "safe" verdicts stay valid until the signature set
+// itself changes, at which point a new index with a fresh epoch is
+// published and all cached markers self-invalidate.
 type DangerIndex struct {
-	epoch  uint64
-	frames map[stack.Frame]struct{}
+	epoch    uint64
+	frames   map[stack.Frame]struct{}    // depth-volatile sigs: innermost frame
+	prefixes map[int]map[uint64]struct{} // fixed depth d -> HashAtDepth(d) set
 }
 
 // Epoch returns the history version this index was built from. Epochs
@@ -136,20 +158,35 @@ type DangerIndex struct {
 func (d *DangerIndex) Epoch() uint64 { return d.epoch }
 
 // Dangerous reports whether s could match any enabled signature stack at
-// any matching depth (an over-approximation; false is authoritative).
+// its effective matching depth (an over-approximation; false is
+// authoritative).
 func (d *DangerIndex) Dangerous(s stack.Stack) bool {
-	if len(d.frames) == 0 {
+	if len(d.frames) == 0 && len(d.prefixes) == 0 {
 		return len(s) == 0 // empty stacks never get the fast path
 	}
 	if len(s) == 0 {
 		return true
 	}
-	_, hit := d.frames[s[0]]
-	return hit
+	if _, hit := d.frames[s[0]]; hit {
+		return true
+	}
+	for depth, hs := range d.prefixes {
+		if _, hit := hs[s.HashAtDepth(depth)]; hit {
+			return true
+		}
+	}
+	return false
 }
 
-// Len returns the number of distinct dangerous innermost frames.
-func (d *DangerIndex) Len() int { return len(d.frames) }
+// Len returns the number of distinct indexed keys (innermost frames plus
+// per-depth prefix hashes).
+func (d *DangerIndex) Len() int {
+	n := len(d.frames)
+	for _, hs := range d.prefixes {
+		n += len(hs)
+	}
+	return n
+}
 
 // NewHistory returns an empty, unbacked history (nothing persists until
 // SetPath/SaveTo).
@@ -177,14 +214,38 @@ func (h *History) rebuildDangerLocked() {
 		if s.Disabled {
 			continue
 		}
+		// Calibration-capable signatures change effective depth without a
+		// version bump (rung advances, NT re-arms), so they take the
+		// depth-independent innermost-frame bucket. Fixed-depth signatures
+		// index at their effective depth; depth 1 also reduces to the
+		// frame bucket (HashAtDepth(1) keys would work but the frame set
+		// is cheaper to probe).
+		volatileDepth := s.Calib.On || s.Calib.MaxDepth > 0
+		d := s.EffectiveDepth()
 		for _, st := range s.Stacks {
 			if len(st) == 0 {
 				continue
 			}
-			if idx.frames == nil {
-				idx.frames = make(map[stack.Frame]struct{})
+			if volatileDepth || d == 1 {
+				if idx.frames == nil {
+					idx.frames = make(map[stack.Frame]struct{})
+				}
+				idx.frames[st[0]] = struct{}{}
+				continue
 			}
-			idx.frames[st[0]] = struct{}{}
+			e := d
+			if e <= 0 {
+				e = 0 // full-stack hash bucket
+			}
+			if idx.prefixes == nil {
+				idx.prefixes = make(map[int]map[uint64]struct{})
+			}
+			hs := idx.prefixes[e]
+			if hs == nil {
+				hs = make(map[uint64]struct{})
+				idx.prefixes[e] = hs
+			}
+			hs[st.HashAtDepth(e)] = struct{}{}
 		}
 	}
 	h.danger.Store(idx)

@@ -37,7 +37,9 @@ func NewPCCache() *PCCache {
 	return c
 }
 
-func hashPCs(pcs []uintptr) uint64 {
+// HashPCs hashes a raw PC stack (FNV-1a). Exported for the per-thread
+// classification table, which indexes by the same key as this cache.
+func HashPCs(pcs []uintptr) uint64 {
 	h := uint64(fnvOffset)
 	for _, pc := range pcs {
 		h ^= uint64(pc)
@@ -60,7 +62,7 @@ func equalPCs(a, b []uintptr) bool {
 
 // Get returns the interned stack previously recorded for pcs.
 func (c *PCCache) Get(pcs []uintptr) (*Interned, bool) {
-	h := hashPCs(pcs)
+	h := HashPCs(pcs)
 	sh := &c.shards[h%pcShards]
 	sh.mu.RLock()
 	for _, e := range sh.m[h] {
@@ -75,7 +77,7 @@ func (c *PCCache) Get(pcs []uintptr) (*Interned, bool) {
 
 // Put records the resolution of pcs. The slice is copied.
 func (c *PCCache) Put(pcs []uintptr, in *Interned) {
-	h := hashPCs(pcs)
+	h := HashPCs(pcs)
 	sh := &c.shards[h%pcShards]
 	sh.mu.Lock()
 	for _, e := range sh.m[h] {

@@ -206,6 +206,21 @@ func WithEventBuffer(n int) Option {
 	return func(c *Config) { c.EventBuffer = n }
 }
 
+// WithEventBatch sets the per-thread monitor-publication batch size
+// (default core.DefaultEventBatch = 64; n <= 1 publishes every event
+// immediately). Bookkeeping events — fast-tier and guarded acquisitions
+// and releases — accumulate in a per-thread buffer that reaches the
+// monitor queue as one carrier event when full, when the thread is about
+// to block or exit, and at the start of every monitor pass, so detection
+// latency stays bounded by τ and the §5.2 release-before-acquired order
+// is preserved. Larger batches cut queue traffic and allocation on the
+// uncontended fast path; the cost is up to n events of monitor-side
+// staleness for threads that are neither blocking nor being swept. The
+// env form is DIMMUNIX_EVENT_BATCH.
+func WithEventBatch(n int) Option {
+	return func(c *Config) { c.EventBatch = n }
+}
+
 // WithTraceRecorder arms trace mode: every acquisition event the
 // monitor drains — fast-tier operations included — is appended to the
 // binary journal at path, for offline deadlock prediction with
