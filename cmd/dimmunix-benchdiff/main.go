@@ -7,9 +7,15 @@
 // exits nonzero if any fast-tier benchmark's median allocs/op is above
 // zero, the regression the zero-allocation fast path must never reintroduce.
 //
+// -gate-latency <pct> additionally fails the run when a fast-tier
+// benchmark's median ns/op regresses more than pct percent over the
+// committed baseline median — the latency counterpart of the alloc
+// gate. Benchmarks absent from the baseline are skipped (new benchmarks
+// gate from their first committed baseline, not their first run).
+//
 // Usage:
 //
-//	dimmunix-benchdiff -bench bench-ci.txt [-baseline BENCH_fastpath.json] [-gate-allocs]
+//	dimmunix-benchdiff -bench bench-ci.txt [-baseline BENCH_fastpath.json] [-gate-allocs] [-gate-latency 25]
 //
 // -bench may be "-" to read the benchmark output from stdin.
 package main
@@ -104,6 +110,7 @@ func main() {
 	benchPath := flag.String("bench", "-", "benchmark output file (- = stdin)")
 	basePath := flag.String("baseline", "", "BENCH_fastpath.json to diff medians against")
 	gate := flag.Bool("gate-allocs", false, "exit 1 if a fast-tier benchmark's median allocs/op > 0")
+	gateLatency := flag.Float64("gate-latency", 0, "exit 1 if a fast-tier benchmark's median ns/op regresses more than this percent over the baseline (0 = off)")
 	flag.Parse()
 
 	in := io.Reader(os.Stdin)
@@ -182,5 +189,38 @@ func main() {
 			os.Exit(1)
 		}
 		fmt.Println("alloc gate: fast-tier benchmarks at 0 allocs/op")
+	}
+
+	if *gateLatency > 0 {
+		if *basePath == "" {
+			fmt.Fprintln(os.Stderr, "benchdiff: -gate-latency needs -baseline")
+			os.Exit(2)
+		}
+		failed := false
+		gated := 0
+		for name, rs := range byName {
+			if !fastTierPattern.MatchString(name) {
+				continue
+			}
+			oldNs, hasOld := old[name]
+			if !hasOld || oldNs <= 0 {
+				continue
+			}
+			gated++
+			newNs := median(rs.ns)
+			if pct := (newNs - oldNs) / oldNs * 100; pct > *gateLatency {
+				fmt.Fprintf(os.Stderr, "benchdiff: LATENCY REGRESSION: %s median %.1f ns/op vs baseline %.1f (%+.1f%%, limit %+.1f%%)\n",
+					name, newNs, oldNs, pct, *gateLatency)
+				failed = true
+			}
+		}
+		if gated == 0 {
+			fmt.Fprintln(os.Stderr, "benchdiff: -gate-latency matched no fast-tier benchmark present in the baseline")
+			os.Exit(2)
+		}
+		if failed {
+			os.Exit(1)
+		}
+		fmt.Printf("latency gate: %d fast-tier benchmark(s) within %+.1f%% of baseline\n", gated, *gateLatency)
 	}
 }

@@ -31,6 +31,7 @@
 package main
 
 import (
+	"bytes"
 	"context"
 	"encoding/json"
 	"fmt"
@@ -45,13 +46,14 @@ import (
 )
 
 var (
-	storeSpec = flag.String("store", "", "shared history store (file, dir, or http:// daemon)")
-	role      = flag.String("role", "", "a = hit the deadlock once; b = converge and avoid it; c = outage drill; canary = record trace, no deadlock; avoid = converge on predicted signature and dodge first encounter")
-	wait      = flag.Duration("wait", 15*time.Second, "roles b/avoid: how long to wait for convergence")
-	hold      = flag.Duration("hold", 150*time.Millisecond, "timing window between the nested acquisitions")
-	budget    = flag.Duration("budget", time.Second, "role c: configured shutdown timeout (Stop must return within 2x)")
-	statsOut  = flag.String("stats-out", "", "write the final runtime stats snapshot as JSON to this file (CI artifact)")
-	debugAddr = flag.String("debug", "", "serve dimmunix.DebugHandler on this address for the run (e.g. 127.0.0.1:7700)")
+	storeSpec  = flag.String("store", "", "shared history store (file, dir, or http:// daemon)")
+	role       = flag.String("role", "", "a = hit the deadlock once; b = converge and avoid it; c = outage drill; canary = record trace, no deadlock; avoid = converge on predicted signature and dodge first encounter")
+	wait       = flag.Duration("wait", 15*time.Second, "roles b/avoid: how long to wait for convergence")
+	hold       = flag.Duration("hold", 150*time.Millisecond, "timing window between the nested acquisitions")
+	budget     = flag.Duration("budget", time.Second, "role c: configured shutdown timeout (Stop must return within 2x)")
+	statsOut   = flag.String("stats-out", "", "write the final runtime stats snapshot as JSON to this file (CI artifact)")
+	metricsOut = flag.String("metrics-out", "", "write the final Prometheus-text metrics snapshot to this file (CI artifact)")
+	debugAddr  = flag.String("debug", "", "serve dimmunix.DebugHandler on this address for the run (e.g. 127.0.0.1:7700)")
 )
 
 func main() {
@@ -111,6 +113,9 @@ func main() {
 	}
 	if *statsOut != "" {
 		defer writeStats(rt, *statsOut)
+	}
+	if *metricsOut != "" {
+		defer writeMetricsFile(rt, *metricsOut)
 	}
 
 	switch *role {
@@ -301,6 +306,14 @@ func writeStats(rt *dimmunix.Runtime, path string) {
 	}
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "dimmunix-fleet: stats-out:", err)
+	}
+}
+
+func writeMetricsFile(rt *dimmunix.Runtime, path string) {
+	var buf bytes.Buffer
+	dimmunix.WriteMetrics(&buf, rt.Stats())
+	if err := os.WriteFile(path, buf.Bytes(), 0o644); err != nil {
+		fmt.Fprintln(os.Stderr, "dimmunix-fleet: metrics-out:", err)
 	}
 }
 

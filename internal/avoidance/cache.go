@@ -489,6 +489,17 @@ func (c *Cache) FastOK() bool { return c.fastOK }
 // DangerEpoch returns the live danger-index epoch.
 func (c *Cache) DangerEpoch() uint64 { return c.hist.Danger().Epoch() }
 
+// DangerView returns the live danger-index epoch together with its
+// published shallow-capture depth, from a single index load so the two
+// are mutually consistent. shallow follows DangerIndex.ShallowDepth():
+// the minimum number of innermost frames that yields the same Dangerous
+// verdict as a full capture, or 0 when only a full capture is sound
+// (calibration-live or depth<=0 signatures present).
+func (c *Cache) DangerView() (epoch uint64, shallow int) {
+	idx := c.hist.Danger()
+	return idx.Epoch(), idx.ShallowDepth()
+}
+
 // bufEmit routes a per-thread event (request/go/acquired/release) through
 // the thread's batch buffer, or straight to the queue when batching is off.
 func (c *Cache) bufEmit(t *ThreadState, k event.Kind, lid uint64, in *stack.Interned) {
@@ -636,9 +647,21 @@ func (c *Cache) ReleaseAny(t *ThreadState, l *LockState) {
 // thread — no wakeups are owed and no guard is needed; only the release
 // event is emitted. Callers that logged the hold via NoteFastHold must go
 // through ReleaseAny instead, which consumes the log entry first.
+//
+// A lonely release — the thread's last hold, released while its own
+// Acquired record is still the newest thing in the batch buffer — is
+// elided together with that record instead of emitted: the pair carries
+// no lock-nesting evidence (no other hold was live, nothing happened in
+// between) and could never appear in a detection snapshot, so skipping
+// it spares the monitor two RAG updates per uncontended fast-tier
+// operation. Stats counters remain exact; only the monitor-facing
+// bookkeeping stream is thinned.
 func (c *Cache) FastRelease(t *ThreadState, l *LockState) {
 	c.stats.Releases.Add(1)
-	t.liveHolds.Add(-1)
+	lonely := t.liveHolds.Add(-1) == 0
+	if lonely && c.cfg.EventBatch > 1 && t.buf.ElideRelease(l.ID) {
+		return
+	}
 	c.bufEmit(t, event.Release, l.ID, nil)
 }
 

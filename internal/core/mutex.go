@@ -225,6 +225,14 @@ func (m *Mutex) lockT(t *Thread, timeout time.Duration, try bool, done <-chan st
 		return err
 	}
 
+	// Latency sampling: 1-in-64 fast-tier operations take two timestamps
+	// (see Runtime.latFast); the other 63 pay one counter increment.
+	t.latCtr++
+	var t0 time.Time
+	if sampled := t.latCtr&63 == 0; sampled {
+		t0 = time.Now()
+	}
+
 	in, safe := t.captureClassified(1)
 
 	// Fast tier: a stack provably safe under the live history epoch skips
@@ -241,6 +249,9 @@ func (m *Mutex) lockT(t *Thread, timeout time.Duration, try bool, done <-chan st
 		if ok {
 			m.rt.cache.FastAcquiredImmediate(t.ts, m.ls, in, false)
 			m.rt.cache.NoteFastHold(t.ts, m.ls, in, false)
+			if !t0.IsZero() {
+				m.rt.latFast.Record(time.Since(t0))
+			}
 			return nil
 		}
 		if try {
@@ -254,7 +265,16 @@ func (m *Mutex) lockT(t *Thread, timeout time.Duration, try bool, done <-chan st
 		}
 		m.rt.cache.FastAcquired(t.ts, m.ls, in, false)
 		m.rt.cache.NoteFastHold(t.ts, m.ls, in, false)
+		if !t0.IsZero() {
+			m.rt.latFast.Record(time.Since(t0))
+		}
 		return nil
+	}
+
+	// Guarded tier: always record latency — the §5.4 protocol is already
+	// a slow path, so two timestamps disappear in the noise.
+	if t0.IsZero() {
+		t0 = time.Now()
 	}
 
 	var deadline <-chan time.Time
@@ -275,6 +295,7 @@ func (m *Mutex) lockT(t *Thread, timeout time.Duration, try bool, done <-chan st
 		return err
 	}
 	m.rt.cache.Acquired(t.ts, m.ls)
+	m.rt.latGuarded.Record(time.Since(t0))
 	return nil
 }
 
@@ -284,14 +305,28 @@ func (m *Mutex) lockT(t *Thread, timeout time.Duration, try bool, done <-chan st
 // Acquired/AcquiredShared (or Cancel if the raw block fails). Every
 // failure return has already rolled the request back with a Cancel.
 func (rt *Runtime) requestLoop(t *Thread, ls *lockStateRef, in *stackInterned, try bool, deadline <-chan time.Time, done <-chan struct{}) error {
+	// yieldStart times the yield episode (first YIELD decision until the
+	// loop exits, however it exits) for Stats().Latency.Yield. Recorded
+	// inline at each exit rather than via a deferred closure so the
+	// no-yield guarded path stays allocation-free.
+	var yieldStart time.Time
 	for {
 		dec := rt.cache.Request(t.ts, ls, in)
 		if dec.Go {
+			if !yieldStart.IsZero() {
+				rt.latYield.Record(time.Since(yieldStart))
+			}
 			return nil
 		}
 		if try {
 			rt.cache.Cancel(t.ts, ls)
+			if !yieldStart.IsZero() {
+				rt.latYield.Record(time.Since(yieldStart))
+			}
 			return errWouldBlock
+		}
+		if yieldStart.IsZero() {
+			yieldStart = time.Now()
 		}
 		// YIELD: wait until a cause binding may have broken, bounded by
 		// the max-yield duration (§5.7) and the caller's deadline.
@@ -310,12 +345,18 @@ func (rt *Runtime) requestLoop(t *Thread, ls *lockStateRef, in *stackInterned, t
 				yieldTimer.Stop()
 			}
 			rt.cache.Cancel(t.ts, ls)
+			if !yieldStart.IsZero() {
+				rt.latYield.Record(time.Since(yieldStart))
+			}
 			return ErrTimeout
 		case <-done:
 			if yieldTimer != nil {
 				yieldTimer.Stop()
 			}
 			rt.cache.Cancel(t.ts, ls)
+			if !yieldStart.IsZero() {
+				rt.latYield.Record(time.Since(yieldStart))
+			}
 			return errCtxDone
 		case <-t.abortChan():
 			if yieldTimer != nil {
@@ -323,6 +364,9 @@ func (rt *Runtime) requestLoop(t *Thread, ls *lockStateRef, in *stackInterned, t
 			}
 			t.consumeAbort()
 			rt.cache.Cancel(t.ts, ls)
+			if !yieldStart.IsZero() {
+				rt.latYield.Record(time.Since(yieldStart))
+			}
 			return ErrDeadlockRecovered
 		}
 		if yieldTimer != nil {

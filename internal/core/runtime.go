@@ -64,6 +64,15 @@ type Runtime struct {
 	recoveries   atomic.Uint64
 	disables     atomic.Uint64
 
+	// Acquisition-latency histograms (log-scale, fixed buckets; see
+	// StatsSnapshot.Latency). Guarded acquisitions and yield episodes
+	// record every observation — they are already slow paths — while the
+	// fast tier records a 1-in-64 per-thread sample so the steady-state
+	// path never pays two timestamp reads per operation.
+	latFast    obs.Histogram
+	latGuarded obs.Histogram
+	latYield   obs.Histogram
+
 	// adminMu serializes admin-path users of adminSlot (the reserved
 	// avoidance-guard slot for diagnostics like HistorySummary), keeping
 	// the filter guard sound with at most one admin participant.

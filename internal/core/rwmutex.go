@@ -254,6 +254,14 @@ func (rw *RWMutex) lockRW(t *Thread, timeout time.Duration, try bool, done <-cha
 		return err
 	}
 
+	// Latency sampling mirrors Mutex.lockT: 1-in-64 on the fast tier,
+	// every observation on the guarded tier.
+	t.latCtr++
+	var t0 time.Time
+	if sampled := t.latCtr&63 == 0; sampled {
+		t0 = time.Now()
+	}
+
 	in, safe := t.captureClassified(1)
 
 	// Fast tier: a provably safe stack skips the guarded protocol (see
@@ -266,6 +274,9 @@ func (rw *RWMutex) lockRW(t *Thread, timeout time.Duration, try bool, done <-cha
 		case err == nil:
 			rw.rt.cache.FastAcquiredImmediate(t.ts, rw.ls, in, read)
 			rw.noteFastHold(t, in, read)
+			if !t0.IsZero() {
+				rw.rt.latFast.Record(time.Since(t0))
+			}
 			return nil
 		case !errors.Is(err, errWouldBlock):
 			// ErrMutexRetired: propagate so the caller re-resolves.
@@ -282,7 +293,14 @@ func (rw *RWMutex) lockRW(t *Thread, timeout time.Duration, try bool, done <-cha
 		}
 		rw.rt.cache.FastAcquired(t.ts, rw.ls, in, read)
 		rw.noteFastHold(t, in, read)
+		if !t0.IsZero() {
+			rw.rt.latFast.Record(time.Since(t0))
+		}
 		return nil
+	}
+
+	if t0.IsZero() {
+		t0 = time.Now()
 	}
 
 	if err := rw.rt.requestLoop(t, rw.ls, in, try, deadline, done); err != nil {
@@ -299,6 +317,7 @@ func (rw *RWMutex) lockRW(t *Thread, timeout time.Duration, try bool, done <-cha
 	} else {
 		rw.rt.cache.Acquired(t.ts, rw.ls)
 	}
+	rw.rt.latGuarded.Record(time.Since(t0))
 	return nil
 }
 

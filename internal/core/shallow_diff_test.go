@@ -1,0 +1,244 @@
+package core
+
+import (
+	"sync"
+	"testing"
+
+	"dimmunix/internal/calib"
+	"dimmunix/internal/signature"
+	"dimmunix/internal/stack"
+)
+
+// diffProbeA/diffProbeB are two distinct capture call sites (distinct
+// innermost frames), and diffVia threads them through recursion so call
+// paths of different physical depth share the same innermost frames —
+// exactly the aliasing a truncated classification key must stay sound
+// under. Everything in the chain is noinline so the fp build's physical
+// skip accounting holds through these test paths too.
+//
+//go:noinline
+func diffProbeA(t *Thread) (*stack.Interned, bool) { return t.captureClassified(0) }
+
+//go:noinline
+func diffProbeB(t *Thread) (*stack.Interned, bool) { return t.captureClassified(0) }
+
+//go:noinline
+func diffVia(t *Thread, depth int, probe func(*Thread) (*stack.Interned, bool)) (*stack.Interned, bool) {
+	if depth <= 0 {
+		return probe(t)
+	}
+	return diffVia(t, depth-1, probe)
+}
+
+var diffPaths = []struct {
+	name  string
+	probe func(*Thread) (*stack.Interned, bool)
+	depth int
+}{
+	{"A0", diffProbeA, 0}, {"A1", diffProbeA, 1}, {"A5", diffProbeA, 5}, {"A9", diffProbeA, 9},
+	{"B0", diffProbeB, 0}, {"B2", diffProbeB, 2}, {"B9", diffProbeB, 9},
+}
+
+// checkShallowAgreement runs every probe path twice (miss then cached
+// entry) and asserts the depth-bounded verdict equals the authoritative
+// full-stack verdict of the interned stack the call returned. The
+// epoch-stable guard makes the check sound under concurrent history
+// mutation: epochs are monotonic, so an unchanged epoch across the probe
+// window means the index the fast tier classified against is the one we
+// re-verify against.
+func checkShallowAgreement(t *testing.T, rt *Runtime, th *Thread) {
+	t.Helper()
+	for _, p := range diffPaths {
+		for round := 0; round < 2; round++ {
+			ep1, _ := rt.cache.DangerView()
+			in, safe := diffVia(th, p.depth, p.probe)
+			idx := rt.hist.Danger()
+			if ep2 := idx.Epoch(); ep1 != ep2 {
+				continue // epoch moved mid-probe; verdict vintage ambiguous
+			}
+			if full := !idx.Dangerous(in.S); safe != full {
+				t.Fatalf("path %s round %d: shallow/full divergence: fast tier said safe=%v, full classification of the returned stack says safe=%v (epoch %d, shallow %d)\nstack: %v",
+					p.name, round, safe, full, ep1, idx.ShallowDepth(), in.S)
+			}
+		}
+	}
+}
+
+// captureFor returns the interned full stack of one probe path, for
+// building signatures that target real captured call sites.
+func captureFor(th *Thread, depth int, probe func(*Thread) (*stack.Interned, bool)) stack.Stack {
+	in, _ := diffVia(th, depth, probe)
+	return in.S.Clone()
+}
+
+// TestShallowFullDifferential drives captureClassified through real call
+// paths against every index shape the depth-bounded capture must stay
+// sound under: empty history, archived fixed-depth signatures (including
+// depth 1 and a depth that exceeds some probe stacks), a sync-pull
+// merge, a predicted ReplaceAll swap, disable flips, and the two
+// conservative-envelope cases (calibration-armed, depth<=0). At each
+// step the fast-tier verdict must match the authoritative full-stack
+// classification.
+func TestShallowFullDifferential(t *testing.T) {
+	rt := MustNew(testConfig())
+	defer rt.Stop()
+	th := rt.RegisterThread("diff")
+	defer th.Close()
+
+	if rt.pcCache == nil || !rt.cache.FastOK() {
+		t.Fatal("fast tier not armed; the differential would test nothing")
+	}
+
+	// Round 1: empty history — everything safe, ShallowDepth 1.
+	if got := rt.hist.Danger().ShallowDepth(); got != 1 {
+		t.Fatalf("empty history ShallowDepth=%d, want 1", got)
+	}
+	checkShallowAgreement(t, rt, th)
+
+	// Round 2: archive a default-depth signature from a real captured
+	// path; its probe must flip to dangerous. Recursion depth >= 2 keeps
+	// the depth-4 matching window inside the shared diffVia frames, so
+	// the test-function call line (different per probe site) is outside
+	// it and every deep A path aliases into the signature.
+	sA := captureFor(th, 3, diffProbeA)
+	rt.hist.Add(signature.New(signature.Deadlock, []stack.Stack{sA}, 4))
+	checkShallowAgreement(t, rt, th)
+	if in, safe := diffVia(th, 3, diffProbeA); safe {
+		t.Fatalf("archived signature on path A3 but fast tier still says safe; stack %v", in.S)
+	}
+
+	// Round 3: depth-1 signature on the other call site (frames bucket).
+	sB := captureFor(th, 2, diffProbeB)
+	rt.hist.Add(signature.New(signature.Deadlock, []stack.Stack{sB}, 1))
+	checkShallowAgreement(t, rt, th)
+	if _, safe := diffVia(th, 9, diffProbeB); safe {
+		t.Fatal("depth-1 signature must make every aliasing B path dangerous")
+	}
+
+	// Round 4: a deep signature pushes the published shallow bound up.
+	deep := captureFor(th, 9, diffProbeA)
+	rt.hist.Add(signature.New(signature.Deadlock, []stack.Stack{deep}, 8))
+	if got := rt.hist.Danger().ShallowDepth(); got < 8 {
+		t.Fatalf("depth-8 signature live but ShallowDepth=%d", got)
+	}
+	checkShallowAgreement(t, rt, th)
+
+	// Round 5: sync-pull merge from a remote history.
+	remote := signature.NewHistory()
+	remote.Add(signature.New(signature.Starvation, []stack.Stack{captureFor(th, 1, diffProbeA)}, 2))
+	rt.hist.Merge(remote)
+	checkShallowAgreement(t, rt, th)
+
+	// Round 6: calibration-armed signature forces the conservative
+	// envelope — verdicts still agree, now via full captures.
+	calSig := signature.New(signature.Deadlock, []stack.Stack{captureFor(th, 5, diffProbeB)}, 4)
+	calSig.Calib = calib.NewState(10, 20, 1000)
+	rt.hist.Add(calSig)
+	if got := rt.hist.Danger().ShallowDepth(); got != 0 {
+		t.Fatalf("calibration-armed signature live but ShallowDepth=%d, want 0", got)
+	}
+	checkShallowAgreement(t, rt, th)
+
+	// Round 7: disable it — the envelope lifts, bound returns.
+	rt.hist.SetDisabled(calSig.ID, true)
+	if got := rt.hist.Danger().ShallowDepth(); got == 0 {
+		t.Fatal("envelope persists after the calibration signature was disabled")
+	}
+	checkShallowAgreement(t, rt, th)
+
+	// Round 8: depth<=0 signature (full-stack matching) is the other
+	// envelope case.
+	zeroSig := signature.New(signature.Deadlock, []stack.Stack{captureFor(th, 2, diffProbeA)}, 4)
+	zeroSig.Depth = -1
+	rt.hist.Add(zeroSig)
+	if got := rt.hist.Danger().ShallowDepth(); got != 0 {
+		t.Fatalf("depth<=0 signature live but ShallowDepth=%d, want 0", got)
+	}
+	checkShallowAgreement(t, rt, th)
+
+	// Round 9: predicted inoculation — ReplaceAll swaps the entire
+	// content and jumps the epoch; stale cls entries must revalidate or
+	// recapture, never serve the old verdict.
+	repl := signature.NewHistory()
+	repl.Add(signature.New(signature.Deadlock, []stack.Stack{captureFor(th, 0, diffProbeB)}, 4))
+	rt.hist.ReplaceAll(repl)
+	checkShallowAgreement(t, rt, th)
+	if _, safe := diffVia(th, 0, diffProbeA); !safe {
+		t.Fatal("ReplaceAll removed the A signatures but path A0 still classifies dangerous")
+	}
+}
+
+// TestShallowFullDifferentialConcurrent runs the same agreement check
+// from several goroutines while another goroutine continuously mutates
+// the history (add/disable/remove/replace), so -race can see the index
+// publication, marker, and cls-table interplay under fire. The
+// epoch-stable guard in checkShallowAgreement keeps the verdict
+// comparison meaningful despite the churn.
+func TestShallowFullDifferentialConcurrent(t *testing.T) {
+	rt := MustNew(testConfig())
+	defer rt.Stop()
+
+	seedTh := rt.RegisterThread("seed")
+	stacks := []stack.Stack{
+		captureFor(seedTh, 0, diffProbeA),
+		captureFor(seedTh, 3, diffProbeA),
+		captureFor(seedTh, 1, diffProbeB),
+		captureFor(seedTh, 9, diffProbeB),
+	}
+	seedTh.Close()
+
+	stop := make(chan struct{})
+	var mut sync.WaitGroup
+	mut.Add(1)
+	go func() {
+		defer mut.Done()
+		for i := 0; ; i++ {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			st := stacks[i%len(stacks)]
+			depth := []int{1, 2, 4, 8, -1}[i%5]
+			sig := signature.New(signature.Deadlock, []stack.Stack{st}, 4)
+			if depth == -1 {
+				sig.Depth = -1
+			} else {
+				sig.Depth = depth
+			}
+			if i%7 == 0 {
+				sig.Calib = calib.NewState(10, 20, 1000)
+			}
+			switch i % 4 {
+			case 0, 1:
+				rt.hist.Add(sig)
+			case 2:
+				for _, s := range rt.hist.Snapshot() {
+					rt.hist.Remove(s.ID)
+					break
+				}
+			case 3:
+				repl := signature.NewHistory()
+				repl.Add(sig)
+				rt.hist.ReplaceAll(repl)
+			}
+		}
+	}()
+
+	const workers = 4
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			th := rt.RegisterThread("diff-w")
+			defer th.Close()
+			for i := 0; i < 300; i++ {
+				checkShallowAgreement(t, rt, th)
+			}
+		}()
+	}
+	wg.Wait()
+	close(stop)
+	mut.Wait()
+}

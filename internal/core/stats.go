@@ -100,6 +100,21 @@ type StatsSnapshot struct {
 	// trace mode is off.
 	TraceRecords uint64 `json:"trace_records,omitempty"`
 	TraceDropped uint64 `json:"trace_dropped,omitempty"`
+
+	// Latency summarizes acquisition latency per tier plus avoidance
+	// yield episodes (p50/p95/p99, log-scale buckets so percentiles have
+	// at most 2x resolution error). Fast-tier observations are a 1-in-64
+	// per-thread sample; guarded and yield record every occurrence.
+	Latency LatencyStats `json:"latency"`
+}
+
+// LatencyStats groups the runtime's latency histograms: fast-tier and
+// guarded-tier acquisition times, and the duration of yield episodes
+// (first YIELD decision to the GO that released the thread).
+type LatencyStats struct {
+	Fast    obs.HistSnapshot `json:"fast"`
+	Guarded obs.HistSnapshot `json:"guarded"`
+	Yield   obs.HistSnapshot `json:"yield"`
 }
 
 // Stats returns a snapshot of every runtime counter. Cheap (atomic
@@ -163,6 +178,12 @@ func (rt *Runtime) Stats() StatsSnapshot {
 
 		TraceRecords: rt.trace.Records(),
 		TraceDropped: rt.trace.Dropped(),
+
+		Latency: LatencyStats{
+			Fast:    rt.latFast.Snapshot(),
+			Guarded: rt.latGuarded.Snapshot(),
+			Yield:   rt.latYield.Snapshot(),
+		},
 	}
 }
 

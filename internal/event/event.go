@@ -135,6 +135,34 @@ func (b *Buffer) Add(tid int32, r Record, max int, emit func(Event)) {
 	b.mu.Unlock()
 }
 
+// ElideRelease tries to cancel a pending release against its own
+// acquisition: when the newest buffered record is Acquired for the same
+// lock, that record is popped and true is returned — the pair never
+// reaches the monitor. The caller must ensure the pair is "lonely" (the
+// thread holds nothing else), so no lock-nesting evidence is destroyed:
+// any intervening record breaks adjacency, and an enclosing hold fails
+// the caller's loneliness check. Such pairs are invisible to deadlock
+// detection by construction — both records would have been applied
+// within one queue drain, before any detection pass could snapshot the
+// transient edge — and a live hold's Acquired record stays stealable in
+// the buffer until the release actually happens, so this elides only
+// bookkeeping that could never alter monitor state.
+func (b *Buffer) ElideRelease(lid uint64) bool {
+	b.mu.Lock()
+	if b.recs != nil {
+		if rs := *b.recs; len(rs) > 0 {
+			if last := rs[len(rs)-1]; last.Kind == Acquired && last.LID == lid {
+				rs[len(rs)-1] = Record{} // drop the stack reference
+				*b.recs = rs[:len(rs)-1]
+				b.mu.Unlock()
+				return true
+			}
+		}
+	}
+	b.mu.Unlock()
+	return false
+}
+
 // Flush publishes any buffered records immediately. Safe to call from any
 // goroutine (the monitor steals buffers this way at every pass).
 func (b *Buffer) Flush(tid int32, emit func(Event)) {

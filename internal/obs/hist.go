@@ -1,0 +1,84 @@
+package obs
+
+import (
+	"math/bits"
+	"sync/atomic"
+	"time"
+)
+
+// histBuckets spans 1ns to ~2^47ns (~39 hours) in power-of-two buckets;
+// bucket i counts observations in [2^(i-1), 2^i) nanoseconds, with the
+// last bucket absorbing everything larger. 48 buckets keep the whole
+// histogram in six cache lines, so recording is one atomic increment
+// with no allocation — cheap enough for the guarded lock path and for
+// sampled fast-path observations.
+const histBuckets = 48
+
+// Histogram is a fixed-bucket log-scale duration histogram safe for
+// concurrent use. The zero value is ready; it never allocates.
+type Histogram struct {
+	counts [histBuckets]atomic.Uint64
+}
+
+// Record adds one observation.
+func (h *Histogram) Record(d time.Duration) {
+	ns := uint64(d)
+	if d < 0 {
+		ns = 0
+	}
+	i := bits.Len64(ns) // 0 for 0ns, else floor(log2)+1
+	if i >= histBuckets {
+		i = histBuckets - 1
+	}
+	h.counts[i].Add(1)
+}
+
+// HistSnapshot is a point-in-time summary of a Histogram.
+type HistSnapshot struct {
+	Count uint64 `json:"count"`
+	P50   uint64 `json:"p50_ns"`
+	P95   uint64 `json:"p95_ns"`
+	P99   uint64 `json:"p99_ns"`
+}
+
+// Snapshot reads the histogram and derives the standard percentiles.
+// Concurrent Record calls may or may not be included; each bucket is
+// read once, so the snapshot is internally consistent per bucket.
+func (h *Histogram) Snapshot() HistSnapshot {
+	var c [histBuckets]uint64
+	var total uint64
+	for i := range h.counts {
+		c[i] = h.counts[i].Load()
+		total += c[i]
+	}
+	if total == 0 {
+		return HistSnapshot{}
+	}
+	return HistSnapshot{
+		Count: total,
+		P50:   quantile(&c, total, 0.50),
+		P95:   quantile(&c, total, 0.95),
+		P99:   quantile(&c, total, 0.99),
+	}
+}
+
+// quantile returns the upper bound of the bucket holding the q-quantile
+// observation — a conservative (never under-reporting) estimate with at
+// most 2x resolution error, which is what a log-scale histogram buys.
+func quantile(c *[histBuckets]uint64, total uint64, q float64) uint64 {
+	rank := uint64(q * float64(total))
+	if rank >= total {
+		rank = total - 1
+	}
+	var seen uint64
+	for i, n := range c {
+		seen += n
+		if seen > rank {
+			if i == 0 {
+				return 0
+			}
+			return uint64(1) << uint(i)
+		}
+	}
+	return uint64(1) << (histBuckets - 1)
+}

@@ -151,11 +151,38 @@ type DangerIndex struct {
 	epoch    uint64
 	frames   map[stack.Frame]struct{}    // depth-volatile sigs: innermost frame
 	prefixes map[int]map[uint64]struct{} // fixed depth d -> HashAtDepth(d) set
+
+	// shallowDepth is the published max-effective-depth: the number of
+	// innermost frames that fully determine this index's Dangerous
+	// verdict, so a capture truncated to at least that many application
+	// frames classifies identically to a full capture (the depth-bounded
+	// fast-tier capture's soundness contract). 0 is the conservative
+	// full-capture envelope: some signature's verdict can depend on
+	// frames at unbounded depth — a calibration-capable signature whose
+	// effective matching depth moves without an epoch bump (its eventual
+	// depth must also stay exact for guarded matching against entries
+	// recorded under shallow keys), or a depth<=0 signature whose index
+	// bucket hashes complete stacks. See ShallowDepth.
+	shallowDepth int
 }
 
 // Epoch returns the history version this index was built from. Epochs
 // start at 1 so the zero marker on an interned stack never validates.
 func (d *DangerIndex) Epoch() uint64 { return d.epoch }
+
+// ShallowDepth returns how many innermost frames suffice for Dangerous
+// to reach its full-capture verdict, or 0 when only a full capture is
+// sound (the conservative envelope).
+//
+// The per-bucket argument: the frames bucket probes s[0] only, so it
+// needs 1 frame; a prefixes[d] bucket (d >= 1) probes HashAtDepth(d),
+// which hashes the innermost d frames whenever len(s) >= d — and a
+// capture truncated at bound >= d either has >= d frames (same hash as
+// the full stack) or was not truncated at all (it IS the full stack).
+// The envelope cases are exactly the ones rebuildDangerLocked cannot
+// bound: prefixes[0] hashes complete stacks, and a calibration-capable
+// signature's ladder moves its matching depth between epochs.
+func (d *DangerIndex) ShallowDepth() int { return d.shallowDepth }
 
 // Dangerous reports whether s could match any enabled signature stack at
 // its effective matching depth (an over-approximation; false is
@@ -198,7 +225,7 @@ func NewHistory() *History {
 		minTombAge: DefaultMinTombstoneAge,
 	}
 	h.version.Store(1)
-	h.danger.Store(&DangerIndex{epoch: 1})
+	h.danger.Store(&DangerIndex{epoch: 1, shallowDepth: 1})
 	return h
 }
 
@@ -209,7 +236,7 @@ func (h *History) Danger() *DangerIndex { return h.danger.Load() }
 // rebuildDangerLocked republishes the danger index; h.mu must be held by
 // a writer, after version has been bumped for the mutation.
 func (h *History) rebuildDangerLocked() {
-	idx := &DangerIndex{epoch: h.version.Load()}
+	idx := &DangerIndex{epoch: h.version.Load(), shallowDepth: 1}
 	for _, s := range h.sigs {
 		if s.Disabled {
 			continue
@@ -222,6 +249,17 @@ func (h *History) rebuildDangerLocked() {
 		// is cheaper to probe).
 		volatileDepth := s.Calib.On || s.Calib.MaxDepth > 0
 		d := s.EffectiveDepth()
+		// Max-effective-depth publication for the shallow-capture fast
+		// tier: classification by the frames bucket needs only frame 0,
+		// but a calibration-live ladder will later *match* at rungs the
+		// index cannot see — force the full-capture envelope so every
+		// stack that could ever cover one of its positions is recorded
+		// exactly. Depth <= 0 hashes complete stacks: envelope too.
+		if volatileDepth || d <= 0 {
+			idx.shallowDepth = 0
+		} else if idx.shallowDepth > 0 && d > idx.shallowDepth {
+			idx.shallowDepth = d
+		}
 		for _, st := range s.Stacks {
 			if len(st) == 0 {
 				continue

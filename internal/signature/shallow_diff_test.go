@@ -1,0 +1,188 @@
+package signature
+
+import (
+	"math/rand"
+	"testing"
+
+	"dimmunix/internal/calib"
+	"dimmunix/internal/stack"
+)
+
+// randHistory builds a random history whose shape is drawn from rng:
+// 1-6 signatures, each with 1-3 stacks of depth 1-12 and a fixed
+// matching depth in 1..8. Depending on envelope, some signatures are
+// additionally forced into the conservative full-capture cases the
+// danger index cannot depth-bound: a calibration-armed ladder, or an
+// explicit depth<=0 (full-stack matching). Returns the history plus
+// every signature stack for probe derivation.
+func randHistory(rng *rand.Rand, envelope bool) (*History, []stack.Stack) {
+	h := NewHistory()
+	var all []stack.Stack
+	n := 1 + rng.Intn(6)
+	for i := 0; i < n; i++ {
+		var stacks []stack.Stack
+		for j := 0; j < 1+rng.Intn(3); j++ {
+			st := stack.Synthetic(rng.Uint64(), 1+rng.Intn(12))
+			stacks = append(stacks, st)
+			all = append(all, st)
+		}
+		sig := New(Deadlock, stacks, 1+rng.Intn(8))
+		if envelope {
+			switch rng.Intn(3) {
+			case 0:
+				// Calibration-armed: effective depth moves between
+				// epochs without the index seeing it.
+				sig.Calib = calib.NewState(10, 20, 1000)
+			case 1:
+				// Depth<=0: full-stack hash bucket.
+				sig.Depth = -1
+			}
+			// case 2: leave fixed-depth; the envelope then depends on
+			// whether an earlier signature forced it.
+		}
+		if rng.Intn(8) == 0 {
+			sig.Disabled = true
+		}
+		h.Add(sig)
+	}
+	return h, all
+}
+
+// probes derives classification probes from the signature stacks: exact
+// copies, prefix-matching stacks with divergent tails (must still be
+// Dangerous at the signature's depth), mutated-innermost stacks (usually
+// safe), and fully random ones.
+func probes(rng *rand.Rand, sigStacks []stack.Stack) []stack.Stack {
+	var out []stack.Stack
+	for _, st := range sigStacks {
+		out = append(out, st.Clone())
+		// Same innermost frames, different tail beyond the matching
+		// depth: dangerous iff the prefix reaches the indexed depth.
+		ext := st.Clone()
+		ext = append(ext, stack.Synthetic(rng.Uint64(), 1+rng.Intn(4))...)
+		out = append(out, ext)
+		// Mutate the innermost frame: almost always safe.
+		mut := st.Clone()
+		mut[0].Line += 1 + rng.Intn(100)
+		out = append(out, mut)
+		if len(st) > 1 {
+			out = append(out, st[:1+rng.Intn(len(st))].Clone())
+		}
+	}
+	for i := 0; i < 8; i++ {
+		out = append(out, stack.Synthetic(rng.Uint64(), 1+rng.Intn(16)))
+	}
+	return out
+}
+
+// maxFrames returns the innermost bound frames of s — the depth-bounded
+// capture the fast tier would have produced.
+func truncate(s stack.Stack, bound int) stack.Stack {
+	if len(s) <= bound {
+		return s
+	}
+	return s[:bound]
+}
+
+// checkShallowContract asserts the published ShallowDepth's soundness
+// contract against idx: for every probe, a capture truncated to any
+// bound >= ShallowDepth (when it is > 0) classifies identically to the
+// full stack.
+func checkShallowContract(t *testing.T, idx *DangerIndex, ps []stack.Stack) {
+	t.Helper()
+	shallow := idx.ShallowDepth()
+	if shallow <= 0 {
+		return // conservative envelope: no truncation equivalence claimed
+	}
+	for _, s := range ps {
+		full := idx.Dangerous(s)
+		for _, bound := range []int{shallow, shallow + 1, shallow + 4} {
+			if got := idx.Dangerous(truncate(s, bound)); got != full {
+				t.Fatalf("shallow/full divergence: shallow=%d bound=%d full=%v truncated=%v stack=%v",
+					shallow, bound, full, got, s)
+			}
+		}
+	}
+}
+
+// envelopeForced reports whether any enabled signature in h demands the
+// full-capture envelope (ShallowDepth 0): calibration-capable or
+// effective depth <= 0.
+func envelopeForced(h *History) bool {
+	for _, s := range h.Snapshot() {
+		if s.Disabled {
+			continue
+		}
+		if s.Calib.On || s.Calib.MaxDepth > 0 || s.EffectiveDepth() <= 0 {
+			return true
+		}
+	}
+	return false
+}
+
+// FuzzShallowVsFullDanger is the index-level half of the depth-bounded
+// capture proof: across randomly generated histories — including
+// calibration-armed and depth<=0 signatures, and across mutations that
+// bump the epoch (Add, Remove, SetDisabled, Merge, ReplaceAll) — a stack
+// truncated to ShallowDepth or deeper must classify identically to the
+// full stack whenever ShallowDepth > 0, and the envelope cases must
+// publish exactly 0.
+func FuzzShallowVsFullDanger(f *testing.F) {
+	for seed := int64(1); seed <= 8; seed++ {
+		f.Add(seed)
+	}
+	f.Fuzz(func(t *testing.T, seed int64) {
+		rng := rand.New(rand.NewSource(seed))
+		envelope := seed%2 == 0
+		h, sigStacks := randHistory(rng, envelope)
+		ps := probes(rng, sigStacks)
+
+		check := func() {
+			idx := h.Danger()
+			if envelopeForced(h) {
+				if idx.ShallowDepth() != 0 {
+					t.Fatalf("calibration-armed or depth<=0 signature live but ShallowDepth=%d, want 0 (conservative envelope)", idx.ShallowDepth())
+				}
+			} else if h.Len() > 0 && idx.ShallowDepth() < 1 {
+				t.Fatalf("fixed-depth-only history published ShallowDepth=%d, want >= 1", idx.ShallowDepth())
+			}
+			checkShallowContract(t, idx, ps)
+		}
+		check()
+
+		// Archive-path mutation: add a new fixed-depth signature.
+		extra := stack.Synthetic(rng.Uint64(), 4+rng.Intn(8))
+		h.Add(New(Deadlock, []stack.Stack{extra}, 1+rng.Intn(8)))
+		ps = append(ps, extra, truncate(extra, 2))
+		check()
+
+		// Disable flip (epoch bump, index shrinks).
+		if snap := h.Snapshot(); len(snap) > 0 {
+			h.SetDisabled(snap[rng.Intn(len(snap))].ID, true)
+			check()
+		}
+
+		// Sync-pull merge: a remote history with its own signatures.
+		remote, remoteStacks := randHistory(rng, !envelope)
+		h.Merge(remote)
+		ps = append(ps, probes(rng, remoteStacks)...)
+		check()
+
+		// Predicted-inoculation path: ReplaceAll swaps the entire
+		// content (dimmunix-predict push), epoch jumps.
+		repl, replStacks := randHistory(rng, envelope)
+		h.ReplaceAll(repl)
+		ps = append(ps, probes(rng, replStacks)...)
+		check()
+
+		// Removal down to empty: the empty index classifies empty stacks
+		// dangerous and everything else safe, at ShallowDepth 1.
+		for _, s := range h.Snapshot() {
+			h.Remove(s.ID)
+		}
+		if idx := h.Danger(); idx.ShallowDepth() != 1 {
+			t.Fatalf("empty history ShallowDepth=%d, want 1", idx.ShallowDepth())
+		}
+		check()
+	})
+}

@@ -1,0 +1,26 @@
+//go:build !dimmunix.fp || !(amd64 || arm64)
+
+package stack
+
+import "runtime"
+
+// CapturePCs records up to len(buf) raw return PCs of the calling
+// goroutine into buf, skipping skip frames above CapturePCs itself
+// (skip=0 makes the caller of CapturePCs the innermost entry), and
+// returns the number recorded. This is the one primitive every Dimmunix
+// stack capture goes through; the buffer length is the capture bound, so
+// a shallow classification walk and a full archival walk differ only in
+// the slice they pass.
+//
+// This build resolves to runtime.Callers. Build with -tags dimmunix.fp
+// on amd64/arm64 for the frame-pointer walker (capture_fp.go), which
+// records the same PC stacks at a fraction of the cost and falls back to
+// runtime.Callers the moment a verification capture disagrees.
+func CapturePCs(skip int, buf []uintptr) int {
+	// +2 skips runtime.Callers and CapturePCs itself.
+	return runtime.Callers(skip+2, buf)
+}
+
+// FPActive reports whether the frame-pointer walker is compiled in and
+// still verified-equivalent (always false without -tags dimmunix.fp).
+func FPActive() bool { return false }

@@ -1,0 +1,156 @@
+//go:build dimmunix.fp && (amd64 || arm64)
+
+package stack
+
+import (
+	"runtime"
+	"sync/atomic"
+	"unsafe"
+)
+
+// This build replaces the runtime.Callers walk in CapturePCs with a
+// direct frame-pointer chain walk: Go keeps frame pointers on amd64 and
+// arm64 (the execution tracer unwinds the same way), so the return-PC
+// stack can be read with one load per frame instead of a full unwinder
+// pass. The walker is gated by verified equivalence: the first
+// fpVerifyN captures run both walks and compare their symbolized frames
+// (see fpEquivalent — raw PCs differ legitimately, since the unwinder
+// expands inlined calls and elides wrapper frames); any real
+// disagreement — a foreign frame without a frame pointer, an unexpected
+// chain layout — permanently disarms the walker and every subsequent
+// capture takes runtime.Callers. The trade-off once armed: captured
+// stacks are physical, so compiler-generated wrapper frames (method
+// values, interface dispatch, goroutine entry) appear where the default
+// build elides them. Inline expansion is recovered at symbolization
+// time by ResolvePCs, application frames are never lost, and stacks
+// stay self-consistent within a build — but signatures recorded by an
+// fp build may need an extra frame of matching depth to line up with
+// ones recorded by a default build through wrapper-containing paths.
+
+// fpGet returns the caller's frame pointer register (BP / R29).
+// Implemented in fp_*.s; NOFRAME, so the register still belongs to the
+// calling function's frame.
+func fpGet() uintptr
+
+const (
+	fpVerifying uint32 = iota
+	fpArmed
+	fpDisarmed
+)
+
+const fpVerifyN = 64
+
+var (
+	fpState    atomic.Uint32 // fpVerifying -> fpArmed | fpDisarmed
+	fpVerified atomic.Uint32 // successful verification captures so far
+)
+
+// fpWalk records return PCs by following the frame-pointer chain:
+// *(fp+8) is the return PC of the frame fp belongs to, *fp the caller's
+// frame pointer — the layout runtime's fpTracebackPCs relies on. The
+// walk starts at CapturePCs's own frame (fpGet is NOFRAME), so entry 0
+// before skipping is CapturePCs's caller, matching the
+// runtime.Callers(skip+2, ...) convention. Chain sanity (nonzero,
+// aligned, strictly growing toward the stack base) bounds the walk;
+// truncation on a broken chain is caught by verification.
+//
+// nocheckptr: the walk dereferences frame-pointer chain addresses that
+// do not point into Go-visible allocations (they are stack slots of the
+// walking goroutine, which cannot move mid-walk since fpWalk makes no
+// calls in the loop) — the same exemption the runtime's fpTracebackPCs
+// needs. Without it, -race builds (checkptr) abort on the arithmetic.
+//
+//go:noinline
+//go:nocheckptr
+func fpWalk(skip int, buf []uintptr) int {
+	fp := fpGet()
+	n := 0
+	for n < len(buf) {
+		if fp == 0 || fp&7 != 0 {
+			break
+		}
+		pc := *(*uintptr)(unsafe.Pointer(fp + 8))
+		if pc == 0 {
+			break
+		}
+		if skip > 0 {
+			skip--
+		} else {
+			buf[n] = pc
+			n++
+		}
+		next := *(*uintptr)(unsafe.Pointer(fp))
+		if next <= fp {
+			break
+		}
+		fp = next
+	}
+	// The chain bottoms out at goexit's frame; runtime.Callers stops at
+	// the same boundary, so no trimming is needed — verification would
+	// disarm us if that ever stopped holding.
+	return n
+}
+
+// CapturePCs records up to len(buf) raw return PCs of the calling
+// goroutine into buf, skipping skip frames above CapturePCs itself
+// (skip=0 makes the caller of CapturePCs the innermost entry), and
+// returns the number recorded. See capture_callers.go for the contract;
+// this build walks the frame-pointer chain once verified equivalent.
+//
+//go:noinline
+func CapturePCs(skip int, buf []uintptr) int {
+	switch fpState.Load() {
+	case fpArmed:
+		return fpWalk(skip+1, buf)
+	case fpDisarmed:
+		return runtime.Callers(skip+2, buf)
+	}
+	// Verifying: run both, compare, and let runtime.Callers be
+	// authoritative until the walker earns trust. The raw PC lists are
+	// NOT expected to be identical — runtime.Callers synthesizes one PC
+	// per logical (inline-expanded) frame and elides compiler-generated
+	// wrappers, while the chain walk sees exactly the physical frames —
+	// so equivalence is checked where it matters: after symbolization,
+	// every frame runtime.Callers reports must appear, in order, in the
+	// frames the chain walk resolves to. ResolvePCs re-expands inlined
+	// calls from a physical PC, so a sound chain walk can only add
+	// wrapper frames, never lose application frames.
+	n := runtime.Callers(skip+2, buf)
+	var cbuf, fbuf [MaxCaptureDepth + 2]uintptr
+	cn := runtime.Callers(skip+2, cbuf[:])
+	fn := fpWalk(skip+1, fbuf[:])
+	if !fpEquivalent(cbuf[:cn], fbuf[:fn], fn == len(fbuf)) {
+		fpState.Store(fpDisarmed)
+		return n
+	}
+	if fpVerified.Add(1) >= fpVerifyN {
+		fpState.Store(fpArmed)
+	}
+	return n
+}
+
+// fpEquivalent reports whether the symbolized callers stack is an
+// ordered subsequence of the symbolized frame-pointer stack. fpFull
+// flags that the fp walk filled its buffer, in which case callers
+// frames beyond the walk's coverage are excused.
+func fpEquivalent(callersPCs, fpPCs []uintptr, fpFull bool) bool {
+	cs := ResolvePCs(callersPCs, MaxCaptureDepth)
+	fs := ResolvePCs(fpPCs, MaxCaptureDepth)
+	j := 0
+	for _, cf := range cs {
+		for j < len(fs) && fs[j] != cf {
+			j++
+		}
+		if j == len(fs) {
+			// Ran out of fp frames: fine only under truncation (either
+			// buffer hit its cap before covering the rest).
+			return fpFull || len(fs) == MaxCaptureDepth
+		}
+		j++
+	}
+	return true
+}
+
+// FPActive reports whether the frame-pointer walker is live: armed, or
+// still accumulating successful verifications.
+func FPActive() bool { return fpState.Load() != fpDisarmed }

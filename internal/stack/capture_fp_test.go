@@ -1,0 +1,78 @@
+//go:build dimmunix.fp && (amd64 || arm64)
+
+package stack
+
+import (
+	"runtime"
+	"testing"
+)
+
+//go:noinline
+func fpTestCapture(skip int, buf []uintptr) int { return CapturePCs(skip, buf) }
+
+//go:noinline
+func fpTestDescend(depth, skip int, buf []uintptr) int {
+	if depth <= 0 {
+		return fpTestCapture(skip, buf)
+	}
+	return fpTestDescend(depth-1, skip, buf)
+}
+
+// TestCapturePCsMatchesCallers is the verified-equivalence contract the
+// fp build rests on: at several call depths, the frames runtime.Callers
+// reports must appear, in order, among the frames the frame-pointer walk
+// resolves to (fpEquivalent — the same check the verification phase
+// applies on the live lock path). It runs the comparison directly, so it
+// holds regardless of whether this process's walker has already armed.
+func TestCapturePCsMatchesCallers(t *testing.T) {
+	for _, depth := range []int{0, 1, 4, 8, 16} {
+		var cbuf, fbuf [MaxCaptureDepth + 2]uintptr
+		var cn, fn int
+		probe := func() {
+			// Both captures from the same frame: fpTestProbe below.
+			cn = runtime.Callers(2, cbuf[:])
+			fn = fpWalk(1, fbuf[:])
+		}
+		fpTestProbeAt(depth, probe)
+		if fn == 0 {
+			t.Fatalf("depth %d: fp walk recorded no frames", depth)
+		}
+		if !fpEquivalent(cbuf[:cn], fbuf[:fn], fn == len(fbuf)) {
+			t.Errorf("depth %d: callers frames not a subsequence of fp frames\ncallers: %v\nfp: %v",
+				depth, ResolvePCs(cbuf[:cn], MaxCaptureDepth), ResolvePCs(fbuf[:fn], MaxCaptureDepth))
+		}
+	}
+}
+
+//go:noinline
+func fpTestProbeAt(depth int, probe func()) {
+	if depth <= 0 {
+		probe()
+		return
+	}
+	fpTestProbeAt(depth-1, probe)
+}
+
+// TestCapturePCsArms drives CapturePCs through its verification phase on
+// real stacks and asserts the walker earns trust (arms) rather than
+// disarming — the live-path guarantee behind the fp build's speedup. A
+// disarm here means runtime.Callers and the chain walk disagreed on a
+// plain Go call stack, which verification must never let stand silently.
+func TestCapturePCsArms(t *testing.T) {
+	var buf [MaxCaptureDepth]uintptr
+	for i := 0; i < 4*fpVerifyN; i++ {
+		n := fpTestDescend(i%8, 0, buf[:])
+		if n == 0 {
+			t.Fatal("CapturePCs recorded no frames")
+		}
+		if fpState.Load() == fpArmed {
+			break
+		}
+	}
+	if !FPActive() {
+		t.Fatal("frame-pointer walker disarmed during verification; shallow and full captures disagreed")
+	}
+	if fpState.Load() != fpArmed {
+		t.Fatalf("walker still verifying after %d captures (want armed within %d)", 4*fpVerifyN, fpVerifyN)
+	}
+}

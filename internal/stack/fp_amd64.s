@@ -1,0 +1,9 @@
+//go:build dimmunix.fp
+
+#include "textflag.h"
+
+// func fpGet() uintptr
+// NOFRAME: BP still holds the calling function's frame pointer.
+TEXT ·fpGet(SB), NOSPLIT|NOFRAME, $0-8
+	MOVQ BP, ret+0(FP)
+	RET

@@ -1,0 +1,9 @@
+//go:build dimmunix.fp
+
+#include "textflag.h"
+
+// func fpGet() uintptr
+// NOFRAME: R29 still holds the calling function's frame pointer.
+TEXT ·fpGet(SB), NOSPLIT|NOFRAME, $0-8
+	MOVD R29, ret+0(FP)
+	RET

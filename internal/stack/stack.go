@@ -66,8 +66,8 @@ func Capture(skip, max int) Stack {
 		max = MaxCaptureDepth
 	}
 	var pcs [MaxCaptureDepth + 2]uintptr
-	// +2: skip runtime.Callers and Capture itself.
-	n := runtime.Callers(skip+2, pcs[:max])
+	// +1: skip Capture itself (CapturePCs handles its own frames).
+	n := CapturePCs(skip+1, pcs[:max])
 	return ResolvePCs(pcs[:n], max)
 }
 

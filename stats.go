@@ -3,10 +3,13 @@ package dimmunix
 import (
 	"encoding/json"
 	"expvar"
+	"fmt"
+	"io"
 	"net/http"
 	"sync"
 
 	"dimmunix/internal/core"
+	"dimmunix/internal/obs"
 )
 
 // HistorySummary is the operator view of a runtime's live signature
@@ -54,6 +57,80 @@ func DebugHandler(rt *Runtime) http.Handler {
 		enc.SetIndent("", "  ")
 		_ = enc.Encode(status)
 	})
+}
+
+// MetricsHandler returns an http.Handler serving rt's counters and
+// latency percentiles in the Prometheus text exposition format, for a
+// /metrics route on an operations port:
+//
+//	mux.Handle("/metrics", dimmunix.MetricsHandler(nil))
+//
+// Unlike DebugHandler this endpoint is scrape-friendly: it reads only
+// lock-free counters and histogram buckets (no guarded history summary),
+// so any scrape interval is safe. A nil rt serves the process-wide
+// default Runtime, resolved per request (503 until one exists).
+func MetricsHandler(rt *Runtime) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if r.Method != http.MethodGet && r.Method != http.MethodHead {
+			http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
+			return
+		}
+		target := rt
+		if target == nil {
+			target = defaultRT.Load()
+			if target == nil {
+				http.Error(w, "dimmunix: no default runtime yet", http.StatusServiceUnavailable)
+				return
+			}
+		}
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		writeMetrics(w, target.Stats())
+	})
+}
+
+// WriteMetrics renders a stats snapshot in the Prometheus text
+// exposition format — the same document MetricsHandler serves — for
+// callers that want a one-shot dump (CI artifacts, crash reports)
+// rather than an HTTP endpoint.
+func WriteMetrics(w io.Writer, s Stats) {
+	writeMetrics(w, s)
+}
+
+// writeMetrics renders the snapshot in Prometheus text format.
+func writeMetrics(w io.Writer, s Stats) {
+	counter := func(name, help string, v uint64) {
+		fmt.Fprintf(w, "# HELP dimmunix_%s %s\n# TYPE dimmunix_%s counter\ndimmunix_%s %d\n", name, help, name, name, v)
+	}
+	gauge := func(name, help string, v uint64) {
+		fmt.Fprintf(w, "# HELP dimmunix_%s %s\n# TYPE dimmunix_%s gauge\ndimmunix_%s %d\n", name, help, name, name, v)
+	}
+	counter("requests_total", "Guarded-tier lock requests (section 5.4 protocol entries).", s.Requests)
+	counter("yields_total", "YIELD decisions (avoidance firings).", s.Yields)
+	counter("acquired_total", "Lock acquisitions across both tiers.", s.Acquired)
+	counter("releases_total", "Lock releases across both tiers.", s.Releases)
+	counter("fast_acquired_total", "Acquisitions served by the lock-free fast tier.", s.FastAcquired)
+	counter("guarded_acquired_total", "Acquisitions served by the guarded tier.", s.GuardedAcquired)
+	counter("aborts_total", "Max-yield aborts (section 5.7).", s.Aborts)
+	counter("deadlocks_detected_total", "Deadlocks the monitor detected.", s.DeadlocksDetected)
+	counter("starvations_broken_total", "Starvation episodes broken.", s.StarvationsBroken)
+	counter("signatures_saved_total", "Signatures archived by this runtime.", s.SignaturesSaved)
+	counter("false_positives_total", "Yield episodes concluded as false positives.", s.FalsePositives)
+	counter("recoveries_total", "Deadlocks unwound by abort recovery.", s.Recoveries)
+	counter("events_dropped_total", "Observability events dropped by the bounded dispatcher.", s.EventsDropped)
+	gauge("live_threads", "Registered threads.", uint64(s.LiveThreads))
+	gauge("history_epoch", "Danger-index epoch (history version).", s.HistoryEpoch)
+	gauge("history_signatures", "Live signatures in the history.", uint64(s.HistorySignatures))
+	lat := func(tier string, h obs.HistSnapshot) {
+		fmt.Fprintf(w, "dimmunix_latency_ns{tier=%q,quantile=\"0.5\"} %d\n", tier, h.P50)
+		fmt.Fprintf(w, "dimmunix_latency_ns{tier=%q,quantile=\"0.95\"} %d\n", tier, h.P95)
+		fmt.Fprintf(w, "dimmunix_latency_ns{tier=%q,quantile=\"0.99\"} %d\n", tier, h.P99)
+		fmt.Fprintf(w, "dimmunix_latency_observations_total{tier=%q} %d\n", tier, h.Count)
+	}
+	fmt.Fprintf(w, "# HELP dimmunix_latency_ns Acquisition/yield latency percentiles in nanoseconds (log-scale buckets, at most 2x resolution error).\n# TYPE dimmunix_latency_ns gauge\n")
+	fmt.Fprintf(w, "# HELP dimmunix_latency_observations_total Observations behind each latency summary (fast tier is a 1-in-64 sample).\n# TYPE dimmunix_latency_observations_total counter\n")
+	lat("fast", s.Latency.Fast)
+	lat("guarded", s.Latency.Guarded)
+	lat("yield", s.Latency.Yield)
 }
 
 var expvarOnce sync.Once
