@@ -24,6 +24,7 @@ func updateAB(a, b *dimmunix.Mutex, hold time.Duration) error {
 		return err
 	}
 	time.Sleep(hold)
+	//lint:ignore lockorder deliberate inversion: the demo exists to trigger avoidance
 	if err := b.LockCtx(context.Background()); err != nil {
 		a.Unlock()
 		return err

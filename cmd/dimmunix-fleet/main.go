@@ -43,6 +43,7 @@ import (
 	"flag"
 
 	"dimmunix"
+	"dimmunix/internal/signature"
 )
 
 var (
@@ -51,6 +52,7 @@ var (
 	wait       = flag.Duration("wait", 15*time.Second, "roles b/avoid: how long to wait for convergence")
 	hold       = flag.Duration("hold", 150*time.Millisecond, "timing window between the nested acquisitions")
 	budget     = flag.Duration("budget", time.Second, "role c: configured shutdown timeout (Stop must return within 2x)")
+	provenance = flag.String("provenance", signature.SourcePredicted, "role avoid: required Source of the converged signature (predicted, static)")
 	statsOut   = flag.String("stats-out", "", "write the final runtime stats snapshot as JSON to this file (CI artifact)")
 	metricsOut = flag.String("metrics-out", "", "write the final Prometheus-text metrics snapshot to this file (CI artifact)")
 	debugAddr  = flag.String("debug", "", "serve dimmunix.DebugHandler on this address for the run (e.g. 127.0.0.1:7700)")
@@ -203,27 +205,28 @@ func main() {
 		fmt.Printf("role canary: clean serialized run, %d trace records (%d dropped) in %s\n",
 			stats.TraceRecords, stats.TraceDropped, cfg.TracePath)
 	case "avoid":
-		// Converge on the predicted signature (pushed by dimmunix-predict,
-		// not by any deadlocked process), then survive the real
-		// interleaving on the very first encounter.
+		// Converge on the predicted (or statically emitted) signature —
+		// pushed by dimmunix-predict or dimmunix-vet, not by any
+		// deadlocked process — then survive the real interleaving on the
+		// very first encounter.
 		deadline := time.Now().Add(*wait)
 		for rt.History().Len() == 0 {
 			if time.Now().After(deadline) {
-				fatal(fmt.Errorf("role avoid: no predicted signature arrived within %v", *wait))
+				fatal(fmt.Errorf("role avoid: no %s signature arrived within %v", *provenance, *wait))
 			}
 			time.Sleep(10 * time.Millisecond)
 		}
-		predicted := 0
+		matched := 0
 		for _, s := range rt.HistorySummary().Signatures {
-			if s.Source == "predicted" {
-				predicted++
+			if s.Source == *provenance {
+				matched++
 			}
 		}
-		if predicted == 0 {
-			fatal(fmt.Errorf("role avoid: converged, but no entry is prediction-originated"))
+		if matched == 0 {
+			fatal(fmt.Errorf("role avoid: converged, but no entry carries %q provenance", *provenance))
 		}
-		fmt.Printf("role avoid: converged to %d signature(s) (%d predicted), danger epoch %d\n",
-			rt.History().Len(), predicted, rt.History().Danger().Epoch())
+		fmt.Printf("role avoid: converged to %d signature(s) (%d %s), danger epoch %d\n",
+			rt.History().Len(), matched, *provenance, rt.History().Danger().Epoch())
 		errs := exercise(rt, *hold, false)
 		for _, e := range errs {
 			if e != nil {
@@ -276,6 +279,7 @@ func nest(th *dimmunix.Thread, outer, inner *dimmunix.CoreMutex, hold time.Durat
 		return err
 	}
 	time.Sleep(hold)
+	//lint:ignore lockorder deliberate inversion: the fleet drill deadlock the canary inoculates against
 	if err := inner.LockT(th); err != nil {
 		_ = outer.UnlockT(th)
 		return err

@@ -42,6 +42,7 @@ func (bk *bank) transfer(src, dst *account, amount int64) error {
 		return err
 	}
 	time.Sleep(200 * time.Microsecond) // audit work while holding src
+	//lint:ignore lockorder deliberate inversion: transfer/audit reproduce the classic account deadlock
 	if err := dst.mu.LockCtx(context.Background()); err != nil {
 		src.mu.Unlock()
 		return err

@@ -83,6 +83,7 @@ func (b *broker) resubscribe() error {
 		return err
 	}
 	time.Sleep(500 * time.Microsecond) // rebuild the listener
+	//lint:ignore lockorder deliberate inversion: reproduces ActiveMQ-style consumer/session deadlock
 	if err := b.session.LockCtx(context.Background()); err != nil {
 		b.consumer.Unlock()
 		return err

@@ -32,6 +32,7 @@ func update(first, second *dimmunix.Mutex) error {
 	}
 	defer first.Unlock()
 	time.Sleep(30 * time.Millisecond) // the timing window that exposes the bug
+	//lint:ignore lockorder deliberate inversion: the quickstart walks through a real deadlock
 	if err := second.LockCtx(context.Background()); err != nil {
 		return err
 	}

@@ -57,6 +57,7 @@ func (p *product) closeConn(window time.Duration) error {
 		return err
 	}
 	time.Sleep(window)
+	//lint:ignore lockorder deliberate inversion: reproduces the vendored library deadlock being patched
 	if err := p.stmt.LockCtx(context.Background()); err != nil {
 		p.conn.Unlock()
 		return err

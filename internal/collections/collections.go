@@ -258,6 +258,7 @@ func NewPrintWriter(rt *core.Runtime, out *CharArrayWriter) *PrintWriter {
 // Write takes the PrintWriter's monitor, then the underlying writer's —
 // the opposite nesting order from CharArrayWriter.WriteTo.
 func (w *PrintWriter) Write(t *core.Thread, s string) error {
+	//lint:ignore lockorder deliberate inversion: Java 6 bug 6244047 reproduction (writer.mu after w.mu)
 	if err := w.mu.LockT(t); err != nil {
 		return err
 	}
@@ -329,6 +330,7 @@ func (ch *BeanChild) PropertyChange(t *core.Thread, v int) error {
 		ch.val = v
 		return nil
 	}
+	//lint:ignore lockorder deliberate inversion: Java 6 bug 6244047 reproduction (ctx.mu after ch.mu)
 	if err := ctx.mu.LockT(t); err != nil {
 		return err
 	}

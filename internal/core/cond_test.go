@@ -1,3 +1,4 @@
+//lint:file-ignore condloop,unlockcheck these tests orchestrate signals and misuse deliberately (error-path coverage)
 package core
 
 import (

@@ -1,3 +1,4 @@
+//lint:file-ignore unlockcheck deliberate non-owner/double unlocks exercising the runtime error paths
 package core
 
 import (

@@ -226,7 +226,8 @@ type SignatureSummary struct {
 	TPCount     uint64 `json:"tp_count"`
 	CreatedUnix int64  `json:"created_unix,omitempty"`
 	// Source is the entry's provenance: "" for live detections,
-	// "predicted" for dimmunix-predict emissions.
+	// "predicted" for dimmunix-predict emissions, "static" for
+	// dimmunix-vet compile-time emissions (signature.Source* constants).
 	Source string `json:"source,omitempty"`
 }
 

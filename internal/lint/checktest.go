@@ -1,0 +1,99 @@
+package lint
+
+import (
+	"fmt"
+	"go/token"
+	"regexp"
+	"strings"
+)
+
+// wantRx extracts the expectation regex from a `// want `+"`rx`"+“ comment.
+var wantRx = regexp.MustCompile("// want `([^`]*)`")
+
+// TB is the subset of testing.TB the corpus runner needs (kept tiny so
+// this file stays out of the test binary's dependency path).
+type TB interface {
+	Helper()
+	Errorf(format string, args ...any)
+	Fatalf(format string, args ...any)
+}
+
+// RunCorpus loads one testdata fixture package, runs the analyzers over
+// it, and diffs the diagnostics against the fixture's `// want` + "`rx`"
+// comments, analysistest-style: every diagnostic must match a want on
+// its exact line, every want must be claimed by a diagnostic.
+func RunCorpus(t TB, analyzers []*Analyzer, dir string, patterns ...string) {
+	t.Helper()
+	prog, err := Load(Options{Dir: dir}, patterns...)
+	if err != nil {
+		t.Fatalf("load %v: %v", patterns, err)
+	}
+	if len(prog.Packages) == 0 {
+		t.Fatalf("load %v: no packages", patterns)
+	}
+	if err := prog.FirstTypeError(); err != nil {
+		t.Fatalf("fixture does not typecheck: %v", err)
+	}
+
+	type wantKey struct {
+		file string
+		line int
+	}
+	wants := map[wantKey][]*regexp.Regexp{}
+	claimed := map[wantKey][]bool{}
+	for _, pkg := range prog.Packages {
+		for _, f := range pkg.Files {
+			for _, cg := range f.Comments {
+				for _, c := range cg.List {
+					for _, m := range wantRx.FindAllStringSubmatch(c.Text, -1) {
+						rx, err := regexp.Compile(m[1])
+						if err != nil {
+							t.Fatalf("bad want regex %q: %v", m[1], err)
+						}
+						pos := prog.Fset.Position(c.Pos())
+						k := wantKey{pos.Filename, pos.Line}
+						wants[k] = append(wants[k], rx)
+						claimed[k] = append(claimed[k], false)
+					}
+				}
+			}
+		}
+	}
+
+	diags, errs := RunAnalyzers(prog, analyzers)
+	for _, e := range errs {
+		t.Errorf("analyzer error: %v", e)
+	}
+	for _, d := range diags {
+		pos := prog.Fset.Position(d.Pos)
+		k := wantKey{pos.Filename, pos.Line}
+		matched := false
+		for i, rx := range wants[k] {
+			if !claimed[k][i] && rx.MatchString(d.Message) {
+				claimed[k][i] = true
+				matched = true
+				break
+			}
+		}
+		if !matched {
+			t.Errorf("unexpected diagnostic at %s: %s: %s", shortPos(pos), d.Analyzer, d.Message)
+		}
+	}
+	for k, rxs := range wants {
+		for i, rx := range rxs {
+			if !claimed[k][i] {
+				t.Errorf("no diagnostic at %s:%d matching %q", shortFile(k.file), k.line, rx)
+			}
+		}
+	}
+}
+
+func shortPos(pos token.Position) string {
+	return fmt.Sprintf("%s:%d:%d", shortFile(pos.Filename), pos.Line, pos.Column)
+}
+
+// FixturePath builds the conventional testdata pattern for a fixture
+// name ("lockorder_basic" -> "./testdata/src/lockorder_basic").
+func FixturePath(name string) string {
+	return "./testdata/src/" + strings.TrimPrefix(name, "./")
+}

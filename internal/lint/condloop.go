@@ -1,0 +1,85 @@
+package lint
+
+import (
+	"go/ast"
+	"strings"
+)
+
+// CondLoop reports Cond.Wait calls that are not inside a loop. Wait
+// releases the lock and can wake spuriously (or late: another waiter
+// may have consumed the condition), so the condition must be rechecked
+// — `for !cond { c.Wait() }` — or the caller proceeds on a state that
+// no longer holds.
+var CondLoop = &Analyzer{
+	Name: "condloop",
+	Doc:  "report Cond.Wait calls outside a condition loop",
+	Run:  runCondLoop,
+}
+
+var condWaitMethods = map[string]bool{
+	"Wait": true, "WaitT": true, "WaitCtx": true, "WaitCtxT": true,
+}
+
+// isWaitWrapper reports whether fd is itself a Wait-family method on a
+// Cond type — a delegation layer (dimmunix.Cond.Wait forwarding to
+// core.Cond.WaitT). The recheck loop is its caller's contract, not its
+// own.
+func isWaitWrapper(pass *Pass, fd *ast.FuncDecl) bool {
+	if fd.Recv == nil || len(fd.Recv.List) != 1 {
+		return false
+	}
+	if !strings.HasPrefix(fd.Name.Name, "Wait") {
+		return false
+	}
+	tv, ok := pass.Pkg.Info.Types[fd.Recv.List[0].Type]
+	return ok && isCondType(tv.Type)
+}
+
+func runCondLoop(pass *Pass) error {
+	for _, f := range pass.Pkg.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			if isWaitWrapper(pass, fd) {
+				continue
+			}
+			condWalk(pass, fd.Body, false)
+		}
+	}
+	return nil
+}
+
+// condWalk tracks loop nesting; function-literal boundaries reset it (a
+// closure's body does not inherit the enclosing loop — if the closure
+// runs elsewhere, the loop does not re-run Wait).
+func condWalk(pass *Pass, n ast.Node, inLoop bool) {
+	ast.Inspect(n, func(node ast.Node) bool {
+		switch x := node.(type) {
+		case nil:
+			return false
+		case *ast.ForStmt:
+			if x.Init != nil {
+				condWalk(pass, x.Init, inLoop)
+			}
+			condWalk(pass, x.Body, true)
+			return false
+		case *ast.RangeStmt:
+			condWalk(pass, x.Body, true)
+			return false
+		case *ast.FuncLit:
+			condWalk(pass, x.Body, false)
+			return false
+		case *ast.CallExpr:
+			if method, recv, ok := classifyLockCall(pass.Pkg, x); ok &&
+				condWaitMethods[method] {
+				if tv, found := pass.Pkg.Info.Types[recv]; found && isCondType(tv.Type) && !inLoop {
+					pass.Reportf(x.Pos(), "%s.%s outside a loop: the condition must be rechecked after waking",
+						exprString(recv), method)
+				}
+			}
+		}
+		return true
+	})
+}

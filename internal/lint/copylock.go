@@ -1,0 +1,165 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// CopyLock reports values of dimmunix (and core/sync) lock types copied
+// by value: assignments, function parameters/results/receivers, call
+// arguments, range variables, and returns. A copied Mutex is a second,
+// unsynchronized lock that shares nothing with the original but its
+// zero-value confusion — for dimmunix types it also splits the runtime
+// binding, so the copy silently escapes deadlock immunity.
+var CopyLock = &Analyzer{
+	Name: "dimmunixcopylock",
+	Doc:  "report dimmunix lock values copied by value (params, assigns, ranges, returns)",
+	Run:  runCopyLock,
+}
+
+func runCopyLock(pass *Pass) error {
+	pkg := pass.Pkg
+	for _, f := range pkg.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch x := n.(type) {
+			case *ast.FuncDecl:
+				checkFuncSig(pass, x.Recv, x.Type)
+			case *ast.FuncLit:
+				checkFuncSig(pass, nil, x.Type)
+			case *ast.AssignStmt:
+				if len(x.Lhs) != len(x.Rhs) {
+					return true
+				}
+				for i, rhs := range x.Rhs {
+					if name := copiedLock(pkg, rhs); name != "" {
+						pass.Reportf(x.Rhs[i].Pos(), "assignment copies a %s value", name)
+					}
+				}
+			case *ast.RangeStmt:
+				if x.Value != nil {
+					if t := exprType(pkg, x.Value); t != nil {
+						if name, embedded := containsLock(t); name != "" {
+							pass.Reportf(x.Value.Pos(), "range value copies a %s%s per iteration", name, embedded)
+						}
+					}
+				}
+			case *ast.ReturnStmt:
+				for _, r := range x.Results {
+					if name := copiedLock(pkg, r); name != "" {
+						pass.Reportf(r.Pos(), "return copies a %s value", name)
+					}
+				}
+			case *ast.CallExpr:
+				for _, arg := range x.Args {
+					if name := copiedLock(pkg, arg); name != "" {
+						pass.Reportf(arg.Pos(), "call passes a %s by value", name)
+					}
+				}
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// checkFuncSig flags by-value lock receivers, parameters, and results.
+func checkFuncSig(pass *Pass, recv *ast.FieldList, ftype *ast.FuncType) {
+	report := func(fl *ast.FieldList, what string) {
+		if fl == nil {
+			return
+		}
+		for _, field := range fl.List {
+			tv, ok := pass.Pkg.Info.Types[field.Type]
+			if !ok {
+				continue
+			}
+			if name, embedded := containsLock(tv.Type); name != "" {
+				pass.Reportf(field.Type.Pos(), "%s copies a %s%s; use a pointer", what, name, embedded)
+			}
+		}
+	}
+	report(recv, "receiver")
+	if ftype.Params != nil {
+		report(ftype.Params, "parameter")
+	}
+	if ftype.Results != nil {
+		report(ftype.Results, "result")
+	}
+}
+
+// exprType resolves an expression's type, falling back to Defs/Uses for
+// identifiers `:=`-defined by the enclosing statement (range variables
+// are recorded there, not in Types).
+func exprType(pkg *Package, e ast.Expr) types.Type {
+	if tv, ok := pkg.Info.Types[e]; ok && tv.Type != nil {
+		return tv.Type
+	}
+	if id, ok := e.(*ast.Ident); ok {
+		if obj := pkg.Info.Defs[id]; obj != nil {
+			return obj.Type()
+		}
+		if obj := pkg.Info.Uses[id]; obj != nil {
+			return obj.Type()
+		}
+	}
+	return nil
+}
+
+// copiedLock reports the lock type name if evaluating e yields a lock
+// value copied out of existing storage. Freshly constructed values
+// (composite literals, calls) are initializations, not copies.
+func copiedLock(pkg *Package, e ast.Expr) string {
+	e = ast.Unparen(e)
+	switch e.(type) {
+	case *ast.CompositeLit, *ast.CallExpr, *ast.FuncLit:
+		return ""
+	case *ast.UnaryExpr:
+		return "" // &x — address taken, no copy
+	}
+	tv, ok := pkg.Info.Types[e]
+	if !ok || tv.Type == nil {
+		return ""
+	}
+	if _, isPtr := tv.Type.Underlying().(*types.Pointer); isPtr {
+		return ""
+	}
+	name, embedded := containsLock(tv.Type)
+	if name == "" {
+		return ""
+	}
+	return name + embedded
+}
+
+// containsLock reports whether t is, or (transitively) embeds by value,
+// a tracked lock type. The second return annotates indirect containment.
+func containsLock(t types.Type) (string, string) {
+	return lockIn(t, map[types.Type]bool{}, true)
+}
+
+func lockIn(t types.Type, seen map[types.Type]bool, direct bool) (string, string) {
+	if t == nil || seen[t] {
+		return "", ""
+	}
+	seen[t] = true
+	t = types.Unalias(t)
+	if named, ok := t.(*types.Named); ok {
+		if name, isLock := lockTypeName(named); isLock {
+			return name, ""
+		}
+		return lockIn(named.Underlying(), seen, direct)
+	}
+	switch u := t.(type) {
+	case *types.Struct:
+		for i := 0; i < u.NumFields(); i++ {
+			if name, _ := lockIn(u.Field(i).Type(), seen, false); name != "" {
+				if direct {
+					return name, " (inside the struct)"
+				}
+				return name, ""
+			}
+		}
+	case *types.Array:
+		return lockIn(u.Elem(), seen, false)
+	}
+	return "", ""
+}

@@ -1,0 +1,90 @@
+package lint
+
+import (
+	"context"
+	"path/filepath"
+	"testing"
+
+	"dimmunix/internal/histstore"
+	"dimmunix/internal/signature"
+)
+
+// TestEmitRoundTrip proves the whole static-inoculation pipeline below
+// the process boundary: confirmed cycles lower into format-v2
+// signatures, survive a histstore push/load cycle byte-for-byte, and
+// merging them into a runtime's history bumps the danger-index epoch so
+// the avoidance cache re-arms.
+func TestEmitRoundTrip(t *testing.T) {
+	prog, err := Load(Options{Dir: "."}, FixturePath("lockorder_basic"))
+	if err != nil {
+		t.Fatalf("load fixture: %v", err)
+	}
+	res := AnalyzeLockOrder(prog, LockOrderOptions{})
+	if len(res.Cycles) == 0 {
+		t.Fatalf("no cycles confirmed in lockorder_basic (candidates=%d seq=%d guard=%d)",
+			res.Candidates, res.SuppressedSeq, res.SuppressedGuard)
+	}
+
+	emitted := EmitHistory(res, EmitOptions{Calibrate: true})
+	if emitted.Len() == 0 {
+		t.Fatalf("no signatures emitted from %d cycles", len(res.Cycles))
+	}
+	for _, sig := range emitted.Snapshot() {
+		if sig.Source != signature.SourceStatic {
+			t.Errorf("emitted signature %s has Source=%q, want %q", sig.ID, sig.Source, signature.SourceStatic)
+		}
+		if !sig.Calib.On {
+			t.Errorf("emitted signature %s has calibration off; -emit arms the ladder", sig.ID)
+		}
+		if len(sig.Stacks) < 2 {
+			t.Errorf("emitted signature %s has %d stacks, want one per cycle edge (>=2)", sig.ID, len(sig.Stacks))
+		}
+		for _, st := range sig.Stacks {
+			if len(st) == 0 {
+				t.Errorf("emitted signature %s carries an empty stack", sig.ID)
+			}
+		}
+	}
+
+	// Push/load through the same store the fleet uses.
+	store := histstore.NewFileStore(filepath.Join(t.TempDir(), "hist.json"))
+	if _, err := store.Push(context.Background(), emitted); err != nil {
+		t.Fatalf("push: %v", err)
+	}
+	loaded, _, err := store.Load(context.Background())
+	if err != nil {
+		t.Fatalf("load store: %v", err)
+	}
+	if loaded.Len() != emitted.Len() {
+		t.Fatalf("store round-trip lost entries: pushed %d, loaded %d", emitted.Len(), loaded.Len())
+	}
+
+	// Merge into a live runtime's (non-empty) history: the static entry
+	// must land, keep its provenance and ladder, and bump the epoch.
+	live := signature.NewHistory()
+	liveSig := signature.New(signature.Deadlock, emitted.Snapshot()[0].Stacks, 1)
+	liveSig.ID = "feedfeedfeedfeed" // distinct entry standing in for a live capture
+	live.Add(liveSig)
+	v0, e0 := live.Version(), live.Danger().Epoch()
+	if n := live.Merge(loaded); n == 0 {
+		t.Fatalf("merge applied no changes")
+	}
+	if live.Version() <= v0 {
+		t.Errorf("merge did not bump version: %d -> %d", v0, live.Version())
+	}
+	if live.Danger().Epoch() <= e0 {
+		t.Errorf("merge did not bump danger epoch: %d -> %d", e0, live.Danger().Epoch())
+	}
+	var statics int
+	for _, sig := range live.Snapshot() {
+		if sig.Source == signature.SourceStatic {
+			statics++
+			if !sig.Calib.On {
+				t.Errorf("merged static signature %s lost its calibration ladder", sig.ID)
+			}
+		}
+	}
+	if statics != emitted.Len() {
+		t.Errorf("merged history carries %d static entries, want %d", statics, emitted.Len())
+	}
+}

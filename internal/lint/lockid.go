@@ -1,0 +1,325 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// Lock-method vocabulary shared by the analyzers. The dimmunix drop-in
+// surface, the core runtime API, and plain sync types all funnel into
+// the same acquire/release classification.
+var (
+	acquireBlocking = map[string]bool{
+		"Lock": true, "LockT": true, "LockCtx": true, "LockCtxT": true,
+		"LockTimeout": true, "LockTimeoutT": true, "MustLock": true,
+		"RLock": true, "RLockT": true, "RLockCtx": true, "RLockCtxT": true,
+		"RLockTimeout": true, "RLockTimeoutT": true,
+	}
+	acquireTry = map[string]bool{
+		"TryLock": true, "TryLockT": true, "TryRLock": true, "TryRLockT": true,
+	}
+	releaseMethods = map[string]bool{
+		"Unlock": true, "UnlockT": true, "MustUnlock": true,
+		"UnlockHandoff": true, "UnlockHandoffT": true,
+		"RUnlock": true, "RUnlockT": true, "RUnlockHandoff": true, "RUnlockHandoffT": true,
+	}
+	readMethods = map[string]bool{
+		"RLock": true, "RLockT": true, "RLockCtx": true, "RLockCtxT": true,
+		"RLockTimeout": true, "RLockTimeoutT": true,
+		"TryRLock": true, "TryRLockT": true,
+		"RUnlock": true, "RUnlockT": true, "RUnlockHandoff": true, "RUnlockHandoffT": true,
+	}
+)
+
+// lockTypeName reports whether named is one of the lock types the
+// analyzers track, returning a short display name ("dimmunix.Mutex",
+// "sync.RWMutex", ...).
+func lockTypeName(named *types.Named) (string, bool) {
+	obj := named.Obj()
+	if obj == nil || obj.Pkg() == nil {
+		return "", false
+	}
+	pkg, name := obj.Pkg().Path(), obj.Name()
+	switch pkg {
+	case "sync":
+		switch name {
+		case "Mutex", "RWMutex", "Cond":
+			return "sync." + name, true
+		}
+	case "dimmunix":
+		switch name {
+		case "Mutex", "RWMutex", "Cond":
+			return "dimmunix." + name, true
+		}
+	case "dimmunix/internal/core":
+		switch name {
+		case "Mutex", "RWMutex", "Cond":
+			return "core." + name, true
+		}
+	}
+	return "", false
+}
+
+// isLockType unwraps pointers and aliases (dimmunix.CoreMutex =
+// core.Mutex materializes as a types.Alias) and reports whether t is (a
+// pointer to) a tracked lock type.
+func isLockType(t types.Type) (string, bool) {
+	for {
+		t = types.Unalias(t)
+		if p, ok := t.(*types.Pointer); ok {
+			t = p.Elem()
+			continue
+		}
+		break
+	}
+	if named, ok := t.(*types.Named); ok {
+		return lockTypeName(named)
+	}
+	return "", false
+}
+
+// isCondType reports whether t is (a pointer to) a tracked Cond.
+func isCondType(t types.Type) bool {
+	name, ok := isLockType(t)
+	return ok && (name == "sync.Cond" || name == "dimmunix.Cond" || name == "core.Cond")
+}
+
+// lockKey is the abstract identity of one lock. Struct fields are
+// instance-abstracted ("every InversionLab.a is one node"), so the
+// instance hint disambiguates self-edges: transfer(src, dst) holding
+// src.mu while taking dst.mu is a genuine Account.mu -> Account.mu
+// cycle precisely because the instances differ.
+type lockKey struct {
+	key  string // canonical identity (graph node)
+	desc string // operator-facing name
+	inst string // instance hint within the enclosing function ("" = unknown)
+	pos  token.Pos
+}
+
+func (k lockKey) withInst(inst string) lockKey { k.inst = inst; return k }
+
+// symRef is a lock reference in a function summary: either concrete
+// (key) or symbolic (obj — a parameter or captured variable bound at
+// instantiation time through the env).
+type symRef struct {
+	key *lockKey
+	obj types.Object
+}
+
+func concrete(k lockKey) symRef      { return symRef{key: &k} }
+func symbolic(o types.Object) symRef { return symRef{obj: o} }
+func (r symRef) valid() bool         { return r.key != nil || r.obj != nil }
+
+// lockResolver resolves lock receiver expressions to symRefs inside one
+// function walk. It consults a per-function single-assignment alias map
+// so `mu := &s.mu; mu.Lock()` resolves to the field identity.
+type lockResolver struct {
+	pkg     *Package
+	aliases map[types.Object]symRef // locals aliasing locks (single assignment)
+	poison  map[types.Object]bool   // reassigned locals: unresolvable
+}
+
+func newLockResolver(pkg *Package) *lockResolver {
+	return &lockResolver{
+		pkg:     pkg,
+		aliases: map[types.Object]symRef{},
+		poison:  map[types.Object]bool{},
+	}
+}
+
+// note records `obj := rhs` for alias resolution.
+func (lr *lockResolver) note(obj types.Object, rhs ast.Expr) {
+	if obj == nil {
+		return
+	}
+	if _, seen := lr.aliases[obj]; seen || lr.poison[obj] {
+		lr.poison[obj] = true
+		delete(lr.aliases, obj)
+		return
+	}
+	if ref, ok := lr.resolve(rhs); ok {
+		lr.aliases[obj] = ref
+	}
+}
+
+// resolve maps a lock-valued expression to its abstract identity.
+func (lr *lockResolver) resolve(e ast.Expr) (symRef, bool) {
+	e = ast.Unparen(e)
+	switch x := e.(type) {
+	case *ast.UnaryExpr:
+		if x.Op == token.AND {
+			return lr.resolve(x.X)
+		}
+	case *ast.StarExpr:
+		return lr.resolve(x.X)
+	case *ast.Ident:
+		obj := lr.pkg.Info.Uses[x]
+		if obj == nil {
+			obj = lr.pkg.Info.Defs[x]
+		}
+		if obj == nil || lr.poison[obj] {
+			return symRef{}, false
+		}
+		if ref, ok := lr.aliases[obj]; ok {
+			return ref, true
+		}
+		v, ok := obj.(*types.Var)
+		if !ok {
+			return symRef{}, false
+		}
+		if v.Pkg() != nil && v.Parent() == v.Pkg().Scope() {
+			// Package-level lock variable: one global node.
+			return concrete(lockKey{
+				key:  "var " + v.Pkg().Path() + "." + v.Name(),
+				desc: v.Pkg().Name() + "." + v.Name(),
+				pos:  v.Pos(),
+			}), true
+		}
+		if v.IsField() {
+			return symRef{}, false
+		}
+		// Local or parameter: symbolic, bound through the env when this
+		// function is instantiated from a call site (parameters), or a
+		// storage-local lock value (`var mu sync.Mutex`).
+		if _, isLock := isLockType(v.Type()); isLock {
+			if _, ptr := v.Type().(*types.Pointer); !ptr {
+				// The local IS the storage: a distinct lock per activation,
+				// identified by its declaration.
+				p := lr.pkg.Fset.Position(v.Pos())
+				return concrete(lockKey{
+					key:  fmt.Sprintf("local %s@%s:%d", v.Name(), p.Filename, p.Line),
+					desc: v.Name(),
+					inst: "local:" + v.Name(),
+					pos:  v.Pos(),
+				}), true
+			}
+		}
+		return symbolic(v), true
+	case *ast.SelectorExpr:
+		// Field chain: identify by the declaring struct type + field name,
+		// abstracting over instances. The instance hint is the textual
+		// base expression, scoped to this function.
+		if sel, ok := lr.pkg.Info.Selections[x]; ok && sel.Kind() == types.FieldVal {
+			f := sel.Obj().(*types.Var)
+			ownerKey, ownerDesc := "?", "?"
+			if named := namedOwner(sel.Recv()); named != nil {
+				obj := named.Obj()
+				if obj.Pkg() != nil {
+					ownerKey = obj.Pkg().Path() + "." + obj.Name()
+					ownerDesc = obj.Pkg().Name() + "." + obj.Name()
+				} else {
+					ownerKey, ownerDesc = obj.Name(), obj.Name()
+				}
+			}
+			return concrete(lockKey{
+				key:  "field " + ownerKey + "." + f.Name(),
+				desc: ownerDesc + "." + f.Name(),
+				inst: exprString(x.X),
+				pos:  x.Sel.Pos(),
+			}), true
+		}
+		// Package-qualified var: pkg.Mu
+		if obj := lr.pkg.Info.Uses[x.Sel]; obj != nil {
+			if v, ok := obj.(*types.Var); ok && v.Pkg() != nil && v.Parent() == v.Pkg().Scope() {
+				return concrete(lockKey{
+					key:  "var " + v.Pkg().Path() + "." + v.Name(),
+					desc: v.Pkg().Name() + "." + v.Name(),
+					pos:  v.Pos(),
+				}), true
+			}
+		}
+	case *ast.IndexExpr:
+		// All elements of one container are a single abstract node.
+		if base, ok := lr.resolve(x.X); ok && base.key != nil {
+			k := *base.key
+			k.key += "[elem]"
+			k.desc += "[i]"
+			k.inst = exprString(x)
+			return concrete(k), true
+		}
+	case *ast.CallExpr:
+		// A call returning a lock pointer is an allocation site
+		// (rt.NewMutex(), NewThing().mu chains are handled above).
+		if _, ok := isLockType(lr.pkg.Info.Types[e].Type); ok {
+			p := lr.pkg.Fset.Position(e.Pos())
+			return concrete(lockKey{
+				key:  fmt.Sprintf("alloc@%s:%d:%d", p.Filename, p.Line, p.Column),
+				desc: fmt.Sprintf("lock@%s:%d:%d", shortFile(p.Filename), p.Line, p.Column),
+				pos:  e.Pos(),
+			}), true
+		}
+	case *ast.CompositeLit:
+		if _, ok := isLockType(lr.pkg.Info.Types[e].Type); ok {
+			p := lr.pkg.Fset.Position(e.Pos())
+			return concrete(lockKey{
+				key:  fmt.Sprintf("alloc@%s:%d:%d", p.Filename, p.Line, p.Column),
+				desc: fmt.Sprintf("lock@%s:%d:%d", shortFile(p.Filename), p.Line, p.Column),
+				pos:  e.Pos(),
+			}), true
+		}
+	}
+	return symRef{}, false
+}
+
+// namedOwner walks to the named struct type that declares a field.
+func namedOwner(t types.Type) *types.Named {
+	for {
+		switch x := types.Unalias(t).(type) {
+		case *types.Pointer:
+			t = x.Elem()
+		case *types.Named:
+			return x
+		default:
+			return nil
+		}
+	}
+}
+
+func shortFile(path string) string {
+	for i := len(path) - 1; i >= 0; i-- {
+		if path[i] == '/' {
+			return path[i+1:]
+		}
+	}
+	return path
+}
+
+// exprString renders a small expression for instance hints.
+func exprString(e ast.Expr) string {
+	switch x := e.(type) {
+	case *ast.Ident:
+		return x.Name
+	case *ast.SelectorExpr:
+		return exprString(x.X) + "." + x.Sel.Name
+	case *ast.UnaryExpr:
+		return exprString(x.X)
+	case *ast.StarExpr:
+		return exprString(x.X)
+	case *ast.IndexExpr:
+		return exprString(x.X) + "[...]"
+	case *ast.CallExpr:
+		return exprString(x.Fun) + "()"
+	case *ast.ParenExpr:
+		return exprString(x.X)
+	}
+	return "?"
+}
+
+// classifyLockCall inspects a call expression; if it is a method call
+// on a tracked lock type it returns the method name and receiver expr.
+func classifyLockCall(pkg *Package, call *ast.CallExpr) (method string, recv ast.Expr, ok bool) {
+	sel, isSel := call.Fun.(*ast.SelectorExpr)
+	if !isSel {
+		return "", nil, false
+	}
+	s, found := pkg.Info.Selections[sel]
+	if !found || s.Kind() != types.MethodVal {
+		return "", nil, false
+	}
+	if _, isLock := isLockType(s.Recv()); !isLock {
+		return "", nil, false
+	}
+	return s.Obj().Name(), sel.X, true
+}

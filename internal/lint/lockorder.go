@@ -1,0 +1,979 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// LockOrder is the headline analyzer: a whole-program static lock graph
+// whose nodes are lock identities (allocation sites, fields, globals)
+// and whose edges mean "acquires B while provably holding A", computed
+// by an intraprocedural held-set dataflow plus a bounded call-graph
+// closure. Every cycle is a lock-order inversion candidate; candidates
+// that fail the predict-style soundness guards (same-goroutine-only
+// reachability, common dominating lock) are suppressed.
+var LockOrder = &Analyzer{
+	Name: "lockorder",
+	Doc:  "report lock-order inversions (potential deadlocks) across the whole program",
+	RunProgram: func(pp *ProgramPass) error {
+		res := AnalyzeLockOrder(&Program{Fset: pp.Fset, Packages: pp.Packages}, LockOrderOptions{})
+		for _, c := range res.Cycles {
+			pp.Report(c.Diagnostic())
+		}
+		return nil
+	},
+}
+
+// LockOrderOptions bound the closure.
+type LockOrderOptions struct {
+	MaxCallDepth int // call-graph closure depth (default 3)
+	MaxCycleLen  int // longest reported cycle (default 3)
+	MaxOccs      int // occurrences kept per edge (default 8)
+}
+
+func (o *LockOrderOptions) defaults() {
+	if o.MaxCallDepth <= 0 {
+		o.MaxCallDepth = 3
+	}
+	if o.MaxCycleLen <= 0 {
+		o.MaxCycleLen = 3
+	}
+	if o.MaxOccs <= 0 {
+		o.MaxOccs = 8
+	}
+}
+
+// EmitFrame is one runtime-style pseudo-frame of a statically derived
+// acquisition stack: Func matches what runtime.CallersFrames would
+// report for the same source location, File is the base filename, so
+// the emitted signature is comparable to live captures.
+type EmitFrame struct {
+	Func string
+	File string
+	Line int
+}
+
+// CycleEdge is one confirmed edge of a reported cycle: the holder of
+// From acquires To. HoldStack is the call chain (innermost first) at
+// which From was acquired — the stack predict and the live monitor
+// archive per cycle edge — and AcqStack the chain of the To
+// acquisition, used for reporting.
+type CycleEdge struct {
+	From, To  string
+	HoldStack []EmitFrame
+	AcqStack  []EmitFrame
+	holdPos   token.Pos
+	acqPos    token.Pos
+}
+
+// ConfirmedCycle is one lock-order inversion that survived the guards.
+type ConfirmedCycle struct {
+	Locks []string
+	Edges []CycleEdge
+}
+
+// LockOrderResult is the whole-program outcome.
+type LockOrderResult struct {
+	Cycles []ConfirmedCycle
+	// Candidates counts raw cycles before guard suppression;
+	// SuppressedGuard / SuppressedSeq count the casualties.
+	Candidates      int
+	SuppressedGuard int
+	SuppressedSeq   int
+}
+
+// Diagnostic renders the cycle as a finding anchored at the first
+// edge's acquisition site, with the opposing chains as related notes.
+func (c *ConfirmedCycle) Diagnostic() Diagnostic {
+	var b strings.Builder
+	fmt.Fprintf(&b, "lock-order inversion: %s -> %s", strings.Join(c.Locks, " -> "), c.Locks[0])
+	for _, e := range c.Edges {
+		fmt.Fprintf(&b, "; acquires %s at %s while holding %s (since %s)",
+			e.To, frameSiteString(e.AcqStack), e.From, frameSiteString(e.HoldStack))
+	}
+	d := Diagnostic{Pos: c.Edges[0].acqPos, Message: b.String()}
+	for _, e := range c.Edges {
+		d.Related = append(d.Related, RelatedInfo{
+			Pos:     e.holdPos,
+			Message: fmt.Sprintf("%s acquired here, held while taking %s", e.From, e.To),
+		})
+	}
+	return d
+}
+
+func frameSiteString(frames []EmitFrame) string {
+	if len(frames) == 0 {
+		return "?"
+	}
+	s := fmt.Sprintf("%s:%d", frames[0].File, frames[0].Line)
+	if len(frames) > 1 {
+		var via []string
+		for _, f := range frames[1:] {
+			via = append(via, shortFunc(f.Func))
+		}
+		s += " via " + strings.Join(via, " <- ")
+	}
+	return s
+}
+
+func shortFunc(fn string) string {
+	if i := strings.LastIndex(fn, "/"); i >= 0 {
+		return fn[i+1:]
+	}
+	return fn
+}
+
+// --- function summaries ---------------------------------------------
+
+const (
+	loAcq = iota
+	loRel
+	loCall
+)
+
+type loBind struct {
+	idx   int
+	lock  symRef
+	fnKey string
+	fnSym types.Object
+}
+
+type loEvent struct {
+	kind      int
+	lock      symRef // acq/rel
+	read      bool
+	try       bool
+	isDefer   bool
+	pos       token.Pos
+	calleeKey string // call (static resolution)
+	calleeSym types.Object
+	binds     []loBind
+	isGo      bool
+}
+
+type funcSummary struct {
+	key         string // pkg-path-qualified identity
+	runtimeName string // what runtime.CallersFrames reports
+	pkg         *Package
+	params      []types.Object
+	events      []loEvent
+}
+
+// funcKeyOf derives the summary key for a called *types.Func so caller
+// and callee packages agree on identity without sharing objects.
+func funcKeyOf(fn *types.Func) string {
+	if fn.Pkg() == nil {
+		return ""
+	}
+	return fn.Pkg().Path() + "." + funcSuffix(fn)
+}
+
+func funcSuffix(fn *types.Func) string {
+	sig, _ := fn.Type().(*types.Signature)
+	if sig != nil && sig.Recv() != nil {
+		t := sig.Recv().Type()
+		if p, ok := t.(*types.Pointer); ok {
+			if n, ok := p.Elem().(*types.Named); ok {
+				return "(*" + n.Obj().Name() + ")." + fn.Name()
+			}
+		}
+		if n, ok := t.(*types.Named); ok {
+			return n.Obj().Name() + "." + fn.Name()
+		}
+	}
+	return fn.Name()
+}
+
+// summarizer builds per-function summaries for one package.
+type summarizer struct {
+	pkg       *Package
+	summaries map[string]*funcSummary
+}
+
+func summarizePackage(pkg *Package, out map[string]*funcSummary) {
+	s := &summarizer{pkg: pkg, summaries: out}
+	for _, f := range pkg.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			obj, _ := pkg.Info.Defs[fd.Name].(*types.Func)
+			if obj == nil {
+				continue
+			}
+			key := funcKeyOf(obj)
+			rtName := runtimeQual(pkg) + "." + funcSuffix(obj)
+			litN := 0
+			s.summarize(key, rtName, fd.Type, fd.Body, &litN)
+		}
+	}
+}
+
+func runtimeQual(pkg *Package) string {
+	if pkg.Name == "main" {
+		return "main"
+	}
+	return pkg.PkgPath
+}
+
+// summarize walks one function body, emitting an ordered event list.
+// litCounter numbers the func literals of the enclosing top-level decl
+// so closure names line up with the runtime's funcN convention.
+func (s *summarizer) summarize(key, rtName string, ftype *ast.FuncType, body *ast.BlockStmt, litCounter *int) *funcSummary {
+	sum := &funcSummary{key: key, runtimeName: rtName, pkg: s.pkg}
+	if ftype.Params != nil {
+		for _, field := range ftype.Params.List {
+			for _, name := range field.Names {
+				sum.params = append(sum.params, s.pkg.Info.Defs[name])
+			}
+		}
+	}
+	s.summaries[key] = sum
+	w := &loWalker{s: s, sum: sum, res: newLockResolver(s.pkg), lits: litCounter,
+		fnAliases: map[types.Object]string{}, litKeys: map[*ast.FuncLit]string{}}
+	w.stmt(body)
+	return sum
+}
+
+type loWalker struct {
+	s         *summarizer
+	sum       *funcSummary
+	res       *lockResolver
+	lits      *int
+	fnAliases map[types.Object]string
+	litKeys   map[*ast.FuncLit]string // memo: a literal is summarized once
+}
+
+func (w *loWalker) stmt(st ast.Stmt) {
+	switch x := st.(type) {
+	case nil:
+	case *ast.BlockStmt:
+		for _, s := range x.List {
+			w.stmt(s)
+		}
+	case *ast.ExprStmt:
+		w.expr(x.X, false, false)
+	case *ast.AssignStmt:
+		for _, rhs := range x.Rhs {
+			w.expr(rhs, false, false)
+		}
+		if len(x.Lhs) == len(x.Rhs) {
+			for i, lhs := range x.Lhs {
+				id, ok := lhs.(*ast.Ident)
+				if !ok {
+					continue
+				}
+				obj := w.s.pkg.Info.Defs[id]
+				if obj == nil {
+					obj = w.s.pkg.Info.Uses[id]
+				}
+				w.noteAssign(obj, x.Rhs[i])
+			}
+		}
+	case *ast.DeclStmt:
+		if gd, ok := x.Decl.(*ast.GenDecl); ok {
+			for _, spec := range gd.Specs {
+				vs, ok := spec.(*ast.ValueSpec)
+				if !ok {
+					continue
+				}
+				for _, v := range vs.Values {
+					w.expr(v, false, false)
+				}
+				if len(vs.Names) == len(vs.Values) {
+					for i, name := range vs.Names {
+						w.noteAssign(w.s.pkg.Info.Defs[name], vs.Values[i])
+					}
+				}
+			}
+		}
+	case *ast.GoStmt:
+		// Arguments evaluate in the spawning goroutine, at the statement.
+		for _, a := range x.Call.Args {
+			w.expr(a, false, false)
+		}
+		w.call(x.Call, true, false)
+	case *ast.DeferStmt:
+		for _, a := range x.Call.Args {
+			w.expr(a, false, false)
+		}
+		w.call(x.Call, false, true)
+	case *ast.ReturnStmt:
+		for _, r := range x.Results {
+			w.expr(r, false, false)
+		}
+	case *ast.IfStmt:
+		w.stmt(x.Init)
+		w.expr(x.Cond, false, false)
+		w.stmt(x.Body)
+		w.stmt(x.Else)
+	case *ast.ForStmt:
+		w.stmt(x.Init)
+		w.expr(x.Cond, false, false)
+		w.stmt(x.Body)
+		w.stmt(x.Post)
+	case *ast.RangeStmt:
+		w.expr(x.X, false, false)
+		w.stmt(x.Body)
+	case *ast.SwitchStmt:
+		w.stmt(x.Init)
+		w.expr(x.Tag, false, false)
+		for _, c := range x.Body.List {
+			if cc, ok := c.(*ast.CaseClause); ok {
+				for _, s := range cc.Body {
+					w.stmt(s)
+				}
+			}
+		}
+	case *ast.TypeSwitchStmt:
+		w.stmt(x.Init)
+		w.stmt(x.Assign)
+		for _, c := range x.Body.List {
+			if cc, ok := c.(*ast.CaseClause); ok {
+				for _, s := range cc.Body {
+					w.stmt(s)
+				}
+			}
+		}
+	case *ast.SelectStmt:
+		for _, c := range x.Body.List {
+			if cc, ok := c.(*ast.CommClause); ok {
+				w.stmt(cc.Comm)
+				for _, s := range cc.Body {
+					w.stmt(s)
+				}
+			}
+		}
+	case *ast.LabeledStmt:
+		w.stmt(x.Stmt)
+	case *ast.SendStmt:
+		w.expr(x.Chan, false, false)
+		w.expr(x.Value, false, false)
+	case *ast.IncDecStmt:
+		w.expr(x.X, false, false)
+	}
+}
+
+func (w *loWalker) noteAssign(obj types.Object, rhs ast.Expr) {
+	if obj == nil {
+		return
+	}
+	rhs = ast.Unparen(rhs)
+	if lit, ok := rhs.(*ast.FuncLit); ok {
+		w.fnAliases[obj] = w.litKey(lit)
+		return
+	}
+	if id, ok := rhs.(*ast.Ident); ok {
+		if fn, ok := w.s.pkg.Info.Uses[id].(*types.Func); ok {
+			w.fnAliases[obj] = funcKeyOf(fn)
+			return
+		}
+	}
+	w.res.note(obj, rhs)
+}
+
+// litKey summarizes a func literal (once) and returns its key.
+func (w *loWalker) litKey(lit *ast.FuncLit) string {
+	if key, ok := w.litKeys[lit]; ok {
+		return key
+	}
+	*w.lits++
+	key := fmt.Sprintf("%s.func%d", w.sum.key, *w.lits)
+	rtName := fmt.Sprintf("%s.func%d", w.sum.runtimeName, *w.lits)
+	w.litKeys[lit] = key
+	w.s.summarize(key, rtName, lit.Type, lit.Body, w.lits)
+	return key
+}
+
+// expr walks an expression, recording lock operations and calls in
+// evaluation order. Func literals are summarized separately, never
+// inlined into the current event stream.
+func (w *loWalker) expr(e ast.Expr, isGo, isDefer bool) {
+	if e == nil {
+		return
+	}
+	ast.Inspect(e, func(n ast.Node) bool {
+		switch x := n.(type) {
+		case *ast.FuncLit:
+			w.litKey(x)
+			return false
+		case *ast.CallExpr:
+			// Walk arguments first (evaluation order), then classify the
+			// call itself; Inspect would also descend into Fun/Args, so cut
+			// it off and recurse manually.
+			for _, a := range x.Args {
+				w.expr(a, false, false)
+			}
+			if sel, ok := x.Fun.(*ast.SelectorExpr); ok {
+				w.expr(sel.X, false, false)
+			}
+			w.call(x, isGo, isDefer)
+			return false
+		}
+		return true
+	})
+}
+
+// call classifies one call expression: lock operation, or call event.
+func (w *loWalker) call(call *ast.CallExpr, isGo, isDefer bool) {
+	pkg := w.s.pkg
+	if method, recv, ok := classifyLockCall(pkg, call); ok {
+		if isCondType(pkg.Info.Types[recv].Type) {
+			// Cond.Wait releases and reacquires L; neutral for ordering.
+			return
+		}
+		ref, resolved := w.res.resolve(recv)
+		if !resolved {
+			return
+		}
+		switch {
+		case acquireBlocking[method]:
+			w.sum.events = append(w.sum.events, loEvent{
+				kind: loAcq, lock: ref, read: readMethods[method], pos: call.Pos(), isDefer: isDefer})
+		case acquireTry[method]:
+			w.sum.events = append(w.sum.events, loEvent{
+				kind: loAcq, lock: ref, read: readMethods[method], try: true, pos: call.Pos(), isDefer: isDefer})
+		case releaseMethods[method]:
+			w.sum.events = append(w.sum.events, loEvent{
+				kind: loRel, lock: ref, read: readMethods[method], pos: call.Pos(), isDefer: isDefer})
+		}
+		return
+	}
+
+	ev := loEvent{kind: loCall, pos: call.Pos(), isGo: isGo, isDefer: isDefer}
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		switch obj := pkg.Info.Uses[fun].(type) {
+		case *types.Func:
+			ev.calleeKey = funcKeyOf(obj)
+		case *types.Var:
+			if key, ok := w.fnAliases[obj]; ok {
+				ev.calleeKey = key
+			} else {
+				ev.calleeSym = obj
+			}
+		default:
+			return // builtin, conversion
+		}
+	case *ast.SelectorExpr:
+		if s, ok := pkg.Info.Selections[fun]; ok && s.Kind() == types.MethodVal {
+			ev.calleeKey = funcKeyOf(s.Obj().(*types.Func))
+		} else if fn, ok := pkg.Info.Uses[fun.Sel].(*types.Func); ok {
+			ev.calleeKey = funcKeyOf(fn)
+		} else {
+			return
+		}
+	case *ast.FuncLit:
+		ev.calleeKey = w.litKey(fun)
+	default:
+		return
+	}
+	for i, arg := range call.Args {
+		arg = ast.Unparen(arg)
+		if lit, ok := arg.(*ast.FuncLit); ok {
+			ev.binds = append(ev.binds, loBind{idx: i, fnKey: w.litKey(lit)})
+			continue
+		}
+		if id, ok := arg.(*ast.Ident); ok {
+			switch obj := pkg.Info.Uses[id].(type) {
+			case *types.Func:
+				ev.binds = append(ev.binds, loBind{idx: i, fnKey: funcKeyOf(obj)})
+				continue
+			case *types.Var:
+				if key, ok := w.fnAliases[obj]; ok {
+					ev.binds = append(ev.binds, loBind{idx: i, fnKey: key})
+					continue
+				}
+			}
+		}
+		if ref, ok := w.res.resolve(arg); ok {
+			ev.binds = append(ev.binds, loBind{idx: i, lock: ref})
+		}
+	}
+	w.sum.events = append(w.sum.events, ev)
+}
+
+// --- instantiation: bounded call-graph closure -----------------------
+
+type frameSite struct {
+	fn  *funcSummary
+	pos token.Pos
+}
+
+type siteChain []frameSite // innermost first
+
+func (c siteChain) frames(fset *token.FileSet) []EmitFrame {
+	out := make([]EmitFrame, len(c))
+	for i, f := range c {
+		p := fset.Position(f.pos)
+		out[i] = EmitFrame{Func: f.fn.runtimeName, File: shortFile(p.Filename), Line: p.Line}
+	}
+	return out
+}
+
+type heldLock struct {
+	key  lockKey
+	read bool
+	site siteChain
+}
+
+type occurrence struct {
+	holdSite siteChain
+	acqSite  siteChain
+	guards   []string
+	root     string // "go:<pos>", or "fn:<key>"
+	fromInst string
+	toInst   string
+}
+
+type loEdge struct {
+	from, to lockKey
+	occs     []occurrence
+}
+
+type envVal struct {
+	lock *lockKey
+	fn   string
+}
+
+type loState struct {
+	opts      LockOrderOptions
+	fset      *token.FileSet
+	summaries map[string]*funcSummary
+	edges     map[[2]string]*loEdge
+	// The reachability graph for the sequential-only guard; edges
+	// discovered both statically and through env-resolved instantiation
+	// land here.
+	seqEdges  map[string][]string
+	goTargets map[string]bool
+	hasCaller map[string]bool
+}
+
+// AnalyzeLockOrder runs the whole-program analysis and returns the
+// confirmed cycles with their call chains — the cmd/dimmunix-vet -emit
+// path consumes the same result the analyzer reports from.
+func AnalyzeLockOrder(prog *Program, opts LockOrderOptions) *LockOrderResult {
+	opts.defaults()
+	st := &loState{
+		opts:      opts,
+		fset:      prog.Fset,
+		summaries: map[string]*funcSummary{},
+		edges:     map[[2]string]*loEdge{},
+		seqEdges:  map[string][]string{},
+		goTargets: map[string]bool{},
+		hasCaller: map[string]bool{},
+	}
+	for _, pkg := range prog.Packages {
+		summarizePackage(pkg, st.summaries)
+	}
+	keys := make([]string, 0, len(st.summaries))
+	for k := range st.summaries {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	// Instantiate every function as a potential entry: edges inside
+	// callees are discovered through every caller's bindings (the
+	// parameters of helpers like nest(outer, inner) only become concrete
+	// locks at call sites).
+	for _, k := range keys {
+		sum := st.summaries[k]
+		held := []heldLock{}
+		st.instantiate(sum, map[types.Object]envVal{}, &held, nil, "fn:"+k, 0, map[string]bool{k: true})
+	}
+	seqOnly := st.sequentialOnly()
+	return st.collectCycles(seqOnly)
+}
+
+func (st *loState) instantiate(sum *funcSummary, env map[types.Object]envVal, held *[]heldLock, stack siteChain, root string, depth int, path map[string]bool) {
+	var deferred []func()
+	for i := range sum.events {
+		ev := &sum.events[i]
+		run := func(ev *loEvent) { st.event(sum, ev, env, held, stack, root, depth, path) }
+		if ev.isDefer {
+			ev := ev
+			deferred = append(deferred, func() { run(ev) })
+			continue
+		}
+		run(ev)
+	}
+	// Deferred events run at function exit, in LIFO order: unlocks
+	// release what the body still holds, deferred calls see that state.
+	for i := len(deferred) - 1; i >= 0; i-- {
+		deferred[i]()
+	}
+}
+
+func (st *loState) event(sum *funcSummary, ev *loEvent, env map[types.Object]envVal, held *[]heldLock, stack siteChain, root string, depth int, path map[string]bool) {
+	switch ev.kind {
+	case loAcq:
+		k, ok := resolveRef(ev.lock, env)
+		if !ok {
+			return
+		}
+		site := append(siteChain{frameSite{fn: sum, pos: ev.pos}}, stack...)
+		if !ev.try {
+			for _, h := range *held {
+				st.addEdge(h, k, ev.read, site, *held, root)
+			}
+		}
+		*held = append(*held, heldLock{key: k, read: ev.read, site: site})
+	case loRel:
+		k, ok := resolveRef(ev.lock, env)
+		if !ok {
+			return
+		}
+		for i := len(*held) - 1; i >= 0; i-- {
+			if (*held)[i].key.key == k.key && (*held)[i].read == ev.read {
+				*held = append((*held)[:i], (*held)[i+1:]...)
+				return
+			}
+		}
+	case loCall:
+		calleeKey := ev.calleeKey
+		if calleeKey == "" && ev.calleeSym != nil {
+			calleeKey = env[ev.calleeSym].fn
+		}
+		if calleeKey == "" {
+			return
+		}
+		// Feed the reachability graph even past the depth bound: the
+		// sequential-only guard needs the full picture.
+		if ev.isGo {
+			st.goTargets[calleeKey] = true
+		} else {
+			st.seqEdges[sum.key] = append(st.seqEdges[sum.key], calleeKey)
+		}
+		st.hasCaller[calleeKey] = true
+		callee := st.summaries[calleeKey]
+		if callee == nil || depth >= st.opts.MaxCallDepth || path[calleeKey] {
+			return
+		}
+		env2 := make(map[types.Object]envVal, len(env)+len(ev.binds))
+		for k, v := range env {
+			env2[k] = v
+		}
+		for _, b := range ev.binds {
+			if b.idx >= len(callee.params) || callee.params[b.idx] == nil {
+				continue
+			}
+			switch {
+			case b.fnKey != "":
+				env2[callee.params[b.idx]] = envVal{fn: b.fnKey}
+			case b.fnSym != nil:
+				if v, ok := env[b.fnSym]; ok {
+					env2[callee.params[b.idx]] = v
+				}
+			case b.lock.valid():
+				if k, ok := resolveRef(b.lock, env); ok {
+					env2[callee.params[b.idx]] = envVal{lock: &k}
+				}
+			}
+		}
+		path[calleeKey] = true
+		if ev.isGo {
+			// A spawned goroutine starts with an empty stack and holds
+			// nothing from its spawner.
+			fresh := []heldLock{}
+			st.instantiate(callee, env2, &fresh, nil, "go:"+st.fset.Position(ev.pos).String(), depth+1, path)
+		} else {
+			st.instantiate(callee, env2, held, append(siteChain{frameSite{fn: sum, pos: ev.pos}}, stack...), root, depth+1, path)
+		}
+		delete(path, calleeKey)
+	}
+}
+
+func resolveRef(r symRef, env map[types.Object]envVal) (lockKey, bool) {
+	if r.key != nil {
+		return *r.key, true
+	}
+	if r.obj != nil {
+		if v, ok := env[r.obj]; ok && v.lock != nil {
+			return *v.lock, true
+		}
+	}
+	return lockKey{}, false
+}
+
+func (st *loState) addEdge(h heldLock, to lockKey, read bool, acqSite siteChain, held []heldLock, root string) {
+	if h.read && read {
+		return // reader-reader pairs cannot form a blocking cycle
+	}
+	if h.key.key == to.key {
+		// Self-edge: only meaningful when the instances provably differ
+		// (transfer(src, dst) on two Accounts); same or unknown instance
+		// is re-entry, not inversion.
+		if h.key.inst == "" || to.inst == "" || h.key.inst == to.inst {
+			return
+		}
+	}
+	var guards []string
+	for _, g := range held {
+		if g.key.key != h.key.key {
+			guards = append(guards, g.key.key)
+		}
+	}
+	id := [2]string{h.key.key, to.key}
+	e := st.edges[id]
+	if e == nil {
+		e = &loEdge{from: h.key, to: to}
+		st.edges[id] = e
+	}
+	if len(e.occs) >= st.opts.MaxOccs {
+		return
+	}
+	e.occs = append(e.occs, occurrence{
+		holdSite: h.site, acqSite: acqSite, guards: guards, root: root,
+		fromInst: h.key.inst, toInst: to.inst,
+	})
+}
+
+// sequentialOnly computes the set of functions that only ever execute
+// on the main goroutine's sequential flow: reachable from main.main via
+// plain calls and NOT reachable from any go statement target or
+// external entry (a function nobody in the program calls — exported
+// API is conservatively concurrent).
+func (st *loState) sequentialOnly() map[string]bool {
+	var mains, conc []string
+	for k, sum := range st.summaries {
+		isMain := sum.pkg.Name == "main" && sum.runtimeName == "main.main"
+		isInit := strings.HasSuffix(sum.runtimeName, ".init")
+		if isMain {
+			mains = append(mains, k)
+		} else if !st.hasCaller[k] && !isInit && !strings.Contains(k, ".func") {
+			conc = append(conc, k)
+		}
+	}
+	for k := range st.goTargets {
+		conc = append(conc, k)
+	}
+	reach := func(seeds []string) map[string]bool {
+		seen := map[string]bool{}
+		var stack []string
+		for _, s := range seeds {
+			if !seen[s] {
+				seen[s] = true
+				stack = append(stack, s)
+			}
+		}
+		for len(stack) > 0 {
+			n := stack[len(stack)-1]
+			stack = stack[:len(stack)-1]
+			for _, m := range st.seqEdges[n] {
+				if !seen[m] {
+					seen[m] = true
+					stack = append(stack, m)
+				}
+			}
+		}
+		return seen
+	}
+	fromMain, fromConc := reach(mains), reach(conc)
+	out := map[string]bool{}
+	for k := range fromMain {
+		if !fromConc[k] {
+			out[k] = true
+		}
+	}
+	return out
+}
+
+// --- cycle enumeration and guards ------------------------------------
+
+func (st *loState) collectCycles(seqOnly map[string]bool) *LockOrderResult {
+	res := &LockOrderResult{}
+	adj := map[string][]string{}
+	nodes := map[string]bool{}
+	for id := range st.edges {
+		adj[id[0]] = append(adj[id[0]], id[1])
+		nodes[id[0]], nodes[id[1]] = true, true
+	}
+	for k := range adj {
+		sort.Strings(adj[k])
+	}
+	ordered := make([]string, 0, len(nodes))
+	for n := range nodes {
+		ordered = append(ordered, n)
+	}
+	sort.Strings(ordered)
+
+	emit := func(cycle []string) {
+		res.Candidates++
+		edges := make([]*loEdge, len(cycle))
+		for i := range cycle {
+			edges[i] = st.edges[[2]string{cycle[i], cycle[(i+1)%len(cycle)]}]
+		}
+		if c, why := st.confirm(cycle, edges, seqOnly); c != nil {
+			res.Cycles = append(res.Cycles, *c)
+		} else if why == "guard" {
+			res.SuppressedGuard++
+		} else {
+			res.SuppressedSeq++
+		}
+	}
+
+	// Elementary cycles up to MaxCycleLen, started (and thus deduplicated)
+	// at their smallest node. Self-loops are handled separately below.
+	for _, start := range ordered {
+		var dfs func(cur string, path []string)
+		dfs = func(cur string, path []string) {
+			for _, next := range adj[cur] {
+				if next == start && len(path) >= 2 {
+					emit(append([]string{}, path...))
+					continue
+				}
+				if next <= start || len(path) >= st.opts.MaxCycleLen {
+					continue
+				}
+				onPath := false
+				for _, p := range path {
+					if p == next {
+						onPath = true
+						break
+					}
+				}
+				if !onPath {
+					dfs(next, append(path, next))
+				}
+			}
+		}
+		// Self-loop (two instances of one abstract lock).
+		if e, ok := st.edges[[2]string{start, start}]; ok {
+			res.Candidates++
+			if c, why := st.confirm([]string{start}, []*loEdge{e}, seqOnly); c != nil {
+				res.Cycles = append(res.Cycles, *c)
+			} else if why == "guard" {
+				res.SuppressedGuard++
+			} else {
+				res.SuppressedSeq++
+			}
+		}
+		dfs(start, []string{start})
+	}
+	return res
+}
+
+// confirm searches the occurrence combinations of a candidate cycle for
+// one that survives both guards; the first surviving combination (in
+// deterministic order) becomes the reported witness.
+func (st *loState) confirm(cycle []string, edges []*loEdge, seqOnly map[string]bool) (*ConfirmedCycle, string) {
+	cycleLocks := map[string]bool{}
+	for _, n := range cycle {
+		cycleLocks[n] = true
+	}
+	sawSeq := false
+	pick := make([]int, len(edges))
+	var try func(i int) *ConfirmedCycle
+	try = func(i int) *ConfirmedCycle {
+		if i == len(edges) {
+			combo := make([]occurrence, len(edges))
+			for j, e := range edges {
+				combo[j] = e.occs[pick[j]]
+			}
+			if !st.concurrent(combo, seqOnly) {
+				sawSeq = true
+				return nil
+			}
+			if commonGuard(combo, cycleLocks) {
+				return nil
+			}
+			return st.build(cycle, edges, combo)
+		}
+		for p := range edges[i].occs {
+			pick[i] = p
+			if c := try(i + 1); c != nil {
+				return c
+			}
+		}
+		return nil
+	}
+	if c := try(0); c != nil {
+		return c, ""
+	}
+	if sawSeq {
+		return nil, "seq"
+	}
+	return nil, "guard"
+}
+
+// concurrent reports whether the combination's edges can execute on
+// distinct goroutines: suppressed only when every occurrence sits on
+// the provably-sequential main flow, or when a multi-edge cycle's
+// occurrences all come from one identical sequential entry (one thread
+// taking both orders itself, the SameThreadCanary shape).
+func (st *loState) concurrent(combo []occurrence, seqOnly map[string]bool) bool {
+	allSeq := true
+	for _, o := range combo {
+		k, isFn := strings.CutPrefix(o.root, "fn:")
+		if !isFn || !seqOnly[k] {
+			allSeq = false
+			break
+		}
+	}
+	if allSeq {
+		return false
+	}
+	if len(combo) > 1 {
+		// Distinct-thread guard for non-spawned roots: a cycle whose every
+		// edge comes from the same non-goroutine entry is one thread's own
+		// sequential re-ordering unless that entry is reachable from a
+		// spawn site (then two instances may run concurrently).
+		first := combo[0].root
+		same := true
+		for _, o := range combo[1:] {
+			if o.root != first {
+				same = false
+				break
+			}
+		}
+		if same {
+			if k, isFn := strings.CutPrefix(first, "fn:"); isFn && seqOnly[k] {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// commonGuard reports whether some lock outside the cycle is held at
+// every edge of the combination — the common dominating lock that
+// serializes the would-be deadlock.
+func commonGuard(combo []occurrence, cycleLocks map[string]bool) bool {
+	counts := map[string]int{}
+	for _, o := range combo {
+		seen := map[string]bool{}
+		for _, g := range o.guards {
+			if !cycleLocks[g] && !seen[g] {
+				seen[g] = true
+				counts[g]++
+			}
+		}
+	}
+	for _, n := range counts {
+		if n == len(combo) {
+			return true
+		}
+	}
+	return false
+}
+
+func (st *loState) build(cycle []string, edges []*loEdge, combo []occurrence) *ConfirmedCycle {
+	c := &ConfirmedCycle{}
+	for i, e := range edges {
+		o := combo[i]
+		c.Locks = append(c.Locks, e.from.desc)
+		c.Edges = append(c.Edges, CycleEdge{
+			From:      e.from.desc,
+			To:        e.to.desc,
+			HoldStack: o.holdSite.frames(st.fset),
+			AcqStack:  o.acqSite.frames(st.fset),
+			holdPos:   o.holdSite[0].pos,
+			acqPos:    o.acqSite[0].pos,
+		})
+	}
+	return c
+}

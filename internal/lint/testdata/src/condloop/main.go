@@ -1,0 +1,34 @@
+// Fixture for condloop: Wait outside a loop is flagged; the canonical
+// `for !ready { cond.Wait() }` recheck loop is silent.
+package main
+
+import "sync"
+
+var (
+	mu    sync.Mutex
+	cond  = sync.NewCond(&mu)
+	ready bool
+)
+
+func badWait() {
+	mu.Lock()
+	cond.Wait() // want `cond.Wait outside a loop: the condition must be rechecked after waking`
+	mu.Unlock()
+}
+
+func goodWait() {
+	mu.Lock()
+	for !ready {
+		cond.Wait()
+	}
+	mu.Unlock()
+}
+
+func main() {
+	go badWait()
+	go goodWait()
+	mu.Lock()
+	ready = true
+	cond.Broadcast()
+	mu.Unlock()
+}

@@ -1,0 +1,62 @@
+// Fixture for dimmunixcopylock: every way a lock value escapes by
+// copy, plus the initialization patterns that must stay silent.
+package main
+
+import "sync"
+
+type svc struct {
+	mu sync.Mutex
+	n  int
+}
+
+var a sync.Mutex
+
+func byValue(mu sync.Mutex) { // want `parameter copies a sync.Mutex; use a pointer`
+	mu.Lock()
+	mu.Unlock()
+}
+
+func byRef(mu *sync.Mutex) {
+	mu.Lock()
+	mu.Unlock()
+}
+
+func (s svc) snapshot() int { // want `receiver copies a sync.Mutex \(inside the struct\); use a pointer`
+	return s.n
+}
+
+func give() sync.Mutex { // want `result copies a sync.Mutex; use a pointer`
+	var m sync.Mutex
+	return m // want `return copies a sync.Mutex value`
+}
+
+func assigns() {
+	var m sync.Mutex
+	c := m // want `assignment copies a sync.Mutex value`
+	c.Lock()
+	c.Unlock()
+	fresh := sync.Mutex{} // initialization, not a copy: silent
+	fresh.Lock()
+	fresh.Unlock()
+}
+
+func iterate(svcs []svc) int {
+	total := 0
+	for _, s := range svcs { // want `range value copies a sync.Mutex \(inside the struct\) per iteration`
+		total += s.n
+	}
+	return total
+}
+
+func calls() {
+	byValue(a) // want `call passes a sync.Mutex by value`
+	byRef(&a)  // address taken: silent
+}
+
+func main() {
+	assigns()
+	calls()
+	_ = iterate(nil)
+	var s svc
+	_ = s.snapshot()
+}

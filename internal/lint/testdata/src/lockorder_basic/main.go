@@ -1,0 +1,26 @@
+// Two goroutines acquire two package-level mutexes in opposite order:
+// the canonical AB/BA inversion lockorder must flag.
+package main
+
+import "sync"
+
+var a, b sync.Mutex
+
+func main() {
+	go left()
+	go right()
+}
+
+func left() {
+	a.Lock()
+	b.Lock() // want `lock-order inversion: main.a -> main.b -> main.a`
+	b.Unlock()
+	a.Unlock()
+}
+
+func right() {
+	b.Lock()
+	a.Lock()
+	a.Unlock()
+	b.Unlock()
+}

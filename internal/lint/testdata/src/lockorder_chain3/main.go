@@ -1,0 +1,39 @@
+// A three-lock cycle whose a->b edge spans two functions (the b
+// acquisition happens in a helper called while a is held) — exercises
+// the call-graph closure and cycles longer than 2.
+package main
+
+import "sync"
+
+var a, b, c sync.Mutex
+
+func main() {
+	go ab()
+	go bc()
+	go ca()
+}
+
+func ab() {
+	a.Lock()
+	lockB() // the edge lives inside the helper
+	a.Unlock()
+}
+
+func lockB() {
+	b.Lock() // want `lock-order inversion: main.a -> main.b -> main.c -> main.a`
+	b.Unlock()
+}
+
+func bc() {
+	b.Lock()
+	c.Lock()
+	c.Unlock()
+	b.Unlock()
+}
+
+func ca() {
+	c.Lock()
+	a.Lock()
+	a.Unlock()
+	c.Unlock()
+}

@@ -1,0 +1,30 @@
+// The internal/simapp InversionLab shape: two dimmunix.Mutex fields
+// acquired in opposite orders through a shared nest helper whose lock
+// parameters only become concrete at the call sites — exercises the
+// interprocedural parameter binding and field-identity abstraction.
+package main
+
+import "dimmunix"
+
+type lab struct {
+	a, b dimmunix.Mutex
+}
+
+func nest(outer, inner *dimmunix.Mutex) {
+	outer.Lock()
+	inner.Lock() // want `lock-order inversion: main.lab.a -> main.lab.b -> main.lab.a`
+	inner.Unlock()
+	outer.Unlock()
+}
+
+func (l *lab) runAB() { nest(&l.a, &l.b) }
+func (l *lab) runBA() { nest(&l.b, &l.a) }
+
+func main() {
+	l := &lab{}
+	done := make(chan bool)
+	go func() { l.runAB(); done <- true }()
+	go func() { l.runBA(); done <- true }()
+	<-done
+	<-done
+}

@@ -1,0 +1,32 @@
+// The sound-negative control from internal/simapp's GuardedCanary: the
+// inversion exists textually but every acquisition pair happens under a
+// common dominating lock g, so the interleavings are serialized and no
+// deadlock is reachable. lockorder must stay silent.
+package main
+
+import "sync"
+
+var g, a, b sync.Mutex
+
+func main() {
+	go left()
+	go right()
+}
+
+func left() {
+	g.Lock()
+	a.Lock()
+	b.Lock()
+	b.Unlock()
+	a.Unlock()
+	g.Unlock()
+}
+
+func right() {
+	g.Lock()
+	b.Lock()
+	a.Lock()
+	a.Unlock()
+	b.Unlock()
+	g.Unlock()
+}

@@ -1,0 +1,29 @@
+// A real inversion suppressed with a lint:ignore directive — the
+// mechanism internal/simapp's deliberate reproductions use to keep
+// `dimmunix-vet ./...` clean. The directive anchors at the diagnostic's
+// line (the first edge's acquisition site).
+package main
+
+import "sync"
+
+var a, b sync.Mutex
+
+func main() {
+	go left()
+	go right()
+}
+
+func left() {
+	a.Lock()
+	//lint:ignore lockorder deliberate reproduction for the test corpus
+	b.Lock()
+	b.Unlock()
+	a.Unlock()
+}
+
+func right() {
+	b.Lock()
+	a.Lock()
+	a.Unlock()
+	b.Unlock()
+}

@@ -1,0 +1,28 @@
+// The sound-negative control from internal/simapp's SameThreadCanary:
+// one goroutine takes both orders itself, sequentially. Both edges are
+// only reachable on the main goroutine's call flow, so no two threads
+// can interleave into the cycle. lockorder must stay silent.
+package main
+
+import "sync"
+
+var a, b sync.Mutex
+
+func main() {
+	fwd()
+	rev()
+}
+
+func fwd() {
+	a.Lock()
+	b.Lock()
+	b.Unlock()
+	a.Unlock()
+}
+
+func rev() {
+	b.Lock()
+	a.Lock()
+	a.Unlock()
+	b.Unlock()
+}

@@ -225,7 +225,7 @@ func Analyze(tr *trace.Trace, opt Options) *Result {
 }
 
 // findCycles searches the dependency graph (edge D -> D' iff D's
-// acquired lock is in D''s lock set) for elementary cycles up to
+// acquired lock is in D”s lock set) for elementary cycles up to
 // opt.MaxCycleLen, applies the soundness guards, and builds signatures.
 func findCycles(deps []*Dependency, alias *unionFind, opt Options, res *Result) []*signature.Signature {
 	// Index dependencies by held lock for edge traversal.

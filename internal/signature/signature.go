@@ -40,9 +40,21 @@ func (k Kind) String() string {
 // calibration is off (§5.5: "4 by default").
 const DefaultDepth = 4
 
-// SourcePredicted marks signatures emitted by the offline trace analyzer
-// rather than archived from a live deadlock (Signature.Source).
-const SourcePredicted = "predicted"
+// Signature.Source values. Provenance is informational metadata —
+// matching, merging, and identity ignore it — but operators (and the
+// fleet drills) use it to tell how an entry was learned.
+const (
+	// SourceLive marks signatures archived from a deadlock that actually
+	// fired; persisted as the empty string for v2 compatibility.
+	SourceLive = ""
+	// SourcePredicted marks signatures emitted by the offline trace
+	// analyzer (dimmunix-predict) before the deadlock ever fired.
+	SourcePredicted = "predicted"
+	// SourceStatic marks signatures emitted by the compile-time
+	// lock-order analysis (dimmunix-vet -emit): no process ever executed
+	// the acquisitions, let alone the deadlock.
+	SourceStatic = "static"
+)
 
 // Signature is one archived deadlock or starvation pattern.
 type Signature struct {

@@ -50,6 +50,7 @@ func (h *hawkNL) nlShutdown(t *core.Thread, hold time.Duration) error {
 
 //go:noinline
 func (h *hawkNL) lockSocketForShutdown(t *core.Thread, i int) error {
+	//lint:ignore lockorder deliberate inversion: HawkNL shutdown deadlock reproduction
 	return h.sockets[i].LockT(t)
 }
 
@@ -122,6 +123,7 @@ func (l *limewire) shutdown4(t *core.Thread, hold time.Duration) error {
 	}
 	time.Sleep(hold)
 	for i := 0; i < limeTasks; i++ {
+		//lint:ignore lockorder deliberate inversion: LimeWire shutdown deadlock reproduction
 		if err := l.taskMu[i].LockT(t); err != nil {
 			_ = l.queueMu.UnlockT(t)
 			return err

@@ -87,6 +87,7 @@ func nest(t *core.Thread, outer, inner *core.Mutex, hold time.Duration, critical
 		return err
 	}
 	pause(hold)
+	//lint:ignore lockorder deliberate inversion: every simapp bug lab nests through here
 	if err := inner.LockT(t); err != nil {
 		_ = outer.UnlockT(t)
 		return err
