@@ -3,6 +3,7 @@
 // analyzers over the packages matched by the given patterns:
 //
 //	lockorder        whole-program lock-order inversions (potential deadlocks)
+//	chancycle        mixed channel/lock wait cycles (lock held across a blocking op)
 //	dimmunixcopylock by-value copies of lock types
 //	unlockcheck      leaked/double unlocks, ignored lock-call results
 //	condloop         Cond.Wait outside a condition loop
@@ -46,10 +47,11 @@ var (
 	depth   = flag.Int("depth", 0, "emitted signature matching depth (default: stack length, capped at 4)")
 	calib   = flag.Bool("calib", true, "arm depth calibration on emitted signatures")
 	callDep = flag.Int("call-depth", 0, "lockorder call-graph closure depth (default 3)")
+	ctxFlag = flag.Int("ctx", 1, "levels of allocation-site context on field lock identities (0 disables)")
 	quiet   = flag.Bool("q", false, "suppress the summary line")
 )
 
-var all = []*lint.Analyzer{lint.LockOrder, lint.CopyLock, lint.UnlockCheck, lint.CondLoop}
+var all = []*lint.Analyzer{lint.LockOrder, lint.ChanCycle, lint.CopyLock, lint.UnlockCheck, lint.CondLoop}
 
 func main() {
 	flag.Parse()
@@ -73,6 +75,8 @@ func main() {
 			analyzers = append(analyzers, a)
 		}
 	}
+
+	lint.DefaultLockOrderOptions = lint.LockOrderOptions{MaxCallDepth: *callDep, NoCtx: *ctxFlag == 0}
 
 	prog, err := lint.Load(lint.Options{Dir: *dir, Tests: *tests}, patterns...)
 	if err != nil {
@@ -105,23 +109,26 @@ func main() {
 	}
 }
 
-// emitCycles runs lockorder alone (ignore directives do not apply: a
-// deliberate reproduction is exactly what the fleet wants immunity to)
-// and pushes the lowered signatures into the store file.
+// emitCycles runs lockorder and chancycle alone (ignore directives do
+// not apply: a deliberate reproduction is exactly what the fleet wants
+// immunity to) and pushes the lowered signatures into the store file.
 func emitCycles(prog *lint.Program) {
-	res := lint.AnalyzeLockOrder(prog, lint.LockOrderOptions{MaxCallDepth: *callDep})
-	h := lint.EmitHistory(res, lint.EmitOptions{Depth: *depth, Calibrate: *calib})
+	opts := lint.LockOrderOptions{MaxCallDepth: *callDep, NoCtx: *ctxFlag == 0}
+	res := lint.AnalyzeLockOrder(prog, opts)
+	chres := lint.AnalyzeChanCycle(prog, opts)
+	cycles := append(append([]lint.ConfirmedCycle{}, res.Cycles...), chres.Cycles...)
+	h := lint.EmitHistoryCycles(cycles, lint.EmitOptions{Depth: *depth, Calibrate: *calib})
 	if h.Len() == 0 {
-		fatal(fmt.Errorf("no lock-order cycles confirmed; nothing to emit (candidates: %d, guarded: %d, sequential: %d)",
-			res.Candidates, res.SuppressedGuard, res.SuppressedSeq))
+		fatal(fmt.Errorf("no lock-order or channel/lock cycles confirmed; nothing to emit (candidates: %d, guarded: %d, sequential: %d, rw: %d)",
+			res.Candidates, res.SuppressedGuard, res.SuppressedSeq, res.SuppressedRW))
 	}
 	st := histstore.NewFileStore(*emit)
 	if _, err := st.Push(context.Background(), h); err != nil {
 		fatal(err)
 	}
-	fmt.Printf("emitted %d static signature(s) from %d confirmed cycle(s) -> %s\n",
-		h.Len(), len(res.Cycles), *emit)
-	for _, c := range res.Cycles {
+	fmt.Printf("emitted %d static signature(s) from %d confirmed cycle(s) (%d lockorder, %d chancycle) -> %s\n",
+		h.Len(), len(cycles), len(res.Cycles), len(chres.Cycles), *emit)
+	for _, c := range cycles {
 		fmt.Printf("  cycle: %s -> %s\n", strings.Join(c.Locks, " -> "), c.Locks[0])
 	}
 }

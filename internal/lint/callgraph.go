@@ -1,0 +1,101 @@
+package lint
+
+import (
+	"go/types"
+	"sort"
+)
+
+// chaMaxTargets caps the fan-out of one interface call site. Interfaces
+// with more implementors than this (huge mock universes) would blow the
+// bounded closure's budget for little precision gain; the cap keeps the
+// analysis deterministic by taking the lexicographically first keys.
+const chaMaxTargets = 16
+
+// chaIndex is a class-hierarchy call-graph index over the loaded source
+// packages: for an interface method it answers "which concrete methods
+// can this dispatch to", considering every named non-interface type
+// declared in the program (value and pointer method sets).
+type chaIndex struct {
+	concrete []types.Type
+	memo     map[*types.Func][]string
+}
+
+func newCHAIndex(prog *Program) *chaIndex {
+	idx := &chaIndex{memo: map[*types.Func][]string{}}
+	seen := map[string]bool{}
+	for _, pkg := range prog.Packages {
+		if pkg.Types == nil {
+			continue
+		}
+		scope := pkg.Types.Scope()
+		for _, name := range scope.Names() {
+			tn, ok := scope.Lookup(name).(*types.TypeName)
+			if !ok || tn.IsAlias() {
+				continue
+			}
+			named, ok := tn.Type().(*types.Named)
+			if !ok {
+				continue
+			}
+			if _, isIface := named.Underlying().(*types.Interface); isIface {
+				continue
+			}
+			key := pkg.PkgPath + "." + name
+			if !seen[key] {
+				seen[key] = true
+				idx.concrete = append(idx.concrete, named)
+			}
+		}
+	}
+	sort.Slice(idx.concrete, func(i, j int) bool {
+		return idx.concrete[i].String() < idx.concrete[j].String()
+	})
+	return idx
+}
+
+// targets resolves an interface method to the summary keys of every
+// concrete method that can satisfy the dispatch, sorted, capped at
+// chaMaxTargets.
+func (idx *chaIndex) targets(m *types.Func) []string {
+	if r, ok := idx.memo[m]; ok {
+		return r
+	}
+	var out []string
+	sig, _ := m.Type().(*types.Signature)
+	if sig == nil || sig.Recv() == nil {
+		idx.memo[m] = nil
+		return nil
+	}
+	iface, ok := types.Unalias(sig.Recv().Type()).Underlying().(*types.Interface)
+	if !ok {
+		idx.memo[m] = nil
+		return nil
+	}
+	seen := map[string]bool{}
+	for _, t := range idx.concrete {
+		var impl types.Type
+		switch {
+		case types.Implements(t, iface):
+			impl = t
+		case types.Implements(types.NewPointer(t), iface):
+			impl = types.NewPointer(t)
+		default:
+			continue
+		}
+		obj, _, _ := types.LookupFieldOrMethod(impl, true, m.Pkg(), m.Name())
+		fn, ok := obj.(*types.Func)
+		if !ok {
+			continue
+		}
+		if key := funcKeyOf(fn); key != "" && !seen[key] {
+			seen[key] = true
+			out = append(out, key)
+		}
+	}
+	sort.Strings(out)
+	if len(out) > chaMaxTargets {
+		out = out[:chaMaxTargets]
+	}
+	idx.memo[m] = out
+	return out
+}

@@ -1,6 +1,9 @@
 package lint
 
-import "testing"
+import (
+	"strings"
+	"testing"
+)
 
 // TestLockOrderCorpus drives the headline analyzer over the
 // simapp-derived fixtures: the two-lock inversion (package vars and
@@ -15,11 +18,19 @@ func TestLockOrderCorpus(t *testing.T) {
 		"lockorder_guarded",
 		"lockorder_samethread",
 		"lockorder_ignored",
+		"lockorder_iface",
+		"lockorder_rwmutex",
+		"lockorder_instsplit",
+		"lockorder_chanpayload",
 	} {
 		t.Run(name, func(t *testing.T) {
 			RunCorpus(t, []*Analyzer{LockOrder}, ".", FixturePath(name))
 		})
 	}
+}
+
+func TestChanCycleCorpus(t *testing.T) {
+	RunCorpus(t, []*Analyzer{ChanCycle}, ".", FixturePath("chancycle"))
 }
 
 func TestCopyLockCorpus(t *testing.T) {
@@ -28,6 +39,10 @@ func TestCopyLockCorpus(t *testing.T) {
 
 func TestUnlockCheckCorpus(t *testing.T) {
 	RunCorpus(t, []*Analyzer{UnlockCheck}, ".", FixturePath("unlockcheck"))
+}
+
+func TestUnlockCheckClosureCorpus(t *testing.T) {
+	RunCorpus(t, []*Analyzer{UnlockCheck}, ".", FixturePath("unlockcheck_closure"))
 }
 
 func TestCondLoopCorpus(t *testing.T) {
@@ -47,6 +62,9 @@ func TestLockOrderSuppressionStats(t *testing.T) {
 		{"lockorder_samethread", func(r *LockOrderResult) (string, bool) {
 			return "SuppressedSeq", r.SuppressedSeq > 0
 		}},
+		{"lockorder_instsplit", func(r *LockOrderResult) (string, bool) {
+			return "SuppressedCtx", r.SuppressedCtx > 0
+		}},
 	} {
 		t.Run(tc.fixture, func(t *testing.T) {
 			prog, err := Load(Options{Dir: "."}, FixturePath(tc.fixture))
@@ -64,5 +82,81 @@ func TestLockOrderSuppressionStats(t *testing.T) {
 				t.Fatalf("expected %s > 0, got %+v", field, res)
 			}
 		})
+	}
+}
+
+// TestLockOrderRWMutexStats pins the edge-mode semantics: the
+// reader-reader pair is a candidate suppressed by the rw guard while
+// the writer/reader pair survives as the fixture's single report.
+func TestLockOrderRWMutexStats(t *testing.T) {
+	prog, err := Load(Options{Dir: "."}, FixturePath("lockorder_rwmutex"))
+	if err != nil {
+		t.Fatalf("load: %v", err)
+	}
+	res := AnalyzeLockOrder(prog, LockOrderOptions{})
+	if len(res.Cycles) != 1 {
+		t.Fatalf("want exactly the writer/reader cycle, got %d: %+v", len(res.Cycles), res.Cycles)
+	}
+	if res.SuppressedRW == 0 {
+		t.Fatalf("reader-reader pair was not suppressed by the rw guard: %+v", res)
+	}
+}
+
+// TestLockOrderCtxWidening pins the -ctx escape hatch: without
+// allocation-site contexts the instsplit fixture's helper collapses to
+// a self-edge inversion (the pre-context behavior), with them it is
+// silent.
+func TestLockOrderCtxWidening(t *testing.T) {
+	prog, err := Load(Options{Dir: "."}, FixturePath("lockorder_instsplit"))
+	if err != nil {
+		t.Fatalf("load: %v", err)
+	}
+	if res := AnalyzeLockOrder(prog, LockOrderOptions{}); len(res.Cycles) != 0 {
+		t.Fatalf("ctx-refined analysis reported the disjoint instances: %+v", res.Cycles)
+	}
+	if res := AnalyzeLockOrder(prog, LockOrderOptions{NoCtx: true}); len(res.Cycles) == 0 {
+		t.Fatalf("NoCtx analysis should widen back to the type-keyed self-edge")
+	}
+}
+
+// TestLockOrderAltRoots pins report dedup: the same normalized cycle
+// realized from several entries (direct caller, main's sequential
+// call, the served goroutine) is ONE report carrying the alternate
+// entry chains as related information.
+func TestLockOrderAltRoots(t *testing.T) {
+	prog, err := Load(Options{Dir: "."}, FixturePath("lockorder_chanpayload"))
+	if err != nil {
+		t.Fatalf("load: %v", err)
+	}
+	res := AnalyzeLockOrder(prog, LockOrderOptions{})
+	if len(res.Cycles) != 1 {
+		t.Fatalf("want the inversion deduplicated onto one report, got %d: %+v", len(res.Cycles), res.Cycles)
+	}
+	c := res.Cycles[0]
+	if len(c.AltRoots) == 0 {
+		t.Fatalf("report lost its alternate entry chains: %+v", c)
+	}
+	if msg := c.Diagnostic().Message; !strings.Contains(msg, "also reachable via") {
+		t.Fatalf("diagnostic does not surface the alternates: %s", msg)
+	}
+}
+
+// TestChanCycleStats: the fixture's free pair and self-paired flows
+// must be suppressed (or never form cycles), leaving one confirmed
+// mixed cycle whose lowering has a stack per lock edge.
+func TestChanCycleStats(t *testing.T) {
+	prog, err := Load(Options{Dir: "."}, FixturePath("chancycle"))
+	if err != nil {
+		t.Fatalf("load: %v", err)
+	}
+	res := AnalyzeChanCycle(prog, LockOrderOptions{})
+	if len(res.Diags) != 1 {
+		t.Fatalf("want 1 mixed-cycle diagnostic, got %d: %+v", len(res.Diags), res.Diags)
+	}
+	if res.SuppressedRoot == 0 {
+		t.Fatalf("selfPaired flow was not suppressed by the distinct-root guard: %+v", res)
+	}
+	if len(res.Cycles) != 1 || len(res.Cycles[0].Edges) < 2 {
+		t.Fatalf("lowered cycle missing or too thin for -emit: %+v", res.Cycles)
 	}
 }

@@ -28,9 +28,16 @@ type EmitOptions struct {
 // compare equal at the matched depth. Entries are stamped
 // Source="static".
 func EmitSignatures(res *LockOrderResult, opts EmitOptions) []*signature.Signature {
+	return EmitCycles(res.Cycles, opts)
+}
+
+// EmitCycles is the cycle-list form of EmitSignatures: lockorder and
+// chancycle findings lower through the same path (chancycle cycles
+// arrive pre-shaped, one edge per participating lock acquisition).
+func EmitCycles(cycles []ConfirmedCycle, opts EmitOptions) []*signature.Signature {
 	var out []*signature.Signature
 	seen := map[string]bool{}
-	for _, c := range res.Cycles {
+	for _, c := range cycles {
 		stacks := make([]stack.Stack, 0, len(c.Edges))
 		minLen := stack.MaxCaptureDepth
 		for _, e := range c.Edges {
@@ -76,8 +83,14 @@ func EmitSignatures(res *LockOrderResult, opts EmitOptions) []*signature.Signatu
 // EmitHistory wraps the emitted signatures in a mergeable history, the
 // same shape dimmunix-predict pushes.
 func EmitHistory(res *LockOrderResult, opts EmitOptions) *signature.History {
+	return EmitHistoryCycles(res.Cycles, opts)
+}
+
+// EmitHistoryCycles wraps an explicit cycle list (e.g. lockorder plus
+// chancycle, concatenated) in a mergeable history.
+func EmitHistoryCycles(cycles []ConfirmedCycle, opts EmitOptions) *signature.History {
 	h := signature.NewHistory()
-	for _, sig := range EmitSignatures(res, opts) {
+	for _, sig := range EmitCycles(cycles, opts) {
 		h.Add(sig)
 	}
 	return h

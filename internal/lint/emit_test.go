@@ -88,3 +88,80 @@ func TestEmitRoundTrip(t *testing.T) {
 		t.Errorf("merged history carries %d static entries, want %d", statics, emitted.Len())
 	}
 }
+
+// TestEmitThreeEdgeCycle lowers the 3-lock chain fixture together with
+// the mixed channel/lock fixture through the shared cycle-list path:
+// a >=3-edge cycle must become one signature with three distinct
+// stacks, and the combined batch must survive a store round-trip with
+// provenance and calibration intact.
+func TestEmitThreeEdgeCycle(t *testing.T) {
+	prog, err := Load(Options{Dir: "."}, FixturePath("lockorder_chain3"))
+	if err != nil {
+		t.Fatalf("load fixture: %v", err)
+	}
+	res := AnalyzeLockOrder(prog, LockOrderOptions{})
+	var chain *ConfirmedCycle
+	for i := range res.Cycles {
+		if len(res.Cycles[i].Edges) >= 3 {
+			chain = &res.Cycles[i]
+		}
+	}
+	if chain == nil {
+		t.Fatalf("no >=3-edge cycle confirmed in lockorder_chain3: %+v", res.Cycles)
+	}
+
+	chprog, err := Load(Options{Dir: "."}, FixturePath("chancycle"))
+	if err != nil {
+		t.Fatalf("load chancycle fixture: %v", err)
+	}
+	chres := AnalyzeChanCycle(chprog, LockOrderOptions{})
+	if len(chres.Cycles) == 0 {
+		t.Fatalf("no mixed cycles lowered from the chancycle fixture")
+	}
+
+	cycles := append(append([]ConfirmedCycle{}, res.Cycles...), chres.Cycles...)
+	emitted := EmitHistoryCycles(cycles, EmitOptions{Calibrate: true})
+	if emitted.Len() < 2 {
+		t.Fatalf("want signatures from both analyzers, got %d", emitted.Len())
+	}
+
+	var sawChain bool
+	for _, sig := range emitted.Snapshot() {
+		if len(sig.Stacks) >= 3 {
+			sawChain = true
+			distinct := map[string]bool{}
+			for _, st := range sig.Stacks {
+				if len(st) == 0 {
+					t.Fatalf("signature %s carries an empty stack", sig.ID)
+				}
+				distinct[st.String()] = true
+			}
+			if len(distinct) != len(sig.Stacks) {
+				t.Errorf("3-edge signature %s has duplicate stacks: %v", sig.ID, sig.Stacks)
+			}
+		}
+	}
+	if !sawChain {
+		t.Fatalf("no emitted signature carries >=3 stacks for the 3-edge cycle")
+	}
+
+	store := histstore.NewFileStore(filepath.Join(t.TempDir(), "hist.json"))
+	if _, err := store.Push(context.Background(), emitted); err != nil {
+		t.Fatalf("push: %v", err)
+	}
+	loaded, _, err := store.Load(context.Background())
+	if err != nil {
+		t.Fatalf("load store: %v", err)
+	}
+	if loaded.Len() != emitted.Len() {
+		t.Fatalf("store round-trip lost entries: pushed %d, loaded %d", emitted.Len(), loaded.Len())
+	}
+	for _, sig := range loaded.Snapshot() {
+		if sig.Source != signature.SourceStatic {
+			t.Errorf("round-tripped signature %s lost provenance: Source=%q", sig.ID, sig.Source)
+		}
+		if !sig.Calib.On {
+			t.Errorf("round-tripped signature %s lost its calibration ladder", sig.ID)
+		}
+	}
+}

@@ -86,6 +86,48 @@ func isCondType(t types.Type) bool {
 	return ok && (name == "sync.Cond" || name == "dimmunix.Cond" || name == "core.Cond")
 }
 
+// isWaitGroupType reports whether t is (a pointer to) sync.WaitGroup.
+func isWaitGroupType(t types.Type) bool {
+	for {
+		t = types.Unalias(t)
+		if p, ok := t.(*types.Pointer); ok {
+			t = p.Elem()
+			continue
+		}
+		break
+	}
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj != nil && obj.Pkg() != nil && obj.Pkg().Path() == "sync" && obj.Name() == "WaitGroup"
+}
+
+// isChanType reports whether t is a channel type.
+func isChanType(t types.Type) bool {
+	_, ok := types.Unalias(t).Underlying().(*types.Chan)
+	return ok
+}
+
+// lockerInterface reports whether iface is a pure locker interface —
+// every method is in the lock vocabulary (sync.Locker = {Lock, Unlock},
+// read-locker variants, ...). Calls through such an interface are lock
+// operations on the receiver's identity, not dynamic dispatch to be
+// resolved: a sync.Locker field IS the lock.
+func lockerInterface(iface *types.Interface) bool {
+	if iface.NumMethods() == 0 {
+		return false
+	}
+	for i := 0; i < iface.NumMethods(); i++ {
+		name := iface.Method(i).Name()
+		if !acquireBlocking[name] && !acquireTry[name] && !releaseMethods[name] {
+			return false
+		}
+	}
+	return true
+}
+
 // lockKey is the abstract identity of one lock. Struct fields are
 // instance-abstracted ("every InversionLab.a is one node"), so the
 // instance hint disambiguates self-edges: transfer(src, dst) holding
@@ -96,21 +138,44 @@ type lockKey struct {
 	desc string // operator-facing name
 	inst string // instance hint within the enclosing function ("" = unknown)
 	pos  token.Pos
+	// widened marks a type-keyed fallback identity whose base object was
+	// refinable (a parameter that callers could bind to an allocation
+	// site) but had no binding in this instantiation. Widened self-edges
+	// are suppressed when refined contexts exist elsewhere in the graph.
+	widened bool
 }
 
 func (k lockKey) withInst(inst string) lockKey { k.inst = inst; return k }
 
-// symRef is a lock reference in a function summary: either concrete
-// (key) or symbolic (obj — a parameter or captured variable bound at
-// instantiation time through the env).
+// payloadRef names the lock(s) carried over a channel: "whatever was
+// sent on chanKey" (field selects one struct field of the payload).
+// The concrete lock keys are bound through the program-wide payload
+// table collected from the send sites.
+type payloadRef struct {
+	chanKey string
+	field   string
+}
+
+// symRef is a lock reference in a function summary: concrete (key),
+// symbolic (obj — a parameter or captured variable bound at
+// instantiation time through the env), a channel payload (bound
+// through the send-site table), or an allocation carrier (site — a
+// local holding a known allocation, passed to callees so their field
+// identities refine). key+obj together mean a refinable field: the
+// type-keyed key is the widening fallback, obj the base whose env
+// binding may carry an allocation-site context.
 type symRef struct {
-	key *lockKey
-	obj types.Object
+	key     *lockKey
+	obj     types.Object
+	payload *payloadRef
+	site    string
 }
 
 func concrete(k lockKey) symRef      { return symRef{key: &k} }
 func symbolic(o types.Object) symRef { return symRef{obj: o} }
-func (r symRef) valid() bool         { return r.key != nil || r.obj != nil }
+func (r symRef) valid() bool {
+	return r.key != nil || r.obj != nil || r.payload != nil || r.site != ""
+}
 
 // lockResolver resolves lock receiver expressions to symRefs inside one
 // function walk. It consults a per-function single-assignment alias map
@@ -119,29 +184,109 @@ type lockResolver struct {
 	pkg     *Package
 	aliases map[types.Object]symRef // locals aliasing locks (single assignment)
 	poison  map[types.Object]bool   // reassigned locals: unresolvable
+	// ctx enables one level of allocation-site context on field
+	// identities: with `a := &S{}`, a.mu becomes a distinct node from
+	// another allocation's S.mu (the type-keyed identity is the
+	// widening fallback when the base allocation is unknown).
+	ctx        bool
+	allocSites map[types.Object]string // locals holding a known allocation
+	recvChans  map[types.Object]string // locals received from a channel (key = chan identity)
 }
 
-func newLockResolver(pkg *Package) *lockResolver {
+func newLockResolver(pkg *Package, ctx bool) *lockResolver {
 	return &lockResolver{
-		pkg:     pkg,
-		aliases: map[types.Object]symRef{},
-		poison:  map[types.Object]bool{},
+		pkg:        pkg,
+		aliases:    map[types.Object]symRef{},
+		poison:     map[types.Object]bool{},
+		ctx:        ctx,
+		allocSites: map[types.Object]string{},
+		recvChans:  map[types.Object]string{},
+	}
+}
+
+// fresh reports whether obj can take a first (and only) binding;
+// re-binding poisons the local as unresolvable.
+func (lr *lockResolver) fresh(obj types.Object) bool {
+	if obj == nil {
+		return false
+	}
+	_, seenAlias := lr.aliases[obj]
+	_, seenAlloc := lr.allocSites[obj]
+	_, seenRecv := lr.recvChans[obj]
+	if seenAlias || seenAlloc || seenRecv || lr.poison[obj] {
+		lr.poison[obj] = true
+		delete(lr.aliases, obj)
+		delete(lr.allocSites, obj)
+		delete(lr.recvChans, obj)
+		return false
+	}
+	return true
+}
+
+// noteRecv records that obj holds a value received from the channel
+// identified by chKey (`for o := range ch`, select bindings).
+func (lr *lockResolver) noteRecv(obj types.Object, chKey string) {
+	if lr.fresh(obj) {
+		lr.recvChans[obj] = chKey
 	}
 }
 
 // note records `obj := rhs` for alias resolution.
 func (lr *lockResolver) note(obj types.Object, rhs ast.Expr) {
-	if obj == nil {
+	if !lr.fresh(obj) {
 		return
 	}
-	if _, seen := lr.aliases[obj]; seen || lr.poison[obj] {
-		lr.poison[obj] = true
-		delete(lr.aliases, obj)
+	rhs = ast.Unparen(rhs)
+	// `v := <-ch`: v is the payload of ch; its lock (fields) resolve
+	// through the send-site table.
+	if un, ok := rhs.(*ast.UnaryExpr); ok && un.Op == token.ARROW {
+		if ref, ok := lr.resolve(un.X); ok && ref.key != nil {
+			lr.recvChans[obj] = ref.key.key
+		}
 		return
 	}
 	if ref, ok := lr.resolve(rhs); ok {
 		lr.aliases[obj] = ref
+		return
 	}
+	if site, ok := lr.allocSite(rhs); ok {
+		lr.allocSites[obj] = site
+	}
+}
+
+// allocSite recognizes `&T{...}`, `T{...}`, and `new(T)` for struct
+// types: a known allocation whose identity can refine field locks.
+func (lr *lockResolver) allocSite(e ast.Expr) (string, bool) {
+	if !lr.ctx {
+		return "", false
+	}
+	e = ast.Unparen(e)
+	if un, ok := e.(*ast.UnaryExpr); ok && un.Op == token.AND {
+		e = ast.Unparen(un.X)
+	}
+	switch x := e.(type) {
+	case *ast.CompositeLit:
+		if _, isStruct := types.Unalias(lr.pkg.Info.Types[x].Type).Underlying().(*types.Struct); isStruct {
+			p := lr.pkg.Fset.Position(x.Pos())
+			return fmt.Sprintf("%s:%d:%d", shortFile(p.Filename), p.Line, p.Column), true
+		}
+	case *ast.CallExpr:
+		if isBuiltinCall(lr.pkg, x, "new") {
+			p := lr.pkg.Fset.Position(x.Pos())
+			return fmt.Sprintf("%s:%d:%d", shortFile(p.Filename), p.Line, p.Column), true
+		}
+	}
+	return "", false
+}
+
+// isBuiltinCall reports whether call invokes the named builtin.
+func isBuiltinCall(pkg *Package, call *ast.CallExpr, name string) bool {
+	id, ok := ast.Unparen(call.Fun).(*ast.Ident)
+	if !ok || id.Name != name {
+		return false
+	}
+	_, ok = pkg.Info.Uses[id].(*types.Builtin)
+	return ok
 }
 
 // resolve maps a lock-valued expression to its abstract identity.
@@ -165,6 +310,16 @@ func (lr *lockResolver) resolve(e ast.Expr) (symRef, bool) {
 		if ref, ok := lr.aliases[obj]; ok {
 			return ref, true
 		}
+		if ch, ok := lr.recvChans[obj]; ok {
+			// The whole payload is the lock: `m := <-ch; m.Lock()`.
+			return symRef{payload: &payloadRef{chanKey: ch}}, true
+		}
+		if site, ok := lr.allocSites[obj]; ok {
+			// Not itself a lock: an allocation carrier. Passing it to a
+			// callee binds the callee's parameter to this allocation site,
+			// refining the callee's field lock identities.
+			return symRef{obj: obj, site: site}, true
+		}
 		v, ok := obj.(*types.Var)
 		if !ok {
 			return symRef{}, false
@@ -182,8 +337,9 @@ func (lr *lockResolver) resolve(e ast.Expr) (symRef, bool) {
 		}
 		// Local or parameter: symbolic, bound through the env when this
 		// function is instantiated from a call site (parameters), or a
-		// storage-local lock value (`var mu sync.Mutex`).
-		if _, isLock := isLockType(v.Type()); isLock {
+		// storage-local lock/WaitGroup value (`var mu sync.Mutex`).
+		_, isLock := isLockType(v.Type())
+		if isLock || isWaitGroupType(v.Type()) {
 			if _, ptr := v.Type().(*types.Pointer); !ptr {
 				// The local IS the storage: a distinct lock per activation,
 				// identified by its declaration.
@@ -198,9 +354,18 @@ func (lr *lockResolver) resolve(e ast.Expr) (symRef, bool) {
 		}
 		return symbolic(v), true
 	case *ast.SelectorExpr:
+		// Field of a channel payload: `o := <-ch; o.outer.Lock()` —
+		// the field identity routes through the send-site table.
+		if base := baseIdentObj(lr.pkg, x.X); base != nil {
+			if ch, ok := lr.recvChans[base]; ok {
+				return symRef{payload: &payloadRef{chanKey: ch, field: x.Sel.Name}}, true
+			}
+		}
 		// Field chain: identify by the declaring struct type + field name,
 		// abstracting over instances. The instance hint is the textual
-		// base expression, scoped to this function.
+		// base expression, scoped to this function; when the base is a
+		// known allocation and ctx is on, the allocation site joins the
+		// identity itself, splitting per-instance nodes.
 		if sel, ok := lr.pkg.Info.Selections[x]; ok && sel.Kind() == types.FieldVal {
 			f := sel.Obj().(*types.Var)
 			ownerKey, ownerDesc := "?", "?"
@@ -213,12 +378,28 @@ func (lr *lockResolver) resolve(e ast.Expr) (symRef, bool) {
 					ownerKey, ownerDesc = obj.Name(), obj.Name()
 				}
 			}
-			return concrete(lockKey{
+			k := lockKey{
 				key:  "field " + ownerKey + "." + f.Name(),
 				desc: ownerDesc + "." + f.Name(),
 				inst: exprString(x.X),
 				pos:  x.Sel.Pos(),
-			}), true
+			}
+			if base := baseIdentObj(lr.pkg, x.X); base != nil {
+				if site, ok := lr.allocSites[base]; lr.ctx && ok {
+					// Known allocation in this function: refine directly.
+					k.key += "@" + site
+					k.desc += "@" + site
+					return concrete(k), true
+				}
+				if v, isVar := base.(*types.Var); isVar && !v.IsField() &&
+					!(v.Pkg() != nil && v.Parent() == v.Pkg().Scope()) {
+					// Base is a parameter or local a caller may bind to an
+					// allocation site: refinable, with k as the type-keyed
+					// widening fallback.
+					return symRef{key: &k, obj: base}, true
+				}
+			}
+			return concrete(k), true
 		}
 		// Package-qualified var: pkg.Mu
 		if obj := lr.pkg.Info.Uses[x.Sel]; obj != nil {
@@ -240,6 +421,16 @@ func (lr *lockResolver) resolve(e ast.Expr) (symRef, bool) {
 			return concrete(k), true
 		}
 	case *ast.CallExpr:
+		// make(chan T, n): the channel's identity is its allocation site,
+		// stable program-wide for the wait-for graph.
+		if isBuiltinCall(lr.pkg, x, "make") && isChanType(lr.pkg.Info.Types[e].Type) {
+			p := lr.pkg.Fset.Position(e.Pos())
+			return concrete(lockKey{
+				key:  fmt.Sprintf("chan@%s:%d:%d", shortFile(p.Filename), p.Line, p.Column),
+				desc: fmt.Sprintf("chan@%s:%d:%d", shortFile(p.Filename), p.Line, p.Column),
+				pos:  e.Pos(),
+			}), true
+		}
 		// A call returning a lock pointer is an allocation site
 		// (rt.NewMutex(), NewThing().mu chains are handled above).
 		if _, ok := isLockType(lr.pkg.Info.Types[e].Type); ok {
@@ -261,6 +452,31 @@ func (lr *lockResolver) resolve(e ast.Expr) (symRef, bool) {
 		}
 	}
 	return symRef{}, false
+}
+
+// baseIdentObj returns the object of the base identifier of e
+// (unwrapping parens, derefs, and address-of), or nil when the base is
+// not a simple identifier.
+func baseIdentObj(pkg *Package, e ast.Expr) types.Object {
+	for {
+		e = ast.Unparen(e)
+		switch x := e.(type) {
+		case *ast.UnaryExpr:
+			if x.Op != token.AND {
+				return nil
+			}
+			e = x.X
+		case *ast.StarExpr:
+			e = x.X
+		case *ast.Ident:
+			if obj := pkg.Info.Uses[x]; obj != nil {
+				return obj
+			}
+			return pkg.Info.Defs[x]
+		default:
+			return nil
+		}
+	}
 }
 
 // namedOwner walks to the named struct type that declares a field.
@@ -316,6 +532,16 @@ func classifyLockCall(pkg *Package, call *ast.CallExpr) (method string, recv ast
 	}
 	s, found := pkg.Info.Selections[sel]
 	if !found || s.Kind() != types.MethodVal {
+		return "", nil, false
+	}
+	// Calls through a pure locker interface (sync.Locker and friends)
+	// are lock operations on the receiver identity itself — the field
+	// holding the Locker IS the lock node.
+	if iface, isIface := types.Unalias(s.Recv()).Underlying().(*types.Interface); isIface {
+		name := s.Obj().Name()
+		if lockerInterface(iface) && (acquireBlocking[name] || acquireTry[name] || releaseMethods[name]) {
+			return name, sel.X, true
+		}
 		return "", nil, false
 	}
 	if _, isLock := isLockType(s.Recv()); !isLock {

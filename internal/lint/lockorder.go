@@ -13,14 +13,18 @@ import (
 // whose nodes are lock identities (allocation sites, fields, globals)
 // and whose edges mean "acquires B while provably holding A", computed
 // by an intraprocedural held-set dataflow plus a bounded call-graph
-// closure. Every cycle is a lock-order inversion candidate; candidates
-// that fail the predict-style soundness guards (same-goroutine-only
-// reachability, common dominating lock) are suppressed.
+// closure. Interface method calls fan out through a class-hierarchy
+// call graph, locks carried over channels resolve through a send-site
+// payload table, and RWMutex read/write modes refine cycle feasibility
+// (a reader waiting on a reader never blocks). Every cycle is a
+// lock-order inversion candidate; candidates that fail the
+// predict-style soundness guards (same-goroutine-only reachability,
+// common dominating lock, reader-reader compatibility) are suppressed.
 var LockOrder = &Analyzer{
 	Name: "lockorder",
 	Doc:  "report lock-order inversions (potential deadlocks) across the whole program",
 	RunProgram: func(pp *ProgramPass) error {
-		res := AnalyzeLockOrder(&Program{Fset: pp.Fset, Packages: pp.Packages}, LockOrderOptions{})
+		res := AnalyzeLockOrder(&Program{Fset: pp.Fset, Packages: pp.Packages}, DefaultLockOrderOptions)
 		for _, c := range res.Cycles {
 			pp.Report(c.Diagnostic())
 		}
@@ -28,11 +32,20 @@ var LockOrder = &Analyzer{
 	},
 }
 
+// DefaultLockOrderOptions are the options the registered LockOrder and
+// ChanCycle analyzers run with (the multichecker's -call-depth / -ctx
+// flags land here; the zero value means all defaults).
+var DefaultLockOrderOptions LockOrderOptions
+
 // LockOrderOptions bound the closure.
 type LockOrderOptions struct {
 	MaxCallDepth int // call-graph closure depth (default 3)
 	MaxCycleLen  int // longest reported cycle (default 3)
 	MaxOccs      int // occurrences kept per edge (default 8)
+	// NoCtx disables the one-level allocation-site context on field
+	// identities (the -ctx=0 escape hatch): all instances of a struct
+	// type merge back into one abstract node.
+	NoCtx bool
 }
 
 func (o *LockOrderOptions) defaults() {
@@ -74,16 +87,30 @@ type CycleEdge struct {
 type ConfirmedCycle struct {
 	Locks []string
 	Edges []CycleEdge
+	// AltRoots lists alternate entry chains (other roots whose
+	// occurrences also realize this cycle), deduplicated and capped;
+	// the same inversion reached from several entries is one report.
+	AltRoots []string
+	// witnessRoots are the roots of the combination that confirmed the
+	// cycle (used to keep AltRoots disjoint from the witness).
+	witnessRoots map[string]bool
 }
 
 // LockOrderResult is the whole-program outcome.
 type LockOrderResult struct {
 	Cycles []ConfirmedCycle
 	// Candidates counts raw cycles before guard suppression;
-	// SuppressedGuard / SuppressedSeq count the casualties.
+	// SuppressedGuard / SuppressedSeq / SuppressedRW count the
+	// casualties per guard (RW = every combination had a reader waiting
+	// only on readers somewhere along the cycle).
 	Candidates      int
 	SuppressedGuard int
 	SuppressedSeq   int
+	SuppressedRW    int
+	// SuppressedCtx counts widened self-loops dropped because every real
+	// call path bound allocation-site contexts and none of the refined
+	// instances produced the self-edge (two-instance disjoint locks).
+	SuppressedCtx int
 }
 
 // Diagnostic renders the cycle as a finding anchored at the first
@@ -94,6 +121,9 @@ func (c *ConfirmedCycle) Diagnostic() Diagnostic {
 	for _, e := range c.Edges {
 		fmt.Fprintf(&b, "; acquires %s at %s while holding %s (since %s)",
 			e.To, frameSiteString(e.AcqStack), e.From, frameSiteString(e.HoldStack))
+	}
+	if len(c.AltRoots) > 0 {
+		fmt.Fprintf(&b, "; also reachable via %s", strings.Join(c.AltRoots, ", "))
 	}
 	d := Diagnostic{Pos: c.Edges[0].acqPos, Message: b.String()}
 	for _, e := range c.Edges {
@@ -133,6 +163,10 @@ const (
 	loAcq = iota
 	loRel
 	loCall
+	loSend
+	loRecv
+	loWgWait
+	loWgDone
 )
 
 type loBind struct {
@@ -144,15 +178,19 @@ type loBind struct {
 
 type loEvent struct {
 	kind      int
-	lock      symRef // acq/rel
+	lock      symRef // acq/rel lock, or chan/waitgroup identity
 	read      bool
 	try       bool
 	isDefer   bool
+	nonBlock  bool // chan op inside select-with-default: cannot block
 	pos       token.Pos
 	calleeKey string // call (static resolution)
 	calleeSym types.Object
-	binds     []loBind
-	isGo      bool
+	// ifaceMethod marks a dynamic dispatch: resolved through the
+	// class-hierarchy index at instantiation time.
+	ifaceMethod *types.Func
+	binds       []loBind
+	isGo        bool
 }
 
 type funcSummary struct {
@@ -192,10 +230,15 @@ func funcSuffix(fn *types.Func) string {
 type summarizer struct {
 	pkg       *Package
 	summaries map[string]*funcSummary
+	ctx       bool
+	// payloads is the program-wide send-site table: which concrete lock
+	// identities travel over which channel (optionally per struct
+	// field). Receive-side acquisitions bind through it.
+	payloads map[payloadRef][]lockKey
 }
 
-func summarizePackage(pkg *Package, out map[string]*funcSummary) {
-	s := &summarizer{pkg: pkg, summaries: out}
+func summarizePackage(pkg *Package, out map[string]*funcSummary, ctx bool, payloads map[payloadRef][]lockKey) {
+	s := &summarizer{pkg: pkg, summaries: out, ctx: ctx, payloads: payloads}
 	for _, f := range pkg.Files {
 		for _, decl := range f.Decls {
 			fd, ok := decl.(*ast.FuncDecl)
@@ -234,19 +277,22 @@ func (s *summarizer) summarize(key, rtName string, ftype *ast.FuncType, body *as
 		}
 	}
 	s.summaries[key] = sum
-	w := &loWalker{s: s, sum: sum, res: newLockResolver(s.pkg), lits: litCounter,
-		fnAliases: map[types.Object]string{}, litKeys: map[*ast.FuncLit]string{}}
+	w := &loWalker{s: s, sum: sum, res: newLockResolver(s.pkg, s.ctx), lits: litCounter,
+		fnAliases: map[types.Object]string{}, ifaceAliases: map[types.Object]*types.Func{},
+		litKeys: map[*ast.FuncLit]string{}}
 	w.stmt(body)
 	return sum
 }
 
 type loWalker struct {
-	s         *summarizer
-	sum       *funcSummary
-	res       *lockResolver
-	lits      *int
-	fnAliases map[types.Object]string
-	litKeys   map[*ast.FuncLit]string // memo: a literal is summarized once
+	s            *summarizer
+	sum          *funcSummary
+	res          *lockResolver
+	lits         *int
+	fnAliases    map[types.Object]string
+	ifaceAliases map[types.Object]*types.Func
+	litKeys      map[*ast.FuncLit]string // memo: a literal is summarized once
+	selNB        int                     // >0 inside a select that has a default clause
 }
 
 func (w *loWalker) stmt(st ast.Stmt) {
@@ -319,6 +365,19 @@ func (w *loWalker) stmt(st ast.Stmt) {
 		w.stmt(x.Post)
 	case *ast.RangeStmt:
 		w.expr(x.X, false, false)
+		if tv, ok := w.s.pkg.Info.Types[x.X]; ok && tv.Type != nil && isChanType(tv.Type) {
+			if ref, ok := w.res.resolve(x.X); ok {
+				w.sum.events = append(w.sum.events, loEvent{
+					kind: loRecv, lock: ref, pos: x.Pos(), nonBlock: w.selNB > 0})
+				if ref.key != nil {
+					if id, ok := x.Key.(*ast.Ident); ok {
+						if obj := w.s.pkg.Info.Defs[id]; obj != nil {
+							w.res.noteRecv(obj, ref.key.key)
+						}
+					}
+				}
+			}
+		}
 		w.stmt(x.Body)
 	case *ast.SwitchStmt:
 		w.stmt(x.Init)
@@ -341,9 +400,27 @@ func (w *loWalker) stmt(st ast.Stmt) {
 			}
 		}
 	case *ast.SelectStmt:
+		hasDefault := false
+		for _, c := range x.Body.List {
+			if cc, ok := c.(*ast.CommClause); ok && cc.Comm == nil {
+				hasDefault = true
+			}
+		}
+		// The comm ops of a select with a default clause cannot block;
+		// case bodies run after some case fired and block normally.
+		if hasDefault {
+			w.selNB++
+		}
 		for _, c := range x.Body.List {
 			if cc, ok := c.(*ast.CommClause); ok {
 				w.stmt(cc.Comm)
+			}
+		}
+		if hasDefault {
+			w.selNB--
+		}
+		for _, c := range x.Body.List {
+			if cc, ok := c.(*ast.CommClause); ok {
 				for _, s := range cc.Body {
 					w.stmt(s)
 				}
@@ -354,9 +431,66 @@ func (w *loWalker) stmt(st ast.Stmt) {
 	case *ast.SendStmt:
 		w.expr(x.Chan, false, false)
 		w.expr(x.Value, false, false)
+		w.send(x)
 	case *ast.IncDecStmt:
 		w.expr(x.X, false, false)
 	}
+}
+
+// send records the blocking send event and harvests the payload table:
+// lock-typed values (directly or as composite-literal fields) sent on a
+// resolvable channel become recv-side bindable identities.
+func (w *loWalker) send(x *ast.SendStmt) {
+	ref, ok := w.res.resolve(x.Chan)
+	if !ok {
+		return
+	}
+	if ref.key != nil {
+		w.notePayload(ref.key.key, x.Value)
+	}
+	w.sum.events = append(w.sum.events, loEvent{
+		kind: loSend, lock: ref, pos: x.Pos(), nonBlock: w.selNB > 0})
+}
+
+func (w *loWalker) notePayload(chKey string, val ast.Expr) {
+	val = ast.Unparen(val)
+	if un, ok := val.(*ast.UnaryExpr); ok && un.Op == token.AND {
+		val = ast.Unparen(un.X)
+	}
+	if lit, ok := val.(*ast.CompositeLit); ok {
+		for _, elt := range lit.Elts {
+			kv, ok := elt.(*ast.KeyValueExpr)
+			if !ok {
+				continue
+			}
+			field, ok := kv.Key.(*ast.Ident)
+			if !ok {
+				continue
+			}
+			if _, isLock := isLockType(w.s.pkg.Info.Types[kv.Value].Type); !isLock {
+				continue
+			}
+			if ref, ok := w.res.resolve(kv.Value); ok && ref.key != nil {
+				w.addPayload(payloadRef{chanKey: chKey, field: field.Name}, *ref.key)
+			}
+		}
+		return
+	}
+	if _, isLock := isLockType(w.s.pkg.Info.Types[val].Type); !isLock {
+		return
+	}
+	if ref, ok := w.res.resolve(val); ok && ref.key != nil {
+		w.addPayload(payloadRef{chanKey: chKey}, *ref.key)
+	}
+}
+
+func (w *loWalker) addPayload(pr payloadRef, k lockKey) {
+	for _, e := range w.s.payloads[pr] {
+		if e.key == k.key {
+			return
+		}
+	}
+	w.s.payloads[pr] = append(w.s.payloads[pr], k)
 }
 
 func (w *loWalker) noteAssign(obj types.Object, rhs ast.Expr) {
@@ -371,6 +505,19 @@ func (w *loWalker) noteAssign(obj types.Object, rhs ast.Expr) {
 	if id, ok := rhs.(*ast.Ident); ok {
 		if fn, ok := w.s.pkg.Info.Uses[id].(*types.Func); ok {
 			w.fnAliases[obj] = funcKeyOf(fn)
+			return
+		}
+	}
+	// Method values: `f := s.Flush` binds the concrete method,
+	// `f := store.Get` through an interface defers to CHA dispatch.
+	if sel, ok := rhs.(*ast.SelectorExpr); ok {
+		if s, ok := w.s.pkg.Info.Selections[sel]; ok && s.Kind() == types.MethodVal {
+			m := s.Obj().(*types.Func)
+			if _, isIface := types.Unalias(s.Recv()).Underlying().(*types.Interface); isIface {
+				w.ifaceAliases[obj] = m
+			} else {
+				w.fnAliases[obj] = funcKeyOf(m)
+			}
 			return
 		}
 	}
@@ -402,6 +549,15 @@ func (w *loWalker) expr(e ast.Expr, isGo, isDefer bool) {
 		case *ast.FuncLit:
 			w.litKey(x)
 			return false
+		case *ast.UnaryExpr:
+			if x.Op == token.ARROW {
+				w.expr(x.X, false, false)
+				if ref, ok := w.res.resolve(x.X); ok {
+					w.sum.events = append(w.sum.events, loEvent{
+						kind: loRecv, lock: ref, pos: x.Pos(), nonBlock: w.selNB > 0})
+				}
+				return false
+			}
 		case *ast.CallExpr:
 			// Walk arguments first (evaluation order), then classify the
 			// call itself; Inspect would also descend into Fun/Args, so cut
@@ -419,7 +575,8 @@ func (w *loWalker) expr(e ast.Expr, isGo, isDefer bool) {
 	})
 }
 
-// call classifies one call expression: lock operation, or call event.
+// call classifies one call expression: lock operation, WaitGroup
+// synchronization, or call event.
 func (w *loWalker) call(call *ast.CallExpr, isGo, isDefer bool) {
 	pkg := w.s.pkg
 	if method, recv, ok := classifyLockCall(pkg, call); ok {
@@ -444,6 +601,22 @@ func (w *loWalker) call(call *ast.CallExpr, isGo, isDefer bool) {
 		}
 		return
 	}
+	if sel, ok := call.Fun.(*ast.SelectorExpr); ok {
+		if s, ok := pkg.Info.Selections[sel]; ok && s.Kind() == types.MethodVal && isWaitGroupType(s.Recv()) {
+			name := s.Obj().Name()
+			if name == "Wait" || name == "Done" {
+				if ref, resolved := w.res.resolve(sel.X); resolved {
+					kind := loWgWait
+					if name == "Done" {
+						kind = loWgDone
+					}
+					w.sum.events = append(w.sum.events, loEvent{
+						kind: kind, lock: ref, pos: call.Pos(), nonBlock: w.selNB > 0, isDefer: isDefer})
+				}
+			}
+			return
+		}
+	}
 
 	ev := loEvent{kind: loCall, pos: call.Pos(), isGo: isGo, isDefer: isDefer}
 	switch fun := ast.Unparen(call.Fun).(type) {
@@ -454,6 +627,8 @@ func (w *loWalker) call(call *ast.CallExpr, isGo, isDefer bool) {
 		case *types.Var:
 			if key, ok := w.fnAliases[obj]; ok {
 				ev.calleeKey = key
+			} else if m, ok := w.ifaceAliases[obj]; ok {
+				ev.ifaceMethod = m
 			} else {
 				ev.calleeSym = obj
 			}
@@ -462,7 +637,14 @@ func (w *loWalker) call(call *ast.CallExpr, isGo, isDefer bool) {
 		}
 	case *ast.SelectorExpr:
 		if s, ok := pkg.Info.Selections[fun]; ok && s.Kind() == types.MethodVal {
-			ev.calleeKey = funcKeyOf(s.Obj().(*types.Func))
+			m := s.Obj().(*types.Func)
+			if _, isIface := types.Unalias(s.Recv()).Underlying().(*types.Interface); isIface {
+				// Dynamic dispatch: expanded through the class-hierarchy
+				// index when the program is instantiated.
+				ev.ifaceMethod = m
+			} else {
+				ev.calleeKey = funcKeyOf(m)
+			}
 		} else if fn, ok := pkg.Info.Uses[fun.Sel].(*types.Func); ok {
 			ev.calleeKey = funcKeyOf(fn)
 		} else {
@@ -529,6 +711,11 @@ type occurrence struct {
 	root     string // "go:<pos>", or "fn:<key>"
 	fromInst string
 	toInst   string
+	holdRead bool // the held lock is in read mode
+	acqRead  bool // the acquisition is in read mode
+	// widened: both endpoints are type-keyed fallbacks of refinable
+	// field references whose base had no allocation context here.
+	widened bool
 }
 
 type loEdge struct {
@@ -537,14 +724,28 @@ type loEdge struct {
 }
 
 type envVal struct {
-	lock *lockKey
-	fn   string
+	locks []lockKey
+	fn    string
+	// site is an allocation-site context for a struct parameter: field
+	// identities resolved against this binding refine to per-instance
+	// nodes instead of the type-keyed fallback.
+	site string
 }
+
+// maxPayloadFanout caps how many distinct send-site identities one
+// payload reference expands to; larger sets widen to the first few
+// (deterministic: insertion order per send-site walk order).
+const maxPayloadFanout = 4
+
+// maxChanOps bounds the wait-for op log across all entries.
+const maxChanOps = 4096
 
 type loState struct {
 	opts      LockOrderOptions
 	fset      *token.FileSet
 	summaries map[string]*funcSummary
+	cha       *chaIndex
+	payloads  map[payloadRef][]lockKey
 	edges     map[[2]string]*loEdge
 	// The reachability graph for the sequential-only guard; edges
 	// discovered both statically and through env-resolved instantiation
@@ -552,24 +753,46 @@ type loState struct {
 	seqEdges  map[string][]string
 	goTargets map[string]bool
 	hasCaller map[string]bool
+	seqOnly   map[string]bool
+	// chanOps collects blocking channel / WaitGroup operations with
+	// their held-set and acquisition-log contexts for chancycle.
+	chanOps []chanOp
+	opSeen  map[string]bool
 }
 
-// AnalyzeLockOrder runs the whole-program analysis and returns the
-// confirmed cycles with their call chains — the cmd/dimmunix-vet -emit
-// path consumes the same result the analyzer reports from.
-func AnalyzeLockOrder(prog *Program, opts LockOrderOptions) *LockOrderResult {
+// chanOp is one channel/WaitGroup operation observed during
+// instantiation, with enough context to build the wait-for graph: held
+// is the lock set at the op (what the blocked goroutine pins), before
+// is the acquisition log of the whole flow (what must be acquired to
+// reach — and therefore to unblock — the counterpart).
+type chanOp struct {
+	kind     int // loSend, loRecv, loWgWait, loWgDone
+	ch       lockKey
+	held     []heldLock
+	before   []heldLock
+	site     siteChain
+	root     string
+	nonBlock bool
+}
+
+// buildLoState summarizes and instantiates the whole program once;
+// AnalyzeLockOrder and AnalyzeChanCycle share the result.
+func buildLoState(prog *Program, opts LockOrderOptions) *loState {
 	opts.defaults()
 	st := &loState{
 		opts:      opts,
 		fset:      prog.Fset,
 		summaries: map[string]*funcSummary{},
+		cha:       newCHAIndex(prog),
+		payloads:  map[payloadRef][]lockKey{},
 		edges:     map[[2]string]*loEdge{},
 		seqEdges:  map[string][]string{},
 		goTargets: map[string]bool{},
 		hasCaller: map[string]bool{},
+		opSeen:    map[string]bool{},
 	}
 	for _, pkg := range prog.Packages {
-		summarizePackage(pkg, st.summaries)
+		summarizePackage(pkg, st.summaries, !opts.NoCtx, st.payloads)
 	}
 	keys := make([]string, 0, len(st.summaries))
 	for k := range st.summaries {
@@ -583,17 +806,26 @@ func AnalyzeLockOrder(prog *Program, opts LockOrderOptions) *LockOrderResult {
 	for _, k := range keys {
 		sum := st.summaries[k]
 		held := []heldLock{}
-		st.instantiate(sum, map[types.Object]envVal{}, &held, nil, "fn:"+k, 0, map[string]bool{k: true})
+		before := []heldLock{}
+		st.instantiate(sum, map[types.Object]envVal{}, &held, &before, nil, "fn:"+k, 0, map[string]bool{k: true})
 	}
-	seqOnly := st.sequentialOnly()
-	return st.collectCycles(seqOnly)
+	st.seqOnly = st.sequentialOnly()
+	return st
 }
 
-func (st *loState) instantiate(sum *funcSummary, env map[types.Object]envVal, held *[]heldLock, stack siteChain, root string, depth int, path map[string]bool) {
+// AnalyzeLockOrder runs the whole-program analysis and returns the
+// confirmed cycles with their call chains — the cmd/dimmunix-vet -emit
+// path consumes the same result the analyzer reports from.
+func AnalyzeLockOrder(prog *Program, opts LockOrderOptions) *LockOrderResult {
+	st := buildLoState(prog, opts)
+	return st.collectCycles(st.seqOnly)
+}
+
+func (st *loState) instantiate(sum *funcSummary, env map[types.Object]envVal, held, before *[]heldLock, stack siteChain, root string, depth int, path map[string]bool) {
 	var deferred []func()
 	for i := range sum.events {
 		ev := &sum.events[i]
-		run := func(ev *loEvent) { st.event(sum, ev, env, held, stack, root, depth, path) }
+		run := func(ev *loEvent) { st.event(sum, ev, env, held, before, stack, root, depth, path) }
 		if ev.isDefer {
 			ev := ev
 			deferred = append(deferred, func() { run(ev) })
@@ -608,101 +840,176 @@ func (st *loState) instantiate(sum *funcSummary, env map[types.Object]envVal, he
 	}
 }
 
-func (st *loState) event(sum *funcSummary, ev *loEvent, env map[types.Object]envVal, held *[]heldLock, stack siteChain, root string, depth int, path map[string]bool) {
+func (st *loState) event(sum *funcSummary, ev *loEvent, env map[types.Object]envVal, held, before *[]heldLock, stack siteChain, root string, depth int, path map[string]bool) {
 	switch ev.kind {
 	case loAcq:
-		k, ok := resolveRef(ev.lock, env)
-		if !ok {
+		ks := st.resolveRefs(ev.lock, env)
+		if len(ks) == 0 {
 			return
 		}
 		site := append(siteChain{frameSite{fn: sum, pos: ev.pos}}, stack...)
 		if !ev.try {
-			for _, h := range *held {
-				st.addEdge(h, k, ev.read, site, *held, root)
+			for _, k := range ks {
+				for _, h := range *held {
+					st.addEdge(h, k, ev.read, site, *held, root)
+				}
 			}
 		}
-		*held = append(*held, heldLock{key: k, read: ev.read, site: site})
+		for _, k := range ks {
+			hl := heldLock{key: k, read: ev.read, site: site}
+			*held = append(*held, hl)
+			*before = append(*before, hl)
+		}
 	case loRel:
-		k, ok := resolveRef(ev.lock, env)
-		if !ok {
+		for _, k := range st.resolveRefs(ev.lock, env) {
+			for i := len(*held) - 1; i >= 0; i-- {
+				if (*held)[i].key.key == k.key && (*held)[i].read == ev.read {
+					*held = append((*held)[:i], (*held)[i+1:]...)
+					break
+				}
+			}
+		}
+	case loSend, loRecv, loWgWait, loWgDone:
+		ks := st.resolveRefs(ev.lock, env)
+		if len(ks) == 0 {
 			return
 		}
-		for i := len(*held) - 1; i >= 0; i-- {
-			if (*held)[i].key.key == k.key && (*held)[i].read == ev.read {
-				*held = append((*held)[:i], (*held)[i+1:]...)
+		site := append(siteChain{frameSite{fn: sum, pos: ev.pos}}, stack...)
+		for _, k := range ks {
+			if len(st.chanOps) >= maxChanOps {
 				return
 			}
-		}
-	case loCall:
-		calleeKey := ev.calleeKey
-		if calleeKey == "" && ev.calleeSym != nil {
-			calleeKey = env[ev.calleeSym].fn
-		}
-		if calleeKey == "" {
-			return
-		}
-		// Feed the reachability graph even past the depth bound: the
-		// sequential-only guard needs the full picture.
-		if ev.isGo {
-			st.goTargets[calleeKey] = true
-		} else {
-			st.seqEdges[sum.key] = append(st.seqEdges[sum.key], calleeKey)
-		}
-		st.hasCaller[calleeKey] = true
-		callee := st.summaries[calleeKey]
-		if callee == nil || depth >= st.opts.MaxCallDepth || path[calleeKey] {
-			return
-		}
-		env2 := make(map[types.Object]envVal, len(env)+len(ev.binds))
-		for k, v := range env {
-			env2[k] = v
-		}
-		for _, b := range ev.binds {
-			if b.idx >= len(callee.params) || callee.params[b.idx] == nil {
+			// Dedup identical contexts: the same op is replayed once per
+			// entry that reaches it; only distinct (root, held, before)
+			// contexts add information.
+			sig := fmt.Sprintf("%d|%s|%s|%d|%s|%s", ev.kind, k.key, root, ev.pos, heldKeys(*held), heldKeys(*before))
+			if st.opSeen[sig] {
 				continue
 			}
-			switch {
-			case b.fnKey != "":
-				env2[callee.params[b.idx]] = envVal{fn: b.fnKey}
-			case b.fnSym != nil:
-				if v, ok := env[b.fnSym]; ok {
-					env2[callee.params[b.idx]] = v
-				}
-			case b.lock.valid():
-				if k, ok := resolveRef(b.lock, env); ok {
-					env2[callee.params[b.idx]] = envVal{lock: &k}
-				}
+			st.opSeen[sig] = true
+			st.chanOps = append(st.chanOps, chanOp{
+				kind:     ev.kind,
+				ch:       k,
+				held:     append([]heldLock(nil), *held...),
+				before:   append([]heldLock(nil), *before...),
+				site:     site,
+				root:     root,
+				nonBlock: ev.nonBlock,
+			})
+		}
+	case loCall:
+		var calleeKeys []string
+		switch {
+		case ev.ifaceMethod != nil:
+			calleeKeys = st.cha.targets(ev.ifaceMethod)
+		case ev.calleeKey != "":
+			calleeKeys = []string{ev.calleeKey}
+		case ev.calleeSym != nil:
+			if fnk := env[ev.calleeSym].fn; fnk != "" {
+				calleeKeys = []string{fnk}
 			}
 		}
-		path[calleeKey] = true
-		if ev.isGo {
-			// A spawned goroutine starts with an empty stack and holds
-			// nothing from its spawner.
-			fresh := []heldLock{}
-			st.instantiate(callee, env2, &fresh, nil, "go:"+st.fset.Position(ev.pos).String(), depth+1, path)
-		} else {
-			st.instantiate(callee, env2, held, append(siteChain{frameSite{fn: sum, pos: ev.pos}}, stack...), root, depth+1, path)
+		for _, calleeKey := range calleeKeys {
+			// Feed the reachability graph even past the depth bound: the
+			// sequential-only guard needs the full picture.
+			if ev.isGo {
+				st.goTargets[calleeKey] = true
+			} else {
+				st.seqEdges[sum.key] = append(st.seqEdges[sum.key], calleeKey)
+			}
+			st.hasCaller[calleeKey] = true
+			callee := st.summaries[calleeKey]
+			if callee == nil || depth >= st.opts.MaxCallDepth || path[calleeKey] {
+				continue
+			}
+			env2 := make(map[types.Object]envVal, len(env)+len(ev.binds))
+			for k, v := range env {
+				env2[k] = v
+			}
+			for _, b := range ev.binds {
+				if b.idx >= len(callee.params) || callee.params[b.idx] == nil {
+					continue
+				}
+				switch {
+				case b.fnKey != "":
+					env2[callee.params[b.idx]] = envVal{fn: b.fnKey}
+				case b.fnSym != nil:
+					if v, ok := env[b.fnSym]; ok {
+						env2[callee.params[b.idx]] = v
+					}
+				case b.lock.valid():
+					if ks := st.resolveRefs(b.lock, env); len(ks) > 0 {
+						env2[callee.params[b.idx]] = envVal{locks: ks}
+					} else if b.lock.site != "" {
+						// Allocation carrier: the callee's field identities
+						// refine against this site.
+						env2[callee.params[b.idx]] = envVal{site: b.lock.site}
+					} else if b.lock.obj != nil && b.lock.key == nil {
+						// Carrier passed through another call level.
+						if v, ok := env[b.lock.obj]; ok && v.site != "" {
+							env2[callee.params[b.idx]] = envVal{site: v.site}
+						}
+					}
+				}
+			}
+			path[calleeKey] = true
+			if ev.isGo {
+				// A spawned goroutine starts with an empty stack and holds
+				// nothing from its spawner; its acquisition log is its own.
+				fresh := []heldLock{}
+				freshBefore := []heldLock{}
+				st.instantiate(callee, env2, &fresh, &freshBefore, nil, "go:"+st.fset.Position(ev.pos).String(), depth+1, path)
+			} else {
+				st.instantiate(callee, env2, held, before, append(siteChain{frameSite{fn: sum, pos: ev.pos}}, stack...), root, depth+1, path)
+			}
+			delete(path, calleeKey)
 		}
-		delete(path, calleeKey)
 	}
 }
 
-func resolveRef(r symRef, env map[types.Object]envVal) (lockKey, bool) {
-	if r.key != nil {
-		return *r.key, true
+func heldKeys(hs []heldLock) string {
+	var b strings.Builder
+	for _, h := range hs {
+		b.WriteString(h.key.key)
+		b.WriteByte(',')
 	}
-	if r.obj != nil {
-		if v, ok := env[r.obj]; ok && v.lock != nil {
-			return *v.lock, true
+	return b.String()
+}
+
+// resolveRefs maps a summary-level lock reference to its concrete
+// identities: one for direct/env-bound locks, possibly several for a
+// channel payload (every lock observed at any send site). Refinable
+// field references (key+obj) pick up the base object's allocation-site
+// context from the env; without one they widen to the type-keyed
+// fallback and are marked as such.
+func (st *loState) resolveRefs(r symRef, env map[types.Object]envVal) []lockKey {
+	switch {
+	case r.key != nil:
+		k := *r.key
+		if r.obj != nil {
+			if v, ok := env[r.obj]; ok && v.site != "" {
+				k.key += "@" + v.site
+				k.desc += "@" + v.site
+			} else {
+				k.widened = true
+			}
 		}
+		return []lockKey{k}
+	case r.obj != nil:
+		if v, ok := env[r.obj]; ok {
+			return v.locks
+		}
+	case r.payload != nil:
+		ks := st.payloads[*r.payload]
+		if len(ks) > maxPayloadFanout {
+			ks = ks[:maxPayloadFanout]
+		}
+		return ks
 	}
-	return lockKey{}, false
+	return nil
 }
 
 func (st *loState) addEdge(h heldLock, to lockKey, read bool, acqSite siteChain, held []heldLock, root string) {
-	if h.read && read {
-		return // reader-reader pairs cannot form a blocking cycle
-	}
 	if h.key.key == to.key {
 		// Self-edge: only meaningful when the instances provably differ
 		// (transfer(src, dst) on two Accounts); same or unknown instance
@@ -729,6 +1036,8 @@ func (st *loState) addEdge(h heldLock, to lockKey, read bool, acqSite siteChain,
 	e.occs = append(e.occs, occurrence{
 		holdSite: h.site, acqSite: acqSite, guards: guards, root: root,
 		fromInst: h.key.inst, toInst: to.inst,
+		holdRead: h.read, acqRead: read,
+		widened: h.key.widened && to.widened,
 	})
 }
 
@@ -784,6 +1093,30 @@ func (st *loState) sequentialOnly() map[string]bool {
 
 // --- cycle enumeration and guards ------------------------------------
 
+// normCycleKey is the rotation-independent identity of a cycle: its
+// edge pairs, sorted. The same inversion discovered through different
+// node orderings or entries deduplicates onto one report.
+func normCycleKey(cycle []string) string {
+	pairs := make([]string, len(cycle))
+	for i := range cycle {
+		pairs[i] = cycle[i] + "->" + cycle[(i+1)%len(cycle)]
+	}
+	sort.Strings(pairs)
+	return strings.Join(pairs, ";")
+}
+
+func describeRoot(root string) string {
+	if k, ok := strings.CutPrefix(root, "fn:"); ok {
+		return "entry " + shortFunc(k)
+	}
+	if p, ok := strings.CutPrefix(root, "go:"); ok {
+		return "goroutine at " + shortFile(p)
+	}
+	return root
+}
+
+const maxAltRoots = 3
+
 func (st *loState) collectCycles(seqOnly map[string]bool) *LockOrderResult {
 	res := &LockOrderResult{}
 	adj := map[string][]string{}
@@ -801,19 +1134,45 @@ func (st *loState) collectCycles(seqOnly map[string]bool) *LockOrderResult {
 	}
 	sort.Strings(ordered)
 
+	byKey := map[string]int{}
 	emit := func(cycle []string) {
 		res.Candidates++
 		edges := make([]*loEdge, len(cycle))
 		for i := range cycle {
 			edges[i] = st.edges[[2]string{cycle[i], cycle[(i+1)%len(cycle)]}]
 		}
-		if c, why := st.confirm(cycle, edges, seqOnly); c != nil {
-			res.Cycles = append(res.Cycles, *c)
-		} else if why == "guard" {
-			res.SuppressedGuard++
-		} else {
-			res.SuppressedSeq++
+		c, why := st.confirm(cycle, edges, seqOnly)
+		if c == nil {
+			switch why {
+			case "seq":
+				res.SuppressedSeq++
+			case "rw":
+				res.SuppressedRW++
+			default:
+				res.SuppressedGuard++
+			}
+			return
 		}
+		key := normCycleKey(cycle)
+		if i, dup := byKey[key]; dup {
+			// Same inversion, different enumeration: fold the alternate
+			// entries into the existing report.
+			prev := &res.Cycles[i]
+			merged := append([]string{}, prev.AltRoots...)
+			for _, r := range append(c.AltRoots, rootList(c.witnessRoots)...) {
+				if len(merged) >= maxAltRoots {
+					break
+				}
+				if !containsStr(merged, r) && !prev.witnessRoots[r] {
+					merged = append(merged, r)
+				}
+			}
+			sort.Strings(merged)
+			prev.AltRoots = merged
+			return
+		}
+		byKey[key] = len(res.Cycles)
+		res.Cycles = append(res.Cycles, *c)
 	}
 
 	// Elementary cycles up to MaxCycleLen, started (and thus deduplicated)
@@ -843,13 +1202,11 @@ func (st *loState) collectCycles(seqOnly map[string]bool) *LockOrderResult {
 		}
 		// Self-loop (two instances of one abstract lock).
 		if e, ok := st.edges[[2]string{start, start}]; ok {
-			res.Candidates++
-			if c, why := st.confirm([]string{start}, []*loEdge{e}, seqOnly); c != nil {
-				res.Cycles = append(res.Cycles, *c)
-			} else if why == "guard" {
-				res.SuppressedGuard++
+			if st.widenedSelfLoop(start, e, nodes) {
+				res.Candidates++
+				res.SuppressedCtx++
 			} else {
-				res.SuppressedSeq++
+				emit([]string{start})
 			}
 		}
 		dfs(start, []string{start})
@@ -857,15 +1214,66 @@ func (st *loState) collectCycles(seqOnly map[string]bool) *LockOrderResult {
 	return res
 }
 
+// widenedSelfLoop reports whether a self-edge is pure widening residue:
+// every occurrence is a type-keyed fallback from the synthetic entry
+// instantiation of a function real callers DO reach (so the refined,
+// allocation-site-split instances were analyzed), and refined instances
+// of the same field exist in the graph without reproducing the
+// self-edge as a refined cycle. transfer(src, dst)-style self-loops in
+// uncalled API survive: their entry instantiation is the only evidence
+// there is.
+func (st *loState) widenedSelfLoop(key string, e *loEdge, nodes map[string]bool) bool {
+	refined := false
+	for n := range nodes {
+		if strings.HasPrefix(n, key+"@") {
+			refined = true
+			break
+		}
+	}
+	if !refined {
+		return false
+	}
+	for _, o := range e.occs {
+		if !o.widened {
+			return false
+		}
+		k, isFn := strings.CutPrefix(o.root, "fn:")
+		if !isFn || !st.hasCaller[k] {
+			return false
+		}
+	}
+	return true
+}
+
+func containsStr(xs []string, s string) bool {
+	for _, x := range xs {
+		if x == s {
+			return true
+		}
+	}
+	return false
+}
+
+func rootList(m map[string]bool) []string {
+	out := make([]string, 0, len(m))
+	for r := range m {
+		out = append(out, r)
+	}
+	sort.Strings(out)
+	return out
+}
+
 // confirm searches the occurrence combinations of a candidate cycle for
-// one that survives both guards; the first surviving combination (in
-// deterministic order) becomes the reported witness.
+// one that survives all guards; the first surviving combination (in
+// deterministic order) becomes the reported witness. Guards, in
+// reporting priority: sequential-only reachability ("seq"), RWMutex
+// reader-reader compatibility ("rw"), common dominating lock ("guard").
 func (st *loState) confirm(cycle []string, edges []*loEdge, seqOnly map[string]bool) (*ConfirmedCycle, string) {
 	cycleLocks := map[string]bool{}
 	for _, n := range cycle {
 		cycleLocks[n] = true
 	}
-	sawSeq := false
+	sawSeq, sawRW := false, false
 	pick := make([]int, len(edges))
 	var try func(i int) *ConfirmedCycle
 	try = func(i int) *ConfirmedCycle {
@@ -873,6 +1281,10 @@ func (st *loState) confirm(cycle []string, edges []*loEdge, seqOnly map[string]b
 			combo := make([]occurrence, len(edges))
 			for j, e := range edges {
 				combo[j] = e.occs[pick[j]]
+			}
+			if !rwFeasible(combo) {
+				sawRW = true
+				return nil
 			}
 			if !st.concurrent(combo, seqOnly) {
 				sawSeq = true
@@ -892,12 +1304,53 @@ func (st *loState) confirm(cycle []string, edges []*loEdge, seqOnly map[string]b
 		return nil
 	}
 	if c := try(0); c != nil {
+		c.AltRoots = st.altRoots(edges, c.witnessRoots)
 		return c, ""
 	}
 	if sawSeq {
 		return nil, "seq"
 	}
+	if sawRW {
+		return nil, "rw"
+	}
 	return nil, "guard"
+}
+
+// rwFeasible applies the RWMutex mode semantics around the cycle: edge
+// i's acquisition of lock i+1 blocks on edge i+1's hold of that lock —
+// unless both are read mode, in which case the runtime admits both
+// readers and the cycle dissolves. One compatible adjacency anywhere
+// breaks the whole cycle (self-loops check an occurrence against
+// itself).
+func rwFeasible(combo []occurrence) bool {
+	for i := range combo {
+		next := combo[(i+1)%len(combo)]
+		if combo[i].acqRead && next.holdRead {
+			return false
+		}
+	}
+	return true
+}
+
+// altRoots collects entry roots (beyond the witness combination's) that
+// also realize the cycle's edges, as related information on the report.
+func (st *loState) altRoots(edges []*loEdge, witness map[string]bool) []string {
+	seen := map[string]bool{}
+	var out []string
+	for _, e := range edges {
+		for _, o := range e.occs {
+			if witness[o.root] || seen[o.root] {
+				continue
+			}
+			seen[o.root] = true
+			out = append(out, describeRoot(o.root))
+		}
+	}
+	sort.Strings(out)
+	if len(out) > maxAltRoots {
+		out = out[:maxAltRoots]
+	}
+	return out
 }
 
 // concurrent reports whether the combination's edges can execute on
@@ -962,10 +1415,11 @@ func commonGuard(combo []occurrence, cycleLocks map[string]bool) bool {
 }
 
 func (st *loState) build(cycle []string, edges []*loEdge, combo []occurrence) *ConfirmedCycle {
-	c := &ConfirmedCycle{}
+	c := &ConfirmedCycle{witnessRoots: map[string]bool{}}
 	for i, e := range edges {
 		o := combo[i]
 		c.Locks = append(c.Locks, e.from.desc)
+		c.witnessRoots[o.root] = true
 		c.Edges = append(c.Edges, CycleEdge{
 			From:      e.from.desc,
 			To:        e.to.desc,

@@ -1,0 +1,59 @@
+// Mixed channel/lock wait cycle: the producer holds mu while blocking
+// on an unbuffered send; the only consumer must take mu before it ever
+// reaches its receive. Neither side is reorderable — the lock graph
+// alone sees nothing (one lock, no nesting), but the wait-for graph
+// closes the loop through the pending send.
+//
+// Controls: the ok channel's consumer takes no lock first (no cycle),
+// and selfPaired both sends and receives on its own sequential flow (a
+// goroutine cannot be its own counterpart).
+package main
+
+import "sync"
+
+var (
+	mu   sync.Mutex
+	ch   = make(chan int)
+	okc  = make(chan int)
+	mu2  sync.Mutex
+	pipe = make(chan int)
+)
+
+func producer() {
+	mu.Lock()
+	ch <- 1 // want `channel/lock wait cycle`
+	mu.Unlock()
+}
+
+func consumer() {
+	mu.Lock()
+	mu.Unlock()
+	<-ch
+}
+
+func freeProducer() {
+	mu.Lock()
+	okc <- 1
+	mu.Unlock()
+}
+
+func freeConsumer() {
+	<-okc
+}
+
+func selfPaired() {
+	mu2.Lock()
+	pipe <- 1
+	mu2.Unlock()
+	mu2.Lock()
+	mu2.Unlock()
+	<-pipe
+}
+
+func main() {
+	go producer()
+	go consumer()
+	go freeProducer()
+	go freeConsumer()
+	go selfPaired()
+}

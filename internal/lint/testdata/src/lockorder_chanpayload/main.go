@@ -1,0 +1,44 @@
+// Locks smuggled through a channel: the dispatcher sends the pair in
+// b-before-a order as a struct payload; the server receives it and
+// nests in the payload's order while the direct path nests a-before-b.
+// The inversion only appears once recv-side field acquisitions bind
+// through the send-site payload table.
+package main
+
+import "sync"
+
+type order struct {
+	outer *sync.Mutex
+	inner *sync.Mutex
+}
+
+var (
+	a   sync.Mutex
+	b   sync.Mutex
+	req = make(chan order)
+)
+
+func dispatch() {
+	req <- order{outer: &b, inner: &a}
+}
+
+func serve() {
+	o := <-req
+	o.outer.Lock()
+	o.inner.Lock()
+	o.inner.Unlock()
+	o.outer.Unlock()
+}
+
+func direct() {
+	a.Lock()
+	b.Lock() // want `lock-order inversion: main.a -> main.b -> main.a`
+	b.Unlock()
+	a.Unlock()
+}
+
+func main() {
+	go dispatch()
+	go serve()
+	direct()
+}

@@ -1,0 +1,57 @@
+// Interface-dispatch inversion: the service calls its store through an
+// interface while holding service.mu; the concrete store's mutating
+// path calls back into the service while holding memStore.mu. The
+// cycle only exists once the dynamic dispatch svc.st.Get() resolves to
+// (*memStore).Get through the class-hierarchy index.
+package main
+
+import "sync"
+
+type store interface {
+	Get() int
+	Put(v int)
+}
+
+type memStore struct {
+	mu  sync.Mutex
+	svc *service
+	v   int
+}
+
+func (s *memStore) Get() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.v
+}
+
+func (s *memStore) Put(v int) {
+	s.mu.Lock()
+	s.svc.note() // memStore.mu held while taking service.mu
+	s.v = v
+	s.mu.Unlock()
+}
+
+type service struct {
+	mu sync.Mutex
+	st store
+}
+
+func (svc *service) note() {
+	svc.mu.Lock() // want `lock-order inversion: main.memStore.mu -> main.service.mu -> main.memStore.mu`
+	svc.mu.Unlock()
+}
+
+func (svc *service) refresh() int {
+	svc.mu.Lock()
+	v := svc.st.Get() // service.mu held across the dynamic dispatch
+	svc.mu.Unlock()
+	return v
+}
+
+func main() {
+	svc := &service{}
+	m := &memStore{svc: svc}
+	svc.st = m
+	go svc.refresh()
+	m.Put(1)
+}

@@ -1,0 +1,31 @@
+// Instance sensitivity: two allocations of one struct type, locked in
+// a consistent x-before-y order through a shared helper. Without
+// allocation-site contexts the two instances merge into one abstract
+// box.mu node and the helper's outer/inner pair reads as a self-edge
+// inversion; with -ctx the call sites bind each parameter to its
+// allocation and the refined nodes form a straight (acyclic) order.
+// Nothing here deadlocks, so nothing may be reported.
+package main
+
+import "sync"
+
+type box struct {
+	mu sync.Mutex
+	n  int
+}
+
+func pair(outer, inner *box) {
+	outer.mu.Lock()
+	inner.mu.Lock()
+	inner.n++
+	inner.mu.Unlock()
+	outer.mu.Unlock()
+}
+
+func main() {
+	x := &box{}
+	y := &box{}
+	go pair(x, y)
+	go pair(x, y)
+	pair(x, y)
+}

@@ -1,0 +1,50 @@
+// RWMutex edge modes: the a/b pair is taken in both orders but always
+// in read mode — the runtime admits all the readers at once, so the
+// cycle dissolves (suppressed as rw, not reported). The c/d pair holds
+// a WRITE lock on one side while acquiring the other in read mode:
+// the write hold blocks the opposing reader and the inversion is real.
+package main
+
+import "sync"
+
+var (
+	a sync.RWMutex
+	b sync.RWMutex
+	c sync.RWMutex
+	d sync.RWMutex
+)
+
+func readersAB() {
+	a.RLock()
+	b.RLock()
+	b.RUnlock()
+	a.RUnlock()
+}
+
+func readersBA() {
+	b.RLock()
+	a.RLock()
+	a.RUnlock()
+	b.RUnlock()
+}
+
+func writerCD() {
+	c.Lock()
+	d.RLock() // want `lock-order inversion: main.c -> main.d -> main.c`
+	d.RUnlock()
+	c.Unlock()
+}
+
+func writerDC() {
+	d.Lock()
+	c.RLock()
+	c.RUnlock()
+	d.Unlock()
+}
+
+func main() {
+	go readersAB()
+	go readersBA()
+	go writerCD()
+	go writerDC()
+}

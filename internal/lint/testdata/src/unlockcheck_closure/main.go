@@ -1,0 +1,55 @@
+// Deferred releases through closures: `defer func(){ mu.Unlock() }()`
+// and `defer release()` where release is a local helper must count as
+// releasing paths — no findings for wrapped, helper, or mixedHelper.
+// A genuine leak (leaky's early return) is still flagged.
+package main
+
+import "sync"
+
+var mu sync.Mutex
+
+func wrapped(cond bool) int {
+	mu.Lock()
+	defer func() { mu.Unlock() }()
+	if cond {
+		return 1
+	}
+	return 0
+}
+
+func helper(cond bool) int {
+	mu.Lock()
+	release := func() { mu.Unlock() }
+	defer release()
+	if cond {
+		return 1
+	}
+	return 0
+}
+
+func mixedHelper(cond bool) {
+	mu.Lock()
+	if cond {
+		mu.Unlock()
+		return
+	}
+	release := func() { mu.Unlock() }
+	defer release()
+}
+
+func leaky(cond bool) {
+	mu.Lock()
+	if cond {
+		return // want `returns while still holding main.mu`
+	}
+	mu.Unlock()
+}
+
+func main() {
+	wrapped(bad)
+	helper(bad)
+	mixedHelper(bad)
+	leaky(bad)
+}
+
+var bad bool

@@ -98,6 +98,10 @@ type ulFunc struct {
 	// acquire produced it: `if err := mu.LockT(t); err != nil { return }`
 	// does NOT hold mu on the return path.
 	errFrom map[types.Object]string
+	// fnLits maps a local variable to the func literal assigned to it,
+	// so `release := func() { mu.Unlock() }; defer release()` counts as
+	// a releasing path like a direct deferred closure.
+	fnLits map[types.Object]*ast.FuncLit
 }
 
 type ulReturn struct {
@@ -137,11 +141,12 @@ func runUnlockCheck(pass *Pass) error {
 func checkUnlockFunc(pass *Pass, body *ast.BlockStmt) {
 	uf := &ulFunc{
 		pass:    pass,
-		res:     newLockResolver(pass.Pkg),
+		res:     newLockResolver(pass.Pkg, false),
 		lockPos: map[string]token.Pos{},
 		unlocks: map[string]int{},
 		descs:   map[string]string{},
 		errFrom: map[types.Object]string{},
+		fnLits:  map[types.Object]*ast.FuncLit{},
 	}
 	st := newUlState()
 	uf.stmt(body, st)
@@ -197,12 +202,24 @@ func (uf *ulFunc) lockID(recv ast.Expr) (string, bool) {
 		if ref.key.inst != "" {
 			id += "|" + ref.key.inst
 		}
+		if idx, isIdx := ast.Unparen(recv).(*ast.IndexExpr); isIdx {
+			// Distinct indices are distinct locks for balance tracking:
+			// shard[a].Unlock / shard[b].Unlock is not a double unlock.
+			id += "|" + exprString(idx.Index)
+		}
 		uf.descs[id] = ref.key.desc
 		return id, true
 	}
-	id := "sym:" + ref.obj.Name()
-	uf.descs[id] = ref.obj.Name()
-	return id, true
+	if ref.obj != nil {
+		id := "sym:" + ref.obj.Name()
+		uf.descs[id] = ref.obj.Name()
+		return id, true
+	}
+	// Channel-payload reference: balance-track by receiver text.
+	if s := exprString(recv); s != "?" {
+		return "expr:" + s, true
+	}
+	return "", false
 }
 
 func (uf *ulFunc) stmt(s ast.Stmt, st *ulState) {
@@ -226,7 +243,12 @@ func (uf *ulFunc) stmt(s ast.Stmt, st *ulState) {
 				}
 				if obj != nil {
 					delete(uf.errFrom, obj)
-					uf.res.note(obj, x.Rhs[i])
+					if lit, ok := ast.Unparen(x.Rhs[i]).(*ast.FuncLit); ok {
+						uf.fnLits[obj] = lit
+					} else {
+						delete(uf.fnLits, obj)
+						uf.res.note(obj, x.Rhs[i])
+					}
 				}
 			}
 		}
@@ -308,7 +330,11 @@ func (uf *ulFunc) stmt(s ast.Stmt, st *ulState) {
 					if len(vs.Names) == len(vs.Values) {
 						for i, name := range vs.Names {
 							if obj := uf.pass.Pkg.Info.Defs[name]; obj != nil {
-								uf.res.note(obj, vs.Values[i])
+								if lit, ok := ast.Unparen(vs.Values[i]).(*ast.FuncLit); ok {
+									uf.fnLits[obj] = lit
+								} else {
+									uf.res.note(obj, vs.Values[i])
+								}
 							}
 						}
 					}
@@ -641,7 +667,8 @@ func (uf *ulFunc) lockCall(call *ast.CallExpr, st *ulState, bare bool) {
 	}
 }
 
-// deferCall handles `defer mu.Unlock()` and `defer func(){ mu.Unlock() }()`.
+// deferCall handles `defer mu.Unlock()`, `defer func(){ mu.Unlock() }()`,
+// and `defer release()` where release is a local closure helper.
 func (uf *ulFunc) deferCall(call *ast.CallExpr, st *ulState) {
 	for _, a := range call.Args {
 		uf.expr(a, st, false)
@@ -655,19 +682,35 @@ func (uf *ulFunc) deferCall(call *ast.CallExpr, st *ulState) {
 		}
 		return
 	}
-	if lit, ok := call.Fun.(*ast.FuncLit); ok {
-		// Releases inside a deferred closure count as deferred; the
-		// closure body is otherwise its own function.
-		ast.Inspect(lit.Body, func(n ast.Node) bool {
-			if inner, ok := n.(*ast.CallExpr); ok {
-				if method, recv, ok := classifyLockCall(uf.pass.Pkg, inner); ok && releaseMethods[method] {
-					if key, ok := uf.lockID(recv); ok {
-						uf.unlocks[key]++
-						st.deferred[key]++
-					}
+	var body *ast.BlockStmt
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.FuncLit:
+		body = fun.Body
+	case *ast.Ident:
+		// A deferred local release helper: resolve the variable back to
+		// the literal assigned to it.
+		obj := uf.pass.Pkg.Info.Uses[fun]
+		if obj == nil {
+			obj = uf.pass.Pkg.Info.Defs[fun]
+		}
+		if lit, ok := uf.fnLits[obj]; ok {
+			body = lit.Body
+		}
+	}
+	if body == nil {
+		return
+	}
+	// Releases inside the deferred closure count as deferred; the
+	// closure body is otherwise its own function.
+	ast.Inspect(body, func(n ast.Node) bool {
+		if inner, ok := n.(*ast.CallExpr); ok {
+			if method, recv, ok := classifyLockCall(uf.pass.Pkg, inner); ok && releaseMethods[method] {
+				if key, ok := uf.lockID(recv); ok {
+					uf.unlocks[key]++
+					st.deferred[key]++
 				}
 			}
-			return true
-		})
-	}
+		}
+		return true
+	})
 }

@@ -1,0 +1,62 @@
+package simapp
+
+import (
+	"time"
+
+	"dimmunix/internal/core"
+)
+
+// chanOrder is a lock pair traveling over a channel: whoever receives
+// it nests in the carried order, so the acquisition order at the recv
+// side is decided by the send site — invisible to any analysis that
+// stops at the function boundary.
+type chanOrder struct {
+	outer, inner *core.Mutex
+}
+
+// ChannelLab is the channel-carried inversion: the dispatcher publishes
+// the lab's pair in b-before-a order, the server nests in whatever
+// order arrives, and the direct path nests a-before-b. The inversion is
+// a plain two-lock cycle at runtime (avoidable by yielding), but
+// statically the b→a edge only exists once recv-side acquisitions bind
+// through the send-site payload table.
+type ChannelLab struct {
+	rt   *core.Runtime
+	a, b *core.Mutex
+	req  chan chanOrder
+}
+
+// NewChannelLab builds the lab on rt. The request channel is buffered
+// so dispatch never blocks: the deadlock under study is purely between
+// the two nested lock paths.
+func NewChannelLab(rt *core.Runtime) *ChannelLab {
+	return &ChannelLab{rt: rt, a: rt.NewMutex(), b: rt.NewMutex(), req: make(chan chanOrder, 1)}
+}
+
+// dispatch publishes the pair in the inverted order.
+func (l *ChannelLab) dispatch() {
+	l.req <- chanOrder{outer: l.b, inner: l.a}
+}
+
+// serve nests in the order carried by the channel.
+func (l *ChannelLab) serve(t *core.Thread, hold time.Duration) error {
+	o := <-l.req
+	return nest(t, o.outer, o.inner, hold, nil)
+}
+
+// direct nests in the lab's natural order.
+func (l *ChannelLab) direct(t *core.Thread, hold time.Duration) error {
+	return nest(t, l.a, l.b, hold, nil)
+}
+
+// Exploit runs the real interleaving: the served (channel-ordered) path
+// against the direct path, each holding its outer lock across the
+// window. Without immunity this deadlocks; with the statically emitted
+// signature loaded, one side yields.
+func (l *ChannelLab) Exploit(hold time.Duration) []error {
+	l.dispatch()
+	return cross(l.rt,
+		func(t *core.Thread) error { return l.direct(t, hold) },
+		func(t *core.Thread) error { return l.serve(t, hold) },
+	)
+}
